@@ -1,0 +1,114 @@
+//! Criterion benchmarks that time the regeneration of each paper
+//! table/figure point at CI scale — one group per table/figure, so
+//! `cargo bench` exercises every experiment end to end and tracks
+//! simulator performance regressions.
+//!
+//! (The full-scale numbers are produced by the `tss-bench` harness
+//! binaries; see DESIGN.md §4.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tss_core::experiments::{
+    decode_rate_sweep, ort_capacity_sweep, scalability_sweep, trs_capacity_sweep,
+};
+use tss_core::SystemBuilder;
+use tss_workloads::{Benchmark, Scale};
+
+fn table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_task_info");
+    g.sample_size(10);
+    g.bench_function("all_benchmarks_small", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for bench in Benchmark::all() {
+                let tr = bench.trace(Scale::Small, 1);
+                acc += tr.avg_runtime() + tr.avg_data_bytes();
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn fig12_decode_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_decode_rate");
+    g.sample_size(10);
+    let cholesky = Benchmark::Cholesky.trace(Scale::Small, 1);
+    g.bench_function("cholesky_4trs_4ort", |b| {
+        b.iter(|| decode_rate_sweep(black_box(&cholesky), &[4], &[4]))
+    });
+    let h264 = Benchmark::H264.trace(Scale::Small, 1);
+    g.bench_function("h264_4trs_4ort", |b| {
+        b.iter(|| decode_rate_sweep(black_box(&h264), &[4], &[4]))
+    });
+    g.finish();
+}
+
+fn fig13_average_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_average_rate");
+    g.sample_size(10);
+    let stap = Benchmark::Stap.trace(Scale::Small, 1);
+    g.bench_function("stap_operating_point", |b| {
+        b.iter(|| decode_rate_sweep(black_box(&stap), &[8], &[2]))
+    });
+    g.finish();
+}
+
+fn fig14_ort_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_ort_capacity");
+    g.sample_size(10);
+    let tr = Benchmark::KMeans.trace(Scale::Small, 1);
+    g.bench_function("kmeans_two_points", |b| {
+        b.iter(|| ort_capacity_sweep(black_box(&tr), &[32 << 10, 512 << 10], 64))
+    });
+    g.finish();
+}
+
+fn fig15_trs_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_trs_capacity");
+    g.sample_size(10);
+    let tr = Benchmark::Fft.trace(Scale::Small, 1);
+    g.bench_function("fft_two_points", |b| {
+        b.iter(|| trs_capacity_sweep(black_box(&tr), &[256 << 10, 2 << 20], 64))
+    });
+    g.finish();
+}
+
+fn fig16_scalability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_scalability");
+    g.sample_size(10);
+    let tr = Benchmark::MatMul.trace(Scale::Small, 1);
+    g.bench_function("matmul_hw_vs_sw_64p", |b| {
+        b.iter(|| scalability_sweep(black_box(&tr), &[64]))
+    });
+    g.finish();
+}
+
+fn full_system_throughput(c: &mut Criterion) {
+    // Simulator throughput: how fast the simulation itself runs (tasks
+    // simulated per wall-clock second) — the practical cost of every
+    // figure above.
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.sample_size(10);
+    let tr = Benchmark::Cholesky.trace(Scale::Small, 1);
+    g.throughput(criterion::Throughput::Elements(tr.len() as u64));
+    g.bench_function("cholesky_small_256p", |b| {
+        b.iter(|| {
+            SystemBuilder::new().processors(256).skip_validation().run_hardware(black_box(&tr))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    table1,
+    fig12_decode_rate,
+    fig13_average_rate,
+    fig14_ort_capacity,
+    fig15_trs_capacity,
+    fig16_scalability,
+    full_system_throughput
+);
+criterion_main!(benches);

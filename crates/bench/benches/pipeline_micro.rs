@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the frontend's hot data structures:
+//! the TRS block allocator (Figure 11's free-list design), the
+//! dependency oracle, trace generation, and schedule validation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use tss_pipeline::blocks::{blocks_for_operands, BlockStore};
+use tss_trace::{validate_schedule, DepGraph};
+use tss_workloads::{Benchmark, Scale};
+
+fn bench_block_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_store");
+    g.bench_function("alloc_free_3op_task", |b| {
+        b.iter_batched_ref(
+            || BlockStore::new(6144, 22),
+            |store| {
+                let a = store.alloc(blocks_for_operands(3)).expect("space");
+                store.free(&a.blocks);
+                black_box(a.cost_cycles)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("churn_1000_tasks", |b| {
+        b.iter_batched_ref(
+            || BlockStore::new(6144, 22),
+            |store| {
+                let mut live = Vec::new();
+                for i in 0..1000u32 {
+                    let need = blocks_for_operands((i % 8) as usize);
+                    if let Some(a) = store.alloc(need) {
+                        live.push(a.blocks);
+                    }
+                    if i % 3 == 0 {
+                        if let Some(blocks) = live.pop() {
+                            store.free(&blocks);
+                        }
+                    }
+                }
+                for blocks in live {
+                    store.free(&blocks);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dependency_oracle");
+    g.sample_size(20);
+    let cholesky = Benchmark::Cholesky.trace(Scale::Small, 1);
+    g.bench_function("graph_build_cholesky_small", |b| {
+        b.iter(|| DepGraph::from_trace(black_box(&cholesky)))
+    });
+    let graph = DepGraph::from_trace(&cholesky);
+    let report = tss_core::SystemBuilder::new()
+        .processors(64)
+        .skip_validation()
+        .run_hardware(&cholesky);
+    g.bench_function("validate_schedule_cholesky_small", |b| {
+        b.iter(|| validate_schedule(black_box(&graph), black_box(&report.schedule)))
+    });
+    g.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.sample_size(10);
+    for bench in [Benchmark::Cholesky, Benchmark::H264, Benchmark::Stap] {
+        g.bench_function(bench.name(), |b| b.iter(|| bench.trace(Scale::Small, black_box(1))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_store, bench_oracle, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! - **renaming off** — WaR/WaW serialize like inout (the paper's
+//!   register-renaming analogy is the mechanism under test);
+//! - **chaining off** — producers keep full consumer lists and notify
+//!   all consumers directly (what Figure 10's transformation avoids);
+//! - **eDRAM latency** and **packet cost** sensitivity (Table II values
+//!   halved/doubled).
+
+use tss_bench::HarnessArgs;
+use tss_core::report::fmt_f;
+use tss_core::{SystemBuilder, Table};
+use tss_workloads::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let benches = [Benchmark::Cholesky, Benchmark::KMeans, Benchmark::H264, Benchmark::Stap];
+
+    let mut table = Table::new(
+        "Ablations: speedup at 256 processors (decode rate in cycles/task)",
+        &[
+            "Benchmark",
+            "baseline",
+            "no renaming",
+            "no chaining",
+            "eDRAM 11cy",
+            "eDRAM 44cy",
+            "packet 8cy",
+            "packet 32cy",
+        ],
+    );
+
+    for bench in benches {
+        let trace = bench.trace(args.scale, args.seed);
+        let run = |f: &dyn Fn(&mut tss_pipeline::FrontendConfig)| {
+            let r = SystemBuilder::new()
+                .processors(256)
+                .with_frontend(f)
+                .skip_validation()
+                .run_hardware(&trace);
+            format!("{} ({})", fmt_f(r.speedup(), 1), fmt_f(r.decode_rate_cycles, 0))
+        };
+        table.row(vec![
+            bench.name().to_string(),
+            run(&|_| {}),
+            run(&|f| f.renaming = false),
+            run(&|f| f.chaining = false),
+            run(&|f| f.timing.edram_latency = 11),
+            run(&|f| f.timing.edram_latency = 44),
+            run(&|f| f.timing.packet_cost = 8),
+            run(&|f| f.timing.packet_cost = 32),
+        ]);
+        eprintln!("  [ablations] {bench} done");
+    }
+    args.emit(&table);
+}

@@ -1,0 +1,50 @@
+//! Regenerates the **Figure 11** storage analysis: the inode block
+//! layout (1 main + up to 3 indirect 128 B blocks) and the measured
+//! internal fragmentation — "the average waste is only ~20% of the
+//! allocated memory" (Section IV.B.2).
+
+use tss_bench::HarnessArgs;
+use tss_core::report::fmt_f;
+use tss_core::{SystemBuilder, Table};
+use tss_pipeline::blocks::{blocks_for_operands, fragmentation_waste};
+use tss_workloads::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+
+    let mut layout = Table::new(
+        "Figure 11: inode layout (128 B blocks)",
+        &["operands", "blocks", "bytes", "waste"],
+    );
+    for ops in [1usize, 2, 3, 4, 5, 9, 10, 14, 15, 19] {
+        let blocks = blocks_for_operands(ops);
+        layout.row(vec![
+            ops.to_string(),
+            blocks.to_string(),
+            (blocks as u64 * 128).to_string(),
+            fmt_f(fragmentation_waste(ops, 128) * 100.0, 0) + "%",
+        ]);
+    }
+    args.emit(&layout);
+
+    let mut measured = Table::new(
+        "Measured TRS storage waste per benchmark (paper: ~20% average)",
+        &["Benchmark", "avg waste", "peak window (tasks)"],
+    );
+    let mut sum = 0.0;
+    for bench in Benchmark::all() {
+        let trace = bench.trace(args.scale, args.seed);
+        let report =
+            SystemBuilder::new().processors(256).skip_validation().run_hardware(&trace);
+        let fe = report.frontend.expect("hardware run");
+        sum += fe.avg_storage_waste;
+        measured.row(vec![
+            bench.name().to_string(),
+            fmt_f(fe.avg_storage_waste * 100.0, 1) + "%",
+            report.window_peak.to_string(),
+        ]);
+        eprintln!("  [fig11] {bench} done");
+    }
+    args.emit(&measured);
+    println!("average waste across benchmarks: {:.1}%", sum / 9.0 * 100.0);
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Figure 12**: task decode rate (cycles/task) for
+//! Cholesky and H264 as a function of the number of TRSs (1–64) and
+//! ORTs (1, 2, 4, 8).
+//!
+//! Expected shape (Section VI.A): rates fall as TRSs are added; extra
+//! ORTs help H264 (>6 operands/task) more than Cholesky (≤3); with 4
+//! TRSs and 4 ORTs Cholesky decodes in under ~185 cycles (58 ns).
+
+use tss_bench::HarnessArgs;
+use tss_core::experiments::decode_rate_sweep;
+use tss_core::report::fmt_f;
+use tss_core::Table;
+use tss_workloads::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let trs_counts = [1usize, 2, 4, 8, 16, 32, 64];
+    let ort_counts = [1usize, 2, 4, 8];
+
+    for bench in [Benchmark::Cholesky, Benchmark::H264] {
+        let trace = bench.trace(args.scale, args.seed);
+        let points = decode_rate_sweep(&trace, &trs_counts, &ort_counts);
+        let mut table = Table::new(
+            format!("Figure 12: {} decode rate [cycles/task] ({} tasks)", bench, trace.len()),
+            &["#TRS", "1 ORT", "2 ORTs", "4 ORTs", "8 ORTs"],
+        );
+        for (i, &trs) in trs_counts.iter().enumerate() {
+            let mut row = vec![trs.to_string()];
+            for (j, _) in ort_counts.iter().enumerate() {
+                let p = &points[j * trs_counts.len() + i];
+                debug_assert_eq!(p.num_trs, trs);
+                row.push(fmt_f(p.rate_cycles, 0));
+            }
+            table.row(row);
+        }
+        args.emit(&table);
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Figure 13**: average task decode rate over all nine
+//! benchmarks vs #TRS and #ORT, with the 128- and 256-processor rate
+//! limits.
+//!
+//! Expected shape (Section VI.A): a single TRS serializes all task-graph
+//! operations, so extra ORTs barely help there; multiple TRSs help even
+//! with one ORT; 8 TRSs + 2 ORTs beats the 256-processor target.
+
+use tss_bench::HarnessArgs;
+use tss_core::experiments::decode_rate_sweep;
+use tss_core::report::fmt_f;
+use tss_core::Table;
+use tss_workloads::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let trs_counts = [1usize, 2, 4, 8, 16, 32, 64];
+    let ort_counts = [1usize, 2, 4, 8];
+
+    // rate[ort][trs], averaged across benchmarks.
+    let mut sums = vec![vec![0.0f64; trs_counts.len()]; ort_counts.len()];
+    let mut limit_128 = 0.0f64;
+    let mut limit_256 = 0.0f64;
+    for bench in Benchmark::all() {
+        let trace = bench.trace(args.scale, args.seed);
+        limit_128 += trace.decode_rate_limit(128).unwrap() / 9.0;
+        limit_256 += trace.decode_rate_limit(256).unwrap() / 9.0;
+        let pts = decode_rate_sweep(&trace, &trs_counts, &ort_counts);
+        for (j, _) in ort_counts.iter().enumerate() {
+            for (i, _) in trs_counts.iter().enumerate() {
+                sums[j][i] += pts[j * trs_counts.len() + i].rate_cycles / 9.0;
+            }
+        }
+        eprintln!("  [fig13] {bench} done");
+    }
+
+    let mut table = Table::new(
+        "Figure 13: average decode rate [cycles/task] over the nine benchmarks",
+        &["#TRS", "1 ORT", "2 ORTs", "4 ORTs", "8 ORTs"],
+    );
+    for (i, &trs) in trs_counts.iter().enumerate() {
+        let mut row = vec![trs.to_string()];
+        for (j, _) in ort_counts.iter().enumerate() {
+            row.push(fmt_f(sums[j][i], 0));
+        }
+        table.row(row);
+    }
+    args.emit(&table);
+    println!(
+        "rate limits (avg of per-benchmark min-runtime/P): 128p = {limit_128:.0} cycles, \
+         256p = {limit_256:.0} cycles"
+    );
+    let chosen = sums[1][3]; // 8 TRS, 2 ORTs
+    println!(
+        "chosen operating point (8 TRS, 2 ORT): {chosen:.0} cycles/task = {:.0} ns \
+         (paper: <60 ns on average)",
+        tss_sim::cycles_to_ns(chosen.round() as u64)
+    );
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Figure 14**: speedup (256 processors) as a function of
+//! the total ORT capacity — 16 KB to 1 MB — for Cholesky, H264, and the
+//! average over all nine benchmarks.
+//!
+//! Expected shape (Section VI.B): speedups grow with ORT capacity and
+//! flatten — around 128 KB for Cholesky, ~512 KB for H264 and for the
+//! average — once the window uncovers parallelism as fast as tasks
+//! execute.
+
+use tss_bench::HarnessArgs;
+use tss_core::experiments::ort_capacity_sweep;
+use tss_core::report::fmt_f;
+use tss_core::Table;
+use tss_workloads::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let caps: Vec<u64> =
+        [16u64 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20].to_vec();
+
+    let mut avg = vec![0.0f64; caps.len()];
+    let mut cholesky_row: Vec<String> = Vec::new();
+    let mut h264_row: Vec<String> = Vec::new();
+    for bench in Benchmark::all() {
+        let trace = bench.trace(args.scale, args.seed);
+        let pts = ort_capacity_sweep(&trace, &caps, 256);
+        for (i, p) in pts.iter().enumerate() {
+            avg[i] += p.speedup / 9.0;
+        }
+        if bench == Benchmark::Cholesky {
+            cholesky_row = pts.iter().map(|p| fmt_f(p.speedup, 1)).collect();
+        }
+        if bench == Benchmark::H264 {
+            h264_row = pts.iter().map(|p| fmt_f(p.speedup, 1)).collect();
+        }
+        eprintln!("  [fig14] {bench} done");
+    }
+
+    let mut table = Table::new(
+        "Figure 14: speedup vs total ORT capacity (256 processors)",
+        &["ORT capacity", "Cholesky", "H264", "Average"],
+    );
+    for (i, &cap) in caps.iter().enumerate() {
+        table.row(vec![
+            format!("{} KB", cap >> 10),
+            cholesky_row[i].clone(),
+            h264_row[i].clone(),
+            fmt_f(avg[i], 1),
+        ]);
+    }
+    args.emit(&table);
+}

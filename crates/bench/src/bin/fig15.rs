@@ -1,0 +1,67 @@
+//! Regenerates **Figure 15**: speedup (256 processors) as a function of
+//! the total TRS capacity — 128 KB to 8 MB — for Cholesky, H264, and the
+//! average over all nine benchmarks.
+//!
+//! Expected shape (Section VI.B): Cholesky peaks by ~2 MB; H264's
+//! distant parallelism keeps paying until ~6 MB; 6 MB holds a window of
+//! 12k–50k tasks.
+
+use tss_bench::HarnessArgs;
+use tss_core::experiments::trs_capacity_sweep;
+use tss_core::report::fmt_f;
+use tss_core::Table;
+use tss_workloads::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let caps: Vec<u64> = [
+        128u64 << 10,
+        256 << 10,
+        512 << 10,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+        6 << 20,
+        8 << 20,
+    ]
+    .to_vec();
+
+    let mut avg = vec![0.0f64; caps.len()];
+    let mut window = vec![0u32; caps.len()];
+    let mut cholesky_row: Vec<String> = Vec::new();
+    let mut h264_row: Vec<String> = Vec::new();
+    for bench in Benchmark::all() {
+        let trace = bench.trace(args.scale, args.seed);
+        let pts = trs_capacity_sweep(&trace, &caps, 256);
+        for (i, p) in pts.iter().enumerate() {
+            avg[i] += p.speedup / 9.0;
+            window[i] = window[i].max(p.window_peak);
+        }
+        if bench == Benchmark::Cholesky {
+            cholesky_row = pts.iter().map(|p| fmt_f(p.speedup, 1)).collect();
+        }
+        if bench == Benchmark::H264 {
+            h264_row = pts.iter().map(|p| fmt_f(p.speedup, 1)).collect();
+        }
+        eprintln!("  [fig15] {bench} done");
+    }
+
+    let mut table = Table::new(
+        "Figure 15: speedup vs total TRS capacity (256 processors)",
+        &["TRS capacity", "Cholesky", "H264", "Average", "max window"],
+    );
+    for (i, &cap) in caps.iter().enumerate() {
+        table.row(vec![
+            if cap >= 1 << 20 { format!("{} MB", cap >> 20) } else { format!("{} KB", cap >> 10) },
+            cholesky_row[i].clone(),
+            h264_row[i].clone(),
+            fmt_f(avg[i], 1),
+            window[i].to_string(),
+        ]);
+    }
+    args.emit(&table);
+    println!(
+        "(6 MB of TRS storage = 49,152 blocks: a 12k-50k-task window, \
+         as Section VI.B reports)"
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Figure 16**: speedups over sequential execution for the
+//! task superscalar pipeline and the software runtime, on 32–256
+//! processors, for all nine benchmarks plus the average.
+//!
+//! Expected shape (Section VI.C): hardware scales to 256 processors
+//! (95–255x, average ~183x in the paper); software plateaus at 32–64
+//! processors except on Knn and H264 (≥100 µs tasks), with H264's
+//! infinite-window software slightly ahead at 256p.
+
+use tss_bench::HarnessArgs;
+use tss_core::experiments::scalability_sweep;
+use tss_core::report::fmt_f;
+use tss_core::Table;
+use tss_workloads::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let procs = [32usize, 64, 128, 256];
+
+    let mut table = Table::new(
+        "Figure 16: speedup over sequential execution (hw = task superscalar, sw = software runtime)",
+        &[
+            "Benchmark",
+            "hw32", "sw32", "hw64", "sw64", "hw128", "sw128", "hw256", "sw256",
+        ],
+    );
+    let mut avg = [0.0f64; 8];
+    for bench in Benchmark::all() {
+        let trace = bench.trace(args.scale, args.seed);
+        let pts = scalability_sweep(&trace, &procs);
+        let mut row = vec![bench.name().to_string()];
+        for (i, p) in pts.iter().enumerate() {
+            row.push(fmt_f(p.hardware, 1));
+            row.push(fmt_f(p.software, 1));
+            avg[2 * i] += p.hardware / 9.0;
+            avg[2 * i + 1] += p.software / 9.0;
+        }
+        table.row(row);
+        eprintln!("  [fig16] {bench} done");
+    }
+    let mut row = vec!["Average".to_string()];
+    for v in avg {
+        row.push(fmt_f(v, 1));
+    }
+    table.row(row);
+    args.emit(&table);
+    println!(
+        "(paper: hardware achieves 95-255x, average 183x, at 256 processors; \
+         software typically cannot use more than 32-64)"
+    );
+}

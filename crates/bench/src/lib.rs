@@ -1,0 +1,91 @@
+//! Shared plumbing for the table/figure harness binaries.
+//!
+//! Every binary accepts:
+//!
+//! - `--scale small|paper|large` — trace size (default `paper`; `small`
+//!   for a quick smoke run),
+//! - `--csv` — emit CSV instead of the aligned table,
+//! - `--seed N` — workload seed (default 42).
+//!
+//! See `DESIGN.md` §4 for the experiment-to-binary index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+
+use tss_workloads::Scale;
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Trace scale.
+    pub scale: Scale,
+    /// Emit CSV instead of aligned text.
+    pub csv: bool,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs { scale: Scale::Paper, csv: false, seed: 42 }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on unknown flags or bad values.
+    pub fn parse() -> Self {
+        let mut out = HarnessArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = args.next().expect("--scale needs a value");
+                    out.scale = match v.as_str() {
+                        "small" => Scale::Small,
+                        "paper" => Scale::Paper,
+                        "large" => Scale::Large,
+                        other => panic!("unknown scale '{other}' (small|paper|large)"),
+                    };
+                }
+                "--csv" => out.csv = true,
+                "--seed" => {
+                    out.seed = args
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed must be an integer");
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale small|paper|large] [--csv] [--seed N]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag '{other}' (try --help)"),
+            }
+        }
+        out
+    }
+
+    /// Prints a table per the `--csv` flag.
+    pub fn emit(&self, table: &tss_core::Table) {
+        if self.csv {
+            print!("{}", table.to_csv());
+        } else {
+            println!("{}", table.render());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let a = HarnessArgs::default();
+        assert_eq!(a.scale, Scale::Paper);
+        assert!(!a.csv);
+        assert_eq!(a.seed, 42);
+    }
+}

@@ -1,0 +1,250 @@
+//! Set-associative cache with true-LRU replacement.
+
+/// Geometry of one cache (an L1, or one L2 bank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Table II private L1: 64 KB, 4-way, 64 B lines.
+    pub fn l1() -> Self {
+        CacheConfig { size_bytes: 64 << 10, ways: 4, line_bytes: 64 }
+    }
+
+    /// Table II L2 bank: 4 MB, 8-way, 64 B lines.
+    pub fn l2_bank() -> Self {
+        CacheConfig { size_bytes: 4 << 20, ways: 8, line_bytes: 64 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.line_bytes * self.ways as u64)) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    last_used: u64,
+    dirty: bool,
+}
+
+/// A set-associative, true-LRU cache over line addresses.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    writebacks: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (non-power-of-two line size,
+    /// zero ways, or capacity not a multiple of `ways × line`).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.ways > 0, "cache needs at least one way");
+        assert_eq!(
+            cfg.size_bytes % (cfg.line_bytes * cfg.ways as u64),
+            0,
+            "capacity must be a whole number of sets"
+        );
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache needs at least one set");
+        SetAssocCache {
+            cfg,
+            sets: vec![Vec::new(); sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn index_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes;
+        ((line as usize) % self.sets.len(), line / self.sets.len() as u64)
+    }
+
+    /// Accesses `addr`. On a miss the line is filled (evicting LRU if the
+    /// set is full). Returns `true` on a hit.
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.tick += 1;
+        let (idx, tag) = self.index_and_tag(addr);
+        let ways = self.cfg.ways;
+        let set = &mut self.sets[idx];
+        if let Some(w) = set.iter_mut().find(|w| w.tag == tag) {
+            w.last_used = self.tick;
+            w.dirty |= write;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if set.len() == ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_used)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            let victim = set.swap_remove(lru);
+            self.evictions += 1;
+            if victim.dirty {
+                self.writebacks += 1;
+            }
+        }
+        set.push(Way { tag, last_used: self.tick, dirty: write });
+        false
+    }
+
+    /// Whether `addr` is resident, without touching LRU state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (idx, tag) = self.index_and_tag(addr);
+        self.sets[idx].iter().any(|w| w.tag == tag)
+    }
+
+    /// Invalidates `addr` if present; returns whether the line was dirty.
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let (idx, tag) = self.index_and_tag(addr);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|w| w.tag == tag)?;
+        let w = set.swap_remove(pos);
+        Some(w.dirty)
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Dirty evictions so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when no accesses have occurred.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets x 2 ways x 64B lines = 256B.
+        SetAssocCache::new(CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn l1_geometry() {
+        let c = CacheConfig::l1();
+        assert_eq!(c.sets(), 256);
+        let cache = SetAssocCache::new(c);
+        assert_eq!(cache.config().ways, 4);
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x0, false));
+        assert!(c.access(0x0, false));
+        assert!(c.access(0x3F, false), "same line");
+        assert!(!c.access(0x40, false), "next line, different set");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines with (line % 2 == 0): 0x000, 0x080, 0x100.
+        c.access(0x000, false);
+        c.access(0x080, false);
+        c.access(0x000, false); // 0x080 is now LRU
+        c.access(0x100, false); // evicts 0x080
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+        assert!(c.probe(0x100));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x080, false);
+        c.access(0x100, false); // evicts dirty 0x000
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        assert_eq!(c.invalidate(0x000), Some(true));
+        assert_eq!(c.invalidate(0x000), None);
+        assert!(!c.probe(0x000));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x080, false);
+        // Probing 0x000 must NOT refresh it...
+        assert!(c.probe(0x000));
+        c.access(0x100, false); // ...so 0x000 is evicted as LRU.
+        assert!(!c.probe(0x000));
+    }
+
+    #[test]
+    fn hit_ratio_tracks() {
+        let mut c = tiny();
+        assert_eq!(c.hit_ratio(), 0.0);
+        c.access(0x0, false);
+        c.access(0x0, false);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = SetAssocCache::new(CacheConfig { size_bytes: 256, ways: 2, line_bytes: 48 });
+    }
+}

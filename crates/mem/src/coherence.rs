@@ -1,0 +1,236 @@
+//! Directory-based MSI coherence, embedded in the L2 (Table II).
+//!
+//! One [`Directory`] tracks every cached line's global state:
+//!
+//! - `Invalid` — no L1 holds the line (it may still be in L2/memory);
+//! - `Shared(readers)` — one or more L1s hold a clean copy;
+//! - `Modified(owner)` — exactly one L1 holds a dirty copy.
+//!
+//! `read`/`write` apply a full MSI transition and report what traffic the
+//! access generated ([`AccessOutcome`]), which the hierarchy converts to
+//! latency.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// Global MSI state of one cache line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineState {
+    /// No L1 holds the line.
+    Invalid,
+    /// Clean copies in these cores' L1s.
+    Shared(BTreeSet<usize>),
+    /// A single dirty copy in this core's L1.
+    Modified(usize),
+}
+
+/// What a coherence transaction had to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The requester already had sufficient permission (no directory
+    /// round-trip needed).
+    pub local_hit: bool,
+    /// A dirty copy was fetched/written back from another L1.
+    pub owner_intervention: bool,
+    /// Number of sharer copies invalidated.
+    pub invalidations: usize,
+}
+
+/// The MSI directory.
+#[derive(Debug, Default)]
+pub struct Directory {
+    lines: HashMap<u64, LineState>,
+    interventions: u64,
+    invalidation_msgs: u64,
+}
+
+impl Directory {
+    /// An empty directory (all lines `Invalid`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// State of `line` (by line address).
+    pub fn state(&self, line: u64) -> LineState {
+        self.lines.get(&line).cloned().unwrap_or(LineState::Invalid)
+    }
+
+    /// Core `core` reads `line`.
+    pub fn read(&mut self, core: usize, line: u64) -> AccessOutcome {
+        let st = self.lines.entry(line).or_insert(LineState::Invalid);
+        match st {
+            LineState::Invalid => {
+                *st = LineState::Shared(BTreeSet::from([core]));
+                AccessOutcome { local_hit: false, owner_intervention: false, invalidations: 0 }
+            }
+            LineState::Shared(readers) => {
+                let had = readers.contains(&core);
+                readers.insert(core);
+                AccessOutcome { local_hit: had, owner_intervention: false, invalidations: 0 }
+            }
+            LineState::Modified(owner) => {
+                if *owner == core {
+                    AccessOutcome { local_hit: true, owner_intervention: false, invalidations: 0 }
+                } else {
+                    // Owner writes back; both become sharers.
+                    self.interventions += 1;
+                    let prev = *owner;
+                    *st = LineState::Shared(BTreeSet::from([prev, core]));
+                    AccessOutcome { local_hit: false, owner_intervention: true, invalidations: 0 }
+                }
+            }
+        }
+    }
+
+    /// Core `core` writes `line`.
+    pub fn write(&mut self, core: usize, line: u64) -> AccessOutcome {
+        let st = self.lines.entry(line).or_insert(LineState::Invalid);
+        match st {
+            LineState::Invalid => {
+                *st = LineState::Modified(core);
+                AccessOutcome { local_hit: false, owner_intervention: false, invalidations: 0 }
+            }
+            LineState::Shared(readers) => {
+                let others = readers.iter().filter(|&&r| r != core).count();
+                self.invalidation_msgs += others as u64;
+                *st = LineState::Modified(core);
+                AccessOutcome { local_hit: false, owner_intervention: false, invalidations: others }
+            }
+            LineState::Modified(owner) => {
+                if *owner == core {
+                    AccessOutcome { local_hit: true, owner_intervention: false, invalidations: 0 }
+                } else {
+                    self.interventions += 1;
+                    *st = LineState::Modified(core);
+                    AccessOutcome { local_hit: false, owner_intervention: true, invalidations: 1 }
+                }
+            }
+        }
+    }
+
+    /// Core `core` evicts its copy of `line`.
+    pub fn evict(&mut self, core: usize, line: u64) {
+        if let Some(st) = self.lines.get_mut(&line) {
+            match st {
+                LineState::Shared(readers) => {
+                    readers.remove(&core);
+                    if readers.is_empty() {
+                        *st = LineState::Invalid;
+                    }
+                }
+                LineState::Modified(owner) if *owner == core => *st = LineState::Invalid,
+                _ => {}
+            }
+        }
+    }
+
+    /// Dirty-copy interventions served.
+    pub fn interventions(&self) -> u64 {
+        self.interventions
+    }
+
+    /// Invalidation messages sent.
+    pub fn invalidation_msgs(&self) -> u64 {
+        self.invalidation_msgs
+    }
+
+    /// Lines with non-Invalid state (directory occupancy).
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.values().filter(|s| !matches!(s, LineState::Invalid)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_read_installs_shared() {
+        let mut d = Directory::new();
+        let out = d.read(0, 0x40);
+        assert!(!out.local_hit);
+        assert_eq!(d.state(0x40), LineState::Shared(BTreeSet::from([0])));
+    }
+
+    #[test]
+    fn multiple_readers_share() {
+        let mut d = Directory::new();
+        d.read(0, 0x40);
+        d.read(1, 0x40);
+        d.read(2, 0x40);
+        assert_eq!(d.state(0x40), LineState::Shared(BTreeSet::from([0, 1, 2])));
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.read(0, 0x40);
+        d.read(1, 0x40);
+        let out = d.write(2, 0x40);
+        assert_eq!(out.invalidations, 2);
+        assert_eq!(d.state(0x40), LineState::Modified(2));
+        assert_eq!(d.invalidation_msgs(), 2);
+    }
+
+    #[test]
+    fn read_of_modified_forces_writeback() {
+        let mut d = Directory::new();
+        d.write(0, 0x40);
+        let out = d.read(1, 0x40);
+        assert!(out.owner_intervention);
+        assert_eq!(d.state(0x40), LineState::Shared(BTreeSet::from([0, 1])));
+        assert_eq!(d.interventions(), 1);
+    }
+
+    #[test]
+    fn write_steals_ownership() {
+        let mut d = Directory::new();
+        d.write(0, 0x40);
+        let out = d.write(1, 0x40);
+        assert!(out.owner_intervention);
+        assert_eq!(out.invalidations, 1);
+        assert_eq!(d.state(0x40), LineState::Modified(1));
+    }
+
+    #[test]
+    fn owner_rereads_and_rewrites_locally() {
+        let mut d = Directory::new();
+        d.write(0, 0x40);
+        assert!(d.read(0, 0x40).local_hit);
+        assert!(d.write(0, 0x40).local_hit);
+        assert_eq!(d.interventions(), 0);
+    }
+
+    #[test]
+    fn sharer_upgrade_invalidates_only_others() {
+        let mut d = Directory::new();
+        d.read(0, 0x40);
+        d.read(1, 0x40);
+        let out = d.write(0, 0x40);
+        assert_eq!(out.invalidations, 1);
+        assert_eq!(d.state(0x40), LineState::Modified(0));
+    }
+
+    #[test]
+    fn eviction_clears_state() {
+        let mut d = Directory::new();
+        d.read(0, 0x40);
+        d.read(1, 0x40);
+        d.evict(0, 0x40);
+        assert_eq!(d.state(0x40), LineState::Shared(BTreeSet::from([1])));
+        d.evict(1, 0x40);
+        assert_eq!(d.state(0x40), LineState::Invalid);
+        assert_eq!(d.tracked_lines(), 0);
+
+        d.write(2, 0x80);
+        d.evict(2, 0x80);
+        assert_eq!(d.state(0x80), LineState::Invalid);
+    }
+
+    #[test]
+    fn foreign_evict_is_ignored() {
+        let mut d = Directory::new();
+        d.write(0, 0x40);
+        d.evict(5, 0x40); // core 5 holds nothing
+        assert_eq!(d.state(0x40), LineState::Modified(0));
+    }
+}

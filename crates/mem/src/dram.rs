@@ -1,0 +1,148 @@
+//! DDR3 main-memory model: 4 memory controllers × 2 channels × one
+//! 800 MHz DDR3 DIMM each (Table II).
+//!
+//! Each channel is a serial resource: an access pays a fixed device
+//! latency plus data transfer at the channel's bandwidth, expressed in
+//! core cycles (3.2 GHz). DDR3-800 moves 8 bytes × 1600 MT/s = 12.8 GB/s
+//! ≈ 4 bytes per core cycle.
+
+use tss_sim::{Cycle, ServerTimeline};
+
+/// Memory-system parameters.
+#[derive(Debug, Clone)]
+pub struct DramConfig {
+    /// Number of memory controllers (4 in Table II).
+    pub controllers: usize,
+    /// Channels per controller (2 in Table II).
+    pub channels_per_ctrl: usize,
+    /// Fixed access (row activate + CAS) latency in core cycles.
+    pub access_cycles: Cycle,
+    /// Channel bandwidth in bytes per core cycle.
+    pub bytes_per_cycle: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            controllers: 4,
+            channels_per_ctrl: 2,
+            // ~30 ns device latency at 3.2 GHz.
+            access_cycles: 96,
+            bytes_per_cycle: 4,
+        }
+    }
+}
+
+/// The DRAM subsystem: a bank of serially-occupied channels.
+#[derive(Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    channels: Vec<ServerTimeline>,
+    accesses: u64,
+    bytes: u64,
+}
+
+impl Dram {
+    /// Builds the DRAM model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-channel or zero-bandwidth configuration.
+    pub fn new(cfg: DramConfig) -> Self {
+        let n = cfg.controllers * cfg.channels_per_ctrl;
+        assert!(n > 0, "memory system needs at least one channel");
+        assert!(cfg.bytes_per_cycle > 0, "channels need bandwidth");
+        Dram { channels: vec![ServerTimeline::new(); n], cfg, accesses: 0, bytes: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Channel serving `addr` (line-interleaved across channels).
+    pub fn channel_of(&self, addr: u64) -> usize {
+        ((addr / 64) % self.channels.len() as u64) as usize
+    }
+
+    /// Performs an access of `bytes` at `addr` starting no earlier than
+    /// `now`; returns the completion cycle.
+    pub fn access(&mut self, addr: u64, bytes: u64, now: Cycle) -> Cycle {
+        self.accesses += 1;
+        self.bytes += bytes;
+        let ch = self.channel_of(addr);
+        let transfer = bytes.div_ceil(self.cfg.bytes_per_cycle).max(1);
+        self.channels[ch].occupy(now, self.cfg.access_cycles + transfer)
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Aggregate channel utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: Cycle) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        let busy: Cycle = self.channels.iter().map(|c| c.busy_cycles()).sum();
+        busy as f64 / (horizon as f64 * self.channels.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_latency_includes_device_and_transfer() {
+        let mut d = Dram::new(DramConfig::default());
+        // 64B line at 4 B/cycle = 16 cycles + 96 access.
+        assert_eq!(d.access(0, 64, 0), 112);
+    }
+
+    #[test]
+    fn same_channel_serializes() {
+        let mut d = Dram::new(DramConfig::default());
+        let a = d.access(0, 64, 0);
+        // Same line address -> same channel -> queues.
+        let b = d.access(0, 64, 0);
+        assert_eq!(b, a + 112);
+    }
+
+    #[test]
+    fn different_channels_overlap() {
+        let mut d = Dram::new(DramConfig::default());
+        let a = d.access(0, 64, 0);
+        let b = d.access(64, 64, 0); // next line -> next channel
+        assert_eq!(a, b);
+        assert_eq!(d.accesses(), 2);
+    }
+
+    #[test]
+    fn channel_mapping_is_line_interleaved() {
+        let d = Dram::new(DramConfig::default());
+        assert_eq!(d.channel_of(0), 0);
+        assert_eq!(d.channel_of(64), 1);
+        assert_eq!(d.channel_of(64 * 8), 0); // 8 channels wrap
+    }
+
+    #[test]
+    fn utilization_counts_all_channels() {
+        let mut d = Dram::new(DramConfig::default());
+        d.access(0, 64, 0);
+        let u = d.utilization(112);
+        assert!((u - 1.0 / 8.0).abs() < 1e-9, "{u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        let _ = Dram::new(DramConfig { controllers: 0, ..DramConfig::default() });
+    }
+}

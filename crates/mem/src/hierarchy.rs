@@ -1,0 +1,267 @@
+//! The assembled memory hierarchy, and the Section-II task-runtime model.
+
+use crate::cache::{CacheConfig, SetAssocCache};
+use crate::coherence::Directory;
+use crate::dram::{Dram, DramConfig};
+use tss_sim::Cycle;
+
+/// Hierarchy parameters (defaults are Table II).
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// Number of cores (each with a private L1).
+    pub cores: usize,
+    /// Private L1 geometry.
+    pub l1: CacheConfig,
+    /// L1 hit latency in cycles (3 in Table II).
+    pub l1_latency: Cycle,
+    /// Number of shared L2 banks (32 in Table II).
+    pub l2_banks: usize,
+    /// Geometry of each L2 bank.
+    pub l2_bank_cfg: CacheConfig,
+    /// L2 hit latency in cycles (22 in Table II).
+    pub l2_latency: Cycle,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+}
+
+impl HierarchyConfig {
+    /// Table II defaults for `cores` processors.
+    pub fn for_cores(cores: usize) -> Self {
+        HierarchyConfig {
+            cores,
+            l1: CacheConfig::l1(),
+            l1_latency: 3,
+            l2_banks: 32,
+            l2_bank_cfg: CacheConfig::l2_bank(),
+            l2_latency: 22,
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+/// Private L1s + banked shared L2 (with the MSI directory) + DRAM.
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    cfg: HierarchyConfig,
+    l1s: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    directory: Directory,
+    dram: Dram,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (no cores or banks).
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        assert!(cfg.cores > 0, "need at least one core");
+        assert!(cfg.l2_banks > 0, "need at least one L2 bank");
+        MemoryHierarchy {
+            l1s: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
+            l2: (0..cfg.l2_banks).map(|_| SetAssocCache::new(cfg.l2_bank_cfg)).collect(),
+            directory: Directory::new(),
+            dram: Dram::new(cfg.dram.clone()),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    fn bank_of(&self, addr: u64) -> usize {
+        ((addr / self.cfg.l2_bank_cfg.line_bytes) % self.cfg.l2_banks as u64) as usize
+    }
+
+    /// One line-granular access by `core`; returns its latency in cycles.
+    ///
+    /// Walks L1 → directory/L2 → DRAM, applying MSI transitions. `now`
+    /// orders DRAM channel occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: u64, write: bool, now: Cycle) -> Cycle {
+        assert!(core < self.cfg.cores, "core {core} out of range");
+        let line = addr / self.cfg.l1.line_bytes;
+        let l1_hit = self.l1s[core].access(addr, write);
+        let coh = if write {
+            self.directory.write(core, line)
+        } else {
+            self.directory.read(core, line)
+        };
+        if l1_hit && coh.local_hit {
+            return self.cfg.l1_latency;
+        }
+        // L1 miss (or permission upgrade): go to the home L2 bank.
+        let bank = self.bank_of(addr);
+        let l2_hit = self.l2[bank].access(addr, write);
+        let mut latency = self.cfg.l1_latency + self.cfg.l2_latency;
+        if coh.owner_intervention {
+            // Fetch the dirty copy from the owner's L1 via the L2: one
+            // more L2-class transfer.
+            latency += self.cfg.l2_latency;
+        } else if !l2_hit {
+            let done = self.dram.access(addr, self.cfg.l1.line_bytes, now + latency);
+            latency = done - now;
+        }
+        // Invalidation round-trips overlap; charge one L2-class hop if any.
+        if coh.invalidations > 0 {
+            latency += self.cfg.l2_latency;
+        }
+        latency
+    }
+
+    /// The L1 of `core`.
+    pub fn l1(&self, core: usize) -> &SetAssocCache {
+        &self.l1s[core]
+    }
+
+    /// L2 bank `i`.
+    pub fn l2_bank(&self, i: usize) -> &SetAssocCache {
+        &self.l2[i]
+    }
+
+    /// The coherence directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// The DRAM model.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+}
+
+/// The Section-II motivation model: task runtime as a function of its
+/// working-set size.
+///
+/// A task sweeps its working set `passes` times, spending
+/// `compute_cycles_per_byte` of pure computation per byte. Data is loaded
+/// through the modeled hierarchy; once the working set exceeds the L1,
+/// every pass misses and runtime degrades — reproducing the knee at 64 KB
+/// that justifies L1-sized blocks and, with it, the need for a ~60 ns
+/// decode rate (Section II).
+#[derive(Debug, Clone)]
+pub struct TaskRuntimeModel {
+    /// Pure compute cost per byte touched (cycles).
+    pub compute_cycles_per_byte: f64,
+    /// Number of sweeps over the working set.
+    pub passes: u32,
+}
+
+impl Default for TaskRuntimeModel {
+    fn default() -> Self {
+        // Enough reuse per byte that an L1-resident block amortizes its
+        // cold misses (as blocked BLAS kernels do); past the L1 capacity
+        // every pass stalls and the knee appears.
+        TaskRuntimeModel { compute_cycles_per_byte: 0.5, passes: 16 }
+    }
+}
+
+impl TaskRuntimeModel {
+    /// Estimates `(total_runtime, stall_cycles)` for a task with a
+    /// working set of `block_bytes`, executed alone on one core.
+    pub fn estimate(&self, block_bytes: u64) -> (Cycle, Cycle) {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::for_cores(1));
+        let line = h.config().l1.line_bytes;
+        let lines = block_bytes.div_ceil(line);
+        let mut stalls: Cycle = 0;
+        let mut now: Cycle = 0;
+        for pass in 0..self.passes {
+            for i in 0..lines {
+                let lat = h.access(0, i * line, pass % 2 == 1, now);
+                // Anything beyond the L1 hit latency is stall time.
+                stalls += lat.saturating_sub(h.config().l1_latency);
+                now += lat;
+            }
+        }
+        let compute =
+            (self.compute_cycles_per_byte * (block_bytes * self.passes as u64) as f64) as Cycle;
+        (compute + stalls, stalls)
+    }
+
+    /// Stall fraction (`stalls / runtime`) for a working set size.
+    pub fn stall_fraction(&self, block_bytes: u64) -> f64 {
+        let (rt, st) = self.estimate(block_bytes);
+        if rt == 0 {
+            0.0
+        } else {
+            st as f64 / rt as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_hit_is_three_cycles() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::for_cores(2));
+        let _ = h.access(0, 0x1000, false, 0);
+        assert_eq!(h.access(0, 0x1000, false, 10), 3);
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::for_cores(2));
+        let lat = h.access(0, 0x1000, false, 0);
+        assert!(lat > 100, "cold miss must pay DRAM latency, got {lat}");
+    }
+
+    #[test]
+    fn l2_hit_is_cheaper_than_dram() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::for_cores(2));
+        let cold = h.access(0, 0x2000, false, 0);
+        // Core 1 misses L1 but hits L2.
+        let warm = h.access(1, 0x2000, false, 1000);
+        assert!(warm < cold, "L2 hit {warm} must beat DRAM {cold}");
+        assert_eq!(warm, 3 + 22);
+    }
+
+    #[test]
+    fn write_to_shared_line_pays_invalidation() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::for_cores(2));
+        let _ = h.access(0, 0x3000, false, 0);
+        let _ = h.access(1, 0x3000, false, 500);
+        // Core 0 upgrades to Modified: must invalidate core 1.
+        let lat = h.access(0, 0x3000, true, 1000);
+        assert!(lat > 3, "upgrade cannot be a pure L1 hit, got {lat}");
+        assert_eq!(h.directory().invalidation_msgs(), 1);
+    }
+
+    #[test]
+    fn dirty_read_triggers_intervention() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::for_cores(2));
+        let _ = h.access(0, 0x4000, true, 0);
+        let lat = h.access(1, 0x4000, false, 500);
+        assert!(h.directory().interventions() == 1);
+        assert_eq!(lat, 3 + 22 + 22);
+    }
+
+    #[test]
+    fn runtime_model_knees_at_l1_capacity() {
+        let m = TaskRuntimeModel::default();
+        // Well under 64 KB: second and later passes all hit L1.
+        let small = m.stall_fraction(16 << 10);
+        // Well over 64 KB: every pass thrashes.
+        let large = m.stall_fraction(512 << 10);
+        assert!(
+            large > 2.0 * small,
+            "stall fraction must jump past the L1 knee: {small:.3} -> {large:.3}"
+        );
+    }
+
+    #[test]
+    fn runtime_grows_superlinearly_past_l1() {
+        let m = TaskRuntimeModel::default();
+        let (rt_64k, _) = m.estimate(64 << 10);
+        let (rt_256k, _) = m.estimate(256 << 10);
+        // 4x the data must cost more than 4x the time once thrashing.
+        assert!(rt_256k > 4 * rt_64k, "{rt_64k} -> {rt_256k}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Cache-hierarchy model for the simulated CMP (paper, Table II):
+//! private 64 KB 4-way L1s (3-cycle), a shared L2 of 32 × 4 MB 8-way
+//! banks (22-cycle) with directory-based MSI coherence embedded in the
+//! L2, and 4 dual-channel DDR3-800 memory controllers.
+//!
+//! # Role in the reproduction
+//!
+//! The paper drives its evaluation with *measured task runtimes* (its
+//! simulator is trace-driven), so the task pipeline itself never walks a
+//! cache. This crate exists for two purposes:
+//!
+//! 1. **The Section II motivation.** The paper argues tasks must be sized
+//!    to their L1 (64 KB blocks): "once the dataset exceeds the capacity
+//!    of the per-core L1 cache, the code will start suffering from memory
+//!    stalls". [`hierarchy::TaskRuntimeModel`] reproduces that crossover
+//!    (used by the `motivation` bench harness).
+//! 2. **A faithful substrate.** The backend can charge realistic
+//!    dispatch/copy-back traffic costs, and the coherence machinery is a
+//!    complete, tested MSI directory — the substrate the paper's CMP
+//!    assumes.
+
+pub mod cache;
+pub mod coherence;
+pub mod dram;
+pub mod hierarchy;
+
+pub use cache::{CacheConfig, SetAssocCache};
+pub use coherence::{AccessOutcome, Directory, LineState};
+pub use dram::{Dram, DramConfig};
+pub use hierarchy::{HierarchyConfig, MemoryHierarchy, TaskRuntimeModel};

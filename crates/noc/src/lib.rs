@@ -1,0 +1,344 @@
+//! Segmented two-level ring interconnect (paper, Table II).
+//!
+//! The simulated CMP connects its cores with a two-level ring: each group
+//! of 8 cores sits on a *local ring* together with a bridge node, and a
+//! *global ring* connects the bridges, the 32 L2 banks, the 4 memory
+//! controllers, and the task-superscalar frontend. Links move 16
+//! bytes/cycle, and each segment supports 4 concurrent connections.
+//!
+//! # Model
+//!
+//! A message from `src` to `dst` traverses one or more rings. Per ring we
+//! charge:
+//!
+//! - **distance latency** — `hops × hop_latency` where hops is the
+//!   shorter way around the ring, and
+//! - **serialization + contention** — the ring is a [`LaneServer`] with 4
+//!   lanes (the paper's "4 concurrent connections per segment"); a
+//!   message occupies a lane for `ceil(bytes / 16)` cycles.
+//!
+//! This is a deliberate simplification of true per-segment wormhole
+//! switching: it preserves the bandwidth ceiling, the concurrency limit,
+//! and distance-proportional latency, which are the properties the
+//! evaluation is sensitive to (DESIGN.md §3.3).
+
+use tss_sim::{Cycle, LaneServer};
+
+/// Endpoints attachable to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// Worker core `i`.
+    Core(usize),
+    /// Shared L2 bank `i`.
+    L2Bank(usize),
+    /// Memory controller `i`.
+    MemCtrl(usize),
+    /// The task superscalar frontend (gateway + decode modules).
+    Frontend,
+}
+
+/// Ring network parameters (defaults are Table II).
+#[derive(Debug, Clone)]
+pub struct RingConfig {
+    /// Number of worker cores.
+    pub cores: usize,
+    /// Cores per local ring (8 in the paper).
+    pub cores_per_ring: usize,
+    /// L2 banks on the global ring (32 in the paper).
+    pub l2_banks: usize,
+    /// Memory controllers on the global ring (4 in the paper).
+    pub mem_ctrls: usize,
+    /// Link bandwidth in bytes per cycle (16 in the paper).
+    pub bytes_per_cycle: u64,
+    /// Concurrent connections per segment (4 in the paper).
+    pub lanes: usize,
+    /// Cycles per hop between adjacent ring stops.
+    pub hop_latency: Cycle,
+}
+
+impl RingConfig {
+    /// Table II defaults for a CMP of `cores` processors.
+    pub fn for_cores(cores: usize) -> Self {
+        RingConfig {
+            cores,
+            cores_per_ring: 8,
+            l2_banks: 32,
+            mem_ctrls: 4,
+            bytes_per_cycle: 16,
+            lanes: 4,
+            hop_latency: 1,
+        }
+    }
+
+    /// Number of local rings.
+    pub fn ring_count(&self) -> usize {
+        self.cores.div_ceil(self.cores_per_ring)
+    }
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        Self::for_cores(256)
+    }
+}
+
+/// The two-level ring: routes messages and accounts for contention.
+#[derive(Debug)]
+pub struct RingNetwork {
+    cfg: RingConfig,
+    local: Vec<LaneServer>,
+    global: LaneServer,
+    messages: u64,
+    total_bytes: u64,
+}
+
+impl RingNetwork {
+    /// Builds the network for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` has zero cores, zero `cores_per_ring`, or zero
+    /// bandwidth.
+    pub fn new(cfg: RingConfig) -> Self {
+        assert!(cfg.cores > 0, "a CMP needs cores");
+        assert!(cfg.cores_per_ring > 0, "local rings need capacity");
+        assert!(cfg.bytes_per_cycle > 0, "links need bandwidth");
+        let rings = cfg.ring_count();
+        RingNetwork {
+            local: (0..rings).map(|_| LaneServer::new(cfg.lanes)).collect(),
+            global: LaneServer::new(cfg.lanes),
+            cfg,
+            messages: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RingConfig {
+        &self.cfg
+    }
+
+    fn local_ring_of(&self, node: Node) -> Option<usize> {
+        match node {
+            Node::Core(c) => {
+                assert!(c < self.cfg.cores, "core {c} out of range");
+                Some(c / self.cfg.cores_per_ring)
+            }
+            _ => None,
+        }
+    }
+
+    /// Position of a node on its local ring (cores) in stop units.
+    fn local_pos(&self, node: Node) -> usize {
+        match node {
+            Node::Core(c) => c % self.cfg.cores_per_ring,
+            _ => unreachable!("only cores live on local rings"),
+        }
+    }
+
+    /// Position of a node (or its bridge) on the global ring.
+    fn global_pos(&self, node: Node) -> usize {
+        let rings = self.cfg.ring_count();
+        match node {
+            Node::Core(c) => c / self.cfg.cores_per_ring, // bridge position
+            Node::L2Bank(b) => {
+                assert!(b < self.cfg.l2_banks, "L2 bank {b} out of range");
+                rings + b
+            }
+            Node::MemCtrl(m) => {
+                assert!(m < self.cfg.mem_ctrls, "memory controller {m} out of range");
+                rings + self.cfg.l2_banks + m
+            }
+            Node::Frontend => rings + self.cfg.l2_banks + self.cfg.mem_ctrls,
+        }
+    }
+
+    fn global_stops(&self) -> usize {
+        self.cfg.ring_count() + self.cfg.l2_banks + self.cfg.mem_ctrls + 1
+    }
+
+    fn ring_hops(pos_a: usize, pos_b: usize, stops: usize) -> usize {
+        let d = pos_a.abs_diff(pos_b);
+        d.min(stops - d)
+    }
+
+    fn serialization(&self, bytes: u64) -> Cycle {
+        bytes.div_ceil(self.cfg.bytes_per_cycle).max(1)
+    }
+
+    /// Unloaded (contention-free) latency from `src` to `dst` for a
+    /// message of `bytes`.
+    pub fn pure_latency(&self, src: Node, dst: Node, bytes: u64) -> Cycle {
+        let ser = self.serialization(bytes);
+        self.hop_count(src, dst) as Cycle * self.cfg.hop_latency + ser
+    }
+
+    /// Total ring stops traversed between `src` and `dst`.
+    pub fn hop_count(&self, src: Node, dst: Node) -> usize {
+        let (sr, dr) = (self.local_ring_of(src), self.local_ring_of(dst));
+        match (sr, dr) {
+            (Some(a), Some(b)) if a == b => {
+                let stops = self.cfg.cores_per_ring + 1; // + bridge
+                Self::ring_hops(self.local_pos(src), self.local_pos(dst), stops)
+            }
+            _ => {
+                let mut hops = 0;
+                let stops_local = self.cfg.cores_per_ring + 1;
+                if sr.is_some() {
+                    // src core -> its bridge (bridge sits at position `stops-1`).
+                    hops += Self::ring_hops(self.local_pos(src), stops_local - 1, stops_local);
+                }
+                hops += Self::ring_hops(
+                    self.global_pos(src),
+                    self.global_pos(dst),
+                    self.global_stops(),
+                );
+                if dr.is_some() {
+                    hops += Self::ring_hops(stops_local - 1, self.local_pos(dst), stops_local);
+                }
+                hops
+            }
+        }
+    }
+
+    /// Routes a message: reserves bandwidth on every ring traversed and
+    /// returns the arrival cycle (≥ `now + pure_latency`).
+    pub fn route(&mut self, src: Node, dst: Node, bytes: u64, now: Cycle) -> Cycle {
+        self.messages += 1;
+        self.total_bytes += bytes;
+        let ser = self.serialization(bytes);
+        let (sr, dr) = (self.local_ring_of(src), self.local_ring_of(dst));
+        let mut depart = now;
+        match (sr, dr) {
+            (Some(a), Some(b)) if a == b => {
+                depart = self.local[a].occupy(depart, ser);
+            }
+            _ => {
+                if let Some(a) = sr {
+                    depart = self.local[a].occupy(depart, ser);
+                }
+                depart = self.global.occupy(depart, ser);
+                if let Some(b) = dr {
+                    depart = self.local[b].occupy(depart, ser);
+                }
+            }
+        }
+        // `depart` already includes one serialization per ring; add the
+        // hop (distance) latency on top.
+        depart + self.hop_count(src, dst) as Cycle * self.cfg.hop_latency
+    }
+
+    /// Messages routed so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Payload bytes routed so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Global-ring utilization over `[0, horizon]`.
+    pub fn global_utilization(&self, horizon: Cycle) -> f64 {
+        self.global.utilization(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(cores: usize) -> RingNetwork {
+        RingNetwork::new(RingConfig::for_cores(cores))
+    }
+
+    #[test]
+    fn ring_count_rounds_up() {
+        assert_eq!(RingConfig::for_cores(256).ring_count(), 32);
+        assert_eq!(RingConfig::for_cores(12).ring_count(), 2);
+    }
+
+    #[test]
+    fn same_ring_distance_is_short() {
+        let n = net(64);
+        // Cores 0 and 1 share a local ring.
+        assert_eq!(n.hop_count(Node::Core(0), Node::Core(1)), 1);
+        // Shorter way around: 0 -> 7 is 2 hops on a 9-stop ring
+        // (0 -> bridge -> 7).
+        assert_eq!(n.hop_count(Node::Core(0), Node::Core(7)), 2);
+    }
+
+    #[test]
+    fn cross_ring_goes_via_global() {
+        let n = net(64);
+        let hops = n.hop_count(Node::Core(0), Node::Core(63));
+        // core0 -> bridge0 (1) + global bridge0 -> bridge7 (7) +
+        // bridge7 -> core63 on its local ring.
+        assert!(hops >= 8, "got {hops}");
+    }
+
+    #[test]
+    fn frontend_reaches_everything() {
+        let n = net(32);
+        for c in [0usize, 8, 31] {
+            assert!(n.hop_count(Node::Frontend, Node::Core(c)) > 0);
+        }
+        assert!(n.hop_count(Node::Frontend, Node::L2Bank(0)) > 0);
+        assert!(n.hop_count(Node::Frontend, Node::MemCtrl(3)) > 0);
+    }
+
+    #[test]
+    fn pure_latency_scales_with_bytes() {
+        let n = net(32);
+        let small = n.pure_latency(Node::Frontend, Node::Core(0), 16);
+        let big = n.pure_latency(Node::Frontend, Node::Core(0), 1600);
+        assert_eq!(big - small, 100 - 1);
+    }
+
+    #[test]
+    fn route_accounts_contention() {
+        let mut n = net(32);
+        let free = n.pure_latency(Node::Core(0), Node::Core(1), 64);
+        // Saturate the 4 lanes of the local ring with big transfers.
+        for _ in 0..4 {
+            n.route(Node::Core(0), Node::Core(1), 16_000, 0);
+        }
+        let arrival = n.route(Node::Core(2), Node::Core(3), 64, 0);
+        assert!(
+            arrival > free,
+            "fifth message must queue behind the 4 lanes: {arrival} vs {free}"
+        );
+        assert_eq!(n.messages(), 5);
+    }
+
+    #[test]
+    fn parallel_lanes_allow_concurrency() {
+        let mut n = net(32);
+        let a = n.route(Node::Core(0), Node::Core(1), 160, 0);
+        let b = n.route(Node::Core(4), Node::Core(5), 160, 0);
+        // Two messages on different lanes of the same ring finish at
+        // similar times (same serialization, different distance only).
+        assert!(a.abs_diff(b) <= 16, "{a} vs {b}");
+    }
+
+    #[test]
+    fn zero_byte_message_still_takes_a_cycle() {
+        let n = net(32);
+        assert!(n.pure_latency(Node::Core(0), Node::Core(1), 0) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_panics() {
+        let n = net(32);
+        let _ = n.hop_count(Node::Core(99), Node::Frontend);
+    }
+
+    #[test]
+    fn utilization_reported() {
+        let mut n = net(32);
+        n.route(Node::Core(0), Node::L2Bank(0), 1600, 0);
+        assert!(n.global_utilization(1000) > 0.0);
+        assert_eq!(n.total_bytes(), 1600);
+    }
+}

@@ -1,0 +1,85 @@
+//! Identifiers used by the frontend protocol.
+//!
+//! The paper (Section IV.A): "Each task is ... represented by a unique
+//! task ID tuple composed of the TRS index and the slot number", e.g.
+//! `<1,17>`; operand IDs append the operand index, e.g. `<1,17,0>`.
+//! TRSs are directly addressed — "protocol messages include the location
+//! of the queried datum in the destination module" — so these refs are
+//! physical addresses, not associative keys.
+//!
+//! We add a *generation* counter to task and version refs: slots and
+//! version records are recycled, and a message carrying a stale
+//! generation proves its target already finished/drained (the receiver
+//! then answers "data ready" immediately instead of dereferencing freed
+//! state). Hardware gets the same effect from its release protocol; in a
+//! simulator the generation check also turns any lifetime bug into a loud
+//! failure instead of silent corruption.
+
+/// Identifies an in-flight task: `<TRS index, slot, generation>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskRef {
+    /// Which TRS stores the task.
+    pub trs: u8,
+    /// Slot (main-block address) within that TRS.
+    pub slot: u32,
+    /// Slot reuse generation.
+    pub gen: u32,
+}
+
+impl std::fmt::Display for TaskRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<{},{}>", self.trs, self.slot)
+    }
+}
+
+/// Identifies one operand of an in-flight task: `<TRS, slot, index>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperandRef {
+    /// The owning task.
+    pub task: TaskRef,
+    /// Operand index within the task.
+    pub index: u8,
+}
+
+impl std::fmt::Display for OperandRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<{},{},{}>", self.task.trs, self.task.slot, self.index)
+    }
+}
+
+/// Identifies a live operand version in an OVT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VersionRef {
+    /// Which OVT (== its paired ORT index) owns the version.
+    pub ovt: u8,
+    /// Record index within that OVT.
+    pub idx: u32,
+    /// Record reuse generation.
+    pub gen: u32,
+}
+
+impl std::fmt::Display for VersionRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v<{},{}>", self.ovt, self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let t = TaskRef { trs: 1, slot: 17, gen: 0 };
+        assert_eq!(t.to_string(), "<1,17>");
+        let o = OperandRef { task: t, index: 0 };
+        assert_eq!(o.to_string(), "<1,17,0>");
+    }
+
+    #[test]
+    fn generations_distinguish_reuse() {
+        let a = TaskRef { trs: 0, slot: 5, gen: 0 };
+        let b = TaskRef { trs: 0, slot: 5, gen: 1 };
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,463 @@
+//! Task Reservation Stations (paper, Section IV.B.2).
+//!
+//! A TRS stores the meta-data of in-flight tasks in its private eDRAM
+//! (128 B blocks, inode layout — see [`crate::blocks`]) and thereby
+//! *embeds the task dependency graph*: each operand records at most one
+//! chained consumer (Figure 10), producers notify the first consumer on
+//! task finish, and every consumer forwards the `DataReady` to its
+//! successor on receipt.
+//!
+//! TRSs are directly addressed — incoming messages carry the task slot —
+//! so no associative lookup is needed. Slot reuse is guarded by
+//! generation counters: a `RegisterConsumer` that reaches a recycled slot
+//! proves the producer already finished, so the consumer is answered
+//! "data ready" immediately.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tss_sim::{Component, Context, Cycle, ServerTimeline};
+use tss_trace::{Direction, OperandKind, TaskId, TaskTrace};
+
+use crate::blocks::{blocks_for_operands, BlockStore};
+use crate::config::FrontendConfig;
+use crate::gateway::Topology;
+use crate::ids::{OperandRef, TaskRef, VersionRef};
+use crate::msg::{Msg, ReadyKind};
+
+#[derive(Debug, Clone)]
+struct OperandSlot {
+    dir: Direction,
+    is_scalar: bool,
+    version: Option<VersionRef>,
+    /// Chained consumers. With consumer chaining (Figure 10) at most one
+    /// entry exists (the ORT always points newcomers at the last user);
+    /// the no-chaining ablation stores the full list.
+    consumers: Vec<OperandRef>,
+    /// The "producer" was an earlier operand of the same task: the data
+    /// this operand stands for is produced by its own task, so chain
+    /// forwarding must wait for task finish (like a writer).
+    self_produced: bool,
+    data_ready: bool,
+    buffer: u64,
+    readies_needed: u8,
+    readies_got: u8,
+    info_received: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Decoding,
+    Ready,
+    Running,
+}
+
+#[derive(Debug)]
+struct TaskSlot {
+    trace_id: TaskId,
+    blocks: Vec<u32>,
+    operands: Vec<OperandSlot>,
+    infos_pending: u8,
+    state: SlotState,
+    decode_done: Option<Cycle>,
+}
+
+impl TaskSlot {
+    fn all_ready(&self) -> bool {
+        self.infos_pending == 0
+            && self.operands.iter().all(|o| o.readies_got >= o.readies_needed)
+    }
+}
+
+/// Counters exported after a run.
+#[derive(Debug, Clone, Default)]
+pub struct TrsStats {
+    /// Tasks allocated in this TRS.
+    pub tasks_allocated: u64,
+    /// Allocation requests rejected for lack of blocks.
+    pub allocs_rejected: u64,
+    /// Peak simultaneously in-flight tasks (window occupancy share).
+    pub peak_in_flight: u32,
+    /// `DataReady` messages forwarded along consumer chains.
+    pub chain_forwards: u64,
+    /// `RegisterConsumer` messages answered from a recycled slot
+    /// (producer had already finished).
+    pub stale_registers: u64,
+    /// Fraction-of-storage-wasted samples (internal fragmentation), one
+    /// per allocated task.
+    pub waste_sum: f64,
+    /// Decode completion timestamps ("additions to the task graph").
+    pub decode_times: Vec<Cycle>,
+}
+
+/// One task reservation station.
+pub struct Trs {
+    index: u8,
+    trace: Arc<TaskTrace>,
+    timing: crate::config::TimingParams,
+    chaining: bool,
+    block_bytes: u64,
+    topo: Topology,
+    store: BlockStore,
+    slots: HashMap<u32, TaskSlot>,
+    gens: Vec<u32>,
+    server: ServerTimeline,
+    reported_full: bool,
+    in_flight: u32,
+    stats: TrsStats,
+}
+
+impl Trs {
+    /// Builds TRS `index`.
+    pub fn new(index: u8, trace: Arc<TaskTrace>, cfg: &FrontendConfig, topo: Topology) -> Self {
+        let blocks = cfg.blocks_per_trs();
+        Trs {
+            index,
+            trace,
+            timing: cfg.timing.clone(),
+            chaining: cfg.chaining,
+            block_bytes: cfg.trs_block_bytes,
+            topo,
+            store: BlockStore::new(blocks, cfg.timing.edram_latency),
+            slots: HashMap::new(),
+            gens: vec![0; blocks as usize],
+            server: ServerTimeline::new(),
+            reported_full: false,
+            in_flight: 0,
+            stats: TrsStats::default(),
+        }
+    }
+
+    /// Post-run statistics.
+    pub fn stats(&self) -> &TrsStats {
+        &self.stats
+    }
+
+    /// Module busy cycles.
+    pub fn busy_cycles(&self) -> Cycle {
+        self.server.busy_cycles()
+    }
+
+    /// Tasks currently in flight (0 after a drained run).
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight
+    }
+
+    /// The block store (for post-run inspection).
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    fn task_ref(&self, slot: u32) -> TaskRef {
+        TaskRef { trs: self.index, slot, gen: self.gens[slot as usize] }
+    }
+
+    fn occupy(&mut self, now: Cycle, cost: Cycle) -> Cycle {
+        self.server.occupy(now, cost)
+    }
+
+    fn check_ready(&mut self, slot: u32, at: Cycle, ctx: &mut Context<'_, Msg>) {
+        let Some(s) = self.slots.get_mut(&slot) else { return };
+        if s.state == SlotState::Decoding && s.all_ready() {
+            s.state = SlotState::Ready;
+            let trace_id = s.trace_id;
+            let task = self.task_ref(slot);
+            self.slots.get_mut(&slot).expect("present").state = SlotState::Running;
+            // Push into the ready queue (the backend's queuing system).
+            ctx.send_at(self.topo.backend, at + self.timing.frontend_hop, Msg::TaskReady {
+                task,
+                trace_id,
+            });
+        }
+    }
+
+    /// Handles a `DataReady` for `op` at service completion `at`.
+    fn apply_data_ready(
+        &mut self,
+        op: OperandRef,
+        buffer: u64,
+        kind: ReadyKind,
+        at: Cycle,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        assert_eq!(
+            self.gens[op.task.slot as usize], op.task.gen,
+            "DataReady for a recycled slot: operands must be ready before a task finishes"
+        );
+        let hop = self.timing.frontend_hop;
+        let s = self.slots.get_mut(&op.task.slot).expect("live slot (generation checked)");
+        let o = &mut s.operands[op.index as usize];
+        o.readies_got += 1;
+        debug_assert!(
+            o.readies_got <= o.readies_needed.max(1),
+            "operand {op} received more readies than needed"
+        );
+        if kind == ReadyKind::Input {
+            o.data_ready = true;
+            o.buffer = buffer;
+            // Readers forward along the chain on receipt (Figure 10);
+            // writers (and self-produced readers) notify their consumer
+            // only when the task finishes.
+            if !o.dir.writes() && !o.self_produced {
+                let consumers = o.consumers.clone();
+                for next in consumers {
+                    self.stats.chain_forwards += 1;
+                    ctx.send_at(self.topo.trs[next.task.trs as usize], at + hop, Msg::DataReady {
+                        op: next,
+                        buffer,
+                        kind: ReadyKind::Input,
+                    });
+                }
+            }
+        } else if o.buffer == 0 {
+            o.buffer = buffer;
+        }
+        self.check_ready(op.task.slot, at, ctx);
+    }
+}
+
+impl Component<Msg> for Trs {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        let hop = self.timing.frontend_hop;
+        match msg {
+            // --------------------------------------------------- Figure 6
+            Msg::AllocTask { trace_id, operand_count, gw_buf } => {
+                let need = blocks_for_operands(operand_count as usize);
+                let reply_to = self.topo.gateway;
+                if let Some(alloc) = self.store.alloc(need) {
+                    // Packet processing + allocation (SRAM/eDRAM) + main
+                    // block initialization.
+                    let cost =
+                        self.timing.packet_cost + alloc.cost_cycles + self.timing.edram_latency;
+                    let t = self.occupy(ctx.now(), cost);
+                    let slot = alloc.blocks[0];
+                    let task = self.trace.task(trace_id);
+                    let operands: Vec<OperandSlot> = task
+                        .operands
+                        .iter()
+                        .map(|od| OperandSlot {
+                            dir: od.dir,
+                            is_scalar: od.kind == OperandKind::Scalar,
+                            version: None,
+                            consumers: Vec::new(),
+                            self_produced: false,
+                            data_ready: false,
+                            buffer: 0,
+                            readies_needed: 0,
+                            readies_got: 0,
+                            info_received: false,
+                        })
+                        .collect();
+                    let waste = crate::blocks::fragmentation_waste(
+                        operands.len(),
+                        self.block_bytes,
+                    );
+                    self.stats.waste_sum += waste;
+                    self.stats.tasks_allocated += 1;
+                    self.in_flight += 1;
+                    self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
+                    let infos_pending = operands.len() as u8;
+                    self.slots.insert(slot, TaskSlot {
+                        trace_id,
+                        blocks: alloc.blocks,
+                        operands,
+                        infos_pending,
+                        state: SlotState::Decoding,
+                        decode_done: None,
+                    });
+                    let task_ref = self.task_ref(slot);
+                    ctx.send_at(reply_to, t + hop, Msg::AllocReply {
+                        task: Some(task_ref),
+                        trace_id,
+                        gw_buf,
+                        trs: self.index,
+                    });
+                    // Zero-operand tasks are ready the moment they decode.
+                    if let Some(s) = self.slots.get_mut(&slot) {
+                        if s.infos_pending == 0 {
+                            s.decode_done = Some(t);
+                            self.stats.decode_times.push(t);
+                            self.check_ready(slot, t, ctx);
+                        }
+                    }
+                } else {
+                    self.stats.allocs_rejected += 1;
+                    self.reported_full = true;
+                    let t = self.occupy(ctx.now(), self.timing.packet_cost);
+                    ctx.send_at(reply_to, t + hop, Msg::AllocReply {
+                        task: None,
+                        trace_id,
+                        gw_buf,
+                        trs: self.index,
+                    });
+                }
+            }
+
+            // ------------------------------------------------ scalar path
+            Msg::ScalarOperand { op } => {
+                let t = self.occupy(ctx.now(), self.timing.packet_cost);
+                assert_eq!(self.gens[op.task.slot as usize], op.task.gen, "scalar to stale slot");
+                let s = self.slots.get_mut(&op.task.slot).expect("live slot");
+                let o = &mut s.operands[op.index as usize];
+                debug_assert!(o.is_scalar, "scalar message for a memory operand");
+                debug_assert!(!o.info_received, "duplicate scalar for {op}");
+                o.info_received = true;
+                o.data_ready = true;
+                s.infos_pending -= 1;
+                if s.infos_pending == 0 {
+                    s.decode_done = Some(t);
+                    self.stats.decode_times.push(t);
+                }
+                self.check_ready(op.task.slot, t, ctx);
+            }
+
+            // ----------------------------------------------- Figures 7–9
+            Msg::OperandInfo { op, size: _, producer, version, readies_needed } => {
+                let t = self.occupy(
+                    ctx.now(),
+                    self.timing.packet_cost + self.timing.edram_latency,
+                );
+                assert_eq!(self.gens[op.task.slot as usize], op.task.gen, "info to stale slot");
+                let self_task = op.task;
+                let s = self.slots.get_mut(&op.task.slot).expect("live slot");
+                {
+                    let o = &mut s.operands[op.index as usize];
+                    debug_assert!(!o.info_received, "duplicate OperandInfo for {op}");
+                    o.info_received = true;
+                    o.version = Some(version);
+                    o.readies_needed = readies_needed;
+                }
+                s.infos_pending -= 1;
+                if s.infos_pending == 0 {
+                    s.decode_done = Some(t);
+                    self.stats.decode_times.push(t);
+                }
+                match producer {
+                    Some(p) if p.task == self_task => {
+                        // The previous user is an earlier operand of this
+                        // very task: no self-dependency; the data this
+                        // task observes is its own — input side is ready,
+                        // but consumers chained here must wait for the
+                        // task to finish (they read ITS product).
+                        let s = self.slots.get_mut(&op.task.slot).expect("live slot");
+                        s.operands[op.index as usize].self_produced = true;
+                        self.apply_data_ready(op, 0, ReadyKind::Input, t, ctx);
+                    }
+                    Some(p) => {
+                        ctx.send_at(self.topo.trs[p.task.trs as usize], t + hop, Msg::RegisterConsumer {
+                            producer: p,
+                            consumer: op,
+                        });
+                        self.check_ready(op.task.slot, t, ctx);
+                    }
+                    None => {
+                        self.check_ready(op.task.slot, t, ctx);
+                    }
+                }
+            }
+
+            // -------------------------------------- Figures 8 and 10
+            Msg::RegisterConsumer { producer, consumer } => {
+                let t = self.occupy(
+                    ctx.now(),
+                    self.timing.packet_cost + self.timing.edram_latency,
+                );
+                let stale = self.gens[producer.task.slot as usize] != producer.task.gen
+                    || !self.slots.contains_key(&producer.task.slot);
+                if stale {
+                    // The producing task finished and its slot was
+                    // recycled: its data is long since in memory.
+                    self.stats.stale_registers += 1;
+                    ctx.send_at(
+                        self.topo.trs[consumer.task.trs as usize],
+                        t + hop,
+                        Msg::DataReady { op: consumer, buffer: 0, kind: ReadyKind::Input },
+                    );
+                } else {
+                    let s = self.slots.get_mut(&producer.task.slot).expect("checked");
+                    let o = &mut s.operands[producer.index as usize];
+                    if !o.dir.writes() && !o.self_produced && o.data_ready {
+                        // A reader that already has its data forwards
+                        // immediately.
+                        self.stats.chain_forwards += 1;
+                        let buffer = o.buffer;
+                        ctx.send_at(
+                            self.topo.trs[consumer.task.trs as usize],
+                            t + hop,
+                            Msg::DataReady { op: consumer, buffer, kind: ReadyKind::Input },
+                        );
+                    } else {
+                        debug_assert!(
+                            self.chaining || o.dir.writes() || o.self_produced,
+                            "with chaining, readers forward instead of accumulating"
+                        );
+                        debug_assert!(
+                            !self.chaining || o.consumers.is_empty(),
+                            "an operand chains at most one consumer (ORT forwards the last user)"
+                        );
+                        o.consumers.push(consumer);
+                    }
+                }
+            }
+
+            // ------------------------------------------------- readiness
+            Msg::DataReady { op, buffer, kind } => {
+                let t = self.occupy(
+                    ctx.now(),
+                    self.timing.packet_cost + self.timing.edram_latency,
+                );
+                self.apply_data_ready(op, buffer, kind, t, ctx);
+            }
+
+            // ----------------------------------------------- task finish
+            Msg::TaskFinished { task } => {
+                assert_eq!(self.gens[task.slot as usize], task.gen, "finish for stale slot");
+                let s = self.slots.remove(&task.slot).expect("live slot");
+                debug_assert_eq!(s.state, SlotState::Running, "finish of a non-running task");
+                // Traverse all operands: one eDRAM access each.
+                let cost = self.timing.packet_cost
+                    + self.timing.edram_latency * s.operands.len().max(1) as Cycle;
+                let t = self.occupy(ctx.now(), cost);
+                for o in &s.operands {
+                    if o.dir.writes() || o.self_produced {
+                        // The produced data is now ready: notify the first
+                        // consumer in the chain (with chaining there is at
+                        // most one; the ablation notifies all directly,
+                        // paying a packet cost per extra message).
+                        let mut t_send = t;
+                        for (i, next) in o.consumers.iter().enumerate() {
+                            if i > 0 {
+                                t_send = self.server.occupy(t_send, self.timing.packet_cost);
+                            }
+                            ctx.send_at(
+                                self.topo.trs[next.task.trs as usize],
+                                t_send + hop,
+                                Msg::DataReady { op: *next, buffer: o.buffer, kind: ReadyKind::Input },
+                            );
+                        }
+                    }
+                    if let Some(v) = o.version {
+                        ctx.send_at(self.topo.ort[v.ovt as usize], t + hop, Msg::ReleaseUse {
+                            version: v,
+                        });
+                    }
+                }
+                self.store.free(&s.blocks);
+                self.gens[task.slot as usize] += 1;
+                self.in_flight -= 1;
+                if self.reported_full && self.store.can_alloc(4) {
+                    self.reported_full = false;
+                    ctx.send_at(self.topo.gateway, t + hop, Msg::TrsHasSpace { trs: self.index });
+                }
+            }
+
+            other => panic!("TRS received unexpected message {other:?}"),
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,394 @@
+//! End-to-end protocol tests for the task superscalar frontend, using
+//! the idealized instant backend so that only frontend behaviour is
+//! under test. Schedules are validated against the `tss-trace` oracle.
+
+use std::sync::Arc;
+
+use tss_pipeline::assembly::{build_frontend, frontend_stats, instant_backend, InstantBackend};
+use tss_pipeline::{FrontendConfig, Msg};
+use tss_sim::{Rng, Simulation};
+use tss_trace::{
+    validate_schedule, DepGraph, Direction, OperandDesc, TaskTrace,
+};
+
+fn run_trace(trace: TaskTrace, cfg: FrontendConfig) -> (Simulation<Msg>, tss_pipeline::Topology, Arc<TaskTrace>) {
+    let trace = Arc::new(trace);
+    let mut sim = Simulation::<Msg>::new();
+    let topo = build_frontend(&mut sim, trace.clone(), &cfg, instant_backend);
+    sim.run();
+    (sim, topo, trace)
+}
+
+fn assert_valid(sim: &Simulation<Msg>, topo: &tss_pipeline::Topology, trace: &TaskTrace) {
+    let backend = sim.component::<InstantBackend>(topo.backend);
+    assert_eq!(backend.completed() as usize, trace.len(), "every task must complete");
+    let graph = DepGraph::from_trace(trace);
+    validate_schedule(&graph, backend.schedule()).expect("schedule must respect the oracle");
+}
+
+fn small_cfg() -> FrontendConfig {
+    FrontendConfig {
+        num_trs: 2,
+        num_ort: 2,
+        trs_total_bytes: 64 << 10,
+        ort_total_bytes: 32 << 10,
+        ovt_total_bytes: 32 << 10,
+        ..FrontendConfig::default()
+    }
+}
+
+#[test]
+fn producer_consumer_is_ordered() {
+    let mut tr = TaskTrace::new("pc");
+    let k = tr.add_kernel("k");
+    tr.push_task(k, 5_000, vec![OperandDesc::output(0x1000, 512)]);
+    tr.push_task(k, 5_000, vec![OperandDesc::input(0x1000, 512)]);
+    let (sim, topo, trace) = run_trace(tr, small_cfg());
+    assert_valid(&sim, &topo, &trace);
+    let sched = sim.component::<InstantBackend>(topo.backend).schedule().to_vec();
+    let prod = sched.iter().find(|r| r.task == 0).expect("task 0 ran");
+    let cons = sched.iter().find(|r| r.task == 1).expect("task 1 ran");
+    assert!(cons.start >= prod.end, "consumer must wait for producer");
+}
+
+#[test]
+fn renaming_lets_writers_overlap() {
+    // Two writers to the same object: with renaming they overlap.
+    let mut tr = TaskTrace::new("ww");
+    let k = tr.add_kernel("k");
+    tr.push_task(k, 50_000, vec![OperandDesc::output(0x1000, 512)]);
+    tr.push_task(k, 50_000, vec![OperandDesc::output(0x1000, 512)]);
+    let (sim, topo, trace) = run_trace(tr, small_cfg());
+    assert_valid(&sim, &topo, &trace);
+    let sched = sim.component::<InstantBackend>(topo.backend).schedule().to_vec();
+    let a = sched.iter().find(|r| r.task == 0).expect("ran");
+    let b = sched.iter().find(|r| r.task == 1).expect("ran");
+    assert!(
+        b.start < a.end,
+        "renamed writers must overlap: {} vs [{}, {}]",
+        b.start,
+        a.start,
+        a.end
+    );
+    let stats = frontend_stats(&sim, &topo, &small_cfg());
+    assert_eq!(stats.ort.renames, 2);
+}
+
+#[test]
+fn disabling_renaming_serializes_writers() {
+    let mut tr = TaskTrace::new("ww");
+    let k = tr.add_kernel("k");
+    tr.push_task(k, 50_000, vec![OperandDesc::output(0x1000, 512)]);
+    tr.push_task(k, 50_000, vec![OperandDesc::output(0x1000, 512)]);
+    let cfg = FrontendConfig { renaming: false, ..small_cfg() };
+    let trace = Arc::new(tr);
+    let mut sim = Simulation::<Msg>::new();
+    let topo = build_frontend(&mut sim, trace.clone(), &cfg, instant_backend);
+    sim.run();
+    let sched = sim.component::<InstantBackend>(topo.backend).schedule().to_vec();
+    let a = sched.iter().find(|r| r.task == 0).expect("ran");
+    let b = sched.iter().find(|r| r.task == 1).expect("ran");
+    assert!(b.start >= a.end, "without renaming WaW must serialize");
+    let stats = frontend_stats(&sim, &topo, &cfg);
+    assert_eq!(stats.ort.renames, 0);
+}
+
+#[test]
+fn inout_chain_serializes_and_readers_run_parallel() {
+    let mut tr = TaskTrace::new("mix");
+    let k = tr.add_kernel("k");
+    // producer -> two readers (parallel) -> inout (after both readers)
+    tr.push_task(k, 10_000, vec![OperandDesc::output(0x2000, 256)]);
+    tr.push_task(k, 10_000, vec![OperandDesc::input(0x2000, 256)]);
+    tr.push_task(k, 10_000, vec![OperandDesc::input(0x2000, 256)]);
+    tr.push_task(k, 10_000, vec![OperandDesc::inout(0x2000, 256)]);
+    let (sim, topo, trace) = run_trace(tr, small_cfg());
+    assert_valid(&sim, &topo, &trace);
+    let sched = sim.component::<InstantBackend>(topo.backend).schedule().to_vec();
+    let get = |t: usize| sched.iter().find(|r| r.task == t).expect("ran");
+    let (r1, r2, io) = (get(1), get(2), get(3));
+    assert!(r1.start < r2.end && r2.start < r1.end, "readers must overlap");
+    assert!(io.start >= r1.end && io.start >= r2.end, "inout waits for all readers");
+}
+
+#[test]
+fn scalars_never_block_readiness() {
+    let mut tr = TaskTrace::new("scalar");
+    let k = tr.add_kernel("k");
+    tr.push_task(k, 1_000, vec![
+        OperandDesc::scalar(8),
+        OperandDesc::output(0x3000, 128),
+        OperandDesc::scalar(4),
+    ]);
+    let (sim, topo, trace) = run_trace(tr, small_cfg());
+    assert_valid(&sim, &topo, &trace);
+}
+
+#[test]
+fn same_task_read_write_does_not_deadlock() {
+    // A task writes an object through one operand and reads it through
+    // another: must not wait on itself.
+    let mut tr = TaskTrace::new("self");
+    let k = tr.add_kernel("k");
+    tr.push_task(k, 1_000, vec![
+        OperandDesc::output(0x4000, 128),
+        OperandDesc::input(0x4000, 128),
+    ]);
+    tr.push_task(k, 1_000, vec![OperandDesc::input(0x4000, 128)]);
+    let (sim, topo, trace) = run_trace(tr, small_cfg());
+    assert_valid(&sim, &topo, &trace);
+}
+
+#[test]
+fn window_fills_and_recycles_under_tiny_trs() {
+    // TRS storage of 16 blocks: far fewer than the 200 single-operand
+    // tasks; the pipeline must stall the gateway and recycle slots.
+    let mut tr = TaskTrace::new("tiny-window");
+    let k = tr.add_kernel("k");
+    for i in 0..200u64 {
+        tr.push_task(k, 2_000, vec![OperandDesc::output(0x10_0000 + i * 0x100, 64)]);
+    }
+    let cfg = FrontendConfig {
+        num_trs: 1,
+        num_ort: 1,
+        trs_total_bytes: 16 * 128,
+        ort_total_bytes: 64 << 10,
+        ovt_total_bytes: 64 << 10,
+        ..FrontendConfig::default()
+    };
+    let trace = Arc::new(tr);
+    let mut sim = Simulation::<Msg>::new();
+    let topo = build_frontend(&mut sim, trace.clone(), &cfg, instant_backend);
+    sim.run();
+    assert_valid(&sim, &topo, &trace);
+    let stats = frontend_stats(&sim, &topo, &cfg);
+    assert!(stats.allocs_rejected > 0, "a 16-block TRS must reject some allocations");
+    assert!(stats.window_peak <= 16, "window cannot exceed TRS blocks");
+    assert_eq!(stats.leaked_tasks, 0, "all storage must drain");
+}
+
+#[test]
+fn ort_set_exhaustion_stalls_and_recovers() {
+    // One ORT with a single 16-way set; 64 distinct live objects force
+    // the never-evicting ORT to stall the gateway until entries release.
+    let mut tr = TaskTrace::new("ort-full");
+    let k = tr.add_kernel("k");
+    for i in 0..64u64 {
+        tr.push_task(k, 3_000, vec![OperandDesc::output(0x20_0000 + i * 0x1000, 64)]);
+    }
+    let cfg = FrontendConfig {
+        num_trs: 1,
+        num_ort: 1,
+        trs_total_bytes: 256 << 10,
+        ort_total_bytes: 16 * 16, // one 16-way set (16 B entries)
+        ovt_total_bytes: 16 * 32, // 16 version records (32 B records)
+        ..FrontendConfig::default()
+    };
+    let trace = Arc::new(tr);
+    let mut sim = Simulation::<Msg>::new();
+    let topo = build_frontend(&mut sim, trace.clone(), &cfg, instant_backend);
+    sim.run();
+    assert_valid(&sim, &topo, &trace);
+    let stats = frontend_stats(&sim, &topo, &cfg);
+    assert!(stats.ort.blocks > 0, "the single set must block at least once");
+    assert_eq!(stats.leaked_tasks, 0, "entries must all release");
+}
+
+#[test]
+fn chains_form_and_forward() {
+    // One producer, five readers: consumer chaining forwards data-ready
+    // along the chain (Figure 10).
+    let mut tr = TaskTrace::new("chain");
+    let k = tr.add_kernel("k");
+    tr.push_task(k, 1_000, vec![OperandDesc::output(0x5000, 256)]);
+    for _ in 0..5 {
+        tr.push_task(k, 1_000, vec![OperandDesc::input(0x5000, 256)]);
+    }
+    let (sim, topo, trace) = run_trace(tr, small_cfg());
+    assert_valid(&sim, &topo, &trace);
+    let stats = frontend_stats(&sim, &topo, &small_cfg());
+    assert!(
+        stats.chain_forwards + stats.stale_registers >= 3,
+        "long reader chains must forward: {} forwards, {} stale",
+        stats.chain_forwards,
+        stats.stale_registers
+    );
+}
+
+#[test]
+fn decode_times_are_recorded_for_every_task() {
+    let mut tr = TaskTrace::new("rate");
+    let k = tr.add_kernel("k");
+    for i in 0..50u64 {
+        tr.push_task(k, 10_000, vec![
+            OperandDesc::input(0x9000 + (i % 4) * 0x100, 64),
+            OperandDesc::output(0xA000 + i * 0x100, 64),
+        ]);
+    }
+    let (sim, topo, trace) = run_trace(tr, small_cfg());
+    assert_valid(&sim, &topo, &trace);
+    let stats = frontend_stats(&sim, &topo, &small_cfg());
+    assert_eq!(stats.tasks_decoded, 50);
+    assert!(stats.decode_rate_cycles > 0.0);
+    // Sanity: with default timing a 2-operand task decodes in well under
+    // 2000 cycles on average.
+    assert!(stats.decode_rate_cycles < 2_000.0, "rate {}", stats.decode_rate_cycles);
+}
+
+#[test]
+fn random_traces_always_produce_valid_schedules() {
+    // Randomized mixes of directions, object counts, and runtimes; the
+    // schedule must always satisfy the oracle and fully drain.
+    let mut rng = Rng::seeded(0xC0FFEE);
+    for round in 0..8 {
+        let mut tr = TaskTrace::new("fuzz");
+        let k = tr.add_kernel("k");
+        let objects = 1 + rng.below(12);
+        let n = 40 + rng.below(120);
+        for _ in 0..n {
+            let nops = 1 + rng.below(4) as usize;
+            let mut ops = Vec::new();
+            for _ in 0..nops {
+                let addr = 0x100_0000 + rng.below(objects) * 0x1_0000;
+                let dir = match rng.below(4) {
+                    0 => Direction::Out,
+                    1 => Direction::InOut,
+                    _ => Direction::In,
+                };
+                // One operand per object per task (matches the paper's
+                // model where an operand *is* the object reference).
+                if ops.iter().any(|o: &OperandDesc| o.addr == addr) {
+                    continue;
+                }
+                ops.push(OperandDesc::memory(addr, 256, dir));
+            }
+            if ops.is_empty() {
+                ops.push(OperandDesc::scalar(8));
+            }
+            tr.push_task(k, 500 + rng.below(5_000), ops);
+        }
+        let cfg = small_cfg();
+        let (sim, topo, trace) = run_trace(tr, cfg.clone());
+        assert_valid(&sim, &topo, &trace);
+        let stats = frontend_stats(&sim, &topo, &cfg);
+        assert_eq!(stats.leaked_tasks, 0, "round {round}: leaked state");
+    }
+}
+
+#[test]
+fn determinism_same_seed_same_makespan() {
+    let build = || {
+        let mut tr = TaskTrace::new("det");
+        let k = tr.add_kernel("k");
+        let mut rng = Rng::seeded(7);
+        for i in 0..100u64 {
+            tr.push_task(k, 1_000 + rng.below(10_000), vec![
+                OperandDesc::inout(0x100_0000 + (i % 7) * 0x1_0000, 512),
+            ]);
+        }
+        tr
+    };
+    let (sim_a, _, _) = run_trace(build(), small_cfg());
+    let (sim_b, _, _) = run_trace(build(), small_cfg());
+    assert_eq!(sim_a.now(), sim_b.now());
+    assert_eq!(sim_a.events_processed(), sim_b.events_processed());
+}
+
+#[test]
+fn fragmentation_matches_paper_ballpark() {
+    // 3-operand tasks: the paper reports ~20% average waste.
+    let mut tr = TaskTrace::new("frag");
+    let k = tr.add_kernel("k");
+    for i in 0..50u64 {
+        tr.push_task(k, 1_000, vec![
+            OperandDesc::input(0x100_0000 + i * 0x300, 64),
+            OperandDesc::input(0x200_0000 + i * 0x300, 64),
+            OperandDesc::output(0x300_0000 + i * 0x300, 64),
+        ]);
+    }
+    let (sim, topo, _trace) = run_trace(tr, small_cfg());
+    let stats = frontend_stats(&sim, &topo, &small_cfg());
+    assert!(
+        (0.05..0.5).contains(&stats.avg_storage_waste),
+        "waste {} should be near the paper's ~20%",
+        stats.avg_storage_waste
+    );
+}
+
+#[test]
+fn copybacks_follow_renamed_versions() {
+    let mut tr = TaskTrace::new("dma");
+    let k = tr.add_kernel("k");
+    // Three renamed versions of one object, each read once.
+    for _ in 0..3 {
+        tr.push_task(k, 1_000, vec![OperandDesc::output(0x6000, 1024)]);
+        tr.push_task(k, 1_000, vec![OperandDesc::input(0x6000, 1024)]);
+    }
+    let (sim, topo, trace) = run_trace(tr, small_cfg());
+    assert_valid(&sim, &topo, &trace);
+    let stats = frontend_stats(&sim, &topo, &small_cfg());
+    assert_eq!(stats.ort.renames, 3);
+    assert_eq!(stats.ort.copybacks, 3, "every drained renamed version is copied back");
+    assert_eq!(stats.ort.copyback_bytes, 3 * 1024);
+}
+
+#[test]
+fn empty_trace_is_a_noop() {
+    let tr = TaskTrace::new("empty");
+    let (sim, topo, _trace) = run_trace(tr, small_cfg());
+    let stats = frontend_stats(&sim, &topo, &small_cfg());
+    assert_eq!(stats.tasks_decoded, 0);
+    assert_eq!(sim.now(), 0);
+}
+
+#[test]
+fn max_operand_task_uses_indirect_blocks() {
+    let mut tr = TaskTrace::new("fat");
+    let k = tr.add_kernel("k");
+    let ops: Vec<OperandDesc> =
+        (0..19).map(|i| OperandDesc::input(0x700_0000 + i * 0x1000, 64)).collect();
+    tr.push_task(k, 1_000, ops);
+    let (sim, topo, trace) = run_trace(tr, small_cfg());
+    assert_valid(&sim, &topo, &trace);
+}
+
+
+#[test]
+fn no_chaining_ablation_still_validates() {
+    // One producer, five readers, then an inout: with chaining disabled
+    // the producer notifies every reader directly.
+    let mut tr = TaskTrace::new("nochain");
+    let k = tr.add_kernel("k");
+    tr.push_task(k, 5_000, vec![OperandDesc::output(0x5000, 256)]);
+    for _ in 0..5 {
+        tr.push_task(k, 5_000, vec![OperandDesc::input(0x5000, 256)]);
+    }
+    tr.push_task(k, 5_000, vec![OperandDesc::inout(0x5000, 256)]);
+    let cfg = FrontendConfig { chaining: false, ..small_cfg() };
+    let trace = Arc::new(tr);
+    let mut sim = Simulation::<Msg>::new();
+    let topo = build_frontend(&mut sim, trace.clone(), &cfg, instant_backend);
+    sim.run();
+    assert_valid(&sim, &topo, &trace);
+    let stats = frontend_stats(&sim, &topo, &cfg);
+    assert_eq!(stats.chain_forwards, 0, "direct notification never forwards");
+    assert_eq!(stats.leaked_tasks, 0);
+}
+
+#[test]
+fn chain_histogram_counts_readers_per_version() {
+    // One version with 3 readers, one with 0.
+    let mut tr = TaskTrace::new("hist");
+    let k = tr.add_kernel("k");
+    tr.push_task(k, 1_000, vec![OperandDesc::output(0x7000, 256)]);
+    for _ in 0..3 {
+        tr.push_task(k, 1_000, vec![OperandDesc::input(0x7000, 256)]);
+    }
+    tr.push_task(k, 1_000, vec![OperandDesc::output(0x8000, 256)]);
+    let (sim, topo, trace) = run_trace(tr, small_cfg());
+    assert_valid(&sim, &topo, &trace);
+    let stats = frontend_stats(&sim, &topo, &small_cfg());
+    let hist = stats.ort.chain_hist;
+    assert_eq!(hist[3], 1, "one version with 3 readers: {hist:?}");
+    assert!(hist[0] >= 1, "at least one reader-less version: {hist:?}");
+}

@@ -1,0 +1,411 @@
+//! The discrete-event engine: components, messages, and the event queue.
+//!
+//! A [`Simulation`] owns a set of [`Component`]s addressed by
+//! [`ComponentId`]. Events are `(deliver_at, destination, message)`
+//! triples; the queue is ordered by delivery cycle and, within a cycle, by
+//! insertion order (FIFO-stable), which makes every run deterministic.
+//!
+//! Components react to messages via [`Component::on_message`] and use the
+//! provided [`Context`] to send further messages with a non-negative
+//! delay. There is no "zero-time visibility" hazard: a message sent with
+//! delay 0 is delivered after all messages already enqueued for the
+//! current cycle.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// Identifies a component registered with a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// Returns the raw index of this component.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index.
+    ///
+    /// Ids are assigned sequentially by [`Simulation::add_component`];
+    /// this is for assemblers that lay out a topology before creating
+    /// the components (they assert the returned ids match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn from_index(index: usize) -> Self {
+        ComponentId(u32::try_from(index).expect("component index overflow"))
+    }
+}
+
+impl std::fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A simulated entity that reacts to messages of type `M`.
+///
+/// The `as_any` methods allow callers to recover the concrete type after a
+/// run (e.g. to read statistics out of a pipeline module).
+pub trait Component<M>: 'static {
+    /// Handles one message delivered at `ctx.now()`.
+    fn on_message(&mut self, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Upcasts to [`Any`] for post-run downcasting.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast to [`Any`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Per-delivery view handed to [`Component::on_message`].
+///
+/// Collects outgoing messages; the engine enqueues them after the handler
+/// returns.
+pub struct Context<'a, M> {
+    now: Cycle,
+    self_id: ComponentId,
+    outbox: &'a mut Vec<(Cycle, ComponentId, M)>,
+    stop: &'a mut bool,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The id of the component currently handling a message.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `dst`, to be delivered `delay` cycles from now.
+    pub fn send(&mut self, dst: ComponentId, delay: Cycle, msg: M) {
+        self.outbox.push((self.now + delay, dst, msg));
+    }
+
+    /// Sends `msg` to `dst` at absolute cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past.
+    pub fn send_at(&mut self, dst: ComponentId, at: Cycle, msg: M) {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        self.outbox.push((at, dst, msg));
+    }
+
+    /// Requests that the simulation stop once the current handler returns.
+    pub fn request_stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+struct Scheduled<M> {
+    when: Cycle,
+    seq: u64,
+    dst: ComponentId,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.when == other.when && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (when, seq) pops
+        // first. seq breaks ties FIFO, making runs deterministic.
+        (other.when, other.seq).cmp(&(self.when, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// See the [crate-level documentation](crate) for an example.
+pub struct Simulation<M> {
+    now: Cycle,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    components: Vec<Box<dyn Component<M>>>,
+    stop: bool,
+    events_processed: u64,
+}
+
+impl<M: 'static> Default for Simulation<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: 'static> Simulation<M> {
+    /// Creates an empty simulation at cycle 0.
+    pub fn new() -> Self {
+        Simulation {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            components: Vec::new(),
+            stop: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Registers a component and returns its id.
+    pub fn add_component(&mut self, c: Box<dyn Component<M>>) -> ComponentId {
+        let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
+        self.components.push(c);
+        id
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Enqueues `msg` for delivery to `dst` at absolute cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past or `dst` is not registered.
+    pub fn schedule(&mut self, at: Cycle, dst: ComponentId, msg: M) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        assert!(dst.index() < self.components.len(), "unknown component {dst}");
+        self.queue.push(Scheduled { when: at, seq: self.seq, dst, msg });
+        self.seq += 1;
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Total messages delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Whether a stop was requested by a component.
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+    }
+
+    /// Runs until the event queue drains or a component requests a stop.
+    /// Returns the final simulation time.
+    pub fn run(&mut self) -> Cycle {
+        self.run_until(Cycle::MAX)
+    }
+
+    /// Runs until the queue drains, a stop is requested, or the next event
+    /// would be delivered after `deadline`. Returns the final time.
+    pub fn run_until(&mut self, deadline: Cycle) -> Cycle {
+        let mut outbox: Vec<(Cycle, ComponentId, M)> = Vec::with_capacity(16);
+        while !self.stop {
+            let Some(head) = self.queue.peek() else { break };
+            if head.when > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.when >= self.now, "event queue went backwards");
+            self.now = ev.when;
+            self.events_processed += 1;
+            {
+                let comp = &mut self.components[ev.dst.index()];
+                let mut ctx = Context {
+                    now: self.now,
+                    self_id: ev.dst,
+                    outbox: &mut outbox,
+                    stop: &mut self.stop,
+                };
+                comp.on_message(ev.msg, &mut ctx);
+            }
+            for (when, dst, msg) in outbox.drain(..) {
+                assert!(
+                    dst.index() < self.components.len(),
+                    "message sent to unknown component {dst}"
+                );
+                self.queue.push(Scheduled { when, seq: self.seq, dst, msg });
+                self.seq += 1;
+            }
+        }
+        self.now
+    }
+
+    /// Borrows a component, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or the component is not a `T`.
+    pub fn component<T: 'static>(&self, id: ComponentId) -> &T {
+        self.components[id.index()]
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("component {id} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Mutably borrows a component, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or the component is not a `T`.
+    pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> &mut T {
+        self.components[id.index()]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("component {id} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Whether the event queue is empty.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Log,
+    }
+
+    struct Recorder {
+        seen: Vec<(Cycle, u32)>,
+    }
+
+    impl Component<Msg> for Recorder {
+        fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            if let Msg::Ping(v) = msg {
+                self.seen.push((ctx.now(), v));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn delivers_in_time_order_fifo_within_cycle() {
+        let mut sim = Simulation::new();
+        let r = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        sim.schedule(5, r, Msg::Ping(1));
+        sim.schedule(3, r, Msg::Ping(2));
+        sim.schedule(5, r, Msg::Ping(3));
+        sim.schedule(0, r, Msg::Ping(4));
+        sim.run();
+        let rec = sim.component::<Recorder>(r);
+        assert_eq!(rec.seen, vec![(0, 4), (3, 2), (5, 1), (5, 3)]);
+        assert_eq!(sim.events_processed(), 4);
+    }
+
+    struct Chain {
+        next: Option<ComponentId>,
+        fired: bool,
+    }
+
+    impl Component<Msg> for Chain {
+        fn on_message(&mut self, _msg: Msg, ctx: &mut Context<'_, Msg>) {
+            self.fired = true;
+            if let Some(n) = self.next {
+                ctx.send(n, 7, Msg::Ping(0));
+            } else {
+                ctx.request_stop();
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn chained_sends_accumulate_latency_and_stop_works() {
+        let mut sim = Simulation::new();
+        let c2 = sim.add_component(Box::new(Chain { next: None, fired: false }));
+        let c1 = sim.add_component(Box::new(Chain { next: Some(c2), fired: false }));
+        let c0 = sim.add_component(Box::new(Chain { next: Some(c1), fired: false }));
+        sim.schedule(0, c0, Msg::Log);
+        // Events beyond the stop are dropped on the floor.
+        sim.schedule(1_000, c0, Msg::Log);
+        let end = sim.run();
+        assert_eq!(end, 14);
+        assert!(sim.stop_requested());
+        assert!(sim.component::<Chain>(c2).fired);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::new();
+        let r = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        sim.schedule(10, r, Msg::Ping(1));
+        sim.schedule(20, r, Msg::Ping(2));
+        sim.run_until(15);
+        assert_eq!(sim.component::<Recorder>(r).seen.len(), 1);
+        sim.run_until(25);
+        assert_eq!(sim.component::<Recorder>(r).seen.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulation::new();
+        let r = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        sim.schedule(10, r, Msg::Ping(1));
+        sim.run();
+        sim.schedule(5, r, Msg::Ping(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a")]
+    fn wrong_downcast_panics() {
+        let mut sim: Simulation<Msg> = Simulation::new();
+        let r = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        let _ = sim.component::<Chain>(r);
+    }
+
+    #[test]
+    fn zero_delay_is_delivered_after_already_queued_same_cycle_events() {
+        struct Replier {
+            target: Option<ComponentId>,
+        }
+        impl Component<Msg> for Replier {
+            fn on_message(&mut self, _m: Msg, ctx: &mut Context<'_, Msg>) {
+                if let Some(t) = self.target.take() {
+                    ctx.send(t, 0, Msg::Ping(99));
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new();
+        let rec = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        let rep = sim.add_component(Box::new(Replier { target: Some(rec) }));
+        sim.schedule(4, rep, Msg::Log);
+        sim.schedule(4, rec, Msg::Ping(1));
+        sim.run();
+        // Ping(1) was enqueued first, so it is seen before the zero-delay reply.
+        assert_eq!(sim.component::<Recorder>(rec).seen, vec![(4, 1), (4, 99)]);
+    }
+}

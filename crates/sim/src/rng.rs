@@ -1,0 +1,322 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Implemented in-crate (SplitMix64 seeding a xoshiro256** stream) so that
+//! workload generation is bit-reproducible across platforms and toolchain
+//! versions — the reproduction's tables and figures must not drift with a
+//! dependency upgrade.
+
+use crate::time::Cycle;
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer used to expand seeds.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the crate's general-purpose generator.
+///
+/// ```
+/// use tss_sim::Rng;
+/// let mut a = Rng::seeded(42);
+/// let mut b = Rng::seeded(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        // All-zero state is invalid for xoshiro; SplitMix64 cannot produce
+        // four consecutive zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng { s }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire-style rejection-free-enough method via 128-bit multiply.
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Samples task runtimes matching a benchmark's Table-I statistics.
+///
+/// The distribution is a two-piece uniform mixture: with probability 1/2
+/// a value in `[min, med]`, otherwise in `[med, hi]`, where `hi` is chosen
+/// so the expectation equals `avg`:
+/// `avg = (min + 2·med + hi) / 4  ⇒  hi = 4·avg − min − 2·med`.
+/// This reproduces the min, the median, and the mean simultaneously —
+/// which are exactly the three columns the paper reports.
+///
+/// ```
+/// use tss_sim::{Rng, RuntimeDist, us_to_cycles};
+/// // Cholesky: min 16 us, med 33 us, avg 31 us (Table I).
+/// let d = RuntimeDist::from_us(16.0, 33.0, 31.0);
+/// let mut rng = Rng::seeded(7);
+/// let mut sum = 0u64;
+/// let n = 20_000;
+/// for _ in 0..n { sum += d.sample(&mut rng); }
+/// let mean = sum as f64 / n as f64;
+/// assert!((mean - us_to_cycles(31.0) as f64).abs() / mean < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeDist {
+    min: Cycle,
+    med: Cycle,
+    hi: Cycle,
+}
+
+impl RuntimeDist {
+    /// Builds a distribution from min/median/average runtimes in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `min ≤ med` and `4·avg ≥ min + 3·med` (otherwise no
+    /// two-piece distribution with these statistics exists; every Table-I
+    /// benchmark satisfies the constraint).
+    pub fn new(min: Cycle, med: Cycle, avg: Cycle) -> Self {
+        assert!(min <= med, "min {min} must not exceed median {med}");
+        let four_avg = 4 * avg;
+        assert!(
+            four_avg >= min + 3 * med,
+            "no two-piece distribution: 4*avg ({four_avg}) < min + 3*med ({})",
+            min + 3 * med
+        );
+        let hi = four_avg - min - 2 * med;
+        RuntimeDist { min, med, hi }
+    }
+
+    /// Builds a distribution from min/median/average in microseconds.
+    pub fn from_us(min_us: f64, med_us: f64, avg_us: f64) -> Self {
+        Self::new(
+            crate::time::us_to_cycles(min_us),
+            crate::time::us_to_cycles(med_us),
+            crate::time::us_to_cycles(avg_us),
+        )
+    }
+
+    /// A distribution that always returns `c`.
+    pub fn constant(c: Cycle) -> Self {
+        RuntimeDist { min: c, med: c, hi: c }
+    }
+
+    /// Draws one runtime.
+    pub fn sample(&self, rng: &mut Rng) -> Cycle {
+        if self.min == self.hi {
+            return self.min;
+        }
+        if rng.chance(0.5) {
+            rng.range(self.min, self.med)
+        } else {
+            rng.range(self.med, self.hi)
+        }
+    }
+
+    /// Smallest value the distribution can produce.
+    pub fn min(&self) -> Cycle {
+        self.min
+    }
+
+    /// Median of the distribution.
+    pub fn median(&self) -> Cycle {
+        self.med
+    }
+
+    /// Largest value the distribution can produce.
+    pub fn max(&self) -> Cycle {
+        self.hi.max(self.med)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference stream for seed 0 (cross-checked against the public
+        // SplitMix64 reference implementation).
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_seeds_differ() {
+        let mut a = Rng::seeded(1);
+        let mut b = Rng::seeded(1);
+        let mut c = Rng::seeded(2);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Rng::seeded(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = rng.below(8);
+            assert!(v < 8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn range_inclusive_bounds() {
+        let mut rng = Rng::seeded(4);
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..2000 {
+            let v = rng.range(5, 9);
+            assert!((5..=9).contains(&v));
+            hit_lo |= v == 5;
+            hit_hi |= v == 9;
+        }
+        assert!(hit_lo && hit_hi);
+    }
+
+    #[test]
+    fn unit_in_zero_one() {
+        let mut rng = Rng::seeded(5);
+        for _ in 0..1000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seeded(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runtime_dist_matches_min_median_mean() {
+        // H264: min 2, med 115, avg 130 us.
+        let d = RuntimeDist::from_us(2.0, 115.0, 130.0);
+        let mut rng = Rng::seeded(9);
+        let n = 40_000;
+        let mut samples: Vec<Cycle> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_unstable();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let med = samples[n / 2] as f64;
+        let target_mean = crate::time::us_to_cycles(130.0) as f64;
+        let target_med = crate::time::us_to_cycles(115.0) as f64;
+        assert!((mean - target_mean).abs() / target_mean < 0.02, "mean {mean} vs {target_mean}");
+        assert!((med - target_med).abs() / target_med < 0.05, "median {med} vs {target_med}");
+        assert!(*samples.first().unwrap() >= crate::time::us_to_cycles(2.0));
+    }
+
+    #[test]
+    fn constant_dist_is_constant() {
+        let d = RuntimeDist::constant(100);
+        let mut rng = Rng::seeded(10);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no two-piece distribution")]
+    fn infeasible_stats_panic() {
+        // mean far below median with a high min: infeasible.
+        let _ = RuntimeDist::new(100, 1000, 200);
+    }
+}

@@ -1,0 +1,77 @@
+//! Simulation time: cycles of the 3.2 GHz clock used throughout the paper
+//! (Table II), plus conversions to and from wall-clock nanoseconds.
+
+/// A point (or span) in simulated time, in clock cycles.
+pub type Cycle = u64;
+
+/// Core clock frequency of the simulated CMP (Table II: 3.2 GHz).
+pub const CLOCK_GHZ: f64 = 3.2;
+
+/// Converts nanoseconds to clock cycles, rounding to the nearest cycle.
+///
+/// ```
+/// // The paper's 256-way decode-rate target of 58 ns is ~186 cycles.
+/// assert_eq!(tss_sim::ns_to_cycles(58.0), 186);
+/// ```
+pub fn ns_to_cycles(ns: f64) -> Cycle {
+    debug_assert!(ns >= 0.0, "negative durations are meaningless");
+    (ns * CLOCK_GHZ).round() as Cycle
+}
+
+/// Converts microseconds to clock cycles.
+///
+/// ```
+/// // A 23 us MatMul task occupies a core for 73,600 cycles.
+/// assert_eq!(tss_sim::us_to_cycles(23.0), 73_600);
+/// ```
+pub fn us_to_cycles(us: f64) -> Cycle {
+    ns_to_cycles(us * 1_000.0)
+}
+
+/// Converts clock cycles to nanoseconds.
+///
+/// ```
+/// assert!((tss_sim::cycles_to_ns(186) - 58.125).abs() < 1e-9);
+/// ```
+pub fn cycles_to_ns(cycles: Cycle) -> f64 {
+    cycles as f64 / CLOCK_GHZ
+}
+
+/// Converts clock cycles to microseconds.
+pub fn cycles_to_us(cycles: Cycle) -> f64 {
+    cycles_to_ns(cycles) / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trips_within_half_cycle() {
+        for ns in [0.0, 1.0, 58.0, 700.0, 2_500.0, 1e6] {
+            let c = ns_to_cycles(ns);
+            assert!((cycles_to_ns(c) - ns).abs() <= 0.5 / CLOCK_GHZ + 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_rate_targets() {
+        // Section II: 15 us / 256 = 58 ns/task; at 3.2 GHz that is ~186 cycles.
+        assert_eq!(ns_to_cycles(15_000.0 / 256.0), 188);
+        // Software decoder baseline: 700 ns = 2240 cycles.
+        assert_eq!(ns_to_cycles(700.0), 2240);
+        // Cell BE software decoder: ~2.5 us = 8000 cycles.
+        assert_eq!(ns_to_cycles(2_500.0), 8000);
+    }
+
+    #[test]
+    fn us_is_thousand_ns() {
+        assert_eq!(us_to_cycles(1.0), ns_to_cycles(1_000.0));
+        assert_eq!(us_to_cycles(23.0), 73_600);
+    }
+
+    #[test]
+    fn cycles_to_us_matches_ns() {
+        assert!((cycles_to_us(3200) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,351 @@
+//! The reference dependency analysis (oracle).
+//!
+//! Replays a [`TaskTrace`] in program order, tracking for every memory
+//! object (identified by base address, exactly as the ORTs do) its last
+//! writer and the readers of the current version. Edges are classified:
+//!
+//! - **RaW** — true data dependency: always enforced.
+//! - **InoutAnti** — a reader of the current version precedes an `inout`
+//!   writer. The pipeline does *not* rename inout operands (Figure 9), so
+//!   these are enforced: the inout task receives its "output buffer free"
+//!   data-ready only when the previous version drains.
+//! - **WaR** / **WaW** against a pure `out` operand — *removed by
+//!   renaming* (the OVT allocates a fresh buffer, Figure 7). Recorded for
+//!   statistics and for no-renaming ablations, but not enforced.
+//!
+//! The enforced edge set is what any correct out-of-order execution must
+//! respect; `tss-runtime` executes directly from it, and the hardware
+//! pipeline's schedules are validated against it.
+
+use crate::task::{TaskId, TaskTrace};
+use std::collections::HashMap;
+
+/// Dependency edge classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write: true dependency (enforced).
+    RaW,
+    /// Readers of a version ordered before an inout writer (enforced,
+    /// because inout operands are not renamed).
+    InoutAnti,
+    /// Write-after-read against a renamed `out` operand (not enforced).
+    WaR,
+    /// Write-after-write against a renamed `out` operand (not enforced).
+    WaW,
+}
+
+impl DepKind {
+    /// Whether the pipeline must order the two tasks.
+    pub fn enforced(self) -> bool {
+        matches!(self, DepKind::RaW | DepKind::InoutAnti)
+    }
+}
+
+/// One dependency edge `from → to` (with `from` earlier in program order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Producer / predecessor task.
+    pub from: TaskId,
+    /// Consumer / successor task.
+    pub to: TaskId,
+    /// Classification.
+    pub kind: DepKind,
+}
+
+#[derive(Debug, Default, Clone)]
+struct ObjectState {
+    /// Task holding the latest version (last writer), if in flight.
+    last_writer: Option<TaskId>,
+    /// Readers of the latest version since the last write.
+    readers: Vec<TaskId>,
+}
+
+/// The dependency graph of a trace: full classified edge list plus
+/// enforced predecessor/successor adjacency.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    n: usize,
+    edges: Vec<DepEdge>,
+    preds: Vec<Vec<TaskId>>,
+    succs: Vec<Vec<TaskId>>,
+    removed_by_renaming: usize,
+}
+
+impl DepGraph {
+    /// Builds the graph by exact replay of `trace` in program order.
+    pub fn from_trace(trace: &TaskTrace) -> Self {
+        let n = trace.len();
+        let mut edges = Vec::new();
+        let mut objects: HashMap<u64, ObjectState> = HashMap::new();
+
+        for (tid, task) in trace.iter().enumerate() {
+            for op in task.operands.iter().filter(|o| o.is_tracked()) {
+                let st = objects.entry(op.addr).or_default();
+                if op.dir.reads() {
+                    // RaW from the in-flight producer, if any.
+                    if let Some(w) = st.last_writer {
+                        if w != tid {
+                            edges.push(DepEdge { from: w, to: tid, kind: DepKind::RaW });
+                        }
+                    }
+                }
+                if op.dir.writes() {
+                    let inout = op.dir.reads();
+                    // Ordering against the previous version's readers.
+                    for &r in &st.readers {
+                        if r != tid {
+                            let kind = if inout { DepKind::InoutAnti } else { DepKind::WaR };
+                            edges.push(DepEdge { from: r, to: tid, kind });
+                        }
+                    }
+                    // Ordering against the previous writer.
+                    if let Some(w) = st.last_writer {
+                        if w != tid && !inout {
+                            // (for inout the RaW edge above already covers it)
+                            edges.push(DepEdge { from: w, to: tid, kind: DepKind::WaW });
+                        }
+                    }
+                    st.last_writer = Some(tid);
+                    st.readers.clear();
+                }
+                if op.dir.reads() {
+                    st.readers.push(tid);
+                }
+            }
+        }
+
+        let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        let mut removed = 0usize;
+        for e in &edges {
+            if e.kind.enforced() {
+                preds[e.to].push(e.from);
+                succs[e.from].push(e.to);
+            } else {
+                removed += 1;
+            }
+        }
+        for v in preds.iter_mut().chain(succs.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        DepGraph { n, edges, preds, succs, removed_by_renaming: removed }
+    }
+
+    /// Number of tasks (graph nodes).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// All classified edges, including the non-enforced WaR/WaW ones.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Enforced (deduplicated) predecessors of `t`.
+    pub fn preds(&self, t: TaskId) -> &[TaskId] {
+        &self.preds[t]
+    }
+
+    /// Enforced (deduplicated) successors of `t`.
+    pub fn succs(&self, t: TaskId) -> &[TaskId] {
+        &self.succs[t]
+    }
+
+    /// Number of WaR/WaW edges that operand renaming eliminates.
+    pub fn edges_removed_by_renaming(&self) -> usize {
+        self.removed_by_renaming
+    }
+
+    /// Number of enforced edges (after dedup).
+    pub fn enforced_edge_count(&self) -> usize {
+        self.succs.iter().map(|s| s.len()).sum()
+    }
+
+    /// Tasks with no enforced predecessors (immediately runnable).
+    pub fn roots(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.n).filter(|&t| self.preds[t].is_empty())
+    }
+
+    /// Whether `to` is reachable from `from` over enforced edges.
+    /// (Figure 1's observation: tasks 6 and 23 are *not* ordered.)
+    pub fn reachable(&self, from: TaskId, to: TaskId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut visited = vec![false; self.n];
+        let mut stack = vec![from];
+        visited[from] = true;
+        while let Some(t) = stack.pop() {
+            for &s in &self.succs[t] {
+                if s == to {
+                    return true;
+                }
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Renders the enforced graph in Graphviz DOT (labels are `creation
+    /// order + 1`, matching Figure 1's numbering).
+    pub fn to_dot(&self, trace: &TaskTrace) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph tasks {\n  rankdir=TB;\n");
+        for t in 0..self.n {
+            let kernel = trace.kernel_name(trace.task(t).kernel);
+            let _ = writeln!(out, "  t{t} [label=\"{} ({kernel})\"];", t + 1);
+        }
+        for t in 0..self.n {
+            for &s in self.succs(t) {
+                let _ = writeln!(out, "  t{t} -> t{s};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{OperandDesc, TaskDesc, TaskTrace};
+
+    fn trace_of(ops_per_task: Vec<Vec<OperandDesc>>) -> TaskTrace {
+        let mut tr = TaskTrace::new("t");
+        let k = tr.add_kernel("k");
+        for ops in ops_per_task {
+            tr.push(TaskDesc::new(k, 10, ops));
+        }
+        tr
+    }
+
+    #[test]
+    fn raw_edge_detected() {
+        let tr = trace_of(vec![
+            vec![OperandDesc::output(0x100, 64)],
+            vec![OperandDesc::input(0x100, 64)],
+        ]);
+        let g = DepGraph::from_trace(&tr);
+        assert_eq!(g.preds(1), &[0]);
+        assert_eq!(g.succs(0), &[1]);
+        assert_eq!(g.edges().len(), 1);
+        assert_eq!(g.edges()[0].kind, DepKind::RaW);
+    }
+
+    #[test]
+    fn waw_and_war_removed_by_renaming() {
+        let tr = trace_of(vec![
+            vec![OperandDesc::output(0x100, 64)], // writer v0
+            vec![OperandDesc::input(0x100, 64)],  // reader of v0
+            vec![OperandDesc::output(0x100, 64)], // writer v1: WaW + WaR, renamed
+        ]);
+        let g = DepGraph::from_trace(&tr);
+        assert!(g.preds(2).is_empty(), "renamed writer must not wait");
+        assert_eq!(g.edges_removed_by_renaming(), 2);
+        // Reader still depends on the first writer.
+        assert_eq!(g.preds(1), &[0]);
+    }
+
+    #[test]
+    fn inout_enforces_anti_dependencies() {
+        let tr = trace_of(vec![
+            vec![OperandDesc::output(0x100, 64)], // producer
+            vec![OperandDesc::input(0x100, 64)],  // reader
+            vec![OperandDesc::inout(0x100, 64)],  // inout: waits for both
+        ]);
+        let g = DepGraph::from_trace(&tr);
+        assert_eq!(g.preds(2), &[0, 1]);
+        let kinds: Vec<DepKind> = g.edges().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&DepKind::InoutAnti));
+        assert_eq!(g.edges_removed_by_renaming(), 0);
+    }
+
+    #[test]
+    fn inout_chains_are_serialized() {
+        let tr = trace_of(vec![
+            vec![OperandDesc::inout(0x100, 64)],
+            vec![OperandDesc::inout(0x100, 64)],
+            vec![OperandDesc::inout(0x100, 64)],
+        ]);
+        let g = DepGraph::from_trace(&tr);
+        assert_eq!(g.preds(1), &[0]);
+        assert_eq!(g.preds(2), &[1]);
+        assert!(g.reachable(0, 2));
+    }
+
+    #[test]
+    fn readers_do_not_depend_on_each_other() {
+        let tr = trace_of(vec![
+            vec![OperandDesc::output(0x100, 64)],
+            vec![OperandDesc::input(0x100, 64)],
+            vec![OperandDesc::input(0x100, 64)],
+        ]);
+        let g = DepGraph::from_trace(&tr);
+        assert!(!g.reachable(1, 2));
+        assert!(!g.reachable(2, 1));
+        assert_eq!(g.preds(2), &[0]);
+    }
+
+    #[test]
+    fn new_version_hides_old_producer() {
+        let tr = trace_of(vec![
+            vec![OperandDesc::output(0x100, 64)], // v0
+            vec![OperandDesc::output(0x100, 64)], // v1 (renamed)
+            vec![OperandDesc::input(0x100, 64)],  // reads v1, not v0
+        ]);
+        let g = DepGraph::from_trace(&tr);
+        assert_eq!(g.preds(2), &[1]);
+    }
+
+    #[test]
+    fn untracked_scalars_create_no_edges() {
+        let tr = trace_of(vec![vec![OperandDesc::scalar(8)], vec![OperandDesc::scalar(8)]]);
+        let g = DepGraph::from_trace(&tr);
+        assert_eq!(g.edges().len(), 0);
+        assert_eq!(g.roots().count(), 2);
+    }
+
+    #[test]
+    fn self_dependency_is_ignored() {
+        // A task reading and writing the same object through two operands
+        // must not depend on itself.
+        let tr = trace_of(vec![vec![
+            OperandDesc::output(0x100, 64),
+            OperandDesc::input(0x100, 64),
+        ]]);
+        let g = DepGraph::from_trace(&tr);
+        assert!(g.preds(0).is_empty());
+    }
+
+    #[test]
+    fn different_objects_are_independent() {
+        let tr = trace_of(vec![
+            vec![OperandDesc::output(0x100, 64)],
+            vec![OperandDesc::input(0x200, 64)],
+        ]);
+        let g = DepGraph::from_trace(&tr);
+        assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let tr = trace_of(vec![
+            vec![OperandDesc::output(0x100, 64)],
+            vec![OperandDesc::input(0x100, 64)],
+        ]);
+        let g = DepGraph::from_trace(&tr);
+        let dot = g.to_dot(&tr);
+        assert!(dot.contains("t0 -> t1"));
+        assert!(dot.contains("label=\"1 (k)\""));
+    }
+}

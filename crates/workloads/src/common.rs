@@ -1,0 +1,147 @@
+//! Shared helpers for the benchmark generators: address-space layout and
+//! runtime samplers calibrated to Table I.
+
+use tss_sim::{us_to_cycles, Cycle, Rng};
+
+/// Hands out non-overlapping, page-aligned base addresses for memory
+/// objects. Every distinct object gets a distinct base address — which
+/// is exactly how the ORTs identify objects (Section III.A limits
+/// analysis to consecutive memory regions named by their base pointer).
+#[derive(Debug)]
+pub struct Layout {
+    next: u64,
+}
+
+impl Layout {
+    /// A fresh address space (objects start at 1 MB; 0 stays invalid).
+    pub fn new() -> Self {
+        Layout { next: 1 << 20 }
+    }
+
+    /// Reserves an object of `bytes` and returns its base address.
+    pub fn object(&mut self, bytes: u64) -> u64 {
+        let addr = self.next;
+        // Round the footprint up to a 4 KB page so bases stay aligned.
+        self.next += bytes.div_ceil(4096).max(1) * 4096;
+        addr
+    }
+
+    /// Reserves `count` objects of `bytes` each.
+    pub fn objects(&mut self, count: usize, bytes: u64) -> Vec<u64> {
+        (0..count).map(|_| self.object(bytes)).collect()
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A piecewise-uniform runtime sampler: `(lo_us, hi_us, weight)` pieces.
+/// Used where the paper pins more than three statistics (e.g. H264 and
+/// Knn, where "~95% of the tasks run for more than 100 µs" *and* the
+/// min/median/average of Table I must hold).
+#[derive(Debug, Clone)]
+pub struct PiecewiseUs {
+    pieces: Vec<(f64, f64, f64)>,
+    total_weight: f64,
+}
+
+impl PiecewiseUs {
+    /// Builds a sampler from `(lo_us, hi_us, weight)` pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list, non-positive weights, or inverted pieces.
+    pub fn new(pieces: Vec<(f64, f64, f64)>) -> Self {
+        assert!(!pieces.is_empty(), "need at least one piece");
+        for &(lo, hi, w) in &pieces {
+            assert!(lo <= hi, "inverted piece [{lo}, {hi}]");
+            assert!(w > 0.0, "weights must be positive");
+        }
+        let total_weight = pieces.iter().map(|p| p.2).sum();
+        PiecewiseUs { pieces, total_weight }
+    }
+
+    /// The H264 runtime distribution: min 2 µs, median 115 µs, average
+    /// 130 µs, ~95% above 100 µs (Table I + Section VI.C).
+    pub fn h264() -> Self {
+        PiecewiseUs::new(vec![(2.0, 100.0, 0.05), (100.0, 115.0, 0.45), (115.0, 201.0, 0.50)])
+    }
+
+    /// The Knn runtime distribution: min 17 µs, median 107 µs, average
+    /// 109 µs, ~95% above 100 µs.
+    pub fn knn() -> Self {
+        PiecewiseUs::new(vec![(17.0, 100.0, 0.05), (100.0, 107.0, 0.45), (107.0, 131.0, 0.50)])
+    }
+
+    /// Draws one runtime in cycles.
+    pub fn sample(&self, rng: &mut Rng) -> Cycle {
+        let mut pick = rng.unit() * self.total_weight;
+        let mut chosen = *self.pieces.last().expect("non-empty");
+        for &piece in &self.pieces {
+            if pick < piece.2 {
+                chosen = piece;
+                break;
+            }
+            pick -= piece.2;
+        }
+        let (lo, hi, _) = chosen;
+        us_to_cycles(lo + rng.unit() * (hi - lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_objects_never_overlap() {
+        let mut l = Layout::new();
+        let a = l.object(16 << 10);
+        let b = l.object(16 << 10);
+        let c = l.object(100);
+        assert!(b >= a + (16 << 10));
+        assert!(c >= b + (16 << 10));
+        assert_eq!(a % 4096, 0);
+        assert_eq!(c % 4096, 0);
+    }
+
+    #[test]
+    fn h264_distribution_hits_table_one() {
+        let d = PiecewiseUs::h264();
+        let mut rng = Rng::seeded(42);
+        let n = 50_000;
+        let mut v: Vec<Cycle> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        v.sort_unstable();
+        let mean_us = v.iter().sum::<u64>() as f64 / n as f64 / 3200.0;
+        let med_us = v[n / 2] as f64 / 3200.0;
+        let above_100 = v.iter().filter(|&&c| c > us_to_cycles(100.0)).count() as f64 / n as f64;
+        assert!((mean_us - 130.0).abs() < 3.0, "mean {mean_us}");
+        assert!((med_us - 115.0).abs() < 4.0, "median {med_us}");
+        assert!((above_100 - 0.95).abs() < 0.01, "tail {above_100}");
+        assert!(v[0] >= us_to_cycles(2.0));
+    }
+
+    #[test]
+    fn knn_distribution_hits_table_one() {
+        let d = PiecewiseUs::knn();
+        let mut rng = Rng::seeded(43);
+        let n = 50_000;
+        let mut v: Vec<Cycle> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        v.sort_unstable();
+        let mean_us = v.iter().sum::<u64>() as f64 / n as f64 / 3200.0;
+        let med_us = v[n / 2] as f64 / 3200.0;
+        let above_100 = v.iter().filter(|&&c| c > us_to_cycles(100.0)).count() as f64 / n as f64;
+        assert!((mean_us - 109.0).abs() < 2.5, "mean {mean_us}");
+        assert!((med_us - 107.0).abs() < 3.0, "median {med_us}");
+        assert!((above_100 - 0.95).abs() < 0.01, "tail {above_100}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        let _ = PiecewiseUs::new(vec![(0.0, 1.0, 0.0)]);
+    }
+}

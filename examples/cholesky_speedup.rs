@@ -1,0 +1,41 @@
+//! Blocked Cholesky scalability: the hardware pipeline vs the software
+//! StarSs-like runtime on 32–256 cores (one panel of the paper's
+//! Figure 16).
+//!
+//! ```text
+//! cargo run --release --example cholesky_speedup
+//! ```
+
+use task_superscalar::core::Table;
+use task_superscalar::prelude::*;
+use task_superscalar::workloads::Scale;
+
+fn main() {
+    let trace = Benchmark::Cholesky.trace(Scale::Paper, 42);
+    println!(
+        "Cholesky: {} tasks, {:.1} ms sequential work\n",
+        trace.len(),
+        cycles_to_us(trace.total_runtime()) / 1000.0
+    );
+
+    let mut table = Table::new(
+        "Cholesky speedup over sequential (cf. Figure 16)",
+        &["processors", "hardware", "software", "hw/sw"],
+    );
+    for p in [32, 64, 128, 256] {
+        let hw = SystemBuilder::new().processors(p).skip_validation().run_hardware(&trace);
+        let sw = SystemBuilder::new().processors(p).skip_validation().run_software(&trace);
+        table.row(vec![
+            p.to_string(),
+            format!("{:.1}x", hw.speedup()),
+            format!("{:.1}x", sw.speedup()),
+            format!("{:.2}", hw.speedup() / sw.speedup()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "The software runtime decodes one task every ~700 ns, capping its\n\
+         useful processor count; the pipeline decodes an order of magnitude\n\
+         faster and keeps scaling (Section VI.C)."
+    );
+}

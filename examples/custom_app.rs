@@ -1,0 +1,70 @@
+//! Writing your own StarSs-style application against the library API:
+//! annotate kernel operands with directions, emit tasks in sequential
+//! program order, and let the pipeline uncover the parallelism.
+//!
+//! The "application" here is a tiled 1D heat diffusion: each step, every
+//! tile is advanced from its own state plus its neighbours' boundary
+//! values — a miniature of how SPECFEM is expressed in the paper.
+//!
+//! ```text
+//! cargo run --release --example custom_app
+//! ```
+
+use task_superscalar::prelude::*;
+use task_superscalar::sim::us_to_cycles as us;
+
+fn main() {
+    const TILES: usize = 64;
+    const STEPS: usize = 40;
+    const TILE_BYTES: u32 = 48 << 10; // L1-sized, as Section II insists
+    const HALO_BYTES: u32 = 1 << 10;
+
+    // --- the "program": a sequential loop emitting annotated tasks ----
+    let mut trace = TaskTrace::new("heat1d");
+    let advance = trace.add_kernel("advance_tile");
+
+    // Object addresses: one state object per tile, double-buffered halos.
+    let tile_addr = |i: usize| 0x1000_0000u64 + ((i as u64) << 20);
+    let halo_addr = |parity: usize, i: usize| 0x9000_0000u64 + (parity as u64 * TILES as u64 + i as u64) * 0x1000;
+
+    for t in 0..STEPS {
+        let (read_p, write_p) = ((t + 1) % 2, t % 2);
+        for i in 0..TILES {
+            let mut ops = vec![OperandDesc::inout(tile_addr(i), TILE_BYTES)];
+            if t > 0 {
+                if i > 0 {
+                    ops.push(OperandDesc::input(halo_addr(read_p, i - 1), HALO_BYTES));
+                }
+                if i + 1 < TILES {
+                    ops.push(OperandDesc::input(halo_addr(read_p, i + 1), HALO_BYTES));
+                }
+            }
+            ops.push(OperandDesc::output(halo_addr(write_p, i), HALO_BYTES));
+            ops.push(OperandDesc::scalar(8)); // dt
+            trace.push_task(advance, us(20.0), ops);
+        }
+    }
+    println!("heat1d: {} tasks emitted by a sequential loop", trace.len());
+
+    // --- what parallelism did the annotations expose? -----------------
+    let graph = DepGraph::from_trace(&trace);
+    let profile = task_superscalar::trace::parallelism_profile(&trace, &graph);
+    println!(
+        "dependency graph: {} enforced edges; avg parallelism {:.1} (one step = {TILES} tiles)",
+        graph.enforced_edge_count(),
+        profile.avg_parallelism
+    );
+
+    // --- run it on three machine sizes --------------------------------
+    for p in [16, 64, 128] {
+        let report = SystemBuilder::new().processors(p).run_hardware(&trace);
+        println!(
+            "{p:>4} cores: speedup {:>6.1}x  (decode {:>3.0} ns/task, window peak {})",
+            report.speedup(),
+            report.decode_rate_ns(),
+            report.window_peak
+        );
+    }
+    println!("\nThe sequential source order never changes; the pipeline extracts");
+    println!("the wavefront parallelism from the operand annotations alone.");
+}

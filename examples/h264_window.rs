@@ -1,0 +1,46 @@
+//! H.264 and the task-window size: the one benchmark whose *distant*
+//! parallelism (inter-frame reference chains spanning up to 60 frames)
+//! exceeds any practical hardware window — so the software runtime's
+//! infinite window wins by a small margin at 256 processors
+//! (Section VI.C).
+//!
+//! This example sweeps the TRS capacity (the window itself, Figure 15)
+//! on an H264 trace and compares against the software runtime.
+//!
+//! ```text
+//! cargo run --release --example h264_window
+//! ```
+
+use task_superscalar::core::experiments::trs_capacity_sweep;
+use task_superscalar::core::Table;
+use task_superscalar::prelude::*;
+use task_superscalar::workloads::h264::H264Gen;
+
+fn main() {
+    // A moderate HD clip: 6 frames x 2040 macroblocks.
+    let trace = H264Gen::hd(6).generate(7);
+    println!("H264: {} macroblock tasks\n", trace.len());
+
+    let mut table = Table::new(
+        "H264 speedup vs TRS window capacity, 256 processors (cf. Figure 15)",
+        &["TRS capacity", "speedup", "peak window (tasks)"],
+    );
+    let caps: Vec<u64> =
+        [256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 6 << 20].to_vec();
+    for pt in trs_capacity_sweep(&trace, &caps, 256) {
+        table.row(vec![
+            format!("{} KB", pt.capacity_bytes >> 10),
+            format!("{:.1}x", pt.speedup),
+            pt.window_peak.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let sw = SystemBuilder::new().processors(256).skip_validation().run_software(&trace);
+    println!(
+        "software runtime (infinite window, 700 ns/task decode): {:.1}x\n\
+         -> H264's 100 us-class tasks tolerate slow decode, and its distant\n\
+         parallelism rewards the unbounded window (Section VI.C).",
+        sw.speedup()
+    );
+}

@@ -1,0 +1,141 @@
+//! Workspace-spanning integration tests: every Table-I benchmark runs
+//! end-to-end through the hardware pipeline and the software runtime,
+//! with full oracle validation, on CI-sized traces.
+
+use task_superscalar::core::SystemBuilder;
+use task_superscalar::workloads::{Benchmark, Scale};
+
+#[test]
+fn every_benchmark_completes_and_validates_on_hardware() {
+    for b in Benchmark::all() {
+        let trace = b.trace(Scale::Small, 11);
+        // Validation is on by default: run_hardware panics on any oracle
+        // violation or leaked frontend state.
+        let report = SystemBuilder::new().processors(64).run_hardware(&trace);
+        assert_eq!(report.tasks, trace.len(), "{b}");
+        assert!(report.speedup() > 1.0, "{b}: speedup {}", report.speedup());
+        assert!(report.decode_rate_cycles > 0.0, "{b}");
+    }
+}
+
+#[test]
+fn every_benchmark_completes_and_validates_on_software() {
+    for b in Benchmark::all() {
+        let trace = b.trace(Scale::Small, 11);
+        let report = SystemBuilder::new().processors(64).run_software(&trace);
+        assert_eq!(report.tasks, trace.len(), "{b}");
+        assert!(report.speedup() > 1.0, "{b}");
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let trace = Benchmark::Fft.trace(Scale::Small, 3);
+    let a = SystemBuilder::new().processors(32).run_hardware(&trace);
+    let b = SystemBuilder::new().processors(32).run_hardware(&trace);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.schedule, b.schedule);
+}
+
+#[test]
+fn hardware_decode_rate_beats_software_by_an_order_of_magnitude() {
+    // Section II's core claim. Measured at the paper operating point.
+    let trace = Benchmark::Cholesky.trace(Scale::Small, 5);
+    let hw = SystemBuilder::new().processors(256).run_hardware(&trace);
+    let sw = SystemBuilder::new().processors(256).run_software(&trace);
+    assert!(
+        hw.decode_rate_ns() < 100.0,
+        "hardware decode {} ns should be well under 100 ns",
+        hw.decode_rate_ns()
+    );
+    assert!(
+        sw.decode_rate_ns() > 600.0,
+        "software decode {} ns should be ~700 ns",
+        sw.decode_rate_ns()
+    );
+}
+
+#[test]
+fn renaming_ablation_hurts_write_heavy_workloads() {
+    // KMeans writes fresh partials constantly; disabling renaming turns
+    // WaR/WaW into serialization.
+    let trace = Benchmark::KMeans.trace(Scale::Small, 7);
+    let with = SystemBuilder::new().processors(64).run_hardware(&trace);
+    let without = SystemBuilder::new()
+        .processors(64)
+        .with_frontend(|f| f.renaming = false)
+        .run_hardware(&trace);
+    assert!(
+        with.speedup() >= without.speedup(),
+        "renaming on: {:.1}, off: {:.1}",
+        with.speedup(),
+        without.speedup()
+    );
+}
+
+#[test]
+fn window_peak_reflects_trs_capacity() {
+    let trace = Benchmark::Stap.trace(Scale::Small, 9);
+    let small = SystemBuilder::new()
+        .processors(32)
+        .with_frontend(|f| f.trs_total_bytes = 64 << 10) // 512 blocks
+        .run_hardware(&trace);
+    let large = SystemBuilder::new().processors(32).run_hardware(&trace);
+    assert!(
+        small.window_peak <= 512,
+        "64 KB of TRS cannot hold more than 512 single-block tasks"
+    );
+    assert!(large.window_peak >= small.window_peak);
+}
+
+#[test]
+fn chains_stay_short_as_the_paper_reports() {
+    // Section IV.B.2: "chains are typically very short: for all but two
+    // of the benchmarks, 95% of the chains are no more than 2 tasks".
+    // Chain forwards per consumer registration is the observable here:
+    // most data-readies must arrive directly, not via long forwarding.
+    let trace = Benchmark::Cholesky.trace(Scale::Small, 13);
+    let report = SystemBuilder::new().processors(64).run_hardware(&trace);
+    let fe = report.frontend.expect("hardware run has frontend stats");
+    let forwards_per_task = fe.chain_forwards as f64 / report.tasks as f64;
+    assert!(
+        forwards_per_task < 3.0,
+        "forwarding should be rare on Cholesky: {forwards_per_task:.2} per task"
+    );
+}
+
+#[test]
+fn storage_waste_is_near_twenty_percent() {
+    // Figure 11 discussion: "the average waste is only ~20% of the
+    // allocated memory".
+    let trace = Benchmark::Cholesky.trace(Scale::Small, 1);
+    let report = SystemBuilder::new().processors(32).run_hardware(&trace);
+    let fe = report.frontend.expect("frontend stats");
+    assert!(
+        (0.08..0.45).contains(&fe.avg_storage_waste),
+        "waste {:.2}",
+        fe.avg_storage_waste
+    );
+}
+
+#[test]
+fn sequential_equivalence_total_work_is_invariant() {
+    // The speedup denominator (sequential time) must not depend on the
+    // engine: both reports agree on total_work.
+    let trace = Benchmark::Pbpi.trace(Scale::Small, 21);
+    let hw = SystemBuilder::new().processors(32).run_hardware(&trace);
+    let sw = SystemBuilder::new().processors(32).run_software(&trace);
+    assert_eq!(hw.total_work, sw.total_work);
+    assert_eq!(hw.total_work, trace.total_runtime());
+}
+
+#[test]
+fn single_processor_hardware_approaches_sequential() {
+    let trace = Benchmark::MatMul.trace(Scale::Small, 2);
+    let report = SystemBuilder::new().processors(1).run_hardware(&trace);
+    let s = report.speedup();
+    assert!(
+        (0.85..=1.01).contains(&s),
+        "1-core speedup must be ~1.0 (decode overlaps execution): {s}"
+    );
+}

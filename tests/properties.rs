@@ -1,0 +1,218 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! - the dependency oracle matches a brute-force O(n²) recomputation;
+//! - every hardware-pipeline schedule satisfies the oracle and drains
+//!   all frontend state, for arbitrary traces and (tiny) configurations;
+//! - the TRS block allocator never double-allocates and always restores
+//!   its free count.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use task_superscalar::pipeline::assembly::{
+    build_frontend, frontend_stats, instant_backend, InstantBackend,
+};
+use task_superscalar::pipeline::blocks::{blocks_for_operands, BlockStore};
+use task_superscalar::pipeline::{FrontendConfig, Msg};
+use task_superscalar::sim::Simulation;
+use task_superscalar::trace::{
+    validate_schedule, DepGraph, DepKind, Direction, OperandDesc, TaskTrace,
+};
+
+// ---------------------------------------------------------------------
+// Trace strategy
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct OpSpec {
+    obj: u8,
+    dir: u8, // 0 = In, 1 = Out, 2 = InOut
+}
+
+fn trace_from_specs(specs: &[Vec<OpSpec>], runtimes: &[u32]) -> TaskTrace {
+    let mut tr = TaskTrace::new("prop");
+    let k = tr.add_kernel("k");
+    for (ops, &rt) in specs.iter().zip(runtimes) {
+        let mut seen = Vec::new();
+        let mut operands = Vec::new();
+        for op in ops {
+            if seen.contains(&op.obj) {
+                continue; // one operand per object per task
+            }
+            seen.push(op.obj);
+            let addr = 0x10_0000 + op.obj as u64 * 0x1_0000;
+            let dir = match op.dir {
+                0 => Direction::In,
+                1 => Direction::Out,
+                _ => Direction::InOut,
+            };
+            operands.push(OperandDesc::memory(addr, 256, dir));
+        }
+        if operands.is_empty() {
+            operands.push(OperandDesc::scalar(8));
+        }
+        tr.push_task(k, 100 + rt as u64, operands);
+    }
+    tr
+}
+
+fn arb_specs() -> impl Strategy<Value = (Vec<Vec<OpSpec>>, Vec<u32>)> {
+    let op = (0u8..10, 0u8..3).prop_map(|(obj, dir)| OpSpec { obj, dir });
+    let task = prop::collection::vec(op, 1..5);
+    (1usize..60).prop_flat_map(move |n| {
+        (
+            prop::collection::vec(task.clone(), n..=n),
+            prop::collection::vec(0u32..20_000, n..=n),
+        )
+    })
+}
+
+// ---------------------------------------------------------------------
+// Oracle vs brute force
+// ---------------------------------------------------------------------
+
+/// O(n²·ops²) recomputation of the enforced predecessor sets.
+fn brute_force_preds(tr: &TaskTrace) -> Vec<Vec<usize>> {
+    let n = tr.len();
+    let mut preds = vec![Vec::new(); n];
+    #[allow(clippy::needless_range_loop)] // a/b index two task positions
+    for b in 0..n {
+        'a_loop: for a in 0..b {
+            for ob in tr.task(b).operands.iter().filter(|o| o.is_tracked()) {
+                for oa in tr.task(a).operands.iter().filter(|o| o.is_tracked()) {
+                    if oa.addr != ob.addr {
+                        continue;
+                    }
+                    // RaW: b reads what a wrote, with no intervening
+                    // writer between a and b.
+                    let intervening_writer = ((a + 1)..b).any(|m| {
+                        tr.task(m)
+                            .operands
+                            .iter()
+                            .any(|o| o.is_tracked() && o.addr == ob.addr && o.dir.writes())
+                    });
+                    if ob.dir.reads() && oa.dir.writes() && !intervening_writer {
+                        preds[b].push(a);
+                        continue 'a_loop;
+                    }
+                    // InoutAnti: b is an inout writer; a read the version
+                    // b supersedes (a's read not invalidated by a writer
+                    // in between).
+                    if ob.dir == Direction::InOut && oa.dir.reads() && !intervening_writer {
+                        preds[b].push(a);
+                        continue 'a_loop;
+                    }
+                }
+            }
+        }
+    }
+    for p in &mut preds {
+        p.sort_unstable();
+        p.dedup();
+    }
+    preds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn oracle_matches_brute_force((specs, rts) in arb_specs()) {
+        let tr = trace_from_specs(&specs, &rts);
+        let g = DepGraph::from_trace(&tr);
+        let brute = brute_force_preds(&tr);
+        for (t, expected) in brute.iter().enumerate() {
+            prop_assert_eq!(g.preds(t), &expected[..], "task {} preds mismatch", t);
+        }
+        // Edge kinds are consistent: enforced edges are RaW/InoutAnti.
+        for e in g.edges() {
+            prop_assert_eq!(
+                e.kind.enforced(),
+                matches!(e.kind, DepKind::RaW | DepKind::InoutAnti)
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_schedules_always_satisfy_the_oracle(
+        (specs, rts) in arb_specs(),
+        num_trs in 1usize..4,
+        num_ort in 1usize..3,
+    ) {
+        let tr = trace_from_specs(&specs, &rts);
+        let cfg = FrontendConfig {
+            num_trs,
+            num_ort,
+            trs_total_bytes: 32 << 10,
+            ort_total_bytes: 8 << 10,
+            ovt_total_bytes: 8 << 10,
+            ..FrontendConfig::default()
+        };
+        let trace = Arc::new(tr);
+        let mut sim = Simulation::<Msg>::new();
+        let topo = build_frontend(&mut sim, trace.clone(), &cfg, instant_backend);
+        sim.run();
+        let backend = sim.component::<InstantBackend>(topo.backend);
+        prop_assert_eq!(backend.completed() as usize, trace.len(), "deadlock");
+        let g = DepGraph::from_trace(&trace);
+        prop_assert!(validate_schedule(&g, backend.schedule()).is_ok());
+        let stats = frontend_stats(&sim, &topo, &cfg);
+        prop_assert_eq!(stats.leaked_tasks, 0, "leaked frontend state");
+        prop_assert_eq!(stats.tasks_decoded as usize, trace.len());
+    }
+
+    #[test]
+    fn block_store_conserves_blocks(
+        sizes in prop::collection::vec(0usize..20, 1..40),
+        total in 16u32..256,
+    ) {
+        let mut store = BlockStore::new(total, 22);
+        let mut live: Vec<Vec<u32>> = Vec::new();
+        let mut allocated = 0u32;
+        for (i, &ops) in sizes.iter().enumerate() {
+            let need = blocks_for_operands(ops.min(19));
+            match store.alloc(need) {
+                Some(a) => {
+                    prop_assert_eq!(a.blocks.len() as u32, need);
+                    allocated += need;
+                    live.push(a.blocks);
+                }
+                None => {
+                    prop_assert!(allocated + need > total, "spurious rejection");
+                }
+            }
+            // Free every other allocation eagerly.
+            if i % 2 == 0 {
+                if let Some(blocks) = live.pop() {
+                    allocated -= blocks.len() as u32;
+                    store.free(&blocks);
+                }
+            }
+        }
+        for blocks in live.drain(..) {
+            store.free(&blocks);
+        }
+        prop_assert_eq!(store.free_count(), total);
+        prop_assert_eq!(store.allocated_count(), 0);
+    }
+
+    #[test]
+    fn parallel_makespan_never_beats_critical_path(
+        (specs, rts) in arb_specs(),
+    ) {
+        let tr = trace_from_specs(&specs, &rts);
+        let g = DepGraph::from_trace(&tr);
+        let profile = task_superscalar::trace::parallelism_profile(&tr, &g);
+        let trace = Arc::new(tr);
+        let mut sim = Simulation::<Msg>::new();
+        let cfg = FrontendConfig::default();
+        let topo = build_frontend(&mut sim, trace.clone(), &cfg, instant_backend);
+        sim.run();
+        let backend = sim.component::<InstantBackend>(topo.backend);
+        let makespan = backend.schedule().iter().map(|r| r.end).max().unwrap_or(0);
+        prop_assert!(
+            makespan >= profile.critical_path,
+            "makespan {} < critical path {}", makespan, profile.critical_path
+        );
+    }
+}
