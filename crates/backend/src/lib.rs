@@ -203,9 +203,11 @@ impl Component<Msg> for CorePool {
                 match self.sink {
                     CompletionSink::Trs => {
                         let task = task.expect("hardware tasks carry a TaskRef");
-                        ctx.send(self.topo.trs[task.trs as usize], delay, Msg::TaskFinished {
-                            task,
-                        });
+                        ctx.send(
+                            self.topo.trs[task.trs as usize],
+                            delay,
+                            Msg::TaskFinished { task },
+                        );
                     }
                     CompletionSink::Decoder(dec) => {
                         ctx.send(dec, delay, Msg::SoftTaskFinished { trace_id });

@@ -56,10 +56,8 @@ fn bench_oracle(c: &mut Criterion) {
         b.iter(|| DepGraph::from_trace(black_box(&cholesky)))
     });
     let graph = DepGraph::from_trace(&cholesky);
-    let report = tss_core::SystemBuilder::new()
-        .processors(64)
-        .skip_validation()
-        .run_hardware(&cholesky);
+    let report =
+        tss_core::SystemBuilder::new().processors(64).skip_validation().run_hardware(&cholesky);
     g.bench_function("validate_schedule_cholesky_small", |b| {
         b.iter(|| validate_schedule(black_box(&graph), black_box(&report.schedule)))
     });

@@ -19,8 +19,7 @@ fn main() {
     );
     for bench in Benchmark::all() {
         let trace = bench.trace(args.scale, args.seed);
-        let report =
-            SystemBuilder::new().processors(256).skip_validation().run_hardware(&trace);
+        let report = SystemBuilder::new().processors(256).skip_validation().run_hardware(&trace);
         let fe = report.frontend.expect("hardware run");
         let hist = fe.ort.chain_hist;
         let total: u64 = hist.iter().sum();

@@ -34,8 +34,7 @@ fn main() {
     let mut sum = 0.0;
     for bench in Benchmark::all() {
         let trace = bench.trace(args.scale, args.seed);
-        let report =
-            SystemBuilder::new().processors(256).skip_validation().run_hardware(&trace);
+        let report = SystemBuilder::new().processors(256).skip_validation().run_hardware(&trace);
         let fe = report.frontend.expect("hardware run");
         sum += fe.avg_storage_waste;
         measured.row(vec![

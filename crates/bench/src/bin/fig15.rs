@@ -14,17 +14,8 @@ use tss_workloads::Benchmark;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let caps: Vec<u64> = [
-        128u64 << 10,
-        256 << 10,
-        512 << 10,
-        1 << 20,
-        2 << 20,
-        4 << 20,
-        6 << 20,
-        8 << 20,
-    ]
-    .to_vec();
+    let caps: Vec<u64> =
+        [128u64 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 6 << 20, 8 << 20].to_vec();
 
     let mut avg = vec![0.0f64; caps.len()];
     let mut window = vec![0u32; caps.len()];

@@ -44,11 +44,7 @@ pub fn decode_rate_sweep(
                 })
                 .skip_validation() // sweeps revalidate nothing: points are timing-only
                 .run_hardware(trace);
-            out.push(DecodeRatePoint {
-                num_trs,
-                num_ort,
-                rate_cycles: report.decode_rate_cycles,
-            });
+            out.push(DecodeRatePoint { num_trs, num_ort, rate_cycles: report.decode_rate_cycles });
         }
     }
     out

@@ -152,8 +152,7 @@ impl SystemBuilder {
         let arc = Arc::new(trace.clone());
         let mut sim = Simulation::<Msg>::new();
         let backend_cfg = BackendConfig::for_cores(self.processors);
-        let topo =
-            build_frontend(&mut sim, arc.clone(), &self.frontend, cmp_backend(backend_cfg));
+        let topo = build_frontend(&mut sim, arc.clone(), &self.frontend, cmp_backend(backend_cfg));
         sim.run();
 
         let pool = sim.component::<CorePool>(topo.backend);
@@ -252,12 +251,7 @@ mod tests {
         let hw = SystemBuilder::new().processors(128).run_hardware(&trace);
         let sw = SystemBuilder::new().processors(128).run_software(&trace);
         assert!(hw.speedup() > 1.0);
-        assert!(
-            hw.speedup() > sw.speedup(),
-            "hw {:.1}x vs sw {:.1}x",
-            hw.speedup(),
-            sw.speedup()
-        );
+        assert!(hw.speedup() > sw.speedup(), "hw {:.1}x vs sw {:.1}x", hw.speedup(), sw.speedup());
     }
 
     #[test]

@@ -52,11 +52,8 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let joined: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
+            let joined: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
             joined.join("  ")
         };
         out.push_str(&fmt_row(&self.headers, &widths));

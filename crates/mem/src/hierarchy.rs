@@ -88,11 +88,8 @@ impl MemoryHierarchy {
         assert!(core < self.cfg.cores, "core {core} out of range");
         let line = addr / self.cfg.l1.line_bytes;
         let l1_hit = self.l1s[core].access(addr, write);
-        let coh = if write {
-            self.directory.write(core, line)
-        } else {
-            self.directory.read(core, line)
-        };
+        let coh =
+            if write { self.directory.write(core, line) } else { self.directory.read(core, line) };
         if l1_hit && coh.local_hit {
             return self.cfg.l1_latency;
         }

@@ -304,10 +304,7 @@ mod tests {
             n.route(Node::Core(0), Node::Core(1), 16_000, 0);
         }
         let arrival = n.route(Node::Core(2), Node::Core(3), 64, 0);
-        assert!(
-            arrival > free,
-            "fifth message must queue behind the 4 lanes: {arrival} vs {free}"
-        );
+        assert!(arrival > free, "fifth message must queue behind the 4 lanes: {arrival} vs {free}");
         assert_eq!(n.messages(), 5);
     }
 

@@ -222,7 +222,11 @@ pub struct FrontendStats {
 }
 
 /// Extracts aggregated statistics after a run.
-pub fn frontend_stats(sim: &Simulation<Msg>, topo: &Topology, _cfg: &FrontendConfig) -> FrontendStats {
+pub fn frontend_stats(
+    sim: &Simulation<Msg>,
+    topo: &Topology,
+    _cfg: &FrontendConfig,
+) -> FrontendStats {
     let mut decode_times: Vec<Cycle> = Vec::new();
     let mut window_peak = 0u32;
     let mut chain_forwards = 0u64;
@@ -271,11 +275,8 @@ pub fn frontend_stats(sim: &Simulation<Msg>, topo: &Topology, _cfg: &FrontendCon
         0.0
     };
     let gateway = sim.component::<Gateway>(topo.gateway);
-    let generator_stalled: Cycle = topo
-        .generators
-        .iter()
-        .map(|&g| sim.component::<Generator>(g).stalled_cycles())
-        .sum();
+    let generator_stalled: Cycle =
+        topo.generators.iter().map(|&g| sim.component::<Generator>(g).stalled_cycles()).sum();
     FrontendStats {
         tasks_decoded: decoded,
         decode_rate_cycles: decode_rate,

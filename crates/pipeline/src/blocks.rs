@@ -277,10 +277,7 @@ mod tests {
     fn fragmentation_is_about_twenty_percent_for_typical_tasks() {
         // Typical tasks have 2-5 operands (Table I benchmarks); the
         // paper reports ~20% average waste.
-        let avg: f64 = (2..=5)
-            .map(|n| fragmentation_waste(n, 128))
-            .sum::<f64>()
-            / 4.0;
+        let avg: f64 = (2..=5).map(|n| fragmentation_waste(n, 128)).sum::<f64>() / 4.0;
         assert!((0.10..=0.40).contains(&avg), "average waste {avg:.2}");
     }
 

@@ -153,9 +153,11 @@ impl Component<Msg> for Generator {
                 self.packing = false;
                 let id = self.ids[self.next];
                 self.next += 1;
-                ctx.send(self.topo.gateway, self.timing.frontend_hop, Msg::SubmitTask {
-                    trace_id: id,
-                });
+                ctx.send(
+                    self.topo.gateway,
+                    self.timing.frontend_hop,
+                    Msg::SubmitTask { trace_id: id },
+                );
                 if self.next >= self.ids.len() {
                     self.finished_at = Some(ctx.now());
                 }
@@ -297,7 +299,12 @@ impl Gateway {
                     ctx.send_at(
                         self.topo.ort[ort],
                         done + self.cfg.timing.frontend_hop,
-                        Msg::DecodeOperand { op: op_ref, addr: op.addr, size: op.size, dir: op.dir },
+                        Msg::DecodeOperand {
+                            op: op_ref,
+                            addr: op.addr,
+                            size: op.size,
+                            dir: op.dir,
+                        },
                     );
                 }
                 OperandKind::Scalar => {

@@ -364,9 +364,11 @@ impl OrtOvt {
         if self.blocked {
             self.blocked = false;
             self.stats.blocked_cycles += at.saturating_sub(self.blocked_since);
-            ctx.send_at(self.topo.gateway, at + self.timing.frontend_hop, Msg::OrtResumed {
-                ort: self.index,
-            });
+            ctx.send_at(
+                self.topo.gateway,
+                at + self.timing.frontend_hop,
+                Msg::OrtResumed { ort: self.index },
+            );
             if !self.processing && !self.queue.is_empty() {
                 self.processing = true;
                 let me = ctx.self_id();
@@ -420,8 +422,7 @@ impl OrtOvt {
                     // join the current version. (Without chaining, the
                     // consumer registers directly with the producer.)
                     let e = self.entries[slot as usize].as_mut().expect("hit");
-                    let producer =
-                        if self.chaining { Some(e.last_user) } else { e.last_writer };
+                    let producer = if self.chaining { Some(e.last_user) } else { e.last_writer };
                     e.last_user = head.op;
                     let cur = e.current_version;
                     let v = self.vref(cur);
@@ -430,24 +431,32 @@ impl OrtOvt {
                         rec.usage += 1;
                         rec.users_total += 1;
                     }
-                    ctx.send_at(self.topo.trs[trs_of(head.op)], t_ort + hop, Msg::OperandInfo {
-                        op: head.op,
-                        size: head.size,
-                        producer,
-                        version: v,
-                        readies_needed: 1,
-                    });
+                    ctx.send_at(
+                        self.topo.trs[trs_of(head.op)],
+                        t_ort + hop,
+                        Msg::OperandInfo {
+                            op: head.op,
+                            size: head.size,
+                            producer,
+                            version: v,
+                            readies_needed: 1,
+                        },
+                    );
                     if producer.is_none() {
                         // No in-flight producer (read-miss-created
                         // version, no chaining): data is in memory.
                         let t_ovt = self
                             .ovt_server
                             .occupy(t_ort, self.timing.packet_cost + self.timing.edram_latency);
-                        ctx.send_at(self.topo.trs[trs_of(head.op)], t_ovt + hop, Msg::DataReady {
-                            op: head.op,
-                            buffer: head.addr,
-                            kind: ReadyKind::Input,
-                        });
+                        ctx.send_at(
+                            self.topo.trs[trs_of(head.op)],
+                            t_ovt + hop,
+                            Msg::DataReady {
+                                op: head.op,
+                                buffer: head.addr,
+                                kind: ReadyKind::Input,
+                            },
+                        );
                     }
                 } else {
                     // Miss: the data lives in memory; create the initial
@@ -464,20 +473,25 @@ impl OrtOvt {
                     self.live_entries += 1;
                     self.stats.peak_entries = self.stats.peak_entries.max(self.live_entries);
                     let v = self.vref(vidx);
-                    ctx.send_at(self.topo.trs[trs_of(head.op)], t_ort + hop, Msg::OperandInfo {
-                        op: head.op,
-                        size: head.size,
-                        producer: None,
-                        version: v,
-                        readies_needed: 1,
-                    });
-                    let t_ovt =
-                        self.ovt_server.occupy(t_ort, self.timing.packet_cost + self.timing.edram_latency);
-                    ctx.send_at(self.topo.trs[trs_of(head.op)], t_ovt + hop, Msg::DataReady {
-                        op: head.op,
-                        buffer: head.addr,
-                        kind: ReadyKind::Input,
-                    });
+                    ctx.send_at(
+                        self.topo.trs[trs_of(head.op)],
+                        t_ort + hop,
+                        Msg::OperandInfo {
+                            op: head.op,
+                            size: head.size,
+                            producer: None,
+                            version: v,
+                            readies_needed: 1,
+                        },
+                    );
+                    let t_ovt = self
+                        .ovt_server
+                        .occupy(t_ort, self.timing.packet_cost + self.timing.edram_latency);
+                    ctx.send_at(
+                        self.topo.trs[trs_of(head.op)],
+                        t_ovt + hop,
+                        Msg::DataReady { op: head.op, buffer: head.addr, kind: ReadyKind::Input },
+                    );
                 }
             }
             Direction::Out | Direction::InOut => {
@@ -504,8 +518,7 @@ impl OrtOvt {
                         (slot, None, None)
                     }
                 };
-                let inout_needs_memory_input =
-                    inout && prev_user.is_none() && hit_slot.is_some();
+                let inout_needs_memory_input = inout && prev_user.is_none() && hit_slot.is_some();
                 let vidx = self.alloc_version(head.addr, head.size, slot, rename);
                 {
                     let e = self.entries[slot as usize].as_mut().expect("just resolved");
@@ -519,16 +532,21 @@ impl OrtOvt {
                 // Inout consumes the previous version's data via the
                 // consumer chain; pure outputs read nothing.
                 let producer = if inout { prev_user } else { None };
-                ctx.send_at(self.topo.trs[trs_of(head.op)], t_ort + hop, Msg::OperandInfo {
-                    op: head.op,
-                    size: head.size,
-                    producer,
-                    version: v,
-                    readies_needed,
-                });
+                ctx.send_at(
+                    self.topo.trs[trs_of(head.op)],
+                    t_ort + hop,
+                    Msg::OperandInfo {
+                        op: head.op,
+                        size: head.size,
+                        producer,
+                        version: v,
+                        readies_needed,
+                    },
+                );
 
-                let t_ovt =
-                    self.ovt_server.occupy(t_ort, self.timing.packet_cost + self.timing.edram_latency);
+                let t_ovt = self
+                    .ovt_server
+                    .occupy(t_ort, self.timing.packet_cost + self.timing.edram_latency);
                 if rename {
                     // Figure 7: renamed output — buffer immediately free.
                     let buf = self.versions[vidx as usize]
@@ -536,11 +554,11 @@ impl OrtOvt {
                         .expect("live")
                         .rename_buffer
                         .expect("renamed");
-                    ctx.send_at(self.topo.trs[trs_of(head.op)], t_ovt + hop, Msg::DataReady {
-                        op: head.op,
-                        buffer: buf,
-                        kind: ReadyKind::Output,
-                    });
+                    ctx.send_at(
+                        self.topo.trs[trs_of(head.op)],
+                        t_ovt + hop,
+                        Msg::DataReady { op: head.op, buffer: buf, kind: ReadyKind::Output },
+                    );
                     // The previous version drains independently.
                     if let Some(pc) = prev_cur {
                         let drained = {
@@ -576,30 +594,36 @@ impl OrtOvt {
                                     },
                                 );
                             } else {
-                                self.versions[pc as usize]
-                                    .as_mut()
-                                    .expect("live")
-                                    .chained_writer = Some(head.op);
+                                self.versions[pc as usize].as_mut().expect("live").chained_writer =
+                                    Some(head.op);
                             }
                         }
                         None => {
                             // No previous version: buffer free now.
-                            ctx.send_at(self.topo.trs[trs_of(head.op)], t_ovt + hop, Msg::DataReady {
-                                op: head.op,
-                                buffer: head.addr,
-                                kind: ReadyKind::Output,
-                            });
+                            ctx.send_at(
+                                self.topo.trs[trs_of(head.op)],
+                                t_ovt + hop,
+                                Msg::DataReady {
+                                    op: head.op,
+                                    buffer: head.addr,
+                                    kind: ReadyKind::Output,
+                                },
+                            );
                         }
                     }
                     if inout && prev_user.is_none() {
                         // No in-flight producer: input data is in memory
                         // (miss, or no-chaining hit without a writer).
                         let _ = inout_needs_memory_input;
-                        ctx.send_at(self.topo.trs[trs_of(head.op)], t_ovt + hop, Msg::DataReady {
-                            op: head.op,
-                            buffer: head.addr,
-                            kind: ReadyKind::Input,
-                        });
+                        ctx.send_at(
+                            self.topo.trs[trs_of(head.op)],
+                            t_ovt + hop,
+                            Msg::DataReady {
+                                op: head.op,
+                                buffer: head.addr,
+                                kind: ReadyKind::Input,
+                            },
+                        );
                     }
                 }
             }

@@ -64,8 +64,7 @@ struct TaskSlot {
 
 impl TaskSlot {
     fn all_ready(&self) -> bool {
-        self.infos_pending == 0
-            && self.operands.iter().all(|o| o.readies_got >= o.readies_needed)
+        self.infos_pending == 0 && self.operands.iter().all(|o| o.readies_got >= o.readies_needed)
     }
 }
 
@@ -164,10 +163,11 @@ impl Trs {
             let task = self.task_ref(slot);
             self.slots.get_mut(&slot).expect("present").state = SlotState::Running;
             // Push into the ready queue (the backend's queuing system).
-            ctx.send_at(self.topo.backend, at + self.timing.frontend_hop, Msg::TaskReady {
-                task,
-                trace_id,
-            });
+            ctx.send_at(
+                self.topo.backend,
+                at + self.timing.frontend_hop,
+                Msg::TaskReady { task, trace_id },
+            );
         }
     }
 
@@ -202,11 +202,11 @@ impl Trs {
                 let consumers = o.consumers.clone();
                 for next in consumers {
                     self.stats.chain_forwards += 1;
-                    ctx.send_at(self.topo.trs[next.task.trs as usize], at + hop, Msg::DataReady {
-                        op: next,
-                        buffer,
-                        kind: ReadyKind::Input,
-                    });
+                    ctx.send_at(
+                        self.topo.trs[next.task.trs as usize],
+                        at + hop,
+                        Msg::DataReady { op: next, buffer, kind: ReadyKind::Input },
+                    );
                 }
             }
         } else if o.buffer == 0 {
@@ -248,30 +248,30 @@ impl Component<Msg> for Trs {
                             info_received: false,
                         })
                         .collect();
-                    let waste = crate::blocks::fragmentation_waste(
-                        operands.len(),
-                        self.block_bytes,
-                    );
+                    let waste =
+                        crate::blocks::fragmentation_waste(operands.len(), self.block_bytes);
                     self.stats.waste_sum += waste;
                     self.stats.tasks_allocated += 1;
                     self.in_flight += 1;
                     self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
                     let infos_pending = operands.len() as u8;
-                    self.slots.insert(slot, TaskSlot {
-                        trace_id,
-                        blocks: alloc.blocks,
-                        operands,
-                        infos_pending,
-                        state: SlotState::Decoding,
-                        decode_done: None,
-                    });
+                    self.slots.insert(
+                        slot,
+                        TaskSlot {
+                            trace_id,
+                            blocks: alloc.blocks,
+                            operands,
+                            infos_pending,
+                            state: SlotState::Decoding,
+                            decode_done: None,
+                        },
+                    );
                     let task_ref = self.task_ref(slot);
-                    ctx.send_at(reply_to, t + hop, Msg::AllocReply {
-                        task: Some(task_ref),
-                        trace_id,
-                        gw_buf,
-                        trs: self.index,
-                    });
+                    ctx.send_at(
+                        reply_to,
+                        t + hop,
+                        Msg::AllocReply { task: Some(task_ref), trace_id, gw_buf, trs: self.index },
+                    );
                     // Zero-operand tasks are ready the moment they decode.
                     if let Some(s) = self.slots.get_mut(&slot) {
                         if s.infos_pending == 0 {
@@ -284,12 +284,11 @@ impl Component<Msg> for Trs {
                     self.stats.allocs_rejected += 1;
                     self.reported_full = true;
                     let t = self.occupy(ctx.now(), self.timing.packet_cost);
-                    ctx.send_at(reply_to, t + hop, Msg::AllocReply {
-                        task: None,
-                        trace_id,
-                        gw_buf,
-                        trs: self.index,
-                    });
+                    ctx.send_at(
+                        reply_to,
+                        t + hop,
+                        Msg::AllocReply { task: None, trace_id, gw_buf, trs: self.index },
+                    );
                 }
             }
 
@@ -313,10 +312,7 @@ impl Component<Msg> for Trs {
 
             // ----------------------------------------------- Figures 7–9
             Msg::OperandInfo { op, size: _, producer, version, readies_needed } => {
-                let t = self.occupy(
-                    ctx.now(),
-                    self.timing.packet_cost + self.timing.edram_latency,
-                );
+                let t = self.occupy(ctx.now(), self.timing.packet_cost + self.timing.edram_latency);
                 assert_eq!(self.gens[op.task.slot as usize], op.task.gen, "info to stale slot");
                 let self_task = op.task;
                 let s = self.slots.get_mut(&op.task.slot).expect("live slot");
@@ -344,10 +340,11 @@ impl Component<Msg> for Trs {
                         self.apply_data_ready(op, 0, ReadyKind::Input, t, ctx);
                     }
                     Some(p) => {
-                        ctx.send_at(self.topo.trs[p.task.trs as usize], t + hop, Msg::RegisterConsumer {
-                            producer: p,
-                            consumer: op,
-                        });
+                        ctx.send_at(
+                            self.topo.trs[p.task.trs as usize],
+                            t + hop,
+                            Msg::RegisterConsumer { producer: p, consumer: op },
+                        );
                         self.check_ready(op.task.slot, t, ctx);
                     }
                     None => {
@@ -358,10 +355,7 @@ impl Component<Msg> for Trs {
 
             // -------------------------------------- Figures 8 and 10
             Msg::RegisterConsumer { producer, consumer } => {
-                let t = self.occupy(
-                    ctx.now(),
-                    self.timing.packet_cost + self.timing.edram_latency,
-                );
+                let t = self.occupy(ctx.now(), self.timing.packet_cost + self.timing.edram_latency);
                 let stale = self.gens[producer.task.slot as usize] != producer.task.gen
                     || !self.slots.contains_key(&producer.task.slot);
                 if stale {
@@ -402,10 +396,7 @@ impl Component<Msg> for Trs {
 
             // ------------------------------------------------- readiness
             Msg::DataReady { op, buffer, kind } => {
-                let t = self.occupy(
-                    ctx.now(),
-                    self.timing.packet_cost + self.timing.edram_latency,
-                );
+                let t = self.occupy(ctx.now(), self.timing.packet_cost + self.timing.edram_latency);
                 self.apply_data_ready(op, buffer, kind, t, ctx);
             }
 
@@ -432,14 +423,20 @@ impl Component<Msg> for Trs {
                             ctx.send_at(
                                 self.topo.trs[next.task.trs as usize],
                                 t_send + hop,
-                                Msg::DataReady { op: *next, buffer: o.buffer, kind: ReadyKind::Input },
+                                Msg::DataReady {
+                                    op: *next,
+                                    buffer: o.buffer,
+                                    kind: ReadyKind::Input,
+                                },
                             );
                         }
                     }
                     if let Some(v) = o.version {
-                        ctx.send_at(self.topo.ort[v.ovt as usize], t + hop, Msg::ReleaseUse {
-                            version: v,
-                        });
+                        ctx.send_at(
+                            self.topo.ort[v.ovt as usize],
+                            t + hop,
+                            Msg::ReleaseUse { version: v },
+                        );
                     }
                 }
                 self.store.free(&s.blocks);

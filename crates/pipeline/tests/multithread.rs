@@ -107,13 +107,7 @@ fn cross_thread_dependency_is_rejected() {
     tr.push_task(k, 1_000, vec![OperandDesc::input(0xC000, 256)]);
     let trace = Arc::new(tr);
     let mut sim = Simulation::<Msg>::new();
-    let _ = build_frontend_threaded(
-        &mut sim,
-        trace,
-        &cfg(),
-        Arc::new(vec![0, 1]),
-        instant_backend,
-    );
+    let _ = build_frontend_threaded(&mut sim, trace, &cfg(), Arc::new(vec![0, 1]), instant_backend);
 }
 
 #[test]
@@ -123,12 +117,8 @@ fn single_thread_path_is_unchanged() {
     let trace = Arc::new(tr);
 
     let mut sim_a = Simulation::<Msg>::new();
-    let topo_a = tss_pipeline::assembly::build_frontend(
-        &mut sim_a,
-        trace.clone(),
-        &cfg(),
-        instant_backend,
-    );
+    let topo_a =
+        tss_pipeline::assembly::build_frontend(&mut sim_a, trace.clone(), &cfg(), instant_backend);
     sim_a.run();
 
     let mut sim_b = Simulation::<Msg>::new();

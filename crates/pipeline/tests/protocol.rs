@@ -7,11 +7,12 @@ use std::sync::Arc;
 use tss_pipeline::assembly::{build_frontend, frontend_stats, instant_backend, InstantBackend};
 use tss_pipeline::{FrontendConfig, Msg};
 use tss_sim::{Rng, Simulation};
-use tss_trace::{
-    validate_schedule, DepGraph, Direction, OperandDesc, TaskTrace,
-};
+use tss_trace::{validate_schedule, DepGraph, Direction, OperandDesc, TaskTrace};
 
-fn run_trace(trace: TaskTrace, cfg: FrontendConfig) -> (Simulation<Msg>, tss_pipeline::Topology, Arc<TaskTrace>) {
+fn run_trace(
+    trace: TaskTrace,
+    cfg: FrontendConfig,
+) -> (Simulation<Msg>, tss_pipeline::Topology, Arc<TaskTrace>) {
     let trace = Arc::new(trace);
     let mut sim = Simulation::<Msg>::new();
     let topo = build_frontend(&mut sim, trace.clone(), &cfg, instant_backend);
@@ -115,11 +116,11 @@ fn inout_chain_serializes_and_readers_run_parallel() {
 fn scalars_never_block_readiness() {
     let mut tr = TaskTrace::new("scalar");
     let k = tr.add_kernel("k");
-    tr.push_task(k, 1_000, vec![
-        OperandDesc::scalar(8),
-        OperandDesc::output(0x3000, 128),
-        OperandDesc::scalar(4),
-    ]);
+    tr.push_task(
+        k,
+        1_000,
+        vec![OperandDesc::scalar(8), OperandDesc::output(0x3000, 128), OperandDesc::scalar(4)],
+    );
     let (sim, topo, trace) = run_trace(tr, small_cfg());
     assert_valid(&sim, &topo, &trace);
 }
@@ -130,10 +131,7 @@ fn same_task_read_write_does_not_deadlock() {
     // another: must not wait on itself.
     let mut tr = TaskTrace::new("self");
     let k = tr.add_kernel("k");
-    tr.push_task(k, 1_000, vec![
-        OperandDesc::output(0x4000, 128),
-        OperandDesc::input(0x4000, 128),
-    ]);
+    tr.push_task(k, 1_000, vec![OperandDesc::output(0x4000, 128), OperandDesc::input(0x4000, 128)]);
     tr.push_task(k, 1_000, vec![OperandDesc::input(0x4000, 128)]);
     let (sim, topo, trace) = run_trace(tr, small_cfg());
     assert_valid(&sim, &topo, &trace);
@@ -220,10 +218,14 @@ fn decode_times_are_recorded_for_every_task() {
     let mut tr = TaskTrace::new("rate");
     let k = tr.add_kernel("k");
     for i in 0..50u64 {
-        tr.push_task(k, 10_000, vec![
-            OperandDesc::input(0x9000 + (i % 4) * 0x100, 64),
-            OperandDesc::output(0xA000 + i * 0x100, 64),
-        ]);
+        tr.push_task(
+            k,
+            10_000,
+            vec![
+                OperandDesc::input(0x9000 + (i % 4) * 0x100, 64),
+                OperandDesc::output(0xA000 + i * 0x100, 64),
+            ],
+        );
     }
     let (sim, topo, trace) = run_trace(tr, small_cfg());
     assert_valid(&sim, &topo, &trace);
@@ -282,9 +284,11 @@ fn determinism_same_seed_same_makespan() {
         let k = tr.add_kernel("k");
         let mut rng = Rng::seeded(7);
         for i in 0..100u64 {
-            tr.push_task(k, 1_000 + rng.below(10_000), vec![
-                OperandDesc::inout(0x100_0000 + (i % 7) * 0x1_0000, 512),
-            ]);
+            tr.push_task(
+                k,
+                1_000 + rng.below(10_000),
+                vec![OperandDesc::inout(0x100_0000 + (i % 7) * 0x1_0000, 512)],
+            );
         }
         tr
     };
@@ -300,11 +304,15 @@ fn fragmentation_matches_paper_ballpark() {
     let mut tr = TaskTrace::new("frag");
     let k = tr.add_kernel("k");
     for i in 0..50u64 {
-        tr.push_task(k, 1_000, vec![
-            OperandDesc::input(0x100_0000 + i * 0x300, 64),
-            OperandDesc::input(0x200_0000 + i * 0x300, 64),
-            OperandDesc::output(0x300_0000 + i * 0x300, 64),
-        ]);
+        tr.push_task(
+            k,
+            1_000,
+            vec![
+                OperandDesc::input(0x100_0000 + i * 0x300, 64),
+                OperandDesc::input(0x200_0000 + i * 0x300, 64),
+                OperandDesc::output(0x300_0000 + i * 0x300, 64),
+            ],
+        );
     }
     let (sim, topo, _trace) = run_trace(tr, small_cfg());
     let stats = frontend_stats(&sim, &topo, &small_cfg());
@@ -351,7 +359,6 @@ fn max_operand_task_uses_indirect_blocks() {
     let (sim, topo, trace) = run_trace(tr, small_cfg());
     assert_valid(&sim, &topo, &trace);
 }
-
 
 #[test]
 fn no_chaining_ablation_still_validates() {

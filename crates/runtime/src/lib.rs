@@ -193,7 +193,11 @@ mod tests {
     use super::*;
     use tss_trace::{validate_schedule, OperandDesc};
 
-    fn run(trace: TaskTrace, cores: usize, cfg: SoftRuntimeConfig) -> (Simulation<Msg>, ComponentId, ComponentId, Arc<TaskTrace>) {
+    fn run(
+        trace: TaskTrace,
+        cores: usize,
+        cfg: SoftRuntimeConfig,
+    ) -> (Simulation<Msg>, ComponentId, ComponentId, Arc<TaskTrace>) {
         let trace = Arc::new(trace);
         let mut sim = Simulation::<Msg>::new();
         let (dec, pool) =

@@ -319,10 +319,8 @@ mod tests {
     fn self_dependency_is_ignored() {
         // A task reading and writing the same object through two operands
         // must not depend on itself.
-        let tr = trace_of(vec![vec![
-            OperandDesc::output(0x100, 64),
-            OperandDesc::input(0x100, 64),
-        ]]);
+        let tr =
+            trace_of(vec![vec![OperandDesc::output(0x100, 64), OperandDesc::input(0x100, 64)]]);
         let g = DepGraph::from_trace(&tr);
         assert!(g.preds(0).is_empty());
     }

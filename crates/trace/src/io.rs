@@ -139,9 +139,8 @@ pub fn from_text(text: &str) -> Result<TaskTrace, ParseTraceError> {
                             };
                             let addr = u64::from_str_radix(addr, 16)
                                 .map_err(|e| err(lineno, format!("bad address: {e}")))?;
-                            let size = size
-                                .parse()
-                                .map_err(|e| err(lineno, format!("bad size: {e}")))?;
+                            let size =
+                                size.parse().map_err(|e| err(lineno, format!("bad size: {e}")))?;
                             OperandDesc::memory(addr, size, dir)
                         }
                         _ => return Err(err(lineno, format!("bad operand '{op}'"))),
@@ -168,14 +167,12 @@ mod tests {
         let mut tr = TaskTrace::new("sample trace");
         let a = tr.add_kernel("alpha");
         let b = tr.add_kernel("beta kernel");
-        tr.push_task(a, 1000, vec![
-            OperandDesc::output(0x1000, 512),
-            OperandDesc::scalar(8),
-        ]);
-        tr.push_task(b, 2000, vec![
-            OperandDesc::input(0x1000, 512),
-            OperandDesc::inout(0x2000, 64),
-        ]);
+        tr.push_task(a, 1000, vec![OperandDesc::output(0x1000, 512), OperandDesc::scalar(8)]);
+        tr.push_task(
+            b,
+            2000,
+            vec![OperandDesc::input(0x1000, 512), OperandDesc::inout(0x2000, 64)],
+        );
         tr
     }
 
@@ -196,10 +193,11 @@ mod tests {
         let mut tr = TaskTrace::new("gen");
         let k = tr.add_kernel("k");
         for i in 0..200u64 {
-            tr.push_task(k, 100 + i, vec![
-                OperandDesc::input(0x1_0000 + i * 64, 64),
-                OperandDesc::inout(0x9_0000, 128),
-            ]);
+            tr.push_task(
+                k,
+                100 + i,
+                vec![OperandDesc::input(0x1_0000 + i * 64, 64), OperandDesc::inout(0x9_0000, 128)],
+            );
         }
         let back = from_text(&to_text(&tr)).expect("parse");
         assert_eq!(back.tasks(), tr.tasks());

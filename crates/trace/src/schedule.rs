@@ -87,7 +87,10 @@ impl std::error::Error for ScheduleError {}
 ///
 /// Returns the first [`ScheduleError`] found (checks run in the order
 /// documented on the module).
-pub fn validate_schedule(graph: &DepGraph, schedule: &[ScheduleRecord]) -> Result<(), ScheduleError> {
+pub fn validate_schedule(
+    graph: &DepGraph,
+    schedule: &[ScheduleRecord],
+) -> Result<(), ScheduleError> {
     let n = graph.len();
     let mut by_task: Vec<Option<&ScheduleRecord>> = vec![None; n];
     for rec in schedule {
@@ -205,7 +208,10 @@ mod tests {
             ScheduleRecord { task: 0, start: 0, end: 10, core: 3 },
             ScheduleRecord { task: 1, start: 9, end: 19, core: 3 },
         ];
-        assert!(matches!(validate_schedule(&g, &s), Err(ScheduleError::CoreOverlap { core: 3, .. })));
+        assert!(matches!(
+            validate_schedule(&g, &s),
+            Err(ScheduleError::CoreOverlap { core: 3, .. })
+        ));
     }
 
     #[test]

@@ -135,9 +135,7 @@ impl TaskDesc {
             operands.len()
         );
         assert!(
-            operands
-                .iter()
-                .all(|o| o.kind == OperandKind::Memory || o.dir == Direction::In),
+            operands.iter().all(|o| o.kind == OperandKind::Memory || o.dir == Direction::In),
             "scalar operands can only be inputs"
         );
         TaskDesc { kernel, runtime, operands }
@@ -145,11 +143,7 @@ impl TaskDesc {
 
     /// Total bytes of memory operands (the "data size" of Table I).
     pub fn data_bytes(&self) -> u64 {
-        self.operands
-            .iter()
-            .filter(|o| o.is_tracked())
-            .map(|o| o.size as u64)
-            .sum()
+        self.operands.iter().filter(|o| o.is_tracked()).map(|o| o.size as u64).sum()
     }
 
     /// Number of memory (dependency-tracked) operands.

@@ -66,28 +66,34 @@ impl TraceGenerator for CholeskyGen {
             for k in 0..j {
                 for i in (j + 1)..n {
                     let r = rt(33.0, &mut rng);
-                    trace.push_task(sgemm, r, vec![
-                        OperandDesc::input(blocks[i][k], b),
-                        OperandDesc::input(blocks[j][k], b),
-                        OperandDesc::inout(blocks[i][j], b),
-                    ]);
+                    trace.push_task(
+                        sgemm,
+                        r,
+                        vec![
+                            OperandDesc::input(blocks[i][k], b),
+                            OperandDesc::input(blocks[j][k], b),
+                            OperandDesc::inout(blocks[i][j], b),
+                        ],
+                    );
                 }
             }
             for i in 0..j {
                 let r = rt(29.5, &mut rng);
-                trace.push_task(ssyrk, r, vec![
-                    OperandDesc::input(blocks[j][i], b),
-                    OperandDesc::inout(blocks[j][j], b),
-                ]);
+                trace.push_task(
+                    ssyrk,
+                    r,
+                    vec![OperandDesc::input(blocks[j][i], b), OperandDesc::inout(blocks[j][j], b)],
+                );
             }
             let r = rt(16.5, &mut rng);
             trace.push_task(spotrf, r, vec![OperandDesc::inout(blocks[j][j], b)]);
             for i in (j + 1)..n {
                 let r = rt(28.0, &mut rng);
-                trace.push_task(strsm, r, vec![
-                    OperandDesc::input(blocks[j][j], b),
-                    OperandDesc::inout(blocks[i][j], b),
-                ]);
+                trace.push_task(
+                    strsm,
+                    r,
+                    vec![OperandDesc::input(blocks[j][j], b), OperandDesc::inout(blocks[i][j], b)],
+                );
             }
         }
         trace

@@ -61,21 +61,28 @@ impl TraceGenerator for FftGen {
             let cols = layout.objects(p, row_bytes);
             // Tiles: tile[i][j] carries row block i's contribution to
             // column block j.
-            let tiles: Vec<Vec<u64>> =
-                (0..p).map(|_| layout.objects(p, tile_bytes)).collect();
+            let tiles: Vec<Vec<u64>> = (0..p).map(|_| layout.objects(p, tile_bytes)).collect();
 
             for &row in &rows {
-                trace.push_task(fft_row, dist.sample(&mut rng), vec![
-                    OperandDesc::inout(row, row_bytes as u32),
-                    OperandDesc::input(twiddle, 2 << 10),
-                ]);
+                trace.push_task(
+                    fft_row,
+                    dist.sample(&mut rng),
+                    vec![
+                        OperandDesc::inout(row, row_bytes as u32),
+                        OperandDesc::input(twiddle, 2 << 10),
+                    ],
+                );
             }
             for (i, &row) in rows.iter().enumerate() {
                 for &tile in &tiles[i] {
-                    trace.push_task(transpose, dist.sample(&mut rng), vec![
-                        OperandDesc::input(row, row_bytes as u32),
-                        OperandDesc::output(tile, tile_bytes as u32),
-                    ]);
+                    trace.push_task(
+                        transpose,
+                        dist.sample(&mut rng),
+                        vec![
+                            OperandDesc::input(row, row_bytes as u32),
+                            OperandDesc::output(tile, tile_bytes as u32),
+                        ],
+                    );
                 }
             }
             for (j, &col) in cols.iter().enumerate() {

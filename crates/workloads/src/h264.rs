@@ -64,8 +64,7 @@ impl TraceGenerator for H264Gen {
         let (w, h) = (self.mb_w, self.mb_h);
 
         // Macroblock objects, per frame.
-        let mb: Vec<Vec<u64>> =
-            (0..self.frames).map(|_| layout.objects(w * h, mb_bytes)).collect();
+        let mb: Vec<Vec<u64>> = (0..self.frames).map(|_| layout.objects(w * h, mb_bytes)).collect();
         let at = |f: usize, x: usize, y: usize| mb[f][y * w + x];
 
         for f in 0..self.frames {
@@ -158,18 +157,14 @@ mod tests {
     #[test]
     fn most_tasks_have_many_operands() {
         let trace = H264Gen::hd(4).generate(2);
-        let many = trace
-            .iter()
-            .filter(|t| t.memory_operand_count() > 6)
-            .count() as f64
+        let many = trace.iter().filter(|t| t.memory_operand_count() > 6).count() as f64
             / trace.len() as f64;
         // Paper: ~94% of H264 tasks have more than 6 operands. Frame 0
         // lacks inter-frame refs, so measure from a 4-frame run.
         assert!(many > 0.60, "fraction with >6 operands: {many}");
         let later: Vec<_> = trace.tasks().iter().skip(2040).collect();
-        let many_later =
-            later.iter().filter(|t| t.memory_operand_count() > 6).count() as f64
-                / later.len() as f64;
+        let many_later = later.iter().filter(|t| t.memory_operand_count() > 6).count() as f64
+            / later.len() as f64;
         assert!(many_later > 0.90, "steady-state fraction: {many_later}");
     }
 

@@ -72,11 +72,15 @@ impl TraceGenerator for KMeansGen {
             let mut layer: Vec<u64> = Vec::with_capacity(self.blocks);
             for &p in &points {
                 let partial = layout.object(partial_bytes);
-                trace.push_task(assign, dist.sample(&mut rng), vec![
-                    OperandDesc::input(p, point_bytes as u32),
-                    OperandDesc::input(centroids, centroid_bytes as u32),
-                    OperandDesc::output(partial, partial_bytes as u32),
-                ]);
+                trace.push_task(
+                    assign,
+                    dist.sample(&mut rng),
+                    vec![
+                        OperandDesc::input(p, point_bytes as u32),
+                        OperandDesc::input(centroids, centroid_bytes as u32),
+                        OperandDesc::output(partial, partial_bytes as u32),
+                    ],
+                );
                 layer.push(partial);
             }
             // Fan-in reduction tree.
@@ -96,10 +100,14 @@ impl TraceGenerator for KMeansGen {
             }
             // Update: produces the next centroid version (renamed while
             // stragglers of this iteration still read the old one).
-            trace.push_task(update, dist.sample(&mut rng), vec![
-                OperandDesc::input(layer[0], partial_bytes as u32),
-                OperandDesc::output(centroids, centroid_bytes as u32),
-            ]);
+            trace.push_task(
+                update,
+                dist.sample(&mut rng),
+                vec![
+                    OperandDesc::input(layer[0], partial_bytes as u32),
+                    OperandDesc::output(centroids, centroid_bytes as u32),
+                ],
+            );
         }
         trace
     }

@@ -59,11 +59,15 @@ impl TraceGenerator for KnnGen {
             let mut outs: Vec<u64> = Vec::with_capacity(self.train_blocks);
             for &t in &train {
                 let o = layout.object(out_bytes);
-                trace.push_task(distances, dist.sample(&mut rng), vec![
-                    OperandDesc::input(t, train_bytes as u32),
-                    OperandDesc::input(query, query_bytes as u32),
-                    OperandDesc::output(o, out_bytes as u32),
-                ]);
+                trace.push_task(
+                    distances,
+                    dist.sample(&mut rng),
+                    vec![
+                        OperandDesc::input(t, train_bytes as u32),
+                        OperandDesc::input(query, query_bytes as u32),
+                        OperandDesc::output(o, out_bytes as u32),
+                    ],
+                );
                 outs.push(o);
             }
             // Merge chain: a running top-k accumulator per query.
@@ -119,10 +123,7 @@ mod tests {
         let avg_us = trace.avg_runtime() / 3200.0;
         assert!((103.0..112.0).contains(&med_us), "med {med_us}");
         assert!((105.0..113.0).contains(&avg_us), "avg {avg_us}");
-        let long = trace
-            .iter()
-            .filter(|t| t.runtime > tss_sim::us_to_cycles(100.0))
-            .count() as f64
+        let long = trace.iter().filter(|t| t.runtime > tss_sim::us_to_cycles(100.0)).count() as f64
             / trace.len() as f64;
         assert!((long - 0.95).abs() < 0.03, "~95% long tasks, got {long}");
         let data_kb = trace.avg_data_bytes() / 1024.0;

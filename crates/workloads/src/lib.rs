@@ -194,10 +194,7 @@ mod tests {
     fn paper_scale_sizes_are_reasonable() {
         for b in Benchmark::all() {
             let n = b.trace(Scale::Paper, 1).len();
-            assert!(
-                (2_000..70_000).contains(&n),
-                "{b} paper-scale trace has {n} tasks"
-            );
+            assert!((2_000..70_000).contains(&n), "{b} paper-scale trace has {n} tasks");
         }
     }
 
@@ -235,8 +232,9 @@ mod tests {
     #[test]
     fn names_match_table_one() {
         let names: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
-        assert_eq!(names, vec![
-            "Cholesky", "MatMul", "FFT", "H264", "KMeans", "Knn", "PBPI", "SPECFEM", "STAP"
-        ]);
+        assert_eq!(
+            names,
+            vec!["Cholesky", "MatMul", "FFT", "H264", "KMeans", "Knn", "PBPI", "SPECFEM", "STAP"]
+        );
     }
 }

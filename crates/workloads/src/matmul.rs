@@ -43,12 +43,9 @@ impl TraceGenerator for MatMulGen {
         let mut layout = Layout::new();
         let n = self.n;
         let b = self.block_bytes as u32;
-        let a: Vec<Vec<u64>> =
-            (0..n).map(|_| layout.objects(n, self.block_bytes)).collect();
-        let bm: Vec<Vec<u64>> =
-            (0..n).map(|_| layout.objects(n, self.block_bytes)).collect();
-        let c: Vec<Vec<u64>> =
-            (0..n).map(|_| layout.objects(n, self.block_bytes)).collect();
+        let a: Vec<Vec<u64>> = (0..n).map(|_| layout.objects(n, self.block_bytes)).collect();
+        let bm: Vec<Vec<u64>> = (0..n).map(|_| layout.objects(n, self.block_bytes)).collect();
+        let c: Vec<Vec<u64>> = (0..n).map(|_| layout.objects(n, self.block_bytes)).collect();
 
         for i in 0..n {
             for j in 0..n {
@@ -56,11 +53,15 @@ impl TraceGenerator for MatMulGen {
                     // Table I: a constant 23 µs (cache-resident sgemm),
                     // with sub-cycle-level jitter only.
                     let rt = us_to_cycles(23.0) + rng.below(64);
-                    trace.push_task(sgemm, rt, vec![
-                        OperandDesc::input(a[i][k], b),
-                        OperandDesc::input(bm[k][j], b),
-                        OperandDesc::inout(c[i][j], b),
-                    ]);
+                    trace.push_task(
+                        sgemm,
+                        rt,
+                        vec![
+                            OperandDesc::input(a[i][k], b),
+                            OperandDesc::input(bm[k][j], b),
+                            OperandDesc::inout(c[i][j], b),
+                        ],
+                    );
                 }
             }
         }
@@ -101,8 +102,7 @@ mod tests {
         let data_kb = trace.avg_data_bytes() / 1024.0;
         assert!((data_kb - 48.0).abs() < 0.5, "data {data_kb}");
         // 90 ns/task decode limit for 256 processors.
-        let limit_ns =
-            tss_sim::cycles_to_ns(trace.decode_rate_limit(256).unwrap() as u64);
+        let limit_ns = tss_sim::cycles_to_ns(trace.decode_rate_limit(256).unwrap() as u64);
         assert!((limit_ns - 90.0).abs() < 2.0, "limit {limit_ns}");
     }
 

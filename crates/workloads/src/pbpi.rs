@@ -70,11 +70,15 @@ impl TraceGenerator for PbpiGen {
             let mut layer: Vec<u64> = Vec::with_capacity(self.site_blocks);
             for &s in &sites {
                 let lik = layout.object(lik_bytes);
-                trace.push_task(likelihood, dist.sample(&mut rng), vec![
-                    OperandDesc::input(s, site_bytes as u32),
-                    OperandDesc::input(tree, tree_bytes as u32),
-                    OperandDesc::output(lik, lik_bytes as u32),
-                ]);
+                trace.push_task(
+                    likelihood,
+                    dist.sample(&mut rng),
+                    vec![
+                        OperandDesc::input(s, site_bytes as u32),
+                        OperandDesc::input(tree, tree_bytes as u32),
+                        OperandDesc::output(lik, lik_bytes as u32),
+                    ],
+                );
                 layer.push(lik);
             }
             while layer.len() > 1 {
@@ -89,10 +93,14 @@ impl TraceGenerator for PbpiGen {
                 }
                 layer = next;
             }
-            trace.push_task(mutate, dist.sample(&mut rng), vec![
-                OperandDesc::input(layer[0], lik_bytes as u32),
-                OperandDesc::inout(tree, tree_bytes as u32),
-            ]);
+            trace.push_task(
+                mutate,
+                dist.sample(&mut rng),
+                vec![
+                    OperandDesc::input(layer[0], lik_bytes as u32),
+                    OperandDesc::inout(tree, tree_bytes as u32),
+                ],
+            );
         }
         trace
     }

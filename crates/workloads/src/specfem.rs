@@ -51,8 +51,7 @@ impl TraceGenerator for SpecfemGen {
 
         let cells = layout.objects(g * g, cell_bytes);
         // Double-buffered halos: [parity][block].
-        let halos: Vec<Vec<u64>> =
-            (0..2).map(|_| layout.objects(g * g, halo_bytes)).collect();
+        let halos: Vec<Vec<u64>> = (0..2).map(|_| layout.objects(g * g, halo_bytes)).collect();
         let at = |x: usize, y: usize| y * g + x;
 
         for t in 0..self.steps {
@@ -88,10 +87,7 @@ impl TraceGenerator for SpecfemGen {
                             ));
                         }
                     }
-                    ops.push(OperandDesc::output(
-                        halos[write_parity][at(x, y)],
-                        halo_bytes as u32,
-                    ));
+                    ops.push(OperandDesc::output(halos[write_parity][at(x, y)], halo_bytes as u32));
                     trace.push_task(step_kernel, dist.sample(&mut rng), ops);
                 }
             }

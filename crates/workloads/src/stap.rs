@@ -70,10 +70,14 @@ impl TraceGenerator for StapGen {
             let mut dops: Vec<u64> = Vec::with_capacity(self.doppler);
             for &e in &echoes {
                 let d = layout.object(dop_bytes);
-                trace.push_task(doppler_k, dist.sample(&mut rng), vec![
-                    OperandDesc::input(e, echo_bytes as u32),
-                    OperandDesc::output(d, dop_bytes as u32),
-                ]);
+                trace.push_task(
+                    doppler_k,
+                    dist.sample(&mut rng),
+                    vec![
+                        OperandDesc::input(e, echo_bytes as u32),
+                        OperandDesc::output(d, dop_bytes as u32),
+                    ],
+                );
                 dops.push(d);
             }
             let mut covs: Vec<u64> = Vec::with_capacity(self.cov_tasks());

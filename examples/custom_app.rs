@@ -25,7 +25,9 @@ fn main() {
 
     // Object addresses: one state object per tile, double-buffered halos.
     let tile_addr = |i: usize| 0x1000_0000u64 + ((i as u64) << 20);
-    let halo_addr = |parity: usize, i: usize| 0x9000_0000u64 + (parity as u64 * TILES as u64 + i as u64) * 0x1000;
+    let halo_addr = |parity: usize, i: usize| {
+        0x9000_0000u64 + (parity as u64 * TILES as u64 + i as u64) * 0x1000
+    };
 
     for t in 0..STEPS {
         let (read_p, write_p) = ((t + 1) % 2, t % 2);

@@ -25,8 +25,7 @@ fn main() {
         "H264 speedup vs TRS window capacity, 256 processors (cf. Figure 15)",
         &["TRS capacity", "speedup", "peak window (tasks)"],
     );
-    let caps: Vec<u64> =
-        [256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 6 << 20].to_vec();
+    let caps: Vec<u64> = [256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 6 << 20].to_vec();
     for pt in trs_capacity_sweep(&trace, &caps, 256) {
         table.row(vec![
             format!("{} KB", pt.capacity_bytes >> 10),

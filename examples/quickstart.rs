@@ -25,10 +25,7 @@ fn main() {
     // The paper highlights that tasks 6 and 23 (creation order) are
     // independent — distant parallelism inside an irregular graph.
     let (a, b) = (5, 22); // 0-based
-    println!(
-        "tasks 6 and 23 independent? {}",
-        !graph.reachable(a, b) && !graph.reachable(b, a)
-    );
+    println!("tasks 6 and 23 independent? {}", !graph.reachable(a, b) && !graph.reachable(b, a));
 
     // Emit the graph in Graphviz DOT (pipe into `dot -Tpng`).
     println!("\n--- figure1.dot ---\n{}", graph.to_dot(&trace));

@@ -26,13 +26,12 @@ fn usage() -> ! {
 }
 
 fn bench_by_name(name: &str) -> Benchmark {
-    Benchmark::all()
-        .into_iter()
-        .find(|b| b.name().eq_ignore_ascii_case(name))
-        .unwrap_or_else(|| {
+    Benchmark::all().into_iter().find(|b| b.name().eq_ignore_ascii_case(name)).unwrap_or_else(
+        || {
             eprintln!("unknown benchmark '{name}'; try `tss list`");
             exit(2)
-        })
+        },
+    )
 }
 
 struct Opts {
@@ -152,10 +151,7 @@ fn main() {
                     fe.ort.copyback_bytes >> 10,
                     fe.chain_forwards
                 );
-                println!(
-                    "storage waste: {:.1}% (paper: ~20%)",
-                    fe.avg_storage_waste * 100.0
-                );
+                println!("storage waste: {:.1}% (paper: ~20%)", fe.avg_storage_waste * 100.0);
             }
         }
         "graph" => {

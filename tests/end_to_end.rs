@@ -81,10 +81,7 @@ fn window_peak_reflects_trs_capacity() {
         .with_frontend(|f| f.trs_total_bytes = 64 << 10) // 512 blocks
         .run_hardware(&trace);
     let large = SystemBuilder::new().processors(32).run_hardware(&trace);
-    assert!(
-        small.window_peak <= 512,
-        "64 KB of TRS cannot hold more than 512 single-block tasks"
-    );
+    assert!(small.window_peak <= 512, "64 KB of TRS cannot hold more than 512 single-block tasks");
     assert!(large.window_peak >= small.window_peak);
 }
 
@@ -111,11 +108,7 @@ fn storage_waste_is_near_twenty_percent() {
     let trace = Benchmark::Cholesky.trace(Scale::Small, 1);
     let report = SystemBuilder::new().processors(32).run_hardware(&trace);
     let fe = report.frontend.expect("frontend stats");
-    assert!(
-        (0.08..0.45).contains(&fe.avg_storage_waste),
-        "waste {:.2}",
-        fe.avg_storage_waste
-    );
+    assert!((0.08..0.45).contains(&fe.avg_storage_waste), "waste {:.2}", fe.avg_storage_waste);
 }
 
 #[test]

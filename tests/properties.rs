@@ -60,10 +60,7 @@ fn arb_specs() -> impl Strategy<Value = (Vec<Vec<OpSpec>>, Vec<u32>)> {
     let op = (0u8..10, 0u8..3).prop_map(|(obj, dir)| OpSpec { obj, dir });
     let task = prop::collection::vec(op, 1..5);
     (1usize..60).prop_flat_map(move |n| {
-        (
-            prop::collection::vec(task.clone(), n..=n),
-            prop::collection::vec(0u32..20_000, n..=n),
-        )
+        (prop::collection::vec(task.clone(), n..=n), prop::collection::vec(0u32..20_000, n..=n))
     })
 }
 

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset used by this workspace's benches (see
+//! `vendor/README.md`). Each benchmark runs a small fixed number of
+//! iterations and prints the mean wall-clock time per iteration. This is
+//! a smoke harness for environments without crates.io access, not a
+//! statistics engine: no warm-up, no outlier analysis, no reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched*` amortises setup cost. All variants behave the
+/// same here: setup runs once per iteration, outside the timed region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Throughput annotation; recorded so `bench_function` can print a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `iters` times inside one timed region.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Per-iteration setup (untimed) feeding an owned input to `routine`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Per-iteration setup (untimed) feeding `&mut` input to `routine`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 5 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the cargo-bench CLI flags
+    /// (`--bench`, filters, `--save-baseline`, …) are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.iters = sample_to_iters(n);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let iters = self.iters;
+        eprintln!("group {name}");
+        BenchmarkGroup { criterion: self, name, iters, throughput: None }
+    }
+
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let per_iter = run_one(self.iters, &mut routine);
+        report("", id, self.iters, per_iter, None);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)] // held so the group borrows the harness, as upstream does
+    criterion: &'a mut Criterion,
+    name: String,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = sample_to_iters(n);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<I, R>(&mut self, id: I, mut routine: R) -> &mut Self
+    where
+        I: std::fmt::Display,
+        R: FnMut(&mut Bencher),
+    {
+        let per_iter = run_one(self.iters, &mut routine);
+        report(&self.name, &id.to_string(), self.iters, per_iter, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn sample_to_iters(sample_size: usize) -> u64 {
+    // Upstream's sample_size counts samples (default 100); map it to a
+    // proportionally smaller iteration count, min 2.
+    ((sample_size / 10) as u64).max(2)
+}
+
+fn run_one<R: FnMut(&mut Bencher)>(iters: u64, routine: &mut R) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    routine(&mut b);
+    if b.iters == 0 {
+        return Duration::ZERO;
+    }
+    b.elapsed / b.iters as u32
+}
+
+fn report(group: &str, id: &str, iters: u64, per_iter: Duration, throughput: Option<Throughput>) {
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            format!("  ({:.0} elem/s)", n as f64 / per_iter.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if per_iter > Duration::ZERO => {
+            format!("  ({:.0} B/s)", n as f64 / per_iter.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    eprintln!("  {label}: {per_iter:?}/iter over {iters} iters{rate}");
+}
+
+/// Expands to a function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("counter", |b| b.iter(|| count += 1));
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn group_batched_runs_setup_per_iter() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(20);
+        let mut setups = 0u64;
+        g.bench_function("b", |b| {
+            b.iter_batched_ref(
+                || {
+                    setups += 1;
+                    vec![1u8]
+                },
+                |v| v.push(2),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, 2);
+    }
+}
