@@ -96,6 +96,11 @@ impl CorePool {
         sink: CompletionSink,
     ) -> Self {
         assert!(cfg.cores > 0, "a backend needs cores");
+        // Reserve the send-path buffers up front. The schedule gets
+        // exactly one record per task and never grows mid-run; the
+        // ready-queue reservation is a heuristic (it can back up to the
+        // whole frontend window, so a deep backlog may still grow it).
+        let tasks = trace.len();
         CorePool {
             trace,
             topo,
@@ -103,8 +108,8 @@ impl CorePool {
             idle_cores: (0..cfg.cores).rev().collect(),
             cfg,
             sink,
-            ready: VecDeque::new(),
-            schedule: Vec::new(),
+            ready: VecDeque::with_capacity(1024.min(tasks + 1)),
+            schedule: Vec::with_capacity(tasks),
             completed: 0,
             queue_wait_total: 0,
             peak_queue: 0,

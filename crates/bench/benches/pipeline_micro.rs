@@ -1,4 +1,5 @@
 //! Criterion micro-benchmarks of the frontend's hot data structures:
+//! the raw event engine (calendar queue + dispatch, no pipeline logic),
 //! the TRS block allocator (Figure 11's free-list design), the
 //! dependency oracle, trace generation, and schedule validation.
 
@@ -6,8 +7,145 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use tss_pipeline::blocks::{blocks_for_operands, BlockStore};
+use tss_sim::{Component, ComponentId, Context, Simulation};
 use tss_trace::{validate_schedule, DepGraph};
 use tss_workloads::{Benchmark, Scale};
+
+// ---------------------------------------------------------------------
+// Raw engine: these isolate the event core so a queue regression is
+// visible independently of any workload or pipeline behaviour.
+// ---------------------------------------------------------------------
+
+/// Relays each message to `next` after `delay` cycles, `left` times.
+struct Relay {
+    next: ComponentId,
+    delay: u64,
+    left: u32,
+}
+
+impl Component<u32> for Relay {
+    fn on_message(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.send(self.next, self.delay, msg);
+        } else {
+            ctx.request_stop();
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Counts deliveries; used as a sink for fan-out storms.
+struct Sink {
+    seen: u64,
+}
+
+impl Component<u32> for Sink {
+    fn on_message(&mut self, _msg: u32, _ctx: &mut Context<'_, u32>) {
+        self.seen += 1;
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Sprays `fanout` messages at every delivery until `rounds` runs out:
+/// keeps the queue at a steady depth of ~`fanout` with far-flung delays.
+struct Sprayer {
+    targets: Vec<ComponentId>,
+    delays: [u64; 4],
+    rounds: u32,
+}
+
+impl Component<u32> for Sprayer {
+    fn on_message(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+        if msg == 0 {
+            if self.rounds == 0 {
+                ctx.request_stop();
+                return;
+            }
+            self.rounds -= 1;
+            for (i, &t) in self.targets.iter().enumerate() {
+                ctx.send(t, self.delays[i % self.delays.len()], 1);
+            }
+            let me = ctx.self_id();
+            // Re-arm after the longest delay so every round drains.
+            ctx.send(me, 1 + *self.delays.iter().max().expect("non-empty"), 0);
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn bench_engine_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_core");
+
+    // Two components bouncing one event: pure push/pop/dispatch latency
+    // with a queue depth of exactly 1.
+    g.bench_function("ping_pong_chain_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let a = sim.add_component(Box::new(Relay {
+                next: ComponentId::from_index(1),
+                delay: 7,
+                left: 10_000,
+            }));
+            let bounce = sim.add_component(Box::new(Relay { next: a, delay: 9, left: 10_000 }));
+            sim.component_mut::<Relay>(a).next = bounce;
+            sim.schedule(0, a, 1u32);
+            sim.run();
+            black_box(sim.events_processed())
+        })
+    });
+
+    // One producer fanning out to 64 sinks per round across mixed
+    // delays (same-segment and level-1 horizons): steady queue depth.
+    g.bench_function("fan_out_64x200", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let sinks: Vec<ComponentId> =
+                (0..64).map(|_| sim.add_component(Box::new(Sink { seen: 0 }))).collect();
+            let sprayer = sim.add_component(Box::new(Sprayer {
+                targets: sinks,
+                delays: [3, 40, 5_000, 80_000],
+                rounds: 200,
+            }));
+            sim.schedule(0, sprayer, 0u32);
+            sim.run();
+            black_box(sim.events_processed())
+        })
+    });
+
+    // Thousands of events landing on the same cycle: stresses the
+    // FIFO-within-cycle path (bucket append + drain order).
+    g.bench_function("same_cycle_storm_8k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let sink = sim.add_component(Box::new(Sink { seen: 0 }));
+            for i in 0..8_192u32 {
+                sim.schedule(1_000, sink, i);
+            }
+            sim.run();
+            let seen = sim.component::<Sink>(sink).seen;
+            assert_eq!(seen, 8_192);
+            black_box(seen)
+        })
+    });
+
+    g.finish();
+}
 
 fn bench_block_store(c: &mut Criterion) {
     let mut g = c.benchmark_group("block_store");
@@ -73,5 +211,5 @@ fn bench_generators(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_block_store, bench_oracle, bench_generators);
+criterion_group!(benches, bench_engine_core, bench_block_store, bench_oracle, bench_generators);
 criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! Simulator throughput harness: the benchmark trajectory for the event
+//! core itself (DESIGN.md §6).
+//!
+//! Runs all nine Table-I benchmarks through **both** engines (hardware
+//! pipeline and software runtime) at the requested `--scale`, measuring
+//! host wall time, delivered events per second, and peak event-queue
+//! depth, then writes `BENCH_pipeline.json` (schema
+//! `tss-bench-pipeline/v1`) next to the working directory for CI to
+//! archive and EXPERIMENTS.md to quote.
+//!
+//! Unlike the figure binaries this one times the *simulator*, not the
+//! simulated machine: oracle validation is skipped so the measurement is
+//! the event loop plus module handlers, nothing else.
+//!
+//! Flags: `--scale small|paper|large`, `--seed N`, `--json` (print the
+//! JSON document to stdout instead of the aligned table), `--out PATH`
+//! (where to write the JSON file; default `BENCH_pipeline.json`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tss_core::report::fmt_f;
+use tss_core::{RunReport, SystemBuilder, Table};
+use tss_workloads::{Benchmark, Scale};
+
+struct PerfArgs {
+    scale: Scale,
+    seed: u64,
+    json: bool,
+    out: String,
+}
+
+fn parse_args() -> PerfArgs {
+    let mut out =
+        PerfArgs { scale: Scale::Paper, seed: 42, json: false, out: "BENCH_pipeline.json".into() };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                out.scale = match v.as_str() {
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    "large" => Scale::Large,
+                    other => panic!("unknown scale '{other}' (small|paper|large)"),
+                };
+            }
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+            }
+            "--json" => out.json = true,
+            "--out" => out.out = args.next().expect("--out needs a path"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: perf [--scale small|paper|large] [--seed N] [--json] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag '{other}' (try --help)"),
+        }
+    }
+    out
+}
+
+struct PerfPoint {
+    benchmark: &'static str,
+    engine: &'static str,
+    tasks: usize,
+    makespan: u64,
+    events: u64,
+    event_queue_peak: usize,
+    wall_s: f64,
+}
+
+impl PerfPoint {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn measure(report: RunReport, engine: &'static str, wall_s: f64) -> PerfPoint {
+    PerfPoint {
+        benchmark: Box::leak(report.benchmark.clone().into_boxed_str()),
+        engine,
+        tasks: report.tasks,
+        makespan: report.makespan,
+        events: report.events,
+        event_queue_peak: report.event_queue_peak,
+        wall_s,
+    }
+}
+
+fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+        Scale::Large => "large",
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn to_json(args: &PerfArgs, points: &[PerfPoint]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tss-bench-pipeline/v1\",\n");
+    s.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(args.scale)));
+    s.push_str(&format!("  \"seed\": {},\n", args.seed));
+    s.push_str(&format!("  \"event_core\": \"{}\",\n", tss_sim::engine::EVENT_CORE));
+    s.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"engine\": \"{}\", \"tasks\": {}, \
+             \"makespan_cycles\": {}, \"events\": {}, \"peak_event_queue\": {}, \
+             \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}{}\n",
+            json_escape(p.benchmark),
+            p.engine,
+            p.tasks,
+            p.makespan,
+            p.events,
+            p.event_queue_peak,
+            p.wall_s * 1e3,
+            p.events_per_sec(),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    let events: u64 = points.iter().map(|p| p.events).sum();
+    let wall: f64 = points.iter().map(|p| p.wall_s).sum();
+    let eps = if wall > 0.0 { events as f64 / wall } else { 0.0 };
+    s.push_str(&format!(
+        "  \"totals\": {{\"events\": {events}, \"wall_ms\": {:.3}, \"events_per_sec\": {eps:.0}}}\n",
+        wall * 1e3,
+    ));
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let args = parse_args();
+    let mut points = Vec::with_capacity(18);
+    for bench in Benchmark::all() {
+        let trace = Arc::new(bench.trace(args.scale, args.seed));
+        // Validation is O(edges) outside the event loop; skip it so the
+        // clock sees only the engine + handlers.
+        let t0 = Instant::now();
+        let hw = SystemBuilder::new().processors(256).skip_validation().run_hardware_arc(&trace);
+        let hw_wall = t0.elapsed().as_secs_f64();
+        points.push(measure(hw, "hardware", hw_wall));
+        let t1 = Instant::now();
+        let sw = SystemBuilder::new().processors(256).skip_validation().run_software_arc(&trace);
+        let sw_wall = t1.elapsed().as_secs_f64();
+        points.push(measure(sw, "software", sw_wall));
+        eprintln!("  [perf] {bench} done (hw {:.0} ms, sw {:.0} ms)", hw_wall * 1e3, sw_wall * 1e3);
+    }
+
+    let json = to_json(&args, &points);
+    std::fs::write(&args.out, &json).expect("write BENCH_pipeline.json");
+
+    if args.json {
+        print!("{json}");
+    } else {
+        let mut table = Table::new(
+            format!(
+                "Simulator throughput ({} scale, seed {}, event core: {})",
+                scale_name(args.scale),
+                args.seed,
+                tss_sim::engine::EVENT_CORE
+            ),
+            &["Benchmark", "engine", "tasks", "events", "peakQ", "wall ms", "events/s"],
+        );
+        for p in &points {
+            table.row(vec![
+                p.benchmark.to_string(),
+                p.engine.to_string(),
+                p.tasks.to_string(),
+                p.events.to_string(),
+                p.event_queue_peak.to_string(),
+                fmt_f(p.wall_s * 1e3, 1),
+                fmt_f(p.events_per_sec(), 0),
+            ]);
+        }
+        let events: u64 = points.iter().map(|p| p.events).sum();
+        let wall: f64 = points.iter().map(|p| p.wall_s).sum();
+        table.row(vec![
+            "Total".to_string(),
+            "both".to_string(),
+            String::new(),
+            events.to_string(),
+            String::new(),
+            fmt_f(wall * 1e3, 1),
+            fmt_f(if wall > 0.0 { events as f64 / wall } else { 0.0 }, 0),
+        ]);
+        println!("{}", table.render());
+        println!("(wrote {})", args.out);
+    }
+}

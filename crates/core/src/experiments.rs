@@ -2,6 +2,8 @@
 //! per experiment family, shared by the `tss-bench` harness binaries and
 //! the integration tests.
 
+use std::sync::Arc;
+
 use crate::{RunReport, SystemBuilder};
 use tss_pipeline::FrontendConfig;
 use tss_trace::TaskTrace;
@@ -31,6 +33,7 @@ pub fn decode_rate_sweep(
     ort_counts: &[usize],
 ) -> Vec<DecodeRatePoint> {
     let mut out = Vec::new();
+    let arc = Arc::new(trace.clone());
     for &num_ort in ort_counts {
         for &num_trs in trs_counts {
             let report = SystemBuilder::new()
@@ -43,7 +46,7 @@ pub fn decode_rate_sweep(
                     f.ovt_total_bytes = 16 << 20;
                 })
                 .skip_validation() // sweeps revalidate nothing: points are timing-only
-                .run_hardware(trace);
+                .run_hardware_arc(&arc);
             out.push(DecodeRatePoint { num_trs, num_ort, rate_cycles: report.decode_rate_cycles });
         }
     }
@@ -68,6 +71,7 @@ pub fn ort_capacity_sweep(
     capacities: &[u64],
     processors: usize,
 ) -> Vec<CapacityPoint> {
+    let arc = Arc::new(trace.clone());
     capacities
         .iter()
         .map(|&cap| {
@@ -78,7 +82,7 @@ pub fn ort_capacity_sweep(
                     f.ovt_total_bytes = cap;
                 })
                 .skip_validation()
-                .run_hardware(trace);
+                .run_hardware_arc(&arc);
             CapacityPoint {
                 capacity_bytes: cap,
                 speedup: report.speedup(),
@@ -94,6 +98,7 @@ pub fn trs_capacity_sweep(
     capacities: &[u64],
     processors: usize,
 ) -> Vec<CapacityPoint> {
+    let arc = Arc::new(trace.clone());
     capacities
         .iter()
         .map(|&cap| {
@@ -101,7 +106,7 @@ pub fn trs_capacity_sweep(
                 .processors(processors)
                 .with_frontend(|f| f.trs_total_bytes = cap)
                 .skip_validation()
-                .run_hardware(trace);
+                .run_hardware_arc(&arc);
             CapacityPoint {
                 capacity_bytes: cap,
                 speedup: report.speedup(),
@@ -124,11 +129,12 @@ pub struct ScalabilityPoint {
 
 /// Figure 16: hardware vs software speedups over 32–256 processors.
 pub fn scalability_sweep(trace: &TaskTrace, processor_counts: &[usize]) -> Vec<ScalabilityPoint> {
+    let arc = Arc::new(trace.clone());
     processor_counts
         .iter()
         .map(|&p| {
-            let hw = SystemBuilder::new().processors(p).skip_validation().run_hardware(trace);
-            let sw = SystemBuilder::new().processors(p).skip_validation().run_software(trace);
+            let hw = SystemBuilder::new().processors(p).skip_validation().run_hardware_arc(&arc);
+            let sw = SystemBuilder::new().processors(p).skip_validation().run_software_arc(&arc);
             ScalabilityPoint { processors: p, hardware: hw.speedup(), software: sw.speedup() }
         })
         .collect()

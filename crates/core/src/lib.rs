@@ -61,6 +61,10 @@ pub struct RunReport {
     pub avg_queue_wait: f64,
     /// Core-busy fraction over the makespan.
     pub core_utilization: f64,
+    /// Messages delivered by the event engine over the whole run.
+    pub events: u64,
+    /// Peak simultaneously pending events in the engine's queue.
+    pub event_queue_peak: usize,
     /// Frontend-internal statistics (hardware runs only).
     pub frontend: Option<FrontendStats>,
     /// The full execution schedule.
@@ -143,13 +147,21 @@ impl SystemBuilder {
 
     /// Runs `trace` through the hardware task superscalar pipeline.
     ///
+    /// Clones the trace once; sweeps running the same trace repeatedly
+    /// should build one `Arc` and call [`Self::run_hardware_arc`].
+    ///
     /// # Panics
     ///
     /// Panics if the pipeline deadlocks (tasks left unfinished) or — with
     /// validation on — produces a schedule violating the dependency
     /// oracle. Both would be simulator bugs, never workload properties.
     pub fn run_hardware(&self, trace: &TaskTrace) -> RunReport {
-        let arc = Arc::new(trace.clone());
+        self.run_hardware_arc(&Arc::new(trace.clone()))
+    }
+
+    /// [`Self::run_hardware`] without the per-run trace clone.
+    pub fn run_hardware_arc(&self, trace: &Arc<TaskTrace>) -> RunReport {
+        let arc = Arc::clone(trace);
         let mut sim = Simulation::<Msg>::new();
         let backend_cfg = BackendConfig::for_cores(self.processors);
         let topo = build_frontend(&mut sim, arc.clone(), &self.frontend, cmp_backend(backend_cfg));
@@ -182,6 +194,8 @@ impl SystemBuilder {
             window_peak: stats.window_peak,
             avg_queue_wait: pool.avg_queue_wait(),
             core_utilization: pool.utilization(makespan),
+            events: sim.events_processed(),
+            event_queue_peak: sim.peak_queue_depth(),
             frontend: Some(stats),
             schedule,
         }
@@ -189,12 +203,19 @@ impl SystemBuilder {
 
     /// Runs `trace` through the software StarSs-like runtime.
     ///
+    /// Clones the trace once; see [`Self::run_software_arc`].
+    ///
     /// # Panics
     ///
     /// Panics on an incomplete run or (with validation on) an
     /// oracle-violating schedule.
     pub fn run_software(&self, trace: &TaskTrace) -> RunReport {
-        let arc = Arc::new(trace.clone());
+        self.run_software_arc(&Arc::new(trace.clone()))
+    }
+
+    /// [`Self::run_software`] without the per-run trace clone.
+    pub fn run_software_arc(&self, trace: &Arc<TaskTrace>) -> RunReport {
+        let arc = Arc::clone(trace);
         let mut sim = Simulation::<Msg>::new();
         let backend_cfg = BackendConfig::for_cores(self.processors);
         let (dec, pool_id) = build_software_runtime(&mut sim, arc, &self.soft, backend_cfg);
@@ -226,6 +247,8 @@ impl SystemBuilder {
             window_peak: 0,
             avg_queue_wait: pool.avg_queue_wait(),
             core_utilization: pool.utilization(makespan),
+            events: sim.events_processed(),
+            event_queue_peak: sim.peak_queue_depth(),
             frontend: None,
             schedule,
         }

@@ -138,21 +138,31 @@ impl BlockStore {
 
     /// Allocates `count` blocks, or `None` if not enough are free.
     pub fn alloc(&mut self, count: u32) -> Option<Allocation> {
+        let mut blocks = vec![0u32; count as usize];
+        let cost = self.alloc_into(&mut blocks)?;
+        Some(Allocation { blocks, cost_cycles: cost })
+    }
+
+    /// Allocation without the `Vec`: fills `out` (whose length is the
+    /// block count) and returns the cycle cost, or `None` if not enough
+    /// blocks are free. The hot path (one task allocation per decoded
+    /// task) uses this with an inline array.
+    pub fn alloc_into(&mut self, out: &mut [u32]) -> Option<u64> {
+        let count = out.len() as u32;
         if !self.can_alloc(count) {
             return None;
         }
-        let mut blocks = Vec::with_capacity(count as usize);
         let mut cost = 0u64;
-        for _ in 0..count {
+        for slot in out.iter_mut() {
             let (b, c) = self.pop_free();
             debug_assert!(!self.allocated[b as usize], "free list handed out a live block");
             self.allocated[b as usize] = true;
-            blocks.push(b);
+            *slot = b;
             cost += c;
         }
         self.allocated_count += count;
         self.peak_allocated = self.peak_allocated.max(self.allocated_count);
-        Some(Allocation { blocks, cost_cycles: cost })
+        Some(cost)
     }
 
     /// Returns blocks to the free list.

@@ -36,11 +36,16 @@ use crate::msg::{Msg, ReadyKind};
 /// Power-of-two bucket allocator for rename buffers (Section IV.B.4:
 /// "a fixed number of buckets, assigned to allocate predetermined
 /// power-of-2 sizes", backed by OS-assigned main memory).
+///
+/// Free lists are a dense array indexed by the class's bit position
+/// (classes are powers of two from 64 up, so there are at most 33), not
+/// a hash map: buffer grabs and returns sit on the decode hot path.
 #[derive(Debug)]
 pub struct BucketAlloc {
     base: u64,
     bump: u64,
-    free: std::collections::HashMap<u32, Vec<u64>>,
+    /// `free[log2(class)]` holds returned buffers of that class.
+    free: Vec<Vec<u64>>,
     allocated_bytes: u64,
     peak_bytes: u64,
     grabs: u64,
@@ -52,7 +57,7 @@ impl BucketAlloc {
         BucketAlloc {
             base,
             bump: 0,
-            free: std::collections::HashMap::new(),
+            free: vec![Vec::new(); 33],
             allocated_bytes: 0,
             peak_bytes: 0,
             grabs: 0,
@@ -63,13 +68,19 @@ impl BucketAlloc {
         size.next_power_of_two().max(64)
     }
 
+    /// Index of a class's free list: its (single) set bit position, with
+    /// a wrapped `next_power_of_two` (0) parked in the last entry.
+    fn list_of(class: u32) -> usize {
+        class.trailing_zeros() as usize
+    }
+
     /// Grabs a buffer for an object of `size` bytes.
     pub fn alloc(&mut self, size: u32) -> u64 {
         self.grabs += 1;
         let class = Self::class_of(size);
         self.allocated_bytes += class as u64;
         self.peak_bytes = self.peak_bytes.max(self.allocated_bytes);
-        if let Some(addr) = self.free.get_mut(&class).and_then(|v| v.pop()) {
+        if let Some(addr) = self.free[Self::list_of(class)].pop() {
             return addr;
         }
         let addr = self.base + self.bump;
@@ -82,7 +93,7 @@ impl BucketAlloc {
         let class = Self::class_of(size);
         debug_assert!(self.allocated_bytes >= class as u64, "freeing more than allocated");
         self.allocated_bytes -= class as u64;
-        self.free.entry(class).or_default().push(addr);
+        self.free[Self::list_of(class)].push(addr);
     }
 
     /// Live rename-buffer bytes.
@@ -179,6 +190,12 @@ pub struct OrtOvt {
     chaining: bool,
     topo: Topology,
     entries: Vec<Option<OrtEntry>>,
+    /// Probe acceleration: `tags[slot]` mirrors `entries[slot].addr` and
+    /// `live_mask[set]` has bit `w` set iff way `w` is occupied, so a
+    /// set probe reads 2 cache lines of tags instead of 16 ways × 48 B
+    /// of entries. Tags are only meaningful under a set live bit.
+    tags: Vec<u64>,
+    live_mask: Vec<u16>,
     live_entries: u32,
     versions: Vec<Option<VersionRec>>,
     vgens: Vec<u32>,
@@ -198,6 +215,7 @@ impl OrtOvt {
     pub fn new(index: u8, cfg: &FrontendConfig, topo: Topology) -> Self {
         let sets = cfg.sets_per_ort();
         let ways = cfg.ort_ways;
+        assert!(ways <= 16, "the probe bitmask models at most 16 ways");
         let records = cfg.records_per_ovt();
         OrtOvt {
             index,
@@ -208,11 +226,13 @@ impl OrtOvt {
             chaining: cfg.chaining,
             topo,
             entries: vec![None; (sets as usize) * ways],
+            tags: vec![0; (sets as usize) * ways],
+            live_mask: vec![0; sets as usize],
             live_entries: 0,
             versions: vec![None; records as usize],
             vgens: vec![0; records as usize],
             vfree: (0..records).rev().collect(),
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(64),
             processing: false,
             blocked: false,
             blocked_since: 0,
@@ -260,12 +280,18 @@ impl OrtOvt {
 
     fn find_entry(&self, addr: u64) -> Option<u32> {
         let set = self.set_of(addr) as usize;
-        for w in 0..self.ways {
+        let mut mask = self.live_mask[set];
+        while mask != 0 {
+            let w = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
             let slot = set * self.ways + w;
-            if let Some(e) = &self.entries[slot] {
-                if e.addr == addr {
-                    return Some(slot as u32);
-                }
+            if self.tags[slot] == addr {
+                debug_assert_eq!(
+                    self.entries[slot].as_ref().map(|e| e.addr),
+                    Some(addr),
+                    "tag/entry mirror out of sync"
+                );
+                return Some(slot as u32);
             }
         }
         None
@@ -273,9 +299,29 @@ impl OrtOvt {
 
     fn free_way(&self, addr: u64) -> Option<u32> {
         let set = self.set_of(addr) as usize;
-        (0..self.ways)
-            .map(|w| (set * self.ways + w) as u32)
-            .find(|&slot| self.entries[slot as usize].is_none())
+        let free = !self.live_mask[set] & ((1u32 << self.ways) - 1) as u16;
+        if free == 0 {
+            return None;
+        }
+        let w = free.trailing_zeros() as usize;
+        Some((set * self.ways + w) as u32)
+    }
+
+    /// Installs `entry` in `slot`, keeping the probe mirror in sync.
+    fn set_entry(&mut self, slot: u32, entry: OrtEntry) {
+        let set = slot as usize / self.ways;
+        let way = slot as usize % self.ways;
+        self.tags[slot as usize] = entry.addr;
+        self.live_mask[set] |= 1 << way;
+        self.entries[slot as usize] = Some(entry);
+    }
+
+    /// Clears `slot`, keeping the probe mirror in sync.
+    fn clear_entry(&mut self, slot: u32) {
+        let set = slot as usize / self.ways;
+        let way = slot as usize % self.ways;
+        self.live_mask[set] &= !(1 << way);
+        self.entries[slot as usize] = None;
     }
 
     fn vref(&self, idx: u32) -> VersionRef {
@@ -355,7 +401,7 @@ impl OrtOvt {
         debug_assert!(rec.chained_writer.is_none(), "current version cannot have a chained writer");
         rec.superseded = true; // mark so finalize's invariants hold
         self.finalize_version(cur, at, ctx);
-        self.entries[entry_slot as usize] = None;
+        self.clear_entry(entry_slot);
         self.live_entries -= 1;
         self.maybe_unblock(at, ctx);
     }
@@ -463,13 +509,16 @@ impl OrtOvt {
                     // version and answer ready immediately.
                     let slot = self.free_way(head.addr).expect("checked");
                     let vidx = self.alloc_version(head.addr, head.size, slot, false);
-                    self.entries[slot as usize] = Some(OrtEntry {
-                        addr: head.addr,
-                        last_user: head.op,
-                        last_writer: None,
-                        current_version: vidx,
-                        live_records: 1,
-                    });
+                    self.set_entry(
+                        slot,
+                        OrtEntry {
+                            addr: head.addr,
+                            last_user: head.op,
+                            last_writer: None,
+                            current_version: vidx,
+                            live_records: 1,
+                        },
+                    );
                     self.live_entries += 1;
                     self.stats.peak_entries = self.stats.peak_entries.max(self.live_entries);
                     let v = self.vref(vidx);
@@ -506,13 +555,16 @@ impl OrtOvt {
                     }
                     None => {
                         let slot = self.free_way(head.addr).expect("checked");
-                        self.entries[slot as usize] = Some(OrtEntry {
-                            addr: head.addr,
-                            last_user: head.op,
-                            last_writer: None,
-                            current_version: 0, // fixed below
-                            live_records: 0,
-                        });
+                        self.set_entry(
+                            slot,
+                            OrtEntry {
+                                addr: head.addr,
+                                last_user: head.op,
+                                last_writer: None,
+                                current_version: 0, // fixed below
+                                live_records: 0,
+                            },
+                        );
                         self.live_entries += 1;
                         self.stats.peak_entries = self.stats.peak_entries.max(self.live_entries);
                         (slot, None, None)

@@ -12,8 +12,12 @@
 //! generation counters: a `RegisterConsumer` that reaches a recycled slot
 //! proves the producer already finished, so the consumer is answered
 //! "data ready" immediately.
+//!
+//! Task slots live in a dense `Vec` indexed by slot id (the id *is* the
+//! task's main block index, handed out low-first by [`BlockStore`] and
+//! bounded by the configured block count), so the hot path never hashes;
+//! the vector grows once to peak occupancy and is flat thereafter.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use tss_sim::{Component, Context, Cycle, ServerTimeline};
@@ -45,26 +49,41 @@ struct OperandSlot {
     info_received: bool,
 }
 
+/// Decode lifecycle of a slot. The paper's intermediate "ready" state
+/// (decoded, waiting in the ready queue) lives in the backend's queuing
+/// system; inside the TRS a task goes straight from decoding to running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SlotState {
     Decoding,
-    Ready,
     Running,
 }
 
 #[derive(Debug)]
 struct TaskSlot {
     trace_id: TaskId,
-    blocks: Vec<u32>,
+    /// Occupied block ids, inline: the inode layout caps a task at 4
+    /// blocks, so no per-task heap allocation is needed.
+    blocks: [u32; 4],
+    block_count: u8,
     operands: Vec<OperandSlot>,
     infos_pending: u8,
+    /// Operands still waiting for readies (`readies_got <
+    /// readies_needed`), maintained incrementally so readiness checks
+    /// are O(1) instead of rescanning every operand per message.
+    unready_ops: u8,
     state: SlotState,
     decode_done: Option<Cycle>,
 }
 
 impl TaskSlot {
+    /// O(1) readiness test (the full scan survives as a debug check).
     fn all_ready(&self) -> bool {
-        self.infos_pending == 0 && self.operands.iter().all(|o| o.readies_got >= o.readies_needed)
+        debug_assert_eq!(
+            self.unready_ops == 0,
+            self.operands.iter().all(|o| o.readies_got >= o.readies_needed),
+            "unready_ops counter out of sync"
+        );
+        self.infos_pending == 0 && self.unready_ops == 0
     }
 }
 
@@ -98,7 +117,11 @@ pub struct Trs {
     block_bytes: u64,
     topo: Topology,
     store: BlockStore,
-    slots: HashMap<u32, TaskSlot>,
+    slots: Vec<Option<TaskSlot>>,
+    /// Retired operand vectors, recycled into the next allocation so
+    /// steady-state decode performs no heap allocation (each recycled
+    /// slot also keeps its consumer-list capacity).
+    operand_pool: Vec<Vec<OperandSlot>>,
     gens: Vec<u32>,
     server: ServerTimeline,
     reported_full: bool,
@@ -118,7 +141,8 @@ impl Trs {
             block_bytes: cfg.trs_block_bytes,
             topo,
             store: BlockStore::new(blocks, cfg.timing.edram_latency),
-            slots: HashMap::new(),
+            slots: Vec::new(),
+            operand_pool: Vec::new(),
             gens: vec![0; blocks as usize],
             server: ServerTimeline::new(),
             reported_full: false,
@@ -151,27 +175,47 @@ impl Trs {
         TaskRef { trs: self.index, slot, gen: self.gens[slot as usize] }
     }
 
+    /// The live task in `slot`, if any.
+    fn slot(&mut self, slot: u32) -> Option<&mut TaskSlot> {
+        self.slots.get_mut(slot as usize).and_then(Option::as_mut)
+    }
+
+    /// Installs a freshly allocated task into `slot` (grows the dense
+    /// vector up to the slot id, which `BlockStore` bounds by capacity).
+    fn install(&mut self, slot: u32, task: TaskSlot) {
+        let i = slot as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        debug_assert!(self.slots[i].is_none(), "slot {slot} double-allocated");
+        self.slots[i] = Some(task);
+    }
+
     fn occupy(&mut self, now: Cycle, cost: Cycle) -> Cycle {
         self.server.occupy(now, cost)
     }
 
     fn check_ready(&mut self, slot: u32, at: Cycle, ctx: &mut Context<'_, Msg>) {
-        let Some(s) = self.slots.get_mut(&slot) else { return };
+        // Copy the send parameters first so the slot is looked up and
+        // borrowed exactly once (this runs once per frontend message).
+        let backend = self.topo.backend;
+        let hop = self.timing.frontend_hop;
+        let task = TaskRef { trs: self.index, slot, gen: self.gens[slot as usize] };
+        let Some(s) = self.slots.get_mut(slot as usize).and_then(Option::as_mut) else { return };
         if s.state == SlotState::Decoding && s.all_ready() {
-            s.state = SlotState::Ready;
+            s.state = SlotState::Running;
             let trace_id = s.trace_id;
-            let task = self.task_ref(slot);
-            self.slots.get_mut(&slot).expect("present").state = SlotState::Running;
             // Push into the ready queue (the backend's queuing system).
-            ctx.send_at(
-                self.topo.backend,
-                at + self.timing.frontend_hop,
-                Msg::TaskReady { task, trace_id },
-            );
+            ctx.send_at(backend, at + hop, Msg::TaskReady { task, trace_id });
         }
     }
 
     /// Handles a `DataReady` for `op` at service completion `at`.
+    ///
+    /// This is the hottest frontend handler (one per ready notification,
+    /// plus chain traffic), so the task slot is borrowed exactly once:
+    /// sibling fields (`stats`, `topo`, `timing`) stay accessible through
+    /// disjoint field borrows while the slot borrow is live.
     fn apply_data_ready(
         &mut self,
         op: OperandRef,
@@ -184,35 +228,51 @@ impl Trs {
             self.gens[op.task.slot as usize], op.task.gen,
             "DataReady for a recycled slot: operands must be ready before a task finishes"
         );
+        debug_assert_eq!(op.task.trs, self.index, "DataReady routed to the wrong TRS");
         let hop = self.timing.frontend_hop;
-        let s = self.slots.get_mut(&op.task.slot).expect("live slot (generation checked)");
+        let s = self.slots[op.task.slot as usize].as_mut().expect("live slot (gen checked)");
         let o = &mut s.operands[op.index as usize];
         o.readies_got += 1;
         debug_assert!(
             o.readies_got <= o.readies_needed.max(1),
             "operand {op} received more readies than needed"
         );
+        // Crossing from waiting to satisfied retires this operand from
+        // the slot's incremental unready count (a `readies_needed` of 0
+        // never registered, so only an exact crossing decrements).
+        let crossed = o.readies_needed > 0 && o.readies_got == o.readies_needed;
+        let mut forward = false;
         if kind == ReadyKind::Input {
             o.data_ready = true;
             o.buffer = buffer;
             // Readers forward along the chain on receipt (Figure 10);
             // writers (and self-produced readers) notify their consumer
             // only when the task finishes.
-            if !o.dir.writes() && !o.self_produced {
-                let consumers = o.consumers.clone();
-                for next in consumers {
-                    self.stats.chain_forwards += 1;
-                    ctx.send_at(
-                        self.topo.trs[next.task.trs as usize],
-                        at + hop,
-                        Msg::DataReady { op: next, buffer, kind: ReadyKind::Input },
-                    );
-                }
-            }
+            forward = !o.dir.writes() && !o.self_produced;
         } else if o.buffer == 0 {
             o.buffer = buffer;
         }
-        self.check_ready(op.task.slot, at, ctx);
+        if crossed {
+            debug_assert!(s.unready_ops > 0, "unready_ops underflow");
+            s.unready_ops -= 1;
+        }
+        if forward {
+            for next in &s.operands[op.index as usize].consumers {
+                self.stats.chain_forwards += 1;
+                ctx.send_at(
+                    self.topo.trs[next.task.trs as usize],
+                    at + hop,
+                    Msg::DataReady { op: *next, buffer, kind: ReadyKind::Input },
+                );
+            }
+        }
+        // Inline readiness check: the chain forwards above must precede
+        // the TaskReady in the outbox (FIFO determinism).
+        if s.state == SlotState::Decoding && s.all_ready() {
+            s.state = SlotState::Running;
+            let trace_id = s.trace_id;
+            ctx.send_at(self.topo.backend, at + hop, Msg::TaskReady { task: op.task, trace_id });
+        }
     }
 }
 
@@ -224,30 +284,47 @@ impl Component<Msg> for Trs {
             Msg::AllocTask { trace_id, operand_count, gw_buf } => {
                 let need = blocks_for_operands(operand_count as usize);
                 let reply_to = self.topo.gateway;
-                if let Some(alloc) = self.store.alloc(need) {
+                let mut blocks = [0u32; 4];
+                if let Some(cost_cycles) = self.store.alloc_into(&mut blocks[..need as usize]) {
                     // Packet processing + allocation (SRAM/eDRAM) + main
                     // block initialization.
-                    let cost =
-                        self.timing.packet_cost + alloc.cost_cycles + self.timing.edram_latency;
+                    let cost = self.timing.packet_cost + cost_cycles + self.timing.edram_latency;
                     let t = self.occupy(ctx.now(), cost);
-                    let slot = alloc.blocks[0];
+                    let slot = blocks[0];
                     let task = self.trace.task(trace_id);
-                    let operands: Vec<OperandSlot> = task
-                        .operands
-                        .iter()
-                        .map(|od| OperandSlot {
-                            dir: od.dir,
-                            is_scalar: od.kind == OperandKind::Scalar,
-                            version: None,
-                            consumers: Vec::new(),
-                            self_produced: false,
-                            data_ready: false,
-                            buffer: 0,
-                            readies_needed: 0,
-                            readies_got: 0,
-                            info_received: false,
-                        })
-                        .collect();
+                    // Refill a recycled operand vector in place: its
+                    // spare capacity (and each slot's consumer-list
+                    // allocation) survives task churn.
+                    let mut operands = self.operand_pool.pop().unwrap_or_default();
+                    operands.truncate(task.operands.len());
+                    for (i, od) in task.operands.iter().enumerate() {
+                        let is_scalar = od.kind == OperandKind::Scalar;
+                        if let Some(o) = operands.get_mut(i) {
+                            o.dir = od.dir;
+                            o.is_scalar = is_scalar;
+                            o.version = None;
+                            o.consumers.clear();
+                            o.self_produced = false;
+                            o.data_ready = false;
+                            o.buffer = 0;
+                            o.readies_needed = 0;
+                            o.readies_got = 0;
+                            o.info_received = false;
+                        } else {
+                            operands.push(OperandSlot {
+                                dir: od.dir,
+                                is_scalar,
+                                version: None,
+                                consumers: Vec::new(),
+                                self_produced: false,
+                                data_ready: false,
+                                buffer: 0,
+                                readies_needed: 0,
+                                readies_got: 0,
+                                info_received: false,
+                            });
+                        }
+                    }
                     let waste =
                         crate::blocks::fragmentation_waste(operands.len(), self.block_bytes);
                     self.stats.waste_sum += waste;
@@ -255,13 +332,15 @@ impl Component<Msg> for Trs {
                     self.in_flight += 1;
                     self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
                     let infos_pending = operands.len() as u8;
-                    self.slots.insert(
+                    self.install(
                         slot,
                         TaskSlot {
                             trace_id,
-                            blocks: alloc.blocks,
+                            blocks,
+                            block_count: need as u8,
                             operands,
                             infos_pending,
+                            unready_ops: 0,
                             state: SlotState::Decoding,
                             decode_done: None,
                         },
@@ -273,7 +352,7 @@ impl Component<Msg> for Trs {
                         Msg::AllocReply { task: Some(task_ref), trace_id, gw_buf, trs: self.index },
                     );
                     // Zero-operand tasks are ready the moment they decode.
-                    if let Some(s) = self.slots.get_mut(&slot) {
+                    if let Some(s) = self.slot(slot) {
                         if s.infos_pending == 0 {
                             s.decode_done = Some(t);
                             self.stats.decode_times.push(t);
@@ -296,7 +375,7 @@ impl Component<Msg> for Trs {
             Msg::ScalarOperand { op } => {
                 let t = self.occupy(ctx.now(), self.timing.packet_cost);
                 assert_eq!(self.gens[op.task.slot as usize], op.task.gen, "scalar to stale slot");
-                let s = self.slots.get_mut(&op.task.slot).expect("live slot");
+                let s = self.slots[op.task.slot as usize].as_mut().expect("live slot");
                 let o = &mut s.operands[op.index as usize];
                 debug_assert!(o.is_scalar, "scalar message for a memory operand");
                 debug_assert!(!o.info_received, "duplicate scalar for {op}");
@@ -307,6 +386,9 @@ impl Component<Msg> for Trs {
                     s.decode_done = Some(t);
                     self.stats.decode_times.push(t);
                 }
+                // A scalar can complete the decode of an otherwise
+                // satisfied task (one message per scalar operand — not
+                // hot enough to justify inlining the readiness check).
                 self.check_ready(op.task.slot, t, ctx);
             }
 
@@ -315,13 +397,17 @@ impl Component<Msg> for Trs {
                 let t = self.occupy(ctx.now(), self.timing.packet_cost + self.timing.edram_latency);
                 assert_eq!(self.gens[op.task.slot as usize], op.task.gen, "info to stale slot");
                 let self_task = op.task;
-                let s = self.slots.get_mut(&op.task.slot).expect("live slot");
+                let s = self.slot(op.task.slot).expect("live slot");
                 {
                     let o = &mut s.operands[op.index as usize];
                     debug_assert!(!o.info_received, "duplicate OperandInfo for {op}");
+                    debug_assert_eq!(o.readies_got, 0, "ready before OperandInfo for {op}");
                     o.info_received = true;
                     o.version = Some(version);
                     o.readies_needed = readies_needed;
+                }
+                if readies_needed > 0 {
+                    s.unready_ops += 1;
                 }
                 s.infos_pending -= 1;
                 if s.infos_pending == 0 {
@@ -335,7 +421,7 @@ impl Component<Msg> for Trs {
                         // task observes is its own — input side is ready,
                         // but consumers chained here must wait for the
                         // task to finish (they read ITS product).
-                        let s = self.slots.get_mut(&op.task.slot).expect("live slot");
+                        let s = self.slot(op.task.slot).expect("live slot");
                         s.operands[op.index as usize].self_produced = true;
                         self.apply_data_ready(op, 0, ReadyKind::Input, t, ctx);
                     }
@@ -345,19 +431,21 @@ impl Component<Msg> for Trs {
                             t + hop,
                             Msg::RegisterConsumer { producer: p, consumer: op },
                         );
-                        self.check_ready(op.task.slot, t, ctx);
                     }
-                    None => {
-                        self.check_ready(op.task.slot, t, ctx);
-                    }
+                    None => {}
                 }
+                // No readiness check: an OperandInfo always carries
+                // `readies_needed >= 1` and no ready can precede the info
+                // (asserted above), so this operand is now waiting and
+                // the task cannot become runnable here. Readiness fires
+                // from DataReady / ScalarOperand / zero-operand alloc.
             }
 
             // -------------------------------------- Figures 8 and 10
             Msg::RegisterConsumer { producer, consumer } => {
                 let t = self.occupy(ctx.now(), self.timing.packet_cost + self.timing.edram_latency);
                 let stale = self.gens[producer.task.slot as usize] != producer.task.gen
-                    || !self.slots.contains_key(&producer.task.slot);
+                    || !matches!(self.slots.get(producer.task.slot as usize), Some(Some(_)));
                 if stale {
                     // The producing task finished and its slot was
                     // recycled: its data is long since in memory.
@@ -368,7 +456,7 @@ impl Component<Msg> for Trs {
                         Msg::DataReady { op: consumer, buffer: 0, kind: ReadyKind::Input },
                     );
                 } else {
-                    let s = self.slots.get_mut(&producer.task.slot).expect("checked");
+                    let s = self.slots[producer.task.slot as usize].as_mut().expect("checked");
                     let o = &mut s.operands[producer.index as usize];
                     if !o.dir.writes() && !o.self_produced && o.data_ready {
                         // A reader that already has its data forwards
@@ -403,7 +491,11 @@ impl Component<Msg> for Trs {
             // ----------------------------------------------- task finish
             Msg::TaskFinished { task } => {
                 assert_eq!(self.gens[task.slot as usize], task.gen, "finish for stale slot");
-                let s = self.slots.remove(&task.slot).expect("live slot");
+                let s = self
+                    .slots
+                    .get_mut(task.slot as usize)
+                    .and_then(Option::take)
+                    .expect("live slot");
                 debug_assert_eq!(s.state, SlotState::Running, "finish of a non-running task");
                 // Traverse all operands: one eDRAM access each.
                 let cost = self.timing.packet_cost
@@ -439,7 +531,8 @@ impl Component<Msg> for Trs {
                         );
                     }
                 }
-                self.store.free(&s.blocks);
+                self.store.free(&s.blocks[..s.block_count as usize]);
+                self.operand_pool.push(s.operands);
                 self.gens[task.slot as usize] += 1;
                 self.in_flight -= 1;
                 if self.reported_full && self.store.can_alloc(4) {

@@ -10,12 +10,27 @@
 //! delay. There is no "zero-time visibility" hazard: a message sent with
 //! delay 0 is delivered after all messages already enqueued for the
 //! current cycle.
+//!
+//! # Event core
+//!
+//! The queue is a hierarchical **calendar queue** (timing wheel + spill
+//! level), not a comparison heap — see `DESIGN.md` §6. Frontend delays
+//! are small bounded constants (Table II: 16-cycle packet processing,
+//! 22-cycle eDRAM, single-cycle ring hops), so almost every send lands
+//! within the wheel's horizon and costs O(1) with no comparisons; only
+//! far-future events (task completions, congested ring arrivals) take the
+//! sorted spill path. Event nodes are recycled through a slab, so
+//! steady-state scheduling performs no heap allocation, and a queued
+//! message never moves in memory between `schedule` and delivery.
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
 
 use crate::time::Cycle;
+
+/// Name of the event-queue implementation backing [`Simulation`], for
+/// benchmark provenance (`perf` records it in `BENCH_pipeline.json`).
+pub const EVENT_CORE: &str = "calendar-wheel";
 
 /// Identifies a component registered with a [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -64,12 +79,20 @@ pub trait Component<M>: 'static {
 
 /// Per-delivery view handed to [`Component::on_message`].
 ///
-/// Collects outgoing messages; the engine enqueues them after the handler
-/// returns.
+/// Sends go straight into the event queue (no intermediate outbox — the
+/// queue and the component are disjoint borrows of the simulation), so a
+/// handler's messages are enqueued in the order it sends them.
 pub struct Context<'a, M> {
     now: Cycle,
     self_id: ComponentId,
-    outbox: &'a mut Vec<(Cycle, ComponentId, M)>,
+    queue: &'a mut CalendarQueue<M>,
+    /// Registered components, for the send-path destination check.
+    ///
+    /// Invariant: handlers only address ids handed out by
+    /// `add_component`, so the check is a `debug_assert` here (the
+    /// public `Simulation::schedule` keeps its release-mode check; a
+    /// bad id would also fault at delivery, just less legibly).
+    component_count: usize,
     stop: &'a mut bool,
 }
 
@@ -86,7 +109,8 @@ impl<'a, M> Context<'a, M> {
 
     /// Sends `msg` to `dst`, to be delivered `delay` cycles from now.
     pub fn send(&mut self, dst: ComponentId, delay: Cycle, msg: M) {
-        self.outbox.push((self.now + delay, dst, msg));
+        debug_assert!(dst.index() < self.component_count, "message sent to unknown {dst}");
+        self.queue.push(self.now + delay, dst, msg);
     }
 
     /// Sends `msg` to `dst` at absolute cycle `at`.
@@ -96,7 +120,8 @@ impl<'a, M> Context<'a, M> {
     /// Panics if `at` lies in the past.
     pub fn send_at(&mut self, dst: ComponentId, at: Cycle, msg: M) {
         assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
-        self.outbox.push((at, dst, msg));
+        debug_assert!(dst.index() < self.component_count, "message sent to unknown {dst}");
+        self.queue.push(at, dst, msg);
     }
 
     /// Requests that the simulation stop once the current handler returns.
@@ -105,39 +130,328 @@ impl<'a, M> Context<'a, M> {
     }
 }
 
-struct Scheduled<M> {
+// ---------------------------------------------------------------------
+// Calendar queue (timing wheel + spill level)
+// ---------------------------------------------------------------------
+
+/// Sentinel slab index for "no node".
+const NIL: u32 = u32::MAX;
+
+/// Cycles per level-0 bucket span: level 0 resolves single cycles over
+/// one 4096-cycle *segment*; level 1 resolves segments.
+const L0_BITS: u32 = 12;
+/// Level-0 buckets (one simulated cycle each) — one segment's worth.
+const L0_SIZE: usize = 1 << L0_BITS;
+const L0_MASK: u64 = (L0_SIZE - 1) as u64;
+const L0_WORDS: usize = L0_SIZE / 64;
+/// Level-1 buckets (one segment each): the two wheels together cover
+/// `L0_SIZE * L1_SIZE` = 16.7M cycles ahead of `base`, which exceeds
+/// every delay the pipeline generates (task runtimes are ≤ ~320k
+/// cycles); the sorted spill level exists only for pathological sends.
+const L1_SIZE: usize = 4096;
+const L1_WORDS: usize = L1_SIZE / 64;
+
+/// One event node in the slab. Freed nodes are chained through `next`.
+struct Node<M> {
     when: Cycle,
-    seq: u64,
     dst: ComponentId,
-    msg: M,
+    next: u32,
+    msg: Option<M>,
 }
 
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.when == other.when && self.seq == other.seq
+/// FIFO list of a bucket (or spill segment): slab head/tail indices.
+#[derive(Clone, Copy)]
+struct Bucket {
+    head: u32,
+    tail: u32,
+}
+
+const EMPTY_BUCKET: Bucket = Bucket { head: NIL, tail: NIL };
+
+/// The hierarchical calendar queue (two timing-wheel levels + spill).
+///
+/// - **Level 0**: per-cycle FIFO buckets for the current segment
+///   (`seg(base)`), with an occupancy bitmap for "next non-empty cycle".
+/// - **Level 1**: per-*segment* FIFO buckets for the next 4096 segments;
+///   when `base` enters a segment, its list is redistributed into level
+///   0 in insertion order.
+/// - **Spill**: segments beyond the level-1 horizon, as FIFO lists in a
+///   sorted map; they refill level 1 as the window advances.
+///
+/// Determinism argument (DESIGN.md §6): an event is pushed directly to
+/// level 0 only when its cycle lies in the current segment, which is
+/// strictly after that segment's level-1 list was redistributed (and
+/// any spill list migrated), so every per-cycle list is always in
+/// global insertion order — FIFO-within-cycle without a sequence
+/// counter. All three levels share one node slab; steady-state
+/// scheduling allocates nothing and a queued message never moves.
+struct CalendarQueue<M> {
+    /// Earliest cycle the wheel can hold. Invariant: `base` equals the
+    /// delivery time of the last popped event (or 0), so it never exceeds
+    /// the simulation's `now` and every `push` satisfies `when >= base`.
+    base: Cycle,
+    len: usize,
+    peak: usize,
+    nodes: Vec<Node<M>>,
+    free_head: u32,
+    l0: Vec<Bucket>,
+    occ0: [u64; L0_WORDS],
+    l1: Vec<Bucket>,
+    occ1: [u64; L1_WORDS],
+    /// Ultra-far events: segment index -> FIFO list, sorted.
+    spill: BTreeMap<u64, Bucket>,
+    /// Cached first spill segment, `u64::MAX` when empty.
+    spill_min_seg: u64,
+}
+
+/// Segment of a cycle.
+fn seg(when: Cycle) -> u64 {
+    when >> L0_BITS
+}
+
+impl<M> CalendarQueue<M> {
+    fn new() -> Self {
+        CalendarQueue {
+            base: 0,
+            len: 0,
+            peak: 0,
+            nodes: Vec::with_capacity(1024),
+            free_head: NIL,
+            l0: vec![EMPTY_BUCKET; L0_SIZE],
+            occ0: [0; L0_WORDS],
+            l1: vec![EMPTY_BUCKET; L1_SIZE],
+            occ1: [0; L1_WORDS],
+            spill: BTreeMap::new(),
+            spill_min_seg: u64::MAX,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn alloc_node(&mut self, when: Cycle, dst: ComponentId, msg: M) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let n = &mut self.nodes[idx as usize];
+            self.free_head = n.next;
+            n.when = when;
+            n.dst = dst;
+            n.next = NIL;
+            n.msg = Some(msg);
+            idx
+        } else {
+            let idx = self.nodes.len();
+            assert!(idx < NIL as usize, "event slab exhausted 32-bit indices");
+            self.nodes.push(Node { when, dst, next: NIL, msg: Some(msg) });
+            idx as u32
+        }
+    }
+
+    /// Enqueues an event. Precondition (upheld by `Simulation`):
+    /// `when >= self.base`.
+    fn push(&mut self, when: Cycle, dst: ComponentId, msg: M) {
+        debug_assert!(when >= self.base, "push below the wheel base");
+        let idx = self.alloc_node(when, dst, msg);
+        self.len += 1;
+        if self.len > self.peak {
+            self.peak = self.len;
+        }
+        let s = seg(when);
+        let delta = s - seg(self.base);
+        if delta == 0 {
+            let b = (when & L0_MASK) as usize;
+            Self::append(&mut self.l0[b], &mut self.nodes, idx);
+            self.occ0[b >> 6] |= 1u64 << (b & 63);
+        } else if delta < L1_SIZE as u64 {
+            let b = (s & (L1_SIZE as u64 - 1)) as usize;
+            Self::append(&mut self.l1[b], &mut self.nodes, idx);
+            self.occ1[b >> 6] |= 1u64 << (b & 63);
+        } else {
+            let list = self.spill.entry(s).or_insert(EMPTY_BUCKET);
+            if list.head == NIL {
+                list.head = idx;
+            } else {
+                nodes_link(&mut self.nodes, list.tail, idx);
+            }
+            list.tail = idx;
+            self.spill_min_seg = self.spill_min_seg.min(s);
+        }
+    }
+
+    fn append(bucket: &mut Bucket, nodes: &mut [Node<M>], idx: u32) {
+        if bucket.head == NIL {
+            bucket.head = idx;
+        } else {
+            nodes_link(nodes, bucket.tail, idx);
+        }
+        bucket.tail = idx;
+    }
+
+    /// First occupied level-0 bit at or after `from` (no wrap: level 0
+    /// only holds cycles of the current segment at positions `>= base`).
+    fn scan_l0(&self, from: usize) -> Option<usize> {
+        let mut word_idx = from >> 6;
+        let mut w = self.occ0[word_idx] & (u64::MAX << (from & 63));
+        loop {
+            if w != 0 {
+                return Some((word_idx << 6) | w.trailing_zeros() as usize);
+            }
+            word_idx += 1;
+            if word_idx == L0_WORDS {
+                return None;
+            }
+            w = self.occ0[word_idx];
+        }
+    }
+
+    /// Offset (in segments, `1..L1_SIZE`) of the next occupied level-1
+    /// bucket strictly after ring position `cur`, or `None`.
+    fn scan_l1(&self, cur: usize) -> Option<usize> {
+        let mut word_idx = cur >> 6;
+        let mut w = self.occ1[word_idx] & !(u64::MAX >> (63 - (cur & 63)));
+        let mut visited = 0;
+        loop {
+            if w != 0 {
+                let b = (word_idx << 6) | w.trailing_zeros() as usize;
+                let offset = (b + L1_SIZE - cur) & (L1_SIZE - 1);
+                debug_assert!(offset != 0, "current segment cannot sit in level 1");
+                return Some(offset);
+            }
+            visited += 1;
+            if visited > L1_WORDS {
+                return None;
+            }
+            word_idx = (word_idx + 1) & (L1_WORDS - 1);
+            w = self.occ1[word_idx];
+        }
+    }
+
+    /// Earliest event cycle in a segment list (O(list length); runs once
+    /// per segment advance, only to honor `deadline` without mutating).
+    fn list_min_when(&self, mut idx: u32) -> Cycle {
+        let mut min = Cycle::MAX;
+        while idx != NIL {
+            let n = &self.nodes[idx as usize];
+            min = min.min(n.when);
+            idx = n.next;
+        }
+        min
+    }
+
+    /// Pops the earliest event if its delivery time is `<= deadline`.
+    ///
+    /// Advances `base` (redistributing wheel levels) only when committing
+    /// to a delivery, so a deadline miss leaves the queue untouched and
+    /// `base` never outruns the simulation clock.
+    fn pop_at_or_before(&mut self, deadline: Cycle) -> Option<(Cycle, ComponentId, M)> {
+        if self.len == 0 {
+            return None;
+        }
+        let bit = (self.base & L0_MASK) as usize;
+        let found = match self.scan_l0(bit) {
+            Some(p) => p,
+            None => {
+                // Current segment exhausted: locate the next source
+                // segment in level 1 (or the spill), peek its earliest
+                // cycle, and only then commit.
+                // Level-1 segments always precede spill segments (the
+                // spill starts past the level-1 horizon), so level 1
+                // wins whenever it is non-empty.
+                let bs = seg(self.base);
+                let (next_seg, head) = match self.scan_l1((bs & (L1_SIZE as u64 - 1)) as usize) {
+                    Some(off) => {
+                        let s = bs + off as u64;
+                        (s, self.l1[(s & (L1_SIZE as u64 - 1)) as usize].head)
+                    }
+                    None => {
+                        let s = self.spill_min_seg;
+                        debug_assert!(s != u64::MAX, "events lost: len > 0 but queues empty");
+                        (s, self.spill.get(&s).expect("cached spill segment").head)
+                    }
+                };
+                let m = self.list_min_when(head);
+                debug_assert_eq!(seg(m), next_seg, "segment list holds a foreign cycle");
+                if m > deadline {
+                    return None;
+                }
+                self.advance_to(m);
+                (m & L0_MASK) as usize
+            }
+        };
+        let c = (self.base & !L0_MASK) | found as Cycle;
+        if c > deadline {
+            return None;
+        }
+        self.base = c;
+        let bucket = &mut self.l0[found];
+        let idx = bucket.head;
+        let node = &mut self.nodes[idx as usize];
+        debug_assert_eq!(node.when, c, "bucket holds a foreign cycle");
+        let msg = node.msg.take().expect("queued node lost its message");
+        let dst = node.dst;
+        bucket.head = node.next;
+        node.next = self.free_head;
+        self.free_head = idx;
+        if bucket.head == NIL {
+            bucket.tail = NIL;
+            self.occ0[found >> 6] &= !(1u64 << (found & 63));
+        }
+        self.len -= 1;
+        Some((c, dst, msg))
+    }
+
+    /// Commits a segment advance to the segment of `m` (the next event):
+    /// migrates spill segments that entered the level-1 window, then
+    /// redistributes the new current segment's list into level 0.
+    fn advance_to(&mut self, m: Cycle) {
+        self.base = m & !L0_MASK; // provisional: start of the new segment
+        let bs = seg(m);
+        // Spill segments now within [bs, bs + L1_SIZE) move to level 1.
+        // Their ring slots are empty: the previous tenant segment lies
+        // behind `bs` (redistributed long ago), the next one is still
+        // beyond the horizon.
+        while self.spill_min_seg != u64::MAX && self.spill_min_seg - bs < L1_SIZE as u64 {
+            let (s, list) = self.spill.pop_first().expect("cached spill segment");
+            let b = (s & (L1_SIZE as u64 - 1)) as usize;
+            debug_assert_eq!(self.l1[b].head, NIL, "spill migration hit a live segment");
+            self.l1[b] = list;
+            self.occ1[b >> 6] |= 1u64 << (b & 63);
+            self.spill_min_seg = self.spill.first_key_value().map(|(&k, _)| k).unwrap_or(u64::MAX);
+        }
+        // Redistribute the new current segment into level 0, preserving
+        // insertion order (the list is walked head to tail).
+        let b1 = (bs & (L1_SIZE as u64 - 1)) as usize;
+        let mut idx = self.l1[b1].head;
+        self.l1[b1] = EMPTY_BUCKET;
+        self.occ1[b1 >> 6] &= !(1u64 << (b1 & 63));
+        while idx != NIL {
+            let next = self.nodes[idx as usize].next;
+            self.nodes[idx as usize].next = NIL;
+            let b = (self.nodes[idx as usize].when & L0_MASK) as usize;
+            Self::append(&mut self.l0[b], &mut self.nodes, idx);
+            self.occ0[b >> 6] |= 1u64 << (b & 63);
+            idx = next;
+        }
     }
 }
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Links `tail -> idx` in the slab (free function so bucket borrows and
+/// node borrows stay disjoint).
+fn nodes_link<M>(nodes: &mut [Node<M>], tail: u32, idx: u32) {
+    nodes[tail as usize].next = idx;
 }
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (when, seq) pops
-        // first. seq breaks ties FIFO, making runs deterministic.
-        (other.when, other.seq).cmp(&(self.when, self.seq))
-    }
-}
+
+// ---------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------
 
 /// A deterministic discrete-event simulation.
 ///
 /// See the [crate-level documentation](crate) for an example.
 pub struct Simulation<M> {
     now: Cycle,
-    seq: u64,
-    queue: BinaryHeap<Scheduled<M>>,
+    queue: CalendarQueue<M>,
     components: Vec<Box<dyn Component<M>>>,
     stop: bool,
     events_processed: u64,
@@ -154,8 +468,7 @@ impl<M: 'static> Simulation<M> {
     pub fn new() -> Self {
         Simulation {
             now: 0,
-            seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             components: Vec::new(),
             stop: false,
             events_processed: 0,
@@ -182,8 +495,7 @@ impl<M: 'static> Simulation<M> {
     pub fn schedule(&mut self, at: Cycle, dst: ComponentId, msg: M) {
         assert!(at >= self.now, "cannot schedule into the past");
         assert!(dst.index() < self.components.len(), "unknown component {dst}");
-        self.queue.push(Scheduled { when: at, seq: self.seq, dst, msg });
-        self.seq += 1;
+        self.queue.push(at, dst, msg);
     }
 
     /// The current simulation time.
@@ -194,6 +506,11 @@ impl<M: 'static> Simulation<M> {
     /// Total messages delivered so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Peak number of simultaneously pending events observed so far.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue.peak
     }
 
     /// Whether a stop was requested by a component.
@@ -210,34 +527,21 @@ impl<M: 'static> Simulation<M> {
     /// Runs until the queue drains, a stop is requested, or the next event
     /// would be delivered after `deadline`. Returns the final time.
     pub fn run_until(&mut self, deadline: Cycle) -> Cycle {
-        let mut outbox: Vec<(Cycle, ComponentId, M)> = Vec::with_capacity(16);
         while !self.stop {
-            let Some(head) = self.queue.peek() else { break };
-            if head.when > deadline {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked event vanished");
-            debug_assert!(ev.when >= self.now, "event queue went backwards");
-            self.now = ev.when;
+            let Some((when, dst, msg)) = self.queue.pop_at_or_before(deadline) else { break };
+            debug_assert!(when >= self.now, "event queue went backwards");
+            self.now = when;
             self.events_processed += 1;
-            {
-                let comp = &mut self.components[ev.dst.index()];
-                let mut ctx = Context {
-                    now: self.now,
-                    self_id: ev.dst,
-                    outbox: &mut outbox,
-                    stop: &mut self.stop,
-                };
-                comp.on_message(ev.msg, &mut ctx);
-            }
-            for (when, dst, msg) in outbox.drain(..) {
-                assert!(
-                    dst.index() < self.components.len(),
-                    "message sent to unknown component {dst}"
-                );
-                self.queue.push(Scheduled { when, seq: self.seq, dst, msg });
-                self.seq += 1;
-            }
+            let component_count = self.components.len();
+            let comp = &mut self.components[dst.index()];
+            let mut ctx = Context {
+                now: self.now,
+                self_id: dst,
+                queue: &mut self.queue,
+                component_count,
+                stop: &mut self.stop,
+            };
+            comp.on_message(msg, &mut ctx);
         }
         self.now
     }
@@ -268,13 +572,74 @@ impl<M: 'static> Simulation<M> {
 
     /// Whether the event queue is empty.
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty()
+        self.queue.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference queue (tests only)
+// ---------------------------------------------------------------------
+
+/// The seed engine's `(when, seq)` binary-heap queue, kept as the
+/// ordering oracle for the calendar queue's property tests.
+#[cfg(test)]
+mod reference {
+    use super::{ComponentId, Cycle};
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    struct Scheduled<M> {
+        when: Cycle,
+        seq: u64,
+        dst: ComponentId,
+        msg: M,
+    }
+
+    impl<M> PartialEq for Scheduled<M> {
+        fn eq(&self, other: &Self) -> bool {
+            self.when == other.when && self.seq == other.seq
+        }
+    }
+    impl<M> Eq for Scheduled<M> {}
+    impl<M> PartialOrd for Scheduled<M> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<M> Ord for Scheduled<M> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Max-heap inverted so the earliest (when, seq) pops first;
+            // seq breaks ties FIFO.
+            (other.when, other.seq).cmp(&(self.when, self.seq))
+        }
+    }
+
+    /// Totally ordered `(when, seq)` event queue.
+    pub struct HeapQueue<M> {
+        seq: u64,
+        heap: BinaryHeap<Scheduled<M>>,
+    }
+
+    impl<M> HeapQueue<M> {
+        pub fn new() -> Self {
+            HeapQueue { seq: 0, heap: BinaryHeap::new() }
+        }
+
+        pub fn push(&mut self, when: Cycle, dst: ComponentId, msg: M) {
+            self.heap.push(Scheduled { when, seq: self.seq, dst, msg });
+            self.seq += 1;
+        }
+
+        pub fn pop(&mut self) -> Option<(Cycle, ComponentId, M)> {
+            self.heap.pop().map(|s| (s.when, s.dst, s.msg))
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[derive(Debug, PartialEq)]
     enum Msg {
@@ -312,6 +677,7 @@ mod tests {
         let rec = sim.component::<Recorder>(r);
         assert_eq!(rec.seen, vec![(0, 4), (3, 2), (5, 1), (5, 3)]);
         assert_eq!(sim.events_processed(), 4);
+        assert_eq!(sim.peak_queue_depth(), 4);
     }
 
     struct Chain {
@@ -364,6 +730,20 @@ mod tests {
     }
 
     #[test]
+    fn scheduling_between_deadline_runs_stays_ordered() {
+        // A deadline miss must not advance the wheel past `now`: events
+        // scheduled afterwards, before the far-future one, still win.
+        let mut sim = Simulation::new();
+        let r = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        sim.schedule(10, r, Msg::Ping(1));
+        sim.schedule(200_000, r, Msg::Ping(2)); // beyond the wheel horizon
+        sim.run_until(15);
+        sim.schedule(17, r, Msg::Ping(3));
+        sim.run();
+        assert_eq!(sim.component::<Recorder>(r).seen, vec![(10, 1), (17, 3), (200_000, 2)]);
+    }
+
+    #[test]
     #[should_panic(expected = "cannot schedule into the past")]
     fn scheduling_in_the_past_panics() {
         let mut sim = Simulation::new();
@@ -407,5 +787,132 @@ mod tests {
         sim.run();
         // Ping(1) was enqueued first, so it is seen before the zero-delay reply.
         assert_eq!(sim.component::<Recorder>(rec).seen, vec![(4, 1), (4, 99)]);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_spill_level() {
+        // Several wheel revolutions apart, interleaved with near events.
+        let mut sim = Simulation::new();
+        let r = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        let horizon = (L0_SIZE * L1_SIZE) as Cycle;
+        let ats = [1_000_000_000u64, 3, 123_456, 9_000_000_000, horizon - 1, horizon, 2 * horizon];
+        for (i, at) in ats.iter().enumerate() {
+            sim.schedule(*at, r, Msg::Ping(i as u32));
+        }
+        sim.run();
+        let mut expected: Vec<(Cycle, u32)> =
+            ats.iter().enumerate().map(|(i, &at)| (at, i as u32)).collect();
+        expected.sort_unstable();
+        assert_eq!(&sim.component::<Recorder>(r).seen, &expected);
+    }
+
+    #[test]
+    fn slab_recycles_nodes_across_a_long_run() {
+        // A two-component ping-pong delivers 10_000 events through a
+        // queue that never holds more than one: the slab must not grow.
+        struct Pong {
+            peer: Option<ComponentId>,
+            left: u32,
+        }
+        impl Component<Msg> for Pong {
+            fn on_message(&mut self, _m: Msg, ctx: &mut Context<'_, Msg>) {
+                if self.left == 0 {
+                    ctx.request_stop();
+                    return;
+                }
+                self.left -= 1;
+                let to = self.peer.unwrap_or(ctx.self_id());
+                ctx.send(to, 3, Msg::Log);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new();
+        let a = sim.add_component(Box::new(Pong { peer: None, left: 10_000 }));
+        let b = sim.add_component(Box::new(Pong { peer: Some(a), left: 10_000 }));
+        sim.component_mut::<Pong>(a).peer = Some(b);
+        sim.schedule(0, a, Msg::Log);
+        sim.run();
+        assert!(sim.events_processed() > 10_000);
+        assert_eq!(sim.peak_queue_depth(), 1, "ping-pong keeps exactly one event in flight");
+        assert_eq!(sim.queue.nodes.len(), 1, "slab must recycle its single node");
+    }
+
+    // -----------------------------------------------------------------
+    // Property test: calendar queue == reference heap, event for event
+    // -----------------------------------------------------------------
+
+    /// Delay classes covering the interesting regimes: same-cycle
+    /// (zero-delay sends from handlers), in-segment constants, the exact
+    /// segment and level-1 horizons, and far-future spills.
+    const DELAY_MENU: [Cycle; 8] = [
+        0,
+        1,
+        16,
+        L0_SIZE as Cycle - 1,
+        L0_SIZE as Cycle,
+        (L0_SIZE * L1_SIZE) as Cycle - 1,
+        (L0_SIZE * L1_SIZE) as Cycle,
+        3 * (L0_SIZE * L1_SIZE) as Cycle + 12_345,
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn calendar_matches_reference_heap(
+            initial in prop::collection::vec((0u8..8, 0u8..16), 1..40),
+            followups in prop::collection::vec(
+                prop::collection::vec((0u8..8, 0u8..16), 0..3),
+                0..400
+            ),
+        ) {
+            let mut cal = CalendarQueue::<u32>::new();
+            let mut heap = reference::HeapQueue::<u32>::new();
+            let mut payload = 0u32;
+
+            // Initial schedule: bursts share cycles via the small delay
+            // menu, exercising FIFO-within-cycle from the first pop.
+            for &(delay_ix, dst) in &initial {
+                let when = DELAY_MENU[delay_ix as usize];
+                let dst = ComponentId(dst as u32);
+                cal.push(when, dst, payload);
+                heap.push(when, dst, payload);
+                payload += 1;
+            }
+
+            // Drain both queues in lockstep; each delivery may trigger
+            // "handler" sends relative to the current cycle, including
+            // zero-delay sends landing back on the cycle being drained.
+            let mut delivered = 0usize;
+            loop {
+                let a = cal.pop_at_or_before(Cycle::MAX);
+                let b = heap.pop();
+                match (a, b) {
+                    (None, None) => break,
+                    (Some((wa, da, pa)), Some((wb, db, pb))) => {
+                        prop_assert_eq!(wa, wb, "delivery cycle diverged");
+                        prop_assert_eq!(da, db, "destination diverged");
+                        prop_assert_eq!(pa, pb, "payload (insertion order) diverged");
+                        if let Some(sends) = followups.get(delivered) {
+                            for &(delay_ix, dst) in sends {
+                                let when = wa + DELAY_MENU[delay_ix as usize];
+                                let dst = ComponentId(dst as u32);
+                                cal.push(when, dst, payload);
+                                heap.push(when, dst, payload);
+                                payload += 1;
+                            }
+                        }
+                        delivered += 1;
+                    }
+                    (a, b) => prop_assert!(false, "queue lengths diverged: {a:?} vs {b:?}"),
+                }
+            }
+            prop_assert_eq!(cal.len(), 0);
+        }
     }
 }

@@ -19,6 +19,37 @@
 
 use crate::task::{TaskId, TaskTrace};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Deterministic multiply-xor hasher for object base addresses.
+///
+/// `from_trace` hashes one `u64` per tracked operand of every task; the
+/// default SipHash shows up in simulator-throughput profiles, and its
+/// DoS resistance buys nothing against synthetic traces. The constant is
+/// the 64-bit golden ratio (same mixer as `SplitMix64`).
+#[derive(Default)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        // Finish with an xor-shift so low output bits depend on high
+        // input bits (table indices use the low bits).
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+/// `HashMap` keyed by object address with the fast deterministic hasher.
+pub type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
 
 /// Dependency edge classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,31 +87,122 @@ pub struct DepEdge {
 struct ObjectState {
     /// Task holding the latest version (last writer), if in flight.
     last_writer: Option<TaskId>,
-    /// Readers of the latest version since the last write.
-    readers: Vec<TaskId>,
+    /// Readers of the latest version since the last write. Table-I
+    /// traces rarely exceed a handful of readers per version (Figure
+    /// 10), so the first 8 live inline and the replay loop allocates
+    /// only for outliers.
+    readers_len: usize,
+    readers: [TaskId; 8],
+    readers_overflow: Vec<TaskId>,
+}
+
+impl ObjectState {
+    fn push_reader(&mut self, t: TaskId) {
+        if self.readers_len < self.readers.len() {
+            self.readers[self.readers_len] = t;
+        } else {
+            self.readers_overflow.push(t);
+        }
+        self.readers_len += 1;
+    }
+
+    fn readers(&self) -> impl Iterator<Item = TaskId> + '_ {
+        let inline = self.readers_len.min(self.readers.len());
+        self.readers[..inline].iter().copied().chain(self.readers_overflow.iter().copied())
+    }
+
+    fn clear_readers(&mut self) {
+        self.readers_len = 0;
+        self.readers_overflow.clear();
+    }
 }
 
 /// The dependency graph of a trace: full classified edge list plus
 /// enforced predecessor/successor adjacency.
+///
+/// Adjacency is stored flat (CSR: one offsets array, one data array per
+/// direction) instead of `Vec<Vec<_>>`: graph construction runs once per
+/// software-runtime simulation, and 2·n little vectors dominated its
+/// allocator traffic.
 #[derive(Debug, Clone)]
 pub struct DepGraph {
     n: usize,
     edges: Vec<DepEdge>,
-    preds: Vec<Vec<TaskId>>,
-    succs: Vec<Vec<TaskId>>,
+    pred_off: Vec<u32>,
+    pred_dat: Vec<TaskId>,
+    succ_off: Vec<u32>,
+    succ_dat: Vec<TaskId>,
     removed_by_renaming: usize,
+}
+
+/// Builds one CSR direction from `(node, neighbor)` pairs; neighbors of
+/// each node end up sorted and deduplicated.
+fn build_csr(
+    n: usize,
+    pairs: impl Iterator<Item = (TaskId, TaskId)> + Clone,
+) -> (Vec<u32>, Vec<TaskId>) {
+    let mut counts = vec![0u32; n + 1];
+    for (node, _) in pairs.clone() {
+        counts[node + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let mut dat = vec![0 as TaskId; *counts.last().unwrap() as usize];
+    let mut cursor = counts.clone();
+    for (node, nb) in pairs {
+        dat[cursor[node] as usize] = nb;
+        cursor[node] += 1;
+    }
+    // Sort + dedup each node's range in place, compacting as we go.
+    let mut write = 0usize;
+    let mut off = vec![0u32; n + 1];
+    for i in 0..n {
+        let (lo, hi) = (counts[i] as usize, counts[i + 1] as usize);
+        dat[lo..hi].sort_unstable();
+        let start = write;
+        let mut last: Option<TaskId> = None;
+        for k in lo..hi {
+            if last != Some(dat[k]) {
+                last = Some(dat[k]);
+                dat[write] = dat[k];
+                write += 1;
+            }
+        }
+        off[i] = start as u32;
+        off[i + 1] = write as u32;
+    }
+    dat.truncate(write);
+    (off, dat)
 }
 
 impl DepGraph {
     /// Builds the graph by exact replay of `trace` in program order.
     pub fn from_trace(trace: &TaskTrace) -> Self {
         let n = trace.len();
-        let mut edges = Vec::new();
-        let mut objects: HashMap<u64, ObjectState> = HashMap::new();
+        // Rough upper-bound reservation: one RaW per read plus ordering
+        // edges against prior readers — about 2 edges per operand in the
+        // Table-I traces. Growing a multi-megabyte edge list by doubling
+        // was measurable in the software-runtime build.
+        let total_ops: usize = trace.iter().map(|t| t.operands.len()).sum();
+        let mut edges = Vec::with_capacity(2 * total_ops);
+        // Object states live in a dense vector; the hash map only
+        // interns addresses to indices. Keeping the map entries at 12
+        // bytes (vs. a ~100-byte inline state) keeps the whole probe
+        // table cache-resident for big traces. Sized for the common
+        // case of roughly one distinct object per task (Table-I traces
+        // all fit); a wider-fan-in trace may still rehash once or twice.
+        let mut object_index: AddrMap<u32> =
+            AddrMap::with_capacity_and_hasher(n.max(16), BuildHasherDefault::default());
+        let mut states: Vec<ObjectState> = Vec::with_capacity(n.max(16));
 
         for (tid, task) in trace.iter().enumerate() {
             for op in task.operands.iter().filter(|o| o.is_tracked()) {
-                let st = objects.entry(op.addr).or_default();
+                let id = *object_index.entry(op.addr).or_insert_with(|| {
+                    states.push(ObjectState::default());
+                    (states.len() - 1) as u32
+                });
+                let st = &mut states[id as usize];
                 if op.dir.reads() {
                     // RaW from the in-flight producer, if any.
                     if let Some(w) = st.last_writer {
@@ -92,7 +214,7 @@ impl DepGraph {
                 if op.dir.writes() {
                     let inout = op.dir.reads();
                     // Ordering against the previous version's readers.
-                    for &r in &st.readers {
+                    for r in st.readers() {
                         if r != tid {
                             let kind = if inout { DepKind::InoutAnti } else { DepKind::WaR };
                             edges.push(DepEdge { from: r, to: tid, kind });
@@ -106,31 +228,20 @@ impl DepGraph {
                         }
                     }
                     st.last_writer = Some(tid);
-                    st.readers.clear();
+                    st.clear_readers();
                 }
                 if op.dir.reads() {
-                    st.readers.push(tid);
+                    st.push_reader(tid);
                 }
             }
         }
 
-        let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
-        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
-        let mut removed = 0usize;
-        for e in &edges {
-            if e.kind.enforced() {
-                preds[e.to].push(e.from);
-                succs[e.from].push(e.to);
-            } else {
-                removed += 1;
-            }
-        }
-        for v in preds.iter_mut().chain(succs.iter_mut()) {
-            v.sort_unstable();
-            v.dedup();
-        }
+        let removed = edges.iter().filter(|e| !e.kind.enforced()).count();
+        let enforced = edges.iter().filter(|e| e.kind.enforced());
+        let (pred_off, pred_dat) = build_csr(n, enforced.clone().map(|e| (e.to, e.from)));
+        let (succ_off, succ_dat) = build_csr(n, enforced.map(|e| (e.from, e.to)));
 
-        DepGraph { n, edges, preds, succs, removed_by_renaming: removed }
+        DepGraph { n, edges, pred_off, pred_dat, succ_off, succ_dat, removed_by_renaming: removed }
     }
 
     /// Number of tasks (graph nodes).
@@ -150,12 +261,12 @@ impl DepGraph {
 
     /// Enforced (deduplicated) predecessors of `t`.
     pub fn preds(&self, t: TaskId) -> &[TaskId] {
-        &self.preds[t]
+        &self.pred_dat[self.pred_off[t] as usize..self.pred_off[t + 1] as usize]
     }
 
     /// Enforced (deduplicated) successors of `t`.
     pub fn succs(&self, t: TaskId) -> &[TaskId] {
-        &self.succs[t]
+        &self.succ_dat[self.succ_off[t] as usize..self.succ_off[t + 1] as usize]
     }
 
     /// Number of WaR/WaW edges that operand renaming eliminates.
@@ -165,12 +276,12 @@ impl DepGraph {
 
     /// Number of enforced edges (after dedup).
     pub fn enforced_edge_count(&self) -> usize {
-        self.succs.iter().map(|s| s.len()).sum()
+        self.succ_dat.len()
     }
 
     /// Tasks with no enforced predecessors (immediately runnable).
     pub fn roots(&self) -> impl Iterator<Item = TaskId> + '_ {
-        (0..self.n).filter(|&t| self.preds[t].is_empty())
+        (0..self.n).filter(|&t| self.preds(t).is_empty())
     }
 
     /// Whether `to` is reachable from `from` over enforced edges.
@@ -183,7 +294,7 @@ impl DepGraph {
         let mut stack = vec![from];
         visited[from] = true;
         while let Some(t) = stack.pop() {
-            for &s in &self.succs[t] {
+            for &s in self.succs(t) {
                 if s == to {
                     return true;
                 }
