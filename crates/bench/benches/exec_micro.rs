@@ -1,0 +1,41 @@
+//! Microbenchmarks for the native executor (`tss-exec`): renamer decode
+//! throughput and threaded replay, tracked so scheduler or renamer
+//! regressions show up in `cargo bench` like simulator regressions do
+//! in `engine_core`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tss_exec::{ExecConfig, Executor, PayloadMode, Renamer};
+use tss_workloads::{Benchmark, Scale};
+
+fn decode_throughput(c: &mut Criterion) {
+    let trace = Benchmark::Cholesky.trace(Scale::Small, 1);
+    let renamer = Renamer::new();
+    let mut g = c.benchmark_group("exec_decode");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("cholesky_small", |b| b.iter(|| renamer.decode(&trace)));
+    g.bench_function("cholesky_small_no_renaming", |b| {
+        let r = Renamer::new().renaming(false);
+        b.iter(|| r.decode(&trace))
+    });
+    g.finish();
+}
+
+fn replay_throughput(c: &mut Criterion) {
+    let trace = Benchmark::Cholesky.trace(Scale::Small, 1);
+    let mut g = c.benchmark_group("exec_replay_noop");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for threads in [1usize, 4] {
+        let cfg = ExecConfig {
+            threads,
+            payload: PayloadMode::Noop,
+            validate: false, // timing only; correctness is tested elsewhere
+            ..ExecConfig::default()
+        };
+        let exec = Executor::new(cfg);
+        g.bench_function(format!("threads_{threads}"), |b| b.iter(|| exec.run(&trace)));
+    }
+    g.finish();
+}
+
+criterion_group!(exec_micro, decode_throughput, replay_throughput);
+criterion_main!(exec_micro);

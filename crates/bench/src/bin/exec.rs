@@ -1,0 +1,302 @@
+//! Native-executor harness: replay all nine Table-I benchmarks on real
+//! threads (`tss-exec`), oracle-validate every completion log, and
+//! record decode + replay throughput in `BENCH_exec.json` (DESIGN.md
+//! §7).
+//!
+//! Two numbers per benchmark:
+//!
+//! - **decode** — the software renamer's one-pass, single-thread decode
+//!   rate in ns/task (best of [`DECODE_REPS`] passes). This is the
+//!   native analog of the paper's Section-II measurement that a
+//!   software task decoder costs ~700 ns/task — the ceiling the whole
+//!   hardware pipeline exists to break. The cross-check printed at the
+//!   bottom (and recorded in EXPERIMENTS.md) is the fig16 story at
+//!   native speed: how much decode headroom a lean software frontend
+//!   actually has.
+//! - **replay** — end-to-end threaded replay throughput in tasks/sec
+//!   with the selected payload, plus steals and per-worker utilization.
+//!
+//! Every replay's completion log is checked against the
+//! `DepGraph` oracle; any violation exits nonzero (CI gates on this,
+//! not on timing).
+//!
+//! Flags: `--scale small|paper|large`, `--threads N`, `--payload
+//! noop|spin|memcpy`, `--spin-scale F`, `--seed N`, `--no-renaming`,
+//! `--json`, `--out PATH`.
+
+use std::time::{Duration, Instant};
+
+use tss_core::report::fmt_f;
+use tss_core::Table;
+use tss_exec::{ExecConfig, ExecReport, Executor, PayloadMode, Renamer};
+use tss_trace::DepGraph;
+use tss_workloads::{Benchmark, Scale};
+
+/// The paper's software-decoder baseline (Section II): ~700 ns/task.
+const PAPER_SOFTWARE_DECODE_NS: f64 = 700.0;
+
+/// Decode passes per benchmark; the best is reported (first pass pays
+/// page faults and cache warmup).
+const DECODE_REPS: usize = 3;
+
+struct Args {
+    scale: Scale,
+    threads: usize,
+    payload: PayloadMode,
+    seed: u64,
+    renaming: bool,
+    json: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        scale: Scale::Small,
+        threads: 4,
+        payload: PayloadMode::Noop,
+        seed: 42,
+        renaming: true,
+        json: false,
+        out: "BENCH_exec.json".into(),
+    };
+    let mut spin_scale = 1.0f64;
+    let mut payload_name = String::from("noop");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                out.scale = Scale::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown scale '{v}' (small|paper|large)"));
+            }
+            "--threads" => {
+                out.threads = args
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads must be a positive integer");
+                assert!(out.threads >= 1, "--threads must be at least 1");
+            }
+            "--payload" => {
+                payload_name = args.next().expect("--payload needs a value");
+            }
+            "--spin-scale" => {
+                spin_scale = args
+                    .next()
+                    .expect("--spin-scale needs a value")
+                    .parse()
+                    .expect("--spin-scale must be a float");
+            }
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+            }
+            "--no-renaming" => out.renaming = false,
+            "--json" => out.json = true,
+            "--out" => out.out = args.next().expect("--out needs a path"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: exec [--scale small|paper|large] [--threads N] \
+                     [--payload noop|spin|memcpy] [--spin-scale F] [--seed N] \
+                     [--no-renaming] [--json] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag '{other}' (try --help)"),
+        }
+    }
+    out.payload = PayloadMode::parse(&payload_name, spin_scale)
+        .unwrap_or_else(|| panic!("unknown payload '{payload_name}' (noop|spin|memcpy)"));
+    out
+}
+
+struct Point {
+    report: ExecReport,
+    decode_best: Duration,
+}
+
+impl Point {
+    fn decode_ns_per_task(&self) -> f64 {
+        if self.report.tasks == 0 {
+            return 0.0;
+        }
+        self.decode_best.as_nanos() as f64 / self.report.tasks as f64
+    }
+
+    fn decode_tasks_per_sec(&self) -> f64 {
+        let ns = self.decode_ns_per_task();
+        if ns > 0.0 {
+            1e9 / ns
+        } else {
+            0.0
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Aggregate decode stats over all benchmarks: `(total tasks, ns/task,
+/// tasks/sec, headroom vs the paper's software decoder)`. One helper so
+/// the JSON artifact and the printed summary can never disagree.
+fn aggregate_decode(points: &[Point]) -> (usize, f64, f64, f64) {
+    let tasks: usize = points.iter().map(|p| p.report.tasks).sum();
+    let decode_wall: f64 = points.iter().map(|p| p.decode_best.as_secs_f64()).sum();
+    let agg_ns = if tasks > 0 { decode_wall * 1e9 / tasks as f64 } else { 0.0 };
+    if agg_ns > 0.0 {
+        (tasks, agg_ns, 1e9 / agg_ns, PAPER_SOFTWARE_DECODE_NS / agg_ns)
+    } else {
+        (tasks, 0.0, 0.0, 0.0)
+    }
+}
+
+fn to_json(args: &Args, points: &[Point]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tss-bench-exec/v1\",\n");
+    s.push_str(&format!("  \"scale\": \"{}\",\n", args.scale.name()));
+    s.push_str(&format!("  \"threads\": {},\n", args.threads));
+    s.push_str(&format!("  \"payload\": \"{}\",\n", args.payload.name()));
+    s.push_str(&format!("  \"seed\": {},\n", args.seed));
+    s.push_str(&format!("  \"renaming\": {},\n", args.renaming));
+    s.push_str(&format!("  \"paper_software_decoder_ns_per_task\": {PAPER_SOFTWARE_DECODE_NS},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let r = &p.report;
+        let workers: Vec<String> = (0..r.workers.len())
+            .map(|w| {
+                format!(
+                    "{{\"executed\": {}, \"steals\": {}, \"busy_frac\": {:.4}}}",
+                    r.workers[w].executed,
+                    r.workers[w].steals,
+                    r.utilization(w)
+                )
+            })
+            .collect();
+        s.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"tasks\": {}, \"enforced_edges\": {}, \
+             \"decode_ns_per_task\": {:.1}, \"decode_tasks_per_sec\": {:.0}, \
+             \"exec_wall_ms\": {:.3}, \"exec_tasks_per_sec\": {:.0}, \"steals\": {}, \
+             \"validated\": {}, \"workers\": [{}]}}{}\n",
+            json_escape(&r.benchmark),
+            r.tasks,
+            r.rename.enforced_edges,
+            p.decode_ns_per_task(),
+            p.decode_tasks_per_sec(),
+            r.exec_wall.as_secs_f64() * 1e3,
+            r.tasks_per_sec(),
+            r.total_steals(),
+            r.validated,
+            workers.join(", "),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    let (tasks, agg_ns, per_sec, headroom) = aggregate_decode(points);
+    s.push_str(&format!(
+        "  \"totals\": {{\"tasks\": {tasks}, \"decode_ns_per_task\": {agg_ns:.1}, \
+         \"decode_tasks_per_sec\": {per_sec:.0}, \"decode_headroom_vs_paper\": {headroom:.1}}}\n",
+    ));
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let args = parse_args();
+    let mut points = Vec::with_capacity(9);
+    for bench in Benchmark::all() {
+        let trace = bench.trace(args.scale, args.seed);
+
+        // Decode microbench: the renamer alone, single pass, best of N.
+        let renamer = Renamer::new().renaming(args.renaming);
+        let mut decode_best = Duration::MAX;
+        for _ in 0..DECODE_REPS {
+            let t0 = Instant::now();
+            let g = renamer.decode(&trace);
+            let dt = t0.elapsed();
+            std::hint::black_box(g.len());
+            decode_best = decode_best.min(dt);
+        }
+
+        // Full replay: validation is part of the run contract — the
+        // executor panics on an oracle violation, but the harness also
+        // checks explicitly so a failure exits with a clear message.
+        let cfg = ExecConfig {
+            threads: args.threads,
+            payload: args.payload,
+            renaming: args.renaming,
+            seed: args.seed,
+            validate: false, // the harness validates below, outside the timed run
+        };
+        let report = Executor::new(cfg).run(&trace);
+        let oracle = DepGraph::from_trace(&trace);
+        let mut report = report;
+        if let Err(v) = oracle.validate_order(&report.order) {
+            eprintln!("[exec] {bench}: ORACLE VIOLATION: {v}");
+            std::process::exit(1);
+        }
+        report.validated = true;
+        eprintln!(
+            "  [exec] {bench}: {} tasks, decode {:.0} ns/task, replay {:.2} ms ({} steals) — ok",
+            report.tasks,
+            decode_best.as_nanos() as f64 / report.tasks.max(1) as f64,
+            report.exec_wall.as_secs_f64() * 1e3,
+            report.total_steals(),
+        );
+        points.push(Point { report, decode_best });
+    }
+
+    let json = to_json(&args, &points);
+    std::fs::write(&args.out, &json).expect("write BENCH_exec.json");
+
+    if args.json {
+        print!("{json}");
+    } else {
+        let mut table = Table::new(
+            format!(
+                "Native executor ({} scale, {} threads, {} payload, seed {})",
+                args.scale.name(),
+                args.threads,
+                args.payload.name(),
+                args.seed
+            ),
+            &[
+                "Benchmark",
+                "tasks",
+                "edges",
+                "decode ns/t",
+                "decode Mt/s",
+                "replay ms",
+                "replay t/s",
+                "steals",
+                "valid",
+            ],
+        );
+        for p in &points {
+            let r = &p.report;
+            table.row(vec![
+                r.benchmark.clone(),
+                r.tasks.to_string(),
+                r.rename.enforced_edges.to_string(),
+                fmt_f(p.decode_ns_per_task(), 0),
+                fmt_f(p.decode_tasks_per_sec() / 1e6, 2),
+                fmt_f(r.exec_wall.as_secs_f64() * 1e3, 2),
+                fmt_f(r.tasks_per_sec(), 0),
+                r.total_steals().to_string(),
+                if r.validated { "ok".into() } else { "FAIL".into() },
+            ]);
+        }
+        println!("{}", table.render());
+        let (_, agg_ns, per_sec, headroom) = aggregate_decode(&points);
+        println!(
+            "Aggregate native decode: {agg_ns:.0} ns/task ({:.2}M tasks/s) vs the paper's \
+             ~{PAPER_SOFTWARE_DECODE_NS:.0} ns/task software decoder — {headroom:.1}x headroom.",
+            per_sec / 1e6,
+        );
+        println!("(wrote {})", args.out);
+    }
+}

@@ -38,12 +38,8 @@ fn parse_args() -> PerfArgs {
         match a.as_str() {
             "--scale" => {
                 let v = args.next().expect("--scale needs a value");
-                out.scale = match v.as_str() {
-                    "small" => Scale::Small,
-                    "paper" => Scale::Paper,
-                    "large" => Scale::Large,
-                    other => panic!("unknown scale '{other}' (small|paper|large)"),
-                };
+                out.scale = Scale::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown scale '{v}' (small|paper|large)"));
             }
             "--seed" => {
                 out.seed = args
@@ -98,14 +94,6 @@ fn measure(report: RunReport, engine: &'static str, wall_s: f64) -> PerfPoint {
     }
 }
 
-fn scale_name(s: Scale) -> &'static str {
-    match s {
-        Scale::Small => "small",
-        Scale::Paper => "paper",
-        Scale::Large => "large",
-    }
-}
-
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -114,7 +102,7 @@ fn to_json(args: &PerfArgs, points: &[PerfPoint]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"tss-bench-pipeline/v1\",\n");
-    s.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(args.scale)));
+    s.push_str(&format!("  \"scale\": \"{}\",\n", args.scale.name()));
     s.push_str(&format!("  \"seed\": {},\n", args.seed));
     s.push_str(&format!("  \"event_core\": \"{}\",\n", tss_sim::engine::EVENT_CORE));
     s.push_str("  \"results\": [\n");
@@ -173,7 +161,7 @@ fn main() {
         let mut table = Table::new(
             format!(
                 "Simulator throughput ({} scale, seed {}, event core: {})",
-                scale_name(args.scale),
+                args.scale.name(),
                 args.seed,
                 tss_sim::engine::EVENT_CORE
             ),

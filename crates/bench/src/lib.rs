@@ -42,12 +42,8 @@ impl HarnessArgs {
             match a.as_str() {
                 "--scale" => {
                     let v = args.next().expect("--scale needs a value");
-                    out.scale = match v.as_str() {
-                        "small" => Scale::Small,
-                        "paper" => Scale::Paper,
-                        "large" => Scale::Large,
-                        other => panic!("unknown scale '{other}' (small|paper|large)"),
-                    };
+                    out.scale = Scale::parse(&v)
+                        .unwrap_or_else(|| panic!("unknown scale '{v}' (small|paper|large)"));
                 }
                 "--csv" => out.csv = true,
                 "--seed" => {

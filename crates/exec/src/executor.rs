@@ -1,0 +1,506 @@
+//! The execution core: real threads replaying a decoded task graph
+//! out of order, playing the role of the paper's CMP backend at native
+//! speed.
+//!
+//! Scheme (DESIGN.md §7):
+//!
+//! - every task carries an atomic *unready-producer* counter (decoded
+//!   by the [`Renamer`]); completing a task decrements its successors'
+//!   counters, and whichever worker performs the 1→0 transition pushes
+//!   the now-ready task onto its own deque (locality: the consumer
+//!   likely reads what the producer just wrote);
+//! - workers pop their own deque LIFO, fall back to the shared
+//!   injector (roots, in program order), then steal FIFO from victims
+//!   in a seeded random rotation;
+//! - idle workers park on a condvar epoch — no spinning. The dev and
+//!   CI machines can have fewer hardware threads than workers (the
+//!   container exposes one), where a spinning sibling would starve the
+//!   worker actually holding work;
+//! - completion takes a global atomic ticket *before* releasing
+//!   successors, so the ticket sequence is a linearization of the
+//!   dependency order: every run emits it as the completion log and
+//!   [`DepGraph::validate_order`] checks it — an invalid order is an
+//!   executor bug and fails the run.
+//!
+//! With one worker there is no stealing and no ticket race: replay
+//! order is a pure function of the queue discipline, which the
+//! determinism tests pin down.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::deque::WorkDeque;
+use crate::payload::{build_arena, PayloadMode, PayloadScratch};
+use crate::renamer::{RenameStats, Renamer, TaskGraph};
+use tss_trace::{DepGraph, OrderViolation, TaskId, TaskTrace};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker thread count (≥ 1).
+    pub threads: usize,
+    /// What each task execution does.
+    pub payload: PayloadMode,
+    /// Operand renaming in the frontend (off = WaR/WaW enforced too).
+    pub renaming: bool,
+    /// Seeds the per-worker steal-victim rotation.
+    pub seed: u64,
+    /// Check the completion log against the `DepGraph` oracle after the
+    /// run (on by default; a violating run panics — it is an executor
+    /// bug, never a workload property).
+    pub validate: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: 4,
+            payload: PayloadMode::Noop,
+            renaming: true,
+            seed: 1,
+            validate: true,
+        }
+    }
+}
+
+/// Per-worker counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Tasks this worker executed.
+    pub executed: u64,
+    /// Tasks this worker stole from other deques.
+    pub steals: u64,
+    /// Wall time spent inside payloads.
+    pub busy: Duration,
+}
+
+/// Everything measured in one native replay.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Benchmark name (from the trace).
+    pub benchmark: String,
+    /// Tasks replayed.
+    pub tasks: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Payload mode.
+    pub payload: PayloadMode,
+    /// Wall time of the renamer decode pass.
+    pub decode_wall: Duration,
+    /// Wall time of the threaded replay (decode excluded).
+    pub exec_wall: Duration,
+    /// The completion log: task ids in global completion-ticket order.
+    pub order: Vec<TaskId>,
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+    /// Renamer decode statistics.
+    pub rename: RenameStats,
+    /// Whether the completion log was checked against the oracle.
+    pub validated: bool,
+}
+
+impl ExecReport {
+    /// Decode throughput in nanoseconds per task (the native number the
+    /// paper's ~700 ns/task software-decoder ceiling is compared to).
+    pub fn decode_ns_per_task(&self) -> f64 {
+        if self.tasks == 0 {
+            return 0.0;
+        }
+        self.decode_wall.as_nanos() as f64 / self.tasks as f64
+    }
+
+    /// Replay throughput in tasks per second.
+    pub fn tasks_per_sec(&self) -> f64 {
+        let s = self.exec_wall.as_secs_f64();
+        if s > 0.0 {
+            self.tasks as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Total steals across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// A worker's busy fraction of the replay wall time.
+    pub fn utilization(&self, worker: usize) -> f64 {
+        let wall = self.exec_wall.as_secs_f64();
+        if wall > 0.0 {
+            self.workers[worker].busy.as_secs_f64() / wall
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Condvar epoch for idle-worker parking. Every work push bumps the
+/// epoch; a worker only sleeps if the epoch is unchanged since before
+/// its last (empty) scan, so no wakeup can be lost. The epoch itself is
+/// an atomic — the busy path (one read per loop iteration) must not
+/// serialize all workers on a mutex; the mutex + condvar are touched
+/// only when someone actually parks or wakes parked peers.
+struct Parker {
+    epoch: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+    idle: AtomicUsize,
+}
+
+impl Parker {
+    fn new() -> Self {
+        Parker {
+            epoch: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            idle: AtomicUsize::new(0),
+        }
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Wakes all parked workers (cheap no-op when nobody is idle).
+    fn wake(&self) {
+        if self.idle.load(Ordering::SeqCst) > 0 {
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+            // Taking the lock orders the bump against a parker that has
+            // checked the epoch but not yet entered `wait` (it holds
+            // the lock across that window), so the notify cannot land
+            // in the gap.
+            let _g = self.lock.lock().expect("parker poisoned");
+            self.cv.notify_all();
+        }
+    }
+
+    /// Parks until the epoch moves past `seen` or `done` returns true.
+    fn park(&self, seen: u64, done: impl Fn() -> bool) {
+        let mut g = self.lock.lock().expect("parker poisoned");
+        while self.epoch.load(Ordering::SeqCst) == seen && !done() {
+            g = self.cv.wait(g).expect("parker poisoned");
+        }
+    }
+}
+
+/// Shared replay state (borrowed by every worker via a scoped spawn).
+struct Shared<'a> {
+    graph: &'a TaskGraph,
+    trace: &'a TaskTrace,
+    /// Remaining unready producers per task (the O(1) readiness scheme).
+    unready: Vec<AtomicU32>,
+    /// Completion tickets: `order[k]` is the k-th task to complete.
+    order: Vec<AtomicU32>,
+    next_ticket: AtomicUsize,
+    completed: AtomicUsize,
+    deques: Vec<WorkDeque>,
+    injector: WorkDeque,
+    parker: Parker,
+    payload: PayloadMode,
+}
+
+impl Shared<'_> {
+    fn done(&self) -> bool {
+        self.completed.load(Ordering::SeqCst) == self.graph.len()
+    }
+}
+
+/// Tiny SplitMix64 for the steal-victim rotation.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn worker_loop(w: usize, shared: &Shared<'_>, arena: &[u8], seed: u64) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let mut scratch = PayloadScratch::new(arena);
+    let mut rng = seed ^ (w as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let others: Vec<usize> = (0..shared.deques.len()).filter(|&v| v != w).collect();
+
+    loop {
+        // Read the epoch *before* scanning: if a push lands after the
+        // scan misses it, the epoch has moved and park returns at once.
+        let epoch = shared.parker.current_epoch();
+        if shared.done() {
+            break;
+        }
+        let task = shared.deques[w].pop().or_else(|| shared.injector.steal()).or_else(|| {
+            if others.is_empty() {
+                return None;
+            }
+            let start = (splitmix(&mut rng) as usize) % others.len();
+            (0..others.len()).find_map(|i| {
+                let victim = others[(start + i) % others.len()];
+                let t = shared.deques[victim].steal();
+                if t.is_some() {
+                    stats.steals += 1;
+                }
+                t
+            })
+        });
+        match task {
+            Some(t) => {
+                run_task(t as TaskId, w, shared, &mut scratch, &mut stats);
+            }
+            None => {
+                shared.parker.idle.fetch_add(1, Ordering::SeqCst);
+                shared.parker.park(epoch, || shared.done());
+                shared.parker.idle.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+    stats
+}
+
+fn run_task(
+    t: TaskId,
+    w: usize,
+    shared: &Shared<'_>,
+    scratch: &mut PayloadScratch<'_>,
+    stats: &mut WorkerStats,
+) {
+    stats.busy += scratch.run(shared.payload, shared.trace.task(t));
+    stats.executed += 1;
+
+    // Ticket first, successor release second: any successor's ticket is
+    // therefore strictly after every producer's (valid linearization).
+    let ticket = shared.next_ticket.fetch_add(1, Ordering::SeqCst);
+    shared.order[ticket].store(t as u32, Ordering::SeqCst);
+
+    let mut released = false;
+    for &s in shared.graph.succs(t) {
+        if shared.unready[s as usize].fetch_sub(1, Ordering::SeqCst) == 1 {
+            shared.deques[w].push(s);
+            released = true;
+        }
+    }
+    let completed = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
+    if released || completed == shared.graph.len() {
+        shared.parker.wake();
+    }
+}
+
+/// The native out-of-order task executor.
+///
+/// ```
+/// use tss_exec::{ExecConfig, Executor};
+/// use tss_workloads::{Benchmark, Scale};
+///
+/// let trace = Benchmark::Cholesky.trace(Scale::Small, 1);
+/// let report = Executor::new(ExecConfig { threads: 2, ..ExecConfig::default() }).run(&trace);
+/// assert_eq!(report.tasks, trace.len());
+/// assert!(report.validated);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    config: ExecConfig,
+}
+
+impl Executor {
+    /// An executor with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threads` is zero.
+    pub fn new(config: ExecConfig) -> Self {
+        assert!(config.threads >= 1, "the executor needs at least one worker");
+        Executor { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Decodes and replays `trace` on real threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replay deadlocks (cyclic trace — impossible for
+    /// program-order decode), loses tasks, or (with validation on)
+    /// emits a completion log violating the `DepGraph` oracle.
+    pub fn run(&self, trace: &TaskTrace) -> ExecReport {
+        let t0 = Instant::now();
+        let graph = Renamer::new().renaming(self.config.renaming).decode(trace);
+        let decode_wall = t0.elapsed();
+        let (exec_wall, order, workers) = self.replay(trace, &graph);
+
+        assert_eq!(order.len(), trace.len(), "executor lost tasks");
+        let validated = self.config.validate;
+        if validated {
+            let oracle = DepGraph::from_trace(trace);
+            if let Err(v) = oracle.validate_order(&order) {
+                panic!("native replay violates the dependency oracle: {v}");
+            }
+        }
+        ExecReport {
+            benchmark: trace.name().to_string(),
+            tasks: trace.len(),
+            threads: self.config.threads,
+            payload: self.config.payload,
+            decode_wall,
+            exec_wall,
+            order,
+            workers,
+            rename: *graph.stats(),
+            validated,
+        }
+    }
+
+    /// Replays an already-decoded graph; returns wall time, completion
+    /// log, and per-worker stats.
+    fn replay(
+        &self,
+        trace: &TaskTrace,
+        graph: &TaskGraph,
+    ) -> (Duration, Vec<TaskId>, Vec<WorkerStats>) {
+        let n = graph.len();
+        let threads = self.config.threads;
+        let shared = Shared {
+            graph,
+            trace,
+            unready: (0..n).map(|t| AtomicU32::new(graph.pred_count(t))).collect(),
+            order: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect(),
+            next_ticket: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            deques: (0..threads).map(|_| WorkDeque::new()).collect(),
+            injector: WorkDeque::new(),
+            parker: Parker::new(),
+            payload: self.config.payload,
+        };
+        for r in graph.roots() {
+            shared.injector.push(r as u32);
+        }
+        // Only memcpy reads the source arena; noop/spin runs get a
+        // minimal zeroed one (building the 4 MB pattern would dominate
+        // short replays).
+        let arena = match self.config.payload {
+            PayloadMode::Memcpy => build_arena(),
+            _ => vec![0u8; 2 * tss_workloads::payload::CHUNK_CAP],
+        };
+
+        let t0 = Instant::now();
+        let mut workers = vec![WorkerStats::default(); threads];
+        if n > 0 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        let shared = &shared;
+                        let arena = &arena[..];
+                        let seed = self.config.seed;
+                        scope.spawn(move || worker_loop(w, shared, arena, seed))
+                    })
+                    .collect();
+                for (w, h) in handles.into_iter().enumerate() {
+                    workers[w] = h.join().expect("worker panicked");
+                }
+            });
+        }
+        let exec_wall = t0.elapsed();
+
+        let order =
+            shared.order.iter().map(|s| s.load(Ordering::SeqCst) as TaskId).collect::<Vec<_>>();
+        (exec_wall, order, workers)
+    }
+}
+
+/// Convenience: replay with defaults, returning the report.
+///
+/// # Panics
+///
+/// As [`Executor::run`].
+pub fn run_trace(trace: &TaskTrace, threads: usize) -> ExecReport {
+    Executor::new(ExecConfig { threads, ..ExecConfig::default() }).run(trace)
+}
+
+/// Re-exported for harness use: classifies a completion log against an
+/// oracle without panicking.
+pub fn check_order(trace: &TaskTrace, order: &[TaskId]) -> Result<(), OrderViolation> {
+    DepGraph::from_trace(trace).validate_order(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tss_trace::{OperandDesc, TaskTrace};
+
+    fn diamond() -> TaskTrace {
+        // 0 → {1, 2} → 3
+        let mut tr = TaskTrace::new("diamond");
+        let k = tr.add_kernel("k");
+        tr.push_task(k, 10, vec![OperandDesc::output(0xA, 64)]);
+        tr.push_task(k, 10, vec![OperandDesc::input(0xA, 64), OperandDesc::output(0xB, 64)]);
+        tr.push_task(k, 10, vec![OperandDesc::input(0xA, 64), OperandDesc::output(0xC, 64)]);
+        tr.push_task(k, 10, vec![OperandDesc::input(0xB, 64), OperandDesc::input(0xC, 64)]);
+        tr
+    }
+
+    #[test]
+    fn replays_a_diamond_in_dependency_order() {
+        for threads in [1, 2, 4] {
+            let report = run_trace(&diamond(), threads);
+            assert_eq!(report.tasks, 4);
+            assert_eq!(report.order[0], 0);
+            assert_eq!(report.order[3], 3);
+            assert!(report.validated);
+            let executed: u64 = report.workers.iter().map(|w| w.executed).sum();
+            assert_eq!(executed, 4);
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_a_clean_noop() {
+        let report = run_trace(&TaskTrace::new("empty"), 2);
+        assert_eq!(report.tasks, 0);
+        assert!(report.order.is_empty());
+        assert_eq!(report.tasks_per_sec(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Executor::new(ExecConfig { threads: 0, ..ExecConfig::default() });
+    }
+
+    #[test]
+    fn independent_tasks_all_run() {
+        let mut tr = TaskTrace::new("indep");
+        let k = tr.add_kernel("k");
+        for i in 0..200u64 {
+            tr.push_task(k, 10, vec![OperandDesc::output(0x1000 + i * 64, 64)]);
+        }
+        let report = run_trace(&tr, 4);
+        assert_eq!(report.tasks, 200);
+        let mut seen = report.order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_renaming_serializes_a_waw_chain() {
+        let mut tr = TaskTrace::new("waw");
+        let k = tr.add_kernel("k");
+        for _ in 0..8 {
+            tr.push_task(k, 10, vec![OperandDesc::output(0xA, 64)]);
+        }
+        let cfg = ExecConfig { threads: 4, renaming: false, ..ExecConfig::default() };
+        let report = Executor::new(cfg).run(&tr);
+        // WaW enforced: completion order must be program order.
+        assert_eq!(report.order, (0..8).collect::<Vec<_>>());
+        assert_eq!(report.rename.removed_by_renaming, 0);
+    }
+
+    #[test]
+    fn report_rates_are_sane() {
+        let report = run_trace(&diamond(), 2);
+        assert!(report.decode_ns_per_task() > 0.0);
+        assert!(report.tasks_per_sec() > 0.0);
+        assert!(report.utilization(0) >= 0.0);
+        assert_eq!(report.total_steals(), report.workers.iter().map(|w| w.steals).sum::<u64>());
+    }
+}

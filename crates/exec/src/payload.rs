@@ -1,0 +1,172 @@
+//! Pluggable task payloads: what a worker actually does per task.
+//!
+//! The trace gives each task a measured runtime and an operand
+//! footprint; three payloads interpret them (DESIGN.md §7):
+//!
+//! - [`PayloadMode::Noop`] — nothing per task: measures pure decode +
+//!   scheduling throughput (the native analog of the paper's
+//!   decode-rate ceiling study, Section II).
+//! - [`PayloadMode::Spin`] — busy-wait for the task's traced runtime
+//!   (cycles of the simulated 3.2 GHz clock → host nanoseconds),
+//!   scaled by `time_scale`: honors the trace's load balance so
+//!   speedup-vs-threads curves are meaningful.
+//! - [`PayloadMode::Memcpy`] — move the task's (capped) operand
+//!   footprint through worker-local buffers: exercises real memory
+//!   traffic proportional to Table I's data sizes.
+//!
+//! Memcpy safety note: renaming means two in-flight tasks may "write
+//! the same object" concurrently — that is the *point* of the OVT. A
+//! shared mutable arena would therefore be a data race by design.
+//! Instead each worker owns a scratch pair (shared read-only source
+//! arena, private destination buffer): the traffic is real, the
+//! aliasing is private, and the executor stays safe Rust.
+
+use std::time::{Duration, Instant};
+
+use tss_sim::cycles_to_ns;
+use tss_trace::TaskDesc;
+use tss_workloads::payload::{operand_chunks, CHUNK_CAP};
+
+/// What each task execution does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PayloadMode {
+    /// No per-task work: pure decode/scheduling throughput.
+    Noop,
+    /// Busy-wait the traced runtime times `time_scale` (1.0 = replay at
+    /// the trace's own granularity; small-scale CI runs use less).
+    Spin {
+        /// Multiplier on the traced runtime (0.01 = 100× faster).
+        time_scale: f64,
+    },
+    /// Copy the capped operand footprint through worker-local memory.
+    Memcpy,
+}
+
+impl PayloadMode {
+    /// CLI name → mode (`noop`, `spin`, `memcpy`).
+    pub fn parse(name: &str, time_scale: f64) -> Option<PayloadMode> {
+        match name {
+            "noop" => Some(PayloadMode::Noop),
+            "spin" => Some(PayloadMode::Spin { time_scale }),
+            "memcpy" => Some(PayloadMode::Memcpy),
+            _ => None,
+        }
+    }
+
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PayloadMode::Noop => "noop",
+            PayloadMode::Spin { .. } => "spin",
+            PayloadMode::Memcpy => "memcpy",
+        }
+    }
+}
+
+/// Per-worker payload state. The source arena is shared read-only; the
+/// destination buffer is private (see the module docs for why).
+pub struct PayloadScratch<'a> {
+    src: &'a [u8],
+    dst: Vec<u8>,
+    sink: u64,
+}
+
+/// Size of the shared read-only source arena: 4 MB, several times any
+/// capped task footprint, so chunk offsets vary across objects.
+pub const ARENA_LEN: usize = 4 << 20;
+
+/// Builds the shared source arena (deterministic byte pattern).
+pub fn build_arena() -> Vec<u8> {
+    (0..ARENA_LEN).map(|i| (i as u32).wrapping_mul(0x9E37_79B9) as u8).collect()
+}
+
+impl<'a> PayloadScratch<'a> {
+    /// Scratch for one worker over the shared `arena`.
+    pub fn new(arena: &'a [u8]) -> Self {
+        assert!(arena.len() >= 2 * CHUNK_CAP, "arena too small for a capped chunk");
+        PayloadScratch { src: arena, dst: vec![0u8; CHUNK_CAP], sink: 0 }
+    }
+
+    /// Runs one task's payload; returns the busy wall time.
+    pub fn run(&mut self, mode: PayloadMode, task: &TaskDesc) -> Duration {
+        let t0 = Instant::now();
+        match mode {
+            PayloadMode::Noop => {}
+            PayloadMode::Spin { time_scale } => {
+                let target = cycles_to_ns(task.runtime) * time_scale;
+                let budget = Duration::from_nanos(target as u64);
+                while t0.elapsed() < budget {
+                    std::hint::spin_loop();
+                }
+            }
+            PayloadMode::Memcpy => {
+                for c in operand_chunks(task) {
+                    // Map the object's base address into the arena; the
+                    // multiplicative hash spreads distinct objects.
+                    let off = (c.addr.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        % (self.src.len() - c.len).max(1) as u64)
+                        as usize;
+                    if c.reads {
+                        self.dst[..c.len].copy_from_slice(&self.src[off..off + c.len]);
+                        self.sink = self.sink.wrapping_add(self.dst[c.len / 2] as u64);
+                    }
+                    if c.writes {
+                        let fill = (c.addr as u8).wrapping_add(self.sink as u8);
+                        self.dst[..c.len].fill(fill);
+                        self.sink = self.sink.wrapping_add(self.dst[0] as u64);
+                    }
+                }
+                std::hint::black_box(self.sink);
+            }
+        }
+        t0.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tss_trace::{KernelId, OperandDesc, TaskDesc};
+
+    fn task() -> TaskDesc {
+        TaskDesc::new(
+            KernelId(0),
+            3200, // 1 µs at 3.2 GHz
+            vec![OperandDesc::input(0xAB, 4096), OperandDesc::output(0xCD, 4096)],
+        )
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for name in ["noop", "spin", "memcpy"] {
+            assert_eq!(PayloadMode::parse(name, 1.0).unwrap().name(), name);
+        }
+        assert_eq!(PayloadMode::parse("fft", 1.0), None);
+    }
+
+    #[test]
+    fn spin_honors_the_scaled_runtime() {
+        let arena = build_arena();
+        let mut s = PayloadScratch::new(&arena);
+        let busy = s.run(PayloadMode::Spin { time_scale: 1.0 }, &task());
+        assert!(busy >= Duration::from_nanos(900), "spun {busy:?} for a 1 µs task");
+    }
+
+    #[test]
+    fn memcpy_moves_the_footprint() {
+        let arena = build_arena();
+        let mut s = PayloadScratch::new(&arena);
+        s.run(PayloadMode::Memcpy, &task());
+        // The last operand is a 4096-byte write: its uniform fill must
+        // be what the destination buffer ends on.
+        assert!(s.dst[..4096].windows(2).all(|w| w[0] == w[1]), "write chunk not filled");
+    }
+
+    #[test]
+    fn noop_is_fast() {
+        let arena = build_arena();
+        let mut s = PayloadScratch::new(&arena);
+        let busy = s.run(PayloadMode::Noop, &task());
+        assert!(busy < Duration::from_millis(10));
+    }
+}

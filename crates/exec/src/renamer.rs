@@ -1,0 +1,315 @@
+//! The software renamer: an ORT/OVT-equivalent address-map frontend.
+//!
+//! The hardware pipeline's Object Renaming Tables map operand base
+//! addresses to in-flight producers, and the Object Versioning Tables
+//! give every pure `out` operand a fresh version so WaR/WaW orderings
+//! vanish (paper, Figures 7 and 9). This module performs the same decode
+//! in software, streaming over a [`TaskTrace`] in program order — the
+//! in-order decode requirement of Section III.B — and emitting the
+//! executor's runtime structures directly:
+//!
+//! - a CSR successor list (who to notify on completion), and
+//! - a per-task *unready-operand* count (how many producers must finish
+//!   before the task may issue), the O(1) readiness scheme the simulator
+//!   backend already uses.
+//!
+//! Renaming is toggleable for ablation parity with the simulator's
+//! `FrontendConfig::renaming`: with renaming **on**, only RaW and
+//! inout-anti orderings are enforced (exactly the `DepGraph` oracle's
+//! enforced edge set — a parity test in `tests/determinism.rs` pins
+//! this); with renaming **off**, WaR and WaW orderings are enforced too,
+//! mimicking a runtime without versioning.
+//!
+//! The decode loop is the subject of the `exec` harness's decode
+//! microbench: one pass over the trace, one interned-hash probe per
+//! tracked operand — the native analog of the paper's ~700 ns/task
+//! software decoder measurement (Section II).
+//!
+//! The replay loop deliberately does **not** share code with
+//! `DepGraph::from_trace`, although the two walk traces the same way:
+//! the oracle check (every completion log validated against `DepGraph`)
+//! is only evidence of correctness because the two decoders are
+//! independent implementations. Folding them into one shared helper
+//! would let a single decode bug pass the parity test and every
+//! validated run. A semantic change to dependency rules must be made
+//! in both — `renamer_matches_the_oracle_on_every_benchmark` (and the
+//! unit parity test below) fails loudly if they drift.
+
+use tss_trace::graph::AddrMap;
+use tss_trace::{TaskId, TaskTrace};
+
+/// What the renamer decoded a trace into: the executor's dependency
+/// structures plus decode statistics.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    n: usize,
+    succ_off: Vec<u32>,
+    succ_dat: Vec<u32>,
+    pred_count: Vec<u32>,
+    stats: RenameStats,
+}
+
+/// Decode-time statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RenameStats {
+    /// Distinct memory objects observed (ORT entries a hardware run
+    /// would have interned).
+    pub objects: usize,
+    /// Dependency-tracked operands decoded.
+    pub tracked_operands: usize,
+    /// Enforced edges after deduplication.
+    pub enforced_edges: usize,
+    /// WaR/WaW orderings that renaming eliminated (0 when renaming is
+    /// disabled: they are enforced instead).
+    pub removed_by_renaming: usize,
+}
+
+impl TaskGraph {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Tasks to notify when `t` completes (sorted, deduplicated).
+    pub fn succs(&self, t: TaskId) -> &[u32] {
+        &self.succ_dat[self.succ_off[t] as usize..self.succ_off[t + 1] as usize]
+    }
+
+    /// How many producers must complete before `t` may issue.
+    pub fn pred_count(&self, t: TaskId) -> u32 {
+        self.pred_count[t]
+    }
+
+    /// Tasks with no producers, in program order (the initial ready set).
+    pub fn roots(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.n).filter(|&t| self.pred_count[t] == 0)
+    }
+
+    /// Decode statistics.
+    pub fn stats(&self) -> &RenameStats {
+        &self.stats
+    }
+}
+
+/// One in-flight version of a memory object, as the ORTs track it.
+#[derive(Debug, Default, Clone)]
+struct ObjectVersion {
+    last_writer: Option<TaskId>,
+    /// Readers of the current version; short in practice (Figure 10), so
+    /// the first few live inline.
+    readers_len: usize,
+    readers: [TaskId; 8],
+    overflow: Vec<TaskId>,
+}
+
+impl ObjectVersion {
+    fn push_reader(&mut self, t: TaskId) {
+        if self.readers_len < self.readers.len() {
+            self.readers[self.readers_len] = t;
+        } else {
+            self.overflow.push(t);
+        }
+        self.readers_len += 1;
+    }
+
+    fn readers(&self) -> impl Iterator<Item = TaskId> + '_ {
+        let inline = self.readers_len.min(self.readers.len());
+        self.readers[..inline].iter().copied().chain(self.overflow.iter().copied())
+    }
+
+    fn clear_readers(&mut self) {
+        self.readers_len = 0;
+        self.overflow.clear();
+    }
+}
+
+/// The software renamer.
+#[derive(Debug, Clone)]
+pub struct Renamer {
+    renaming: bool,
+}
+
+impl Default for Renamer {
+    fn default() -> Self {
+        Renamer::new()
+    }
+}
+
+impl Renamer {
+    /// A renamer with operand renaming enabled (the paper's default).
+    pub fn new() -> Self {
+        Renamer { renaming: true }
+    }
+
+    /// Enables or disables renaming (ablation: without versioning, WaR
+    /// and WaW orderings against `out` operands are enforced).
+    pub fn renaming(mut self, on: bool) -> Self {
+        self.renaming = on;
+        self
+    }
+
+    /// Decodes `trace` into a [`TaskGraph`] by one in-order pass.
+    pub fn decode(&self, trace: &TaskTrace) -> TaskGraph {
+        let n = trace.len();
+        let total_ops: usize = trace.iter().map(|t| t.operands.len()).sum();
+        // (from, to) producer→consumer pairs; ~2 per operand upper bound
+        // in the Table-I traces.
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(2 * total_ops);
+        let mut removed = 0usize;
+        let mut tracked = 0usize;
+        let mut object_index: AddrMap<u32> =
+            AddrMap::with_capacity_and_hasher(n.max(16), Default::default());
+        let mut versions: Vec<ObjectVersion> = Vec::with_capacity(n.max(16));
+
+        for (tid, task) in trace.iter().enumerate() {
+            for op in task.operands.iter().filter(|o| o.is_tracked()) {
+                tracked += 1;
+                let id = *object_index.entry(op.addr).or_insert_with(|| {
+                    versions.push(ObjectVersion::default());
+                    (versions.len() - 1) as u32
+                });
+                let st = &mut versions[id as usize];
+                if op.dir.reads() {
+                    if let Some(w) = st.last_writer {
+                        if w != tid {
+                            pairs.push((w as u32, tid as u32)); // RaW
+                        }
+                    }
+                }
+                if op.dir.writes() {
+                    let inout = op.dir.reads();
+                    for r in st.readers() {
+                        if r != tid {
+                            if inout || !self.renaming {
+                                pairs.push((r as u32, tid as u32)); // anti / WaR
+                            } else {
+                                removed += 1; // WaR: a fresh OVT version
+                            }
+                        }
+                    }
+                    if let Some(w) = st.last_writer {
+                        if w != tid && !inout {
+                            if self.renaming {
+                                removed += 1; // WaW: renamed away
+                            } else {
+                                pairs.push((w as u32, tid as u32));
+                            }
+                        }
+                    }
+                    st.last_writer = Some(tid);
+                    st.clear_readers();
+                }
+                if op.dir.reads() {
+                    st.push_reader(tid);
+                }
+            }
+        }
+
+        let (succ_off, succ_dat) = build_csr(n, &mut pairs);
+        let mut pred_count = vec![0u32; n];
+        for &s in &succ_dat {
+            pred_count[s as usize] += 1;
+        }
+        let stats = RenameStats {
+            objects: versions.len(),
+            tracked_operands: tracked,
+            enforced_edges: succ_dat.len(),
+            removed_by_renaming: removed,
+        };
+        TaskGraph { n, succ_off, succ_dat, pred_count, stats }
+    }
+}
+
+/// Sorts `pairs` and builds a deduplicated CSR successor adjacency.
+fn build_csr(n: usize, pairs: &mut Vec<(u32, u32)>) -> (Vec<u32>, Vec<u32>) {
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut off = vec![0u32; n + 1];
+    for &(from, _) in pairs.iter() {
+        off[from as usize + 1] += 1;
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let dat = pairs.iter().map(|&(_, to)| to).collect();
+    (off, dat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tss_trace::{DepGraph, OperandDesc, TaskTrace};
+
+    fn chain() -> TaskTrace {
+        let mut tr = TaskTrace::new("chain");
+        let k = tr.add_kernel("k");
+        tr.push_task(k, 10, vec![OperandDesc::output(0x100, 64)]);
+        tr.push_task(k, 10, vec![OperandDesc::input(0x100, 64), OperandDesc::output(0x200, 64)]);
+        tr.push_task(k, 10, vec![OperandDesc::input(0x200, 64)]);
+        tr
+    }
+
+    #[test]
+    fn decodes_a_producer_consumer_chain() {
+        let g = Renamer::new().decode(&chain());
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.succs(0), &[1]);
+        assert_eq!(g.succs(1), &[2]);
+        assert_eq!(g.pred_count(0), 0);
+        assert_eq!(g.pred_count(1), 1);
+        assert_eq!(g.roots().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(g.stats().enforced_edges, 2);
+        assert_eq!(g.stats().objects, 2);
+    }
+
+    #[test]
+    fn renaming_matches_the_oracle_enforced_set() {
+        let tr = chain();
+        let oracle = DepGraph::from_trace(&tr);
+        let g = Renamer::new().decode(&tr);
+        for t in 0..tr.len() {
+            let expect: Vec<u32> = oracle.succs(t).iter().map(|&s| s as u32).collect();
+            assert_eq!(g.succs(t), &expect[..]);
+            assert_eq!(g.pred_count(t) as usize, oracle.preds(t).len());
+        }
+    }
+
+    #[test]
+    fn disabling_renaming_enforces_waw_and_war() {
+        let mut tr = TaskTrace::new("ww");
+        let k = tr.add_kernel("k");
+        tr.push_task(k, 10, vec![OperandDesc::output(0x100, 64)]);
+        tr.push_task(k, 10, vec![OperandDesc::input(0x100, 64)]);
+        tr.push_task(k, 10, vec![OperandDesc::output(0x100, 64)]); // WaW vs 0, WaR vs 1
+        let with = Renamer::new().decode(&tr);
+        assert_eq!(with.pred_count(2), 0);
+        assert_eq!(with.stats().removed_by_renaming, 2);
+        let without = Renamer::new().renaming(false).decode(&tr);
+        assert_eq!(without.pred_count(2), 2);
+        assert_eq!(without.stats().removed_by_renaming, 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        // Two RaW edges over different objects between the same pair.
+        let mut tr = TaskTrace::new("dup");
+        let k = tr.add_kernel("k");
+        tr.push_task(k, 10, vec![OperandDesc::output(0xA, 64), OperandDesc::output(0xB, 64)]);
+        tr.push_task(k, 10, vec![OperandDesc::input(0xA, 64), OperandDesc::input(0xB, 64)]);
+        let g = Renamer::new().decode(&tr);
+        assert_eq!(g.succs(0), &[1]);
+        assert_eq!(g.pred_count(1), 1);
+    }
+
+    #[test]
+    fn empty_trace_decodes_to_an_empty_graph() {
+        let g = Renamer::new().decode(&TaskTrace::new("empty"));
+        assert!(g.is_empty());
+        assert_eq!(g.roots().count(), 0);
+    }
+}

@@ -72,6 +72,42 @@ impl DepKind {
     }
 }
 
+/// Why a completion order is not a valid topological order of the
+/// enforced dependency graph (see [`DepGraph::validate_order`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderViolation {
+    /// The order names a task id outside the graph.
+    UnknownTask(TaskId),
+    /// A task appears more than once.
+    DuplicateTask(TaskId),
+    /// A task never appears (reported when the order is too short).
+    MissingTask(TaskId),
+    /// A task completed before one of its enforced producers.
+    ProducerAfterConsumer {
+        /// The producer that finished too late.
+        producer: TaskId,
+        /// The consumer that finished too early.
+        consumer: TaskId,
+    },
+}
+
+impl std::fmt::Display for OrderViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderViolation::UnknownTask(t) => write!(f, "order names unknown task {t}"),
+            OrderViolation::DuplicateTask(t) => write!(f, "task {t} completed more than once"),
+            OrderViolation::MissingTask(t) => write!(f, "task {t} never completed"),
+            OrderViolation::ProducerAfterConsumer { producer, consumer } => write!(
+                f,
+                "dependency {producer} -> {consumer} inverted: the consumer \
+                 completed before its producer"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OrderViolation {}
+
 /// One dependency edge `from → to` (with `from` earlier in program order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DepEdge {
@@ -284,6 +320,47 @@ impl DepGraph {
         (0..self.n).filter(|&t| self.preds(t).is_empty())
     }
 
+    /// Validates a *completion order* — task ids in the sequence they
+    /// finished — against the enforced dependency graph: every task
+    /// exactly once, every enforced producer before its consumer.
+    ///
+    /// This is the oracle check shared by the native executor
+    /// (`tss-exec`, whose completion log is a linearization of real
+    /// threaded execution) and the simulator (whose schedule, sorted by
+    /// completion cycle, must linearize the same way). It is weaker
+    /// than [`validate_schedule`](crate::validate_schedule) — no
+    /// timestamps, no core-occupancy check — and is exactly what an
+    /// execution without a global clock can be held to.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`OrderViolation`] found.
+    pub fn validate_order(&self, order: &[TaskId]) -> Result<(), OrderViolation> {
+        // position[t] = index of t in `order`.
+        const UNSEEN: u32 = u32::MAX;
+        let mut position = vec![UNSEEN; self.n];
+        for (i, &t) in order.iter().enumerate() {
+            if t >= self.n {
+                return Err(OrderViolation::UnknownTask(t));
+            }
+            if position[t] != UNSEEN {
+                return Err(OrderViolation::DuplicateTask(t));
+            }
+            position[t] = i as u32;
+        }
+        if let Some(t) = (0..self.n).find(|&t| position[t] == UNSEEN) {
+            return Err(OrderViolation::MissingTask(t));
+        }
+        for (i, &t) in order.iter().enumerate() {
+            for &p in self.preds(t) {
+                if position[p] > i as u32 {
+                    return Err(OrderViolation::ProducerAfterConsumer { producer: p, consumer: t });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Whether `to` is reachable from `from` over enforced edges.
     /// (Figure 1's observation: tasks 6 and 23 are *not* ordered.)
     pub fn reachable(&self, from: TaskId, to: TaskId) -> bool {
@@ -444,6 +521,37 @@ mod tests {
         ]);
         let g = DepGraph::from_trace(&tr);
         assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn validate_order_accepts_any_linearization() {
+        let tr = trace_of(vec![
+            vec![OperandDesc::output(0x100, 64)],
+            vec![OperandDesc::input(0x100, 64), OperandDesc::output(0x200, 64)],
+            vec![OperandDesc::input(0x100, 64)],
+            vec![OperandDesc::input(0x200, 64)],
+        ]);
+        let g = DepGraph::from_trace(&tr);
+        assert_eq!(g.validate_order(&[0, 1, 2, 3]), Ok(()));
+        assert_eq!(g.validate_order(&[0, 2, 1, 3]), Ok(()), "siblings reorder freely");
+    }
+
+    #[test]
+    fn validate_order_reports_each_violation_kind() {
+        let tr = trace_of(vec![
+            vec![OperandDesc::output(0x100, 64)],
+            vec![OperandDesc::input(0x100, 64)],
+        ]);
+        let g = DepGraph::from_trace(&tr);
+        assert_eq!(
+            g.validate_order(&[1, 0]),
+            Err(OrderViolation::ProducerAfterConsumer { producer: 0, consumer: 1 })
+        );
+        assert_eq!(g.validate_order(&[0, 0]), Err(OrderViolation::DuplicateTask(0)));
+        assert_eq!(g.validate_order(&[0]), Err(OrderViolation::MissingTask(1)));
+        assert_eq!(g.validate_order(&[0, 7]), Err(OrderViolation::UnknownTask(7)));
+        let msg = OrderViolation::ProducerAfterConsumer { producer: 3, consumer: 9 }.to_string();
+        assert!(msg.contains("3 -> 9"));
     }
 
     #[test]

@@ -72,6 +72,9 @@ pub fn from_text(text: &str) -> Result<TaskTrace, ParseTraceError> {
     let mut named = false;
     for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
+        // Tolerant of hand-edited and foreign-platform files: leading /
+        // trailing whitespace (including the `\r` of CRLF line endings,
+        // which `lines()` leaves in place) never changes meaning.
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -83,11 +86,20 @@ pub fn from_text(text: &str) -> Result<TaskTrace, ParseTraceError> {
                 if name.is_empty() {
                     return Err(err(lineno, "trace needs a name".into()));
                 }
-                let mut t = TaskTrace::new(name);
-                // Keep anything parsed so far? `trace` must come first.
-                if named || trace.kernel_count() > 0 || !trace.is_empty() {
+                if named {
+                    return Err(err(
+                        lineno,
+                        format!(
+                            "duplicate 'trace' directive: this trace is already named \
+                             '{}' (a trace file declares exactly one header)",
+                            trace.name()
+                        ),
+                    ));
+                }
+                if trace.kernel_count() > 0 || !trace.is_empty() {
                     return Err(err(lineno, "'trace' must be the first directive".into()));
                 }
+                let mut t = TaskTrace::new(name);
                 std::mem::swap(&mut trace, &mut t);
                 named = true;
             }
@@ -237,5 +249,31 @@ mod tests {
         let tr = from_text(text).expect("parse");
         assert_eq!(tr.len(), 1);
         assert_eq!(tr.task(0).runtime, 7);
+    }
+
+    #[test]
+    fn trailing_whitespace_and_crlf_tolerated() {
+        let text = "trace t  \r\nkernel 0 k\t\r\n\r\n   \ntask 0 7 in:10:64   \r\n";
+        let tr = from_text(text).expect("CRLF + trailing whitespace must parse");
+        assert_eq!(tr.name(), "t");
+        assert_eq!(tr.kernel_name(KernelId(0)), "k");
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.task(0).operands[0], OperandDesc::input(0x10, 64));
+    }
+
+    #[test]
+    fn duplicate_trace_header_rejected_with_a_clear_error() {
+        let e = from_text("trace alpha\ntrace beta\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate 'trace'"), "{}", e.message);
+        assert!(e.message.contains("alpha"), "names the existing trace: {}", e.message);
+    }
+
+    #[test]
+    fn late_trace_header_still_rejected() {
+        // A first-but-late header (after a kernel) is an ordering error,
+        // not a duplicate.
+        let e = from_text("kernel 0 k\ntrace t\n").unwrap_err();
+        assert!(e.message.contains("first directive"), "{}", e.message);
     }
 }

@@ -22,7 +22,7 @@ pub mod schedule;
 pub mod task;
 
 pub use analytics::{dataflow_bound, parallelism_profile, ParallelismProfile};
-pub use graph::{DepGraph, DepKind};
+pub use graph::{DepGraph, DepKind, OrderViolation};
 pub use io::{from_text, to_text, ParseTraceError};
 pub use schedule::{validate_schedule, ScheduleError, ScheduleRecord};
 pub use task::{

@@ -21,6 +21,7 @@ pub mod h264;
 pub mod kmeans;
 pub mod knn;
 pub mod matmul;
+pub mod payload;
 pub mod pbpi;
 pub mod specfem;
 pub mod stap;
@@ -37,6 +38,27 @@ pub enum Scale {
     Paper,
     /// ~20k+ tasks: stress runs (window-size studies need deep traces).
     Large,
+}
+
+impl Scale {
+    /// Parses a CLI scale name (`small` / `paper` / `large`).
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name {
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    /// The CLI name (inverse of [`Scale::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+            Scale::Large => "large",
+        }
+    }
 }
 
 /// The nine Table-I benchmarks.
@@ -91,6 +113,12 @@ impl Benchmark {
             Benchmark::Specfem => "SPECFEM",
             Benchmark::Stap => "STAP",
         }
+    }
+
+    /// Parses a Table-I name, case-insensitively (inverse of
+    /// [`Benchmark::name`]).
+    pub fn parse(name: &str) -> Option<Benchmark> {
+        Benchmark::all().into_iter().find(|b| b.name().eq_ignore_ascii_case(name))
     }
 
     /// Builds this benchmark's generator at the given scale.
@@ -227,6 +255,19 @@ mod tests {
                 "{b}: data {got_data} KB vs {data_kb} KB"
             );
         }
+    }
+
+    #[test]
+    fn parse_round_trips_names_and_scales() {
+        for b in Benchmark::all() {
+            assert_eq!(Benchmark::parse(b.name()), Some(b));
+            assert_eq!(Benchmark::parse(&b.name().to_lowercase()), Some(b));
+        }
+        assert_eq!(Benchmark::parse("nope"), None);
+        for s in [Scale::Small, Scale::Paper, Scale::Large] {
+            assert_eq!(Scale::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scale::parse("huge"), None);
     }
 
     #[test]

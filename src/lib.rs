@@ -16,7 +16,9 @@
 //! - [`backend`] — ready queue, scheduler, worker cores, DMA,
 //! - [`runtime`] — the StarSs-like software decoder baseline,
 //! - [`workloads`] — the nine Table-I benchmark generators,
-//! - [`core`] — system assembly and the experiment API.
+//! - [`core`] — system assembly and the experiment API,
+//! - [`exec`] — the *native* out-of-order executor: real threads
+//!   replaying traces at host speed, oracle-validated.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@
 
 pub use tss_backend as backend;
 pub use tss_core as core;
+pub use tss_exec as exec;
 pub use tss_mem as mem;
 pub use tss_noc as noc;
 pub use tss_pipeline as pipeline;
@@ -47,6 +50,7 @@ pub use tss_workloads as workloads;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use tss_core::{ExperimentConfig, RunReport, SystemBuilder};
+    pub use tss_exec::{ExecConfig, ExecReport, Executor, PayloadMode, TaskGraphBuilder};
     pub use tss_sim::{cycles_to_ns, cycles_to_us, ns_to_cycles, us_to_cycles, Cycle};
     pub use tss_trace::{
         DepGraph, Direction, OperandDesc, OperandKind, TaskDesc, TaskTrace, TraceGenerator,

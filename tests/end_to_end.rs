@@ -2,7 +2,10 @@
 //! end-to-end through the hardware pipeline and the software runtime,
 //! with full oracle validation, on CI-sized traces.
 
+use std::sync::Arc;
+
 use task_superscalar::core::SystemBuilder;
+use task_superscalar::trace::DepGraph;
 use task_superscalar::workloads::{Benchmark, Scale};
 
 #[test]
@@ -35,6 +38,26 @@ fn runs_are_deterministic() {
     let b = SystemBuilder::new().processors(32).run_hardware(&trace);
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.schedule, b.schedule);
+}
+
+#[test]
+fn simulator_completion_order_is_a_valid_topological_order() {
+    // The same oracle check the native executor (`tss-exec`) runs on
+    // every replay, applied to the simulator: the hardware pipeline's
+    // completion sequence (schedule sorted by end cycle) must linearize
+    // the enforced dependency graph. Ties can only involve independent
+    // tasks (runtimes are positive), so any tie-break is valid.
+    for b in [Benchmark::Cholesky, Benchmark::H264, Benchmark::KMeans] {
+        let trace = Arc::new(b.trace(Scale::Small, 17));
+        let report = SystemBuilder::new().processors(64).run_hardware_arc(&trace);
+        let mut by_completion = report.schedule.clone();
+        by_completion.sort_by_key(|r| (r.end, r.start, r.task));
+        let order: Vec<usize> = by_completion.iter().map(|r| r.task).collect();
+        let graph = DepGraph::from_trace(&trace);
+        graph
+            .validate_order(&order)
+            .unwrap_or_else(|v| panic!("{b}: simulator completion order invalid: {v}"));
+    }
 }
 
 #[test]

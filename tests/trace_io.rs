@@ -1,6 +1,7 @@
 //! Integration: trace serialization round-trips every benchmark, and a
 //! reloaded trace drives the pipeline to the identical schedule.
 
+use proptest::prelude::*;
 use task_superscalar::core::SystemBuilder;
 use task_superscalar::trace::{from_text, to_text};
 use task_superscalar::workloads::{Benchmark, Scale};
@@ -26,6 +27,30 @@ fn reloaded_trace_reproduces_the_simulation_exactly() {
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.schedule, b.schedule);
     assert_eq!(a.decode_rate_cycles, b.decode_rate_cycles);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn to_text_after_from_text_is_byte_identical_for_all_benchmarks(seed in 1u32..10_000) {
+        // `to_text ∘ from_text` must be the identity on serialized
+        // traces: the text format is part of the reproduction surface,
+        // so a parse→print cycle may not reformat a single byte, for
+        // any of the nine workloads at any seed.
+        for b in Benchmark::all() {
+            let text = to_text(&b.trace(Scale::Small, seed as u64));
+            let reparsed = match from_text(&text) {
+                Ok(tr) => tr,
+                Err(e) => return Err(TestCaseError::fail(format!("{b} seed {seed}: {e}"))),
+            };
+            prop_assert_eq!(
+                &to_text(&reparsed),
+                &text,
+                "{} seed {}: parse->print changed bytes", b, seed
+            );
+        }
+    }
 }
 
 #[test]
