@@ -22,6 +22,7 @@ fn decode_throughput(c: &mut Criterion) {
 
 fn replay_throughput(c: &mut Criterion) {
     let trace = Benchmark::Cholesky.trace(Scale::Small, 1);
+    let graph = Renamer::new().decode(&trace);
     let mut g = c.benchmark_group("exec_replay_noop");
     g.throughput(Throughput::Elements(trace.len() as u64));
     for threads in [1usize, 4] {
@@ -32,7 +33,14 @@ fn replay_throughput(c: &mut Criterion) {
             ..ExecConfig::default()
         };
         let exec = Executor::new(cfg);
-        g.bench_function(format!("threads_{threads}"), |b| b.iter(|| exec.run(&trace)));
+        // Pure scheduler throughput: the graph is decoded once, outside
+        // the timed loop (ISSUE 3 caught a per-run arena build here;
+        // ISSUE 4 also hoists the decode).
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| exec.replay(&trace, &graph, std::time::Duration::ZERO))
+        });
+        // Pipelined end-to-end: streaming decode inside the measurement.
+        g.bench_function(format!("streamed_threads_{threads}"), |b| b.iter(|| exec.run(&trace)));
     }
     g.finish();
 }

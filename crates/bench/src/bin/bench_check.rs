@@ -1,0 +1,209 @@
+//! Baseline gate for the bench-harness JSON artifacts (ISSUE 4
+//! satellite): compare a fresh `BENCH_exec.json` / `BENCH_pipeline.json`
+//! run against the committed snapshot under `ci/baselines/`, so the
+//! bench trajectory is tracked *in-repo* instead of only as uploaded CI
+//! artifacts.
+//!
+//! Two kinds of checks per result row (rows are matched positionally
+//! and must agree on `benchmark`/`engine`):
+//!
+//! - **Exact**: structural fields (`tasks`, `events`, `enforced_edges`,
+//!   `makespan_cycles`) must be *equal* — these are deterministic at a
+//!   fixed scale/seed, so any drift is a model change that must be
+//!   re-baselined deliberately.
+//! - **Tolerance**: wall-time fields (`wall_ms`, `exec_wall_ms`,
+//!   `stream_wall_ms`) must satisfy `fresh <= max(baseline *
+//!   tolerance, baseline + min_ms)` (defaults 2.0 and 2.5 ms —
+//!   generous on purpose: CI hosts are slower and noisier than the
+//!   dev box, and sub-millisecond small-scale walls are pure jitter;
+//!   the gate catches order-of-magnitude regressions, not noise).
+//!   Faster-than-baseline is always fine.
+//!
+//! The parser is a minimal depth-aware scanner, not a JSON library: the
+//! workspace is offline (vendor/README.md) and both artifacts are
+//! emitted by binaries in this same crate, so the format is under our
+//! control and pinned by this very gate.
+//!
+//! Usage: `bench_check --baseline PATH --fresh PATH [--tolerance F]
+//! [--min-ms F]`. Exit codes: 0 ok, 1 regression/mismatch, 2 usage or
+//! I/O error.
+
+const EXACT_FIELDS: [&str; 4] = ["tasks", "events", "enforced_edges", "makespan_cycles"];
+const WALL_FIELDS: [&str; 3] = ["wall_ms", "exec_wall_ms", "stream_wall_ms"];
+const LABEL_FIELDS: [&str; 2] = ["benchmark", "engine"];
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("bench_check: error: {msg}");
+    std::process::exit(2);
+}
+
+/// Extracts the `"results": [ ... ]` array body (depth-aware).
+fn results_body(doc: &str) -> &str {
+    let key = "\"results\":";
+    let start = doc.find(key).unwrap_or_else(|| fail("no \"results\" array in document"));
+    let open = doc[start..].find('[').unwrap_or_else(|| fail("malformed results array")) + start;
+    let mut depth = 0usize;
+    for (i, c) in doc[open..].char_indices() {
+        match c {
+            '[' | '{' => depth += 1,
+            ']' | '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &doc[open + 1..open + i];
+                }
+            }
+            _ => {}
+        }
+    }
+    fail("unterminated results array")
+}
+
+/// Splits the array body into top-level `{...}` object substrings.
+fn split_objects(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' | '[' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' | ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    out.push(&body[start.expect("object start")..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Value of `"key":` inside `obj` as a raw token (string values keep
+/// their quotes stripped), or `None` if absent at the top level.
+fn field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)?;
+    let rest = obj[at + pat.len()..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        return Some(stripped[..end].to_string());
+    }
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c == ']' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    Some(rest[..end].to_string())
+}
+
+fn label(obj: &str) -> String {
+    LABEL_FIELDS.iter().filter_map(|k| field(obj, k)).collect::<Vec<_>>().join("/")
+}
+
+fn main() {
+    let mut baseline_path = None;
+    let mut fresh_path = None;
+    let mut tolerance = 2.0f64;
+    let mut min_ms = 2.5f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => baseline_path = args.next(),
+            "--fresh" => fresh_path = args.next(),
+            "--tolerance" => {
+                let v = args.next().unwrap_or_else(|| fail("--tolerance needs a value"));
+                tolerance = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--tolerance must be a number, got '{v}'")));
+            }
+            "--min-ms" => {
+                let v = args.next().unwrap_or_else(|| fail("--min-ms needs a value"));
+                min_ms = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--min-ms must be a number, got '{v}'")));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_check --baseline PATH --fresh PATH [--tolerance F] [--min-ms F]"
+                );
+                std::process::exit(0);
+            }
+            other => fail(format!("unknown flag '{other}'")),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| fail("--baseline is required"));
+    let fresh_path = fresh_path.unwrap_or_else(|| fail("--fresh is required"));
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| fail(format!("cannot read {baseline_path}: {e}")));
+    let fresh = std::fs::read_to_string(&fresh_path)
+        .unwrap_or_else(|e| fail(format!("cannot read {fresh_path}: {e}")));
+
+    let base_rows = split_objects(results_body(&baseline));
+    let fresh_rows = split_objects(results_body(&fresh));
+    let mut problems = Vec::new();
+    if base_rows.len() != fresh_rows.len() {
+        problems.push(format!(
+            "row count: baseline has {}, fresh has {}",
+            base_rows.len(),
+            fresh_rows.len()
+        ));
+    }
+    let mut walls_checked = 0usize;
+    for (b, f) in base_rows.iter().zip(fresh_rows.iter()) {
+        let who = label(b);
+        if label(f) != who {
+            problems.push(format!("row order: baseline '{}' vs fresh '{}'", who, label(f)));
+            continue;
+        }
+        for key in EXACT_FIELDS {
+            if let (Some(bv), Some(fv)) = (field(b, key), field(f, key)) {
+                if bv != fv {
+                    problems
+                        .push(format!("{who}: {key} changed {bv} -> {fv} (must match exactly)"));
+                }
+            }
+        }
+        for key in WALL_FIELDS {
+            if let (Some(bv), Some(fv)) = (field(b, key), field(f, key)) {
+                let (bv, fv): (f64, f64) = (
+                    bv.parse().unwrap_or_else(|_| fail(format!("{who}: bad {key} '{bv}'"))),
+                    fv.parse().unwrap_or_else(|_| fail(format!("{who}: bad {key} '{fv}'"))),
+                );
+                walls_checked += 1;
+                // Ratio gate with an absolute noise floor: a 0.1 ms
+                // small-scale wall doubling is host jitter, not a
+                // regression.
+                if fv > (bv * tolerance).max(bv + min_ms) {
+                    problems.push(format!(
+                        "{who}: {key} regressed {bv:.3} -> {fv:.3} ms \
+                         (> {tolerance}x tolerance, +{min_ms} ms floor)"
+                    ));
+                }
+            }
+        }
+    }
+    if walls_checked == 0 {
+        problems.push("no wall-time fields found to compare (wrong artifact?)".to_string());
+    }
+    if problems.is_empty() {
+        println!(
+            "bench_check: {} rows ok vs {} ({} wall fields within {tolerance}x)",
+            fresh_rows.len(),
+            baseline_path,
+            walls_checked,
+        );
+    } else {
+        for p in &problems {
+            eprintln!("bench_check: FAIL: {p}");
+        }
+        eprintln!(
+            "bench_check: {} problem(s) vs {baseline_path}; if the model legitimately \
+             changed, regenerate the snapshot under ci/baselines/ in the same PR",
+            problems.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,28 +1,31 @@
 //! Native-executor harness: replay all nine Table-I benchmarks on real
 //! threads (`tss-exec`), oracle-validate every completion log, and
-//! record decode + replay throughput in `BENCH_exec.json` (DESIGN.md
-//! §7).
+//! record decode + replay + pipelined-streaming throughput in
+//! `BENCH_exec.json` (DESIGN.md §7–§8).
 //!
-//! Two numbers per benchmark:
+//! Three numbers per benchmark:
 //!
 //! - **decode** — the software renamer's one-pass, single-thread decode
 //!   rate in ns/task (best of [`DECODE_REPS`] passes). This is the
 //!   native analog of the paper's Section-II measurement that a
 //!   software task decoder costs ~700 ns/task — the ceiling the whole
-//!   hardware pipeline exists to break. The cross-check printed at the
-//!   bottom (and recorded in EXPERIMENTS.md) is the fig16 story at
-//!   native speed: how much decode headroom a lean software frontend
-//!   actually has.
-//! - **replay** — end-to-end threaded replay throughput in tasks/sec
-//!   with the selected payload, plus steals and per-worker utilization.
+//!   hardware pipeline exists to break.
+//! - **replay** — two-phase (decode first, then execute) threaded
+//!   replay throughput in tasks/sec with the selected payload: the
+//!   scheduler-only number, comparable across PRs.
+//! - **stream** — the pipelined end-to-end run: decode shard threads
+//!   rename window by window *while* workers execute earlier windows.
+//!   Reported as end-to-end tasks/sec plus `decode_overlap_pct` (share
+//!   of the run during which decode was still streaming — the paper's
+//!   "decode must not serialize the backend" claim, at native speed).
 //!
-//! Every replay's completion log is checked against the
-//! `DepGraph` oracle; any violation exits nonzero (CI gates on this,
-//! not on timing).
+//! Every replay's completion log is checked against the `DepGraph`
+//! oracle; any violation exits nonzero (CI gates on this, not timing).
 //!
 //! Flags: `--scale small|paper|large`, `--threads N`, `--payload
-//! noop|spin|memcpy`, `--spin-scale F`, `--seed N`, `--no-renaming`,
-//! `--json`, `--out PATH`.
+//! noop|spin|memcpy`, `--spin-scale F`, `--seed N`, `--window N`,
+//! `--decode-shards N`, `--no-renaming`, `--json`, `--out PATH`.
+//! Bad flag values print a clear error and exit 2 (they never panic).
 
 use std::time::{Duration, Instant};
 
@@ -44,9 +47,26 @@ struct Args {
     threads: usize,
     payload: PayloadMode,
     seed: u64,
+    window: usize,
+    decode_shards: usize,
     renaming: bool,
     json: bool,
     out: String,
+}
+
+/// CLI contract: bad input is a user error, not a bug — report it
+/// plainly and exit nonzero (the CLI-error tests pin this).
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+fn want(value: Option<String>, flag: &str) -> String {
+    value.unwrap_or_else(|| fail(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, what: &str) -> T {
+    raw.parse().unwrap_or_else(|_| fail(format!("{what} must be a number, got '{raw}'")))
 }
 
 fn parse_args() -> Args {
@@ -55,6 +75,8 @@ fn parse_args() -> Args {
         threads: 4,
         payload: PayloadMode::Noop,
         seed: 42,
+        window: 1024,
+        decode_shards: 1,
         renaming: true,
         json: false,
         out: "BENCH_exec.json".into(),
@@ -65,65 +87,67 @@ fn parse_args() -> Args {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
-                let v = args.next().expect("--scale needs a value");
+                let v = want(args.next(), "--scale");
                 out.scale = Scale::parse(&v)
-                    .unwrap_or_else(|| panic!("unknown scale '{v}' (small|paper|large)"));
+                    .unwrap_or_else(|| fail(format!("unknown scale '{v}' (small|paper|large)")));
             }
             "--threads" => {
-                out.threads = args
-                    .next()
-                    .expect("--threads needs a value")
-                    .parse()
-                    .expect("--threads must be a positive integer");
-                assert!(out.threads >= 1, "--threads must be at least 1");
+                out.threads = parse_num(&want(args.next(), "--threads"), "--threads");
+                if out.threads == 0 {
+                    fail("--threads must be at least 1");
+                }
             }
-            "--payload" => {
-                payload_name = args.next().expect("--payload needs a value");
+            "--window" => {
+                out.window = parse_num(&want(args.next(), "--window"), "--window");
+                if out.window == 0 {
+                    fail("--window must be at least 1 task");
+                }
             }
+            "--decode-shards" => {
+                out.decode_shards =
+                    parse_num(&want(args.next(), "--decode-shards"), "--decode-shards");
+                if out.decode_shards == 0 {
+                    fail("--decode-shards must be at least 1");
+                }
+            }
+            "--payload" => payload_name = want(args.next(), "--payload"),
             "--spin-scale" => {
-                spin_scale = args
-                    .next()
-                    .expect("--spin-scale needs a value")
-                    .parse()
-                    .expect("--spin-scale must be a float");
+                spin_scale = parse_num(&want(args.next(), "--spin-scale"), "--spin-scale");
             }
-            "--seed" => {
-                out.seed = args
-                    .next()
-                    .expect("--seed needs a value")
-                    .parse()
-                    .expect("--seed must be an integer");
-            }
+            "--seed" => out.seed = parse_num(&want(args.next(), "--seed"), "--seed"),
             "--no-renaming" => out.renaming = false,
             "--json" => out.json = true,
-            "--out" => out.out = args.next().expect("--out needs a path"),
+            "--out" => out.out = want(args.next(), "--out"),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: exec [--scale small|paper|large] [--threads N] \
                      [--payload noop|spin|memcpy] [--spin-scale F] [--seed N] \
-                     [--no-renaming] [--json] [--out PATH]"
+                     [--window N] [--decode-shards N] [--no-renaming] [--json] [--out PATH]"
                 );
                 std::process::exit(0);
             }
-            other => panic!("unknown flag '{other}' (try --help)"),
+            other => fail(format!("unknown flag '{other}'")),
         }
     }
     out.payload = PayloadMode::parse(&payload_name, spin_scale)
-        .unwrap_or_else(|| panic!("unknown payload '{payload_name}' (noop|spin|memcpy)"));
+        .unwrap_or_else(|| fail(format!("unknown payload '{payload_name}' (noop|spin|memcpy)")));
     out
 }
 
 struct Point {
-    report: ExecReport,
+    /// Two-phase replay (decode excluded from `exec_wall`).
+    replay: ExecReport,
+    /// Pipelined streaming run (decode inside `exec_wall`).
+    stream: ExecReport,
     decode_best: Duration,
 }
 
 impl Point {
     fn decode_ns_per_task(&self) -> f64 {
-        if self.report.tasks == 0 {
+        if self.replay.tasks == 0 {
             return 0.0;
         }
-        self.decode_best.as_nanos() as f64 / self.report.tasks as f64
+        self.decode_best.as_nanos() as f64 / self.replay.tasks as f64
     }
 
     fn decode_tasks_per_sec(&self) -> f64 {
@@ -144,7 +168,7 @@ fn json_escape(s: &str) -> String {
 /// tasks/sec, headroom vs the paper's software decoder)`. One helper so
 /// the JSON artifact and the printed summary can never disagree.
 fn aggregate_decode(points: &[Point]) -> (usize, f64, f64, f64) {
-    let tasks: usize = points.iter().map(|p| p.report.tasks).sum();
+    let tasks: usize = points.iter().map(|p| p.replay.tasks).sum();
     let decode_wall: f64 = points.iter().map(|p| p.decode_best.as_secs_f64()).sum();
     let agg_ns = if tasks > 0 { decode_wall * 1e9 / tasks as f64 } else { 0.0 };
     if agg_ns > 0.0 {
@@ -154,19 +178,33 @@ fn aggregate_decode(points: &[Point]) -> (usize, f64, f64, f64) {
     }
 }
 
+/// Aggregate throughput over a wall-time extractor: `sum(tasks) /
+/// sum(wall)` — the headline number EXPERIMENTS.md tracks across PRs.
+fn aggregate_rate(points: &[Point], wall: impl Fn(&Point) -> f64) -> f64 {
+    let tasks: usize = points.iter().map(|p| p.replay.tasks).sum();
+    let total: f64 = points.iter().map(wall).sum();
+    if total > 0.0 {
+        tasks as f64 / total
+    } else {
+        0.0
+    }
+}
+
 fn to_json(args: &Args, points: &[Point]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"tss-bench-exec/v1\",\n");
+    s.push_str("  \"schema\": \"tss-bench-exec/v2\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", args.scale.name()));
     s.push_str(&format!("  \"threads\": {},\n", args.threads));
     s.push_str(&format!("  \"payload\": \"{}\",\n", args.payload.name()));
     s.push_str(&format!("  \"seed\": {},\n", args.seed));
+    s.push_str(&format!("  \"window\": {},\n", args.window));
+    s.push_str(&format!("  \"decode_shards\": {},\n", args.decode_shards));
     s.push_str(&format!("  \"renaming\": {},\n", args.renaming));
     s.push_str(&format!("  \"paper_software_decoder_ns_per_task\": {PAPER_SOFTWARE_DECODE_NS},\n"));
     s.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
-        let r = &p.report;
+        let r = &p.replay;
         let workers: Vec<String> = (0..r.workers.len())
             .map(|w| {
                 format!(
@@ -181,6 +219,8 @@ fn to_json(args: &Args, points: &[Point]) -> String {
             "    {{\"benchmark\": \"{}\", \"tasks\": {}, \"enforced_edges\": {}, \
              \"decode_ns_per_task\": {:.1}, \"decode_tasks_per_sec\": {:.0}, \
              \"exec_wall_ms\": {:.3}, \"exec_tasks_per_sec\": {:.0}, \"steals\": {}, \
+             \"stream_wall_ms\": {:.3}, \"stream_tasks_per_sec\": {:.0}, \
+             \"decode_overlap_pct\": {:.1}, \
              \"validated\": {}, \"workers\": [{}]}}{}\n",
             json_escape(&r.benchmark),
             r.tasks,
@@ -190,19 +230,41 @@ fn to_json(args: &Args, points: &[Point]) -> String {
             r.exec_wall.as_secs_f64() * 1e3,
             r.tasks_per_sec(),
             r.total_steals(),
-            r.validated,
+            p.stream.exec_wall.as_secs_f64() * 1e3,
+            p.stream.tasks_per_sec(),
+            p.stream.decode_overlap_pct,
+            r.validated && p.stream.validated,
             workers.join(", "),
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
     s.push_str("  ],\n");
     let (tasks, agg_ns, per_sec, headroom) = aggregate_decode(points);
+    let exec_rate = aggregate_rate(points, |p| p.replay.exec_wall.as_secs_f64());
+    let stream_rate = aggregate_rate(points, |p| p.stream.exec_wall.as_secs_f64());
+    let overlap = if points.is_empty() {
+        0.0
+    } else {
+        points.iter().map(|p| p.stream.decode_overlap_pct).sum::<f64>() / points.len() as f64
+    };
     s.push_str(&format!(
         "  \"totals\": {{\"tasks\": {tasks}, \"decode_ns_per_task\": {agg_ns:.1}, \
-         \"decode_tasks_per_sec\": {per_sec:.0}, \"decode_headroom_vs_paper\": {headroom:.1}}}\n",
+         \"decode_tasks_per_sec\": {per_sec:.0}, \"decode_headroom_vs_paper\": {headroom:.1}, \
+         \"exec_tasks_per_sec\": {exec_rate:.0}, \"stream_tasks_per_sec\": {stream_rate:.0}, \
+         \"decode_overlap_pct_mean\": {overlap:.1}}}\n",
     ));
     s.push_str("}\n");
     s
+}
+
+fn validated(bench: Benchmark, report: ExecReport, oracle: &DepGraph) -> ExecReport {
+    if let Err(v) = oracle.validate_order(&report.order) {
+        eprintln!("[exec] {bench}: ORACLE VIOLATION: {v}");
+        std::process::exit(1);
+    }
+    let mut report = report;
+    report.validated = true;
+    report
 }
 
 fn main() {
@@ -210,6 +272,7 @@ fn main() {
     let mut points = Vec::with_capacity(9);
     for bench in Benchmark::all() {
         let trace = bench.trace(args.scale, args.seed);
+        let oracle = DepGraph::from_trace(&trace);
 
         // Decode microbench: the renamer alone, single pass, best of N.
         let renamer = Renamer::new().renaming(args.renaming);
@@ -222,72 +285,80 @@ fn main() {
             decode_best = decode_best.min(dt);
         }
 
-        // Full replay: validation is part of the run contract — the
-        // executor panics on an oracle violation, but the harness also
-        // checks explicitly so a failure exits with a clear message.
+        // Validation happens below, outside the timed runs, so the
+        // harness exits with a clear per-benchmark message.
         let cfg = ExecConfig {
             threads: args.threads,
             payload: args.payload,
             renaming: args.renaming,
             seed: args.seed,
-            validate: false, // the harness validates below, outside the timed run
+            window: args.window,
+            decode_shards: args.decode_shards,
+            validate: false,
         };
-        let report = Executor::new(cfg).run(&trace);
-        let oracle = DepGraph::from_trace(&trace);
-        let mut report = report;
-        if let Err(v) = oracle.validate_order(&report.order) {
-            eprintln!("[exec] {bench}: ORACLE VIOLATION: {v}");
-            std::process::exit(1);
-        }
-        report.validated = true;
+        let exec = Executor::new(cfg);
+        // Two-phase replay: the scheduler-only, PR-comparable number.
+        let replay = validated(bench, exec.run_oneshot(&trace), &oracle);
+        // Pipelined streaming run: decode overlapped with execution.
+        let stream = validated(bench, exec.run(&trace), &oracle);
         eprintln!(
-            "  [exec] {bench}: {} tasks, decode {:.0} ns/task, replay {:.2} ms ({} steals) — ok",
-            report.tasks,
-            decode_best.as_nanos() as f64 / report.tasks.max(1) as f64,
-            report.exec_wall.as_secs_f64() * 1e3,
-            report.total_steals(),
+            "  [exec] {bench}: {} tasks, decode {:.0} ns/task, replay {:.2} ms ({} steals), \
+             stream {:.2} ms ({:.0}% decode overlap) — ok",
+            replay.tasks,
+            decode_best.as_nanos() as f64 / replay.tasks.max(1) as f64,
+            replay.exec_wall.as_secs_f64() * 1e3,
+            replay.total_steals(),
+            stream.exec_wall.as_secs_f64() * 1e3,
+            stream.decode_overlap_pct,
         );
-        points.push(Point { report, decode_best });
+        points.push(Point { replay, stream, decode_best });
     }
 
     let json = to_json(&args, &points);
-    std::fs::write(&args.out, &json).expect("write BENCH_exec.json");
+    std::fs::write(&args.out, &json)
+        .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", args.out)));
 
     if args.json {
         print!("{json}");
     } else {
         let mut table = Table::new(
             format!(
-                "Native executor ({} scale, {} threads, {} payload, seed {})",
+                "Native executor ({} scale, {} threads, {} payload, seed {}, window {}, {} decode shards)",
                 args.scale.name(),
                 args.threads,
                 args.payload.name(),
-                args.seed
+                args.seed,
+                args.window,
+                args.decode_shards,
             ),
             &[
                 "Benchmark",
                 "tasks",
                 "edges",
                 "decode ns/t",
-                "decode Mt/s",
                 "replay ms",
                 "replay t/s",
                 "steals",
+                "stream ms",
+                "stream t/s",
+                "overlap %",
                 "valid",
             ],
         );
         for p in &points {
-            let r = &p.report;
+            let r = &p.replay;
             table.row(vec![
                 r.benchmark.clone(),
                 r.tasks.to_string(),
                 r.rename.enforced_edges.to_string(),
                 fmt_f(p.decode_ns_per_task(), 0),
-                fmt_f(p.decode_tasks_per_sec() / 1e6, 2),
                 fmt_f(r.exec_wall.as_secs_f64() * 1e3, 2),
                 fmt_f(r.tasks_per_sec(), 0),
                 r.total_steals().to_string(),
-                if r.validated { "ok".into() } else { "FAIL".into() },
+                fmt_f(p.stream.exec_wall.as_secs_f64() * 1e3, 2),
+                fmt_f(p.stream.tasks_per_sec(), 0),
+                fmt_f(p.stream.decode_overlap_pct, 0),
+                if r.validated && p.stream.validated { "ok".into() } else { "FAIL".into() },
             ]);
         }
         println!("{}", table.render());
@@ -296,6 +367,11 @@ fn main() {
             "Aggregate native decode: {agg_ns:.0} ns/task ({:.2}M tasks/s) vs the paper's \
              ~{PAPER_SOFTWARE_DECODE_NS:.0} ns/task software decoder — {headroom:.1}x headroom.",
             per_sec / 1e6,
+        );
+        println!(
+            "Aggregate replay {:.2}M tasks/s (two-phase) | streamed end-to-end {:.2}M tasks/s.",
+            aggregate_rate(&points, |p| p.replay.exec_wall.as_secs_f64()) / 1e6,
+            aggregate_rate(&points, |p| p.stream.exec_wall.as_secs_f64()) / 1e6,
         );
         println!("(wrote {})", args.out);
     }

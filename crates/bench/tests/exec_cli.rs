@@ -1,0 +1,54 @@
+//! CLI contract of the `exec` harness (ISSUE 4 satellite): bad flag
+//! values are *user errors* — the binary must print a clear message and
+//! exit nonzero, never panic (a panic would read as an executor bug in
+//! CI logs and dump a backtrace instead of usage help).
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (i32, String) {
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_exec")).args(args).output().expect("spawn exec harness");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    (out.status.code().unwrap_or(-1), stderr)
+}
+
+#[test]
+fn zero_threads_is_a_clean_error() {
+    let (code, err) = run(&["--threads", "0"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--threads must be at least 1"), "stderr: {err}");
+    assert!(!err.contains("panicked"), "panicked instead of failing cleanly: {err}");
+}
+
+#[test]
+fn unknown_payload_is_a_clean_error() {
+    let (code, err) = run(&["--payload", "fft"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("unknown payload 'fft'"), "stderr: {err}");
+    assert!(err.contains("noop|spin|memcpy"), "suggests the menu: {err}");
+    assert!(!err.contains("panicked"), "panicked instead of failing cleanly: {err}");
+}
+
+#[test]
+fn unknown_scale_flag_value_and_missing_value_are_clean_errors() {
+    for args in [
+        &["--scale", "huge"][..],
+        &["--frobnicate"][..],
+        &["--threads"][..],
+        &["--threads", "many"][..],
+        &["--window", "0"][..],
+        &["--decode-shards", "0"][..],
+    ] {
+        let (code, err) = run(args);
+        assert_eq!(code, 2, "args {args:?}, stderr: {err}");
+        assert!(err.contains("error:"), "args {args:?}, stderr: {err}");
+        assert!(!err.contains("panicked"), "args {args:?} panicked: {err}");
+    }
+}
+
+#[test]
+fn help_exits_zero() {
+    let (code, err) = run(&["--help"]);
+    assert_eq!(code, 0);
+    assert!(err.contains("usage: exec"));
+}

@@ -1,38 +1,65 @@
 //! The execution core: real threads replaying a decoded task graph
-//! out of order, playing the role of the paper's CMP backend at native
-//! speed.
+//! out of order — now a *pipelined* core in which decode itself streams
+//! concurrently with execution, the way the paper's distributed
+//! ORT/OVT/TRS frontend feeds its backend without serializing it.
 //!
-//! Scheme (DESIGN.md §7):
+//! Scheme (DESIGN.md §7 for the execution side, §8 for the streaming
+//! protocol and memory orderings):
 //!
-//! - every task carries an atomic *unready-producer* counter (decoded
-//!   by the [`Renamer`]); completing a task decrements its successors'
-//!   counters, and whichever worker performs the 1→0 transition pushes
-//!   the now-ready task onto its own deque (locality: the consumer
-//!   likely reads what the producer just wrote);
-//! - workers pop their own deque LIFO, fall back to the shared
-//!   injector (roots, in program order), then steal FIFO from victims
-//!   in a seeded random rotation;
-//! - idle workers park on a condvar epoch — no spinning. The dev and
-//!   CI machines can have fewer hardware threads than workers (the
-//!   container exposes one), where a spinning sibling would starve the
-//!   worker actually holding work;
-//! - completion takes a global atomic ticket *before* releasing
-//!   successors, so the ticket sequence is a linearization of the
-//!   dependency order: every run emits it as the completion log and
-//!   [`DepGraph::validate_order`] checks it — an invalid order is an
-//!   executor bug and fails the run.
+//! - **Two run modes.** [`Executor::run`] streams: decode shard
+//!   threads rename the trace window by window *while* workers execute
+//!   already-committed windows (the decode cost overlaps execution —
+//!   [`ExecReport::decode_overlap_pct`]). [`Executor::run_oneshot`]
+//!   keeps PR 3's phases (decode fully, then replay) — it is the
+//!   apples-to-apples replay-throughput measurement and the shape the
+//!   microbenches time.
+//! - **Lock-free scheduling.** Per-worker [`ChaseLev`] deques (owner
+//!   LIFO, thief FIFO, batch stealing takes half) replace the mutexed
+//!   ring; the one lock left on the task hot path is gone.
+//! - **Readiness.** Every task carries an atomic counter. In one-shot
+//!   mode it starts at the decoded producer count. In streaming mode it
+//!   starts at a large sentinel `UNPUBLISHED`: producers that finish
+//!   *before* their successor is even decoded simply decrement through
+//!   the sentinel, and the window commit adds `pred_count − UNPUBLISHED`
+//!   back — whichever atomic op lands the counter exactly on zero owns
+//!   the push. Early release needs no blocking and no side lookups.
+//! - **Pending-release lists.** A producer's successor set is not fully
+//!   known until later windows decode. Each task owns a lock-free
+//!   pending list (CAS-push by the window committer); completion swaps
+//!   the head with `CLOSED` and drains. A committer that observes
+//!   `CLOSED` knows the producer already completed and drained, and
+//!   counts the edge as satisfied itself — the exactly-once handshake
+//!   (§8).
+//! - **Parking without storms.** Workers park on a condvar epoch, but
+//!   wakes are throttled: a completion wakes one thief only when it
+//!   banked *surplus* ready tasks (≥ 2), a window commit wakes
+//!   everyone once per window, and the final completion wakes everyone
+//!   once. PR 3 notified on every completion that released anything —
+//!   on an oversubscribed host that was a futex storm dominating the
+//!   replay.
+//! - **Completion tickets** are taken *before* successor release, so
+//!   the ticket sequence is a linearization of the dependency order by
+//!   construction; [`DepGraph::validate_order`] checks it on every
+//!   validated run. The ticket counter doubles as the termination
+//!   count: ticket `n−1` means every task has executed.
 //!
-//! With one worker there is no stealing and no ticket race: replay
-//! order is a pure function of the queue discipline, which the
-//! determinism tests pin down.
+//! With one worker there is no stealing and no ticket race. For a
+//! *two-phase* replay ([`Executor::run_oneshot`]) the order is then a
+//! pure function of the queue discipline (own deque LIFO over injector
+//! FIFO, batch banking preserves root order) — bit-deterministic, and
+//! the determinism tests pin it. A *streamed* 1-worker run is oracle-
+//! deterministic only: whether a task arrives via the injector or via
+//! a producer's pending list is the decode-vs-execution race itself
+//! (`tests/streaming.rs` pins that contract).
 
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI32, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::deque::WorkDeque;
+use crate::deque::{ChaseLev, BATCH_MAX};
 use crate::payload::{build_arena, PayloadMode, PayloadScratch};
-use crate::renamer::{RenameStats, Renamer, TaskGraph};
+use crate::renamer::{merge_window, RenameStats, Renamer, ShardState, TaskGraph};
+use tss_sim::{CachePadded, Cycle};
 use tss_trace::{DepGraph, OrderViolation, TaskId, TaskTrace};
 
 /// Executor configuration.
@@ -50,6 +77,14 @@ pub struct ExecConfig {
     /// run (on by default; a violating run panics — it is an executor
     /// bug, never a workload property).
     pub validate: bool,
+    /// Streaming decode window: tasks committed to the executor per
+    /// batch (≥ 1). Smaller windows overlap sooner but commit more
+    /// often.
+    pub window: usize,
+    /// Decode shard threads for streaming runs (≥ 1): address interning
+    /// is hash-partitioned this many ways and each shard renames its
+    /// partition on its own thread (the distributed-ORT analogy).
+    pub decode_shards: usize,
 }
 
 impl Default for ExecConfig {
@@ -60,18 +95,24 @@ impl Default for ExecConfig {
             renaming: true,
             seed: 1,
             validate: true,
+            window: 1024,
+            decode_shards: 1,
         }
     }
 }
 
-/// Per-worker counters.
+/// Per-worker counters. Each worker accumulates its own copy on its own
+/// stack (the strongest form of false-sharing avoidance — nothing is
+/// shared until the join) and hands it back when the scope ends.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WorkerStats {
     /// Tasks this worker executed.
     pub executed: u64,
-    /// Tasks this worker stole from other deques.
+    /// Steal *events* (a batch steal of k tasks counts once).
     pub steals: u64,
-    /// Wall time spent inside payloads.
+    /// Wall time spent inside payloads. Zero for `noop` runs: the no-op
+    /// payload skips the two clock reads per task that PR 3 paid, so
+    /// `noop` throughput numbers measure scheduling alone.
     pub busy: Duration,
 }
 
@@ -86,10 +127,23 @@ pub struct ExecReport {
     pub threads: usize,
     /// Payload mode.
     pub payload: PayloadMode,
-    /// Wall time of the renamer decode pass.
+    /// Decode span. One-shot runs: the serial decode phase. Streaming
+    /// runs: from thread start to the last window commit — a *span*
+    /// that shares the host with execution, not a pure-work figure.
     pub decode_wall: Duration,
-    /// Wall time of the threaded replay (decode excluded).
+    /// Replay span. One-shot runs: the threaded replay, decode
+    /// excluded. Streaming runs: the whole pipelined run — decode
+    /// happens *inside* this span, which is the point.
     pub exec_wall: Duration,
+    /// Share (percent) of `exec_wall` during which decode was still
+    /// streaming. Zero for one-shot runs (decode is a serial phase
+    /// before the replay); near 100 means the frontend streamed for the
+    /// whole run and was never a standalone latency.
+    pub decode_overlap_pct: f64,
+    /// Whether this run streamed decode into execution.
+    pub streaming: bool,
+    /// Decode shard threads used (1 for one-shot runs).
+    pub decode_shards: usize,
     /// The completion log: task ids in global completion-ticket order.
     pub order: Vec<TaskId>,
     /// Per-worker counters, indexed by worker id.
@@ -103,6 +157,8 @@ pub struct ExecReport {
 impl ExecReport {
     /// Decode throughput in nanoseconds per task (the native number the
     /// paper's ~700 ns/task software-decoder ceiling is compared to).
+    /// For streaming runs this is a span over a shared host — see
+    /// [`ExecReport::decode_wall`].
     pub fn decode_ns_per_task(&self) -> f64 {
         if self.tasks == 0 {
             return 0.0;
@@ -110,7 +166,8 @@ impl ExecReport {
         self.decode_wall.as_nanos() as f64 / self.tasks as f64
     }
 
-    /// Replay throughput in tasks per second.
+    /// Replay throughput in tasks per second (for streaming runs this
+    /// is end-to-end: decode is inside the denominator).
     pub fn tasks_per_sec(&self) -> f64 {
         let s = self.exec_wall.as_secs_f64();
         if s > 0.0 {
@@ -120,12 +177,13 @@ impl ExecReport {
         }
     }
 
-    /// Total steals across workers.
+    /// Total steal events across workers.
     pub fn total_steals(&self) -> u64 {
         self.workers.iter().map(|w| w.steals).sum()
     }
 
-    /// A worker's busy fraction of the replay wall time.
+    /// A worker's busy fraction of the replay wall time (zero for
+    /// `noop` payloads, which skip busy timing — see [`WorkerStats`]).
     pub fn utilization(&self, worker: usize) -> f64 {
         let wall = self.exec_wall.as_secs_f64();
         if wall > 0.0 {
@@ -136,74 +194,226 @@ impl ExecReport {
     }
 }
 
-/// Condvar epoch for idle-worker parking. Every work push bumps the
-/// epoch; a worker only sleeps if the epoch is unchanged since before
-/// its last (empty) scan, so no wakeup can be lost. The epoch itself is
-/// an atomic — the busy path (one read per loop iteration) must not
-/// serialize all workers on a mutex; the mutex + condvar are touched
-/// only when someone actually parks or wakes parked peers.
+// ---------------------------------------------------------------------
+// Parker
+// ---------------------------------------------------------------------
+
+/// Condvar epoch for idle-worker parking. A worker reads the epoch
+/// *before* scanning for work and only sleeps if the epoch is unchanged
+/// since — any wake between its read and its sleep is therefore
+/// observed (the epoch moved) and the sleep aborts. The epoch ops are
+/// `SeqCst`: the worker's *read epoch → scan queues* and a producer's
+/// *push work → bump epoch* form the classic store-load (Dekker)
+/// pattern, which weaker orderings do not close (§8). The mutex and
+/// condvar are touched only when someone actually parks or wakes.
 struct Parker {
-    epoch: AtomicU64,
+    epoch: CachePadded<AtomicU64>,
+    idle: CachePadded<AtomicUsize>,
     lock: Mutex<()>,
     cv: Condvar,
-    idle: AtomicUsize,
 }
 
 impl Parker {
     fn new() -> Self {
         Parker {
-            epoch: AtomicU64::new(0),
+            epoch: CachePadded::new(AtomicU64::new(0)),
+            idle: CachePadded::new(AtomicUsize::new(0)),
             lock: Mutex::new(()),
             cv: Condvar::new(),
-            idle: AtomicUsize::new(0),
         }
     }
 
+    #[inline]
     fn current_epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
     }
 
-    /// Wakes all parked workers (cheap no-op when nobody is idle).
-    fn wake(&self) {
-        if self.idle.load(Ordering::SeqCst) > 0 {
-            self.epoch.fetch_add(1, Ordering::SeqCst);
-            // Taking the lock orders the bump against a parker that has
-            // checked the epoch but not yet entered `wait` (it holds
-            // the lock across that window), so the notify cannot land
-            // in the gap.
-            let _g = self.lock.lock().expect("parker poisoned");
-            self.cv.notify_all();
-        }
+    /// Whether any worker is parked (a hint for wake throttling; a
+    /// missed hint delays a thief until the next wake, it never loses
+    /// work — the producer itself still holds the tasks).
+    #[inline]
+    fn has_idle(&self) -> bool {
+        self.idle.load(Ordering::Relaxed) > 0
+    }
+
+    /// Wakes one parked worker (throttled wake: surplus in one deque
+    /// needs one thief, not a stampede).
+    fn wake_one(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let _g = self.lock.lock().expect("parker poisoned");
+        self.cv.notify_one();
+    }
+
+    /// Wakes all parked workers (window commits, termination).
+    fn wake_all(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        // Taking the lock orders the bump against a parker that has
+        // checked the epoch but not yet entered `wait` (it holds the
+        // lock across that window), so the notify cannot land in the
+        // gap.
+        let _g = self.lock.lock().expect("parker poisoned");
+        self.cv.notify_all();
     }
 
     /// Parks until the epoch moves past `seen` or `done` returns true.
     fn park(&self, seen: u64, done: impl Fn() -> bool) {
+        self.idle.fetch_add(1, Ordering::SeqCst);
         let mut g = self.lock.lock().expect("parker poisoned");
         while self.epoch.load(Ordering::SeqCst) == seen && !done() {
             g = self.cv.wait(g).expect("parker poisoned");
         }
+        drop(g);
+        self.idle.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-/// Shared replay state (borrowed by every worker via a scoped spawn).
-struct Shared<'a> {
+// ---------------------------------------------------------------------
+// Release modes (how a completion finds its successors)
+// ---------------------------------------------------------------------
+
+/// How a completed task's successors are found and counted down. Two
+/// implementations, one worker loop: the hot path is monomorphized per
+/// mode, never dynamically dispatched.
+trait ReleaseSuccs: Sync {
+    /// Called exactly once per completed task `t`; appends every task
+    /// made ready by this completion to `ready`.
+    fn release(&self, t: u32, ready: &mut Vec<u32>);
+}
+
+/// One-shot mode: the successor CSR is fully decoded up front and the
+/// counters start at the exact producer count.
+struct PrebuiltRelease<'a> {
     graph: &'a TaskGraph,
+    unready: Vec<AtomicI32>,
+}
+
+impl<'a> PrebuiltRelease<'a> {
+    fn new(graph: &'a TaskGraph) -> Self {
+        let unready =
+            (0..graph.len()).map(|t| AtomicI32::new(graph.pred_count(t) as i32)).collect();
+        PrebuiltRelease { graph, unready }
+    }
+}
+
+impl ReleaseSuccs for PrebuiltRelease<'_> {
+    #[inline]
+    fn release(&self, t: u32, ready: &mut Vec<u32>) {
+        for &s in self.graph.succs(t as TaskId) {
+            // AcqRel: release our payload writes to the successor's
+            // executor, acquire the other producers' on the 1 → 0 edge.
+            if self.unready[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                ready.push(s);
+            }
+        }
+    }
+}
+
+/// Streaming mode sentinels (pending-list heads).
+const PENDING_NIL: u32 = u32::MAX;
+const PENDING_CLOSED: u32 = u32::MAX - 1;
+
+/// Streaming mode readiness sentinel: a counter at `UNPUBLISHED − k`
+/// means "not yet decoded, k producers already finished". Must exceed
+/// any real producer count; `1 << 30` towers over the ≤ `3 ×
+/// operands` edge bound.
+const UNPUBLISHED: i32 = 1 << 30;
+
+/// Streaming mode: successor sets grow as later windows decode, so each
+/// task owns a lock-free pending-release list; counters start at the
+/// [`UNPUBLISHED`] sentinel and are reconciled by the window commit.
+struct StreamRelease {
+    unready: Vec<AtomicI32>,
+    /// Pending-list heads: `PENDING_NIL` empty, `PENDING_CLOSED` after
+    /// the owner completed and drained, else a `nodes` index.
+    pending: Vec<AtomicU32>,
+    /// Node slab: `(next << 32) | succ`, bump-allocated by the window
+    /// committer (the commit lock serializes allocation), capacity
+    /// fixed at the `3 × operands` edge bound so nodes never move.
+    nodes: Vec<AtomicU64>,
+}
+
+impl StreamRelease {
+    fn new(n: usize, edge_cap: usize) -> Self {
+        StreamRelease {
+            unready: (0..n).map(|_| AtomicI32::new(UNPUBLISHED)).collect(),
+            pending: (0..n).map(|_| AtomicU32::new(PENDING_NIL)).collect(),
+            nodes: (0..edge_cap).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn countdown(&self, s: u32, ready: &mut Vec<u32>) {
+        if self.unready[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+            ready.push(s);
+        }
+    }
+}
+
+impl ReleaseSuccs for StreamRelease {
+    #[inline]
+    fn release(&self, t: u32, ready: &mut Vec<u32>) {
+        // Close the list: every edge registered up to now is drained
+        // here; every edge registered after sees CLOSED and counts
+        // itself satisfied at the commit (§8 exactly-once handshake).
+        let mut head = self.pending[t as usize].swap(PENDING_CLOSED, Ordering::AcqRel);
+        while head != PENDING_NIL {
+            let node = self.nodes[head as usize].load(Ordering::Relaxed);
+            self.countdown(node as u32, ready);
+            head = (node >> 32) as u32;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared replay state
+// ---------------------------------------------------------------------
+
+/// Shared replay state (borrowed by every worker via a scoped spawn).
+struct Shared<'a, R: ReleaseSuccs> {
+    mode: R,
     trace: &'a TaskTrace,
-    /// Remaining unready producers per task (the O(1) readiness scheme).
-    unready: Vec<AtomicU32>,
+    /// Traced runtimes as a dense SoA column (only populated for spin
+    /// payloads): the readiness/dispatch hot path must not drag each
+    /// task's whole `TaskDesc` (operand `Vec` header included) through
+    /// the cache for one u64.
+    runtimes: Vec<Cycle>,
+    n: usize,
     /// Completion tickets: `order[k]` is the k-th task to complete.
     order: Vec<AtomicU32>,
-    next_ticket: AtomicUsize,
-    completed: AtomicUsize,
-    deques: Vec<WorkDeque>,
-    injector: WorkDeque,
+    /// Ticket source *and* termination counter: ticket `n − 1` implies
+    /// every task has executed.
+    next_ticket: CachePadded<AtomicUsize>,
+    deques: Vec<ChaseLev>,
+    injector: ChaseLev,
     parker: Parker,
     payload: PayloadMode,
 }
 
-impl Shared<'_> {
+impl<R: ReleaseSuccs> Shared<'_, R> {
+    fn new_for(trace: &TaskTrace, mode: R, threads: usize, payload: PayloadMode) -> Shared<'_, R> {
+        let n = trace.len();
+        let runtimes = if matches!(payload, PayloadMode::Spin { .. }) {
+            trace.iter().map(|t| t.runtime).collect()
+        } else {
+            Vec::new()
+        };
+        Shared {
+            mode,
+            trace,
+            runtimes,
+            n,
+            order: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect(),
+            next_ticket: CachePadded::new(AtomicUsize::new(0)),
+            deques: (0..threads).map(|_| ChaseLev::with_capacity(256)).collect(),
+            injector: ChaseLev::with_capacity(1024),
+            parker: Parker::new(),
+            payload,
+        }
+    }
+
+    #[inline]
     fn done(&self) -> bool {
-        self.completed.load(Ordering::SeqCst) == self.graph.len()
+        self.next_ticket.load(Ordering::Acquire) >= self.n
     }
 }
 
@@ -216,27 +426,85 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn worker_loop(w: usize, shared: &Shared<'_>, arena: &[u8], seed: u64) -> WorkerStats {
+fn run_task<R: ReleaseSuccs>(
+    t: u32,
+    w: usize,
+    shared: &Shared<'_, R>,
+    scratch: &mut PayloadScratch<'_>,
+    stats: &mut WorkerStats,
+    ready: &mut Vec<u32>,
+) {
+    match shared.payload {
+        // No clock reads on the no-op path: noop runs measure pure
+        // decode + scheduling throughput.
+        PayloadMode::Noop => {}
+        PayloadMode::Spin { time_scale } => {
+            stats.busy += scratch.run_spin(shared.runtimes[t as usize], time_scale);
+        }
+        PayloadMode::Memcpy => {
+            stats.busy += scratch.run_memcpy(shared.trace.task(t as TaskId));
+        }
+    }
+    stats.executed += 1;
+
+    // Ticket first, successor release second: any successor's ticket is
+    // therefore strictly after every producer's (valid linearization).
+    // Relaxed suffices: tickets on one counter are totally ordered, and
+    // producer-before-successor follows from the release/acquire edge
+    // on the readiness counter (§8).
+    let ticket = shared.next_ticket.fetch_add(1, Ordering::AcqRel);
+    shared.order[ticket].store(t, Ordering::Relaxed);
+
+    ready.clear();
+    shared.mode.release(t, ready);
+    for &s in ready.iter() {
+        shared.deques[w].push(s);
+    }
+    if ticket + 1 == shared.n {
+        // Final completion: unconditionally flush every parked worker
+        // into their done() check.
+        shared.parker.wake_all();
+    } else if ready.len() >= 2 && shared.parker.has_idle() {
+        // Surplus banked beyond what this worker immediately runs: one
+        // thief's worth of news, one wake — not PR 3's per-completion
+        // notify_all storm.
+        shared.parker.wake_one();
+    }
+}
+
+fn worker_loop<R: ReleaseSuccs>(
+    w: usize,
+    shared: &Shared<'_, R>,
+    arena: &[u8],
+    seed: u64,
+) -> WorkerStats {
     let mut stats = WorkerStats::default();
     let mut scratch = PayloadScratch::new(arena);
+    let mut ready: Vec<u32> = Vec::with_capacity(64);
     let mut rng = seed ^ (w as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let me = &shared.deques[w];
     let others: Vec<usize> = (0..shared.deques.len()).filter(|&v| v != w).collect();
 
     loop {
-        // Read the epoch *before* scanning: if a push lands after the
-        // scan misses it, the epoch has moved and park returns at once.
-        let epoch = shared.parker.current_epoch();
+        // Fast path: drain the own deque depth-first. No epoch or done
+        // loads per task — those belong to the idle path.
+        while let Some(t) = me.pop() {
+            run_task(t, w, shared, &mut scratch, &mut stats, &mut ready);
+        }
         if shared.done() {
             break;
         }
-        let task = shared.deques[w].pop().or_else(|| shared.injector.steal()).or_else(|| {
+        // Epoch before the scans: any push after a failed scan moves
+        // the epoch and aborts the park (§8 Dekker pairing).
+        let epoch = shared.parker.current_epoch();
+        let task = shared.injector.steal_batch_into(me, BATCH_MAX).or_else(|| {
             if others.is_empty() {
                 return None;
             }
             let start = (splitmix(&mut rng) as usize) % others.len();
             (0..others.len()).find_map(|i| {
                 let victim = others[(start + i) % others.len()];
-                let t = shared.deques[victim].steal();
+                let t = shared.deques[victim].steal_batch_into(me, BATCH_MAX);
                 if t.is_some() {
                     stats.steals += 1;
                 }
@@ -245,45 +513,201 @@ fn worker_loop(w: usize, shared: &Shared<'_>, arena: &[u8], seed: u64) -> Worker
         });
         match task {
             Some(t) => {
-                run_task(t as TaskId, w, shared, &mut scratch, &mut stats);
+                // A successful batch steal banked surplus: chain one
+                // wake so other idle workers can re-balance too.
+                if !me.is_empty() && shared.parker.has_idle() {
+                    shared.parker.wake_one();
+                }
+                run_task(t, w, shared, &mut scratch, &mut stats, &mut ready);
             }
             None => {
-                shared.parker.idle.fetch_add(1, Ordering::SeqCst);
+                if shared.done() {
+                    break;
+                }
                 shared.parker.park(epoch, || shared.done());
-                shared.parker.idle.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }
     stats
 }
 
-fn run_task(
-    t: TaskId,
-    w: usize,
-    shared: &Shared<'_>,
-    scratch: &mut PayloadScratch<'_>,
-    stats: &mut WorkerStats,
-) {
-    stats.busy += scratch.run(shared.payload, shared.trace.task(t));
-    stats.executed += 1;
+// ---------------------------------------------------------------------
+// Streaming decode plumbing
+// ---------------------------------------------------------------------
 
-    // Ticket first, successor release second: any successor's ticket is
-    // therefore strictly after every producer's (valid linearization).
-    let ticket = shared.next_ticket.fetch_add(1, Ordering::SeqCst);
-    shared.order[ticket].store(t as u32, Ordering::SeqCst);
+/// One window × shard pair buffer: `(consumer, producer)` in scan
+/// order.
+type PairBuf = Vec<(u32, u32)>;
 
-    let mut released = false;
-    for &s in shared.graph.succs(t) {
-        if shared.unready[s as usize].fetch_sub(1, Ordering::SeqCst) == 1 {
-            shared.deques[w].push(s);
-            released = true;
+/// Decode-side shared state for a streaming run.
+struct DecodeShared<'a> {
+    trace: &'a TaskTrace,
+    window: usize,
+    windows: usize,
+    shards: usize,
+    /// `scan_done[w]`: shards that have finished scanning window `w`.
+    scan_done: Vec<AtomicUsize>,
+    /// `bufs[w][sh]`: window `w`'s `(consumer, producer)` pairs from
+    /// shard `sh`. Mutex-guarded but uncontended by construction (the
+    /// owning shard writes before its `scan_done` bump; the committer
+    /// reads after observing all bumps) — the lock is an auditability
+    /// choice on a per-window cold path.
+    bufs: Vec<Vec<Mutex<PairBuf>>>,
+    /// Serializes window commits and owns the committer-side cursors.
+    commit: Mutex<CommitState>,
+    /// Wall-clock anchor for [`ExecReport::decode_wall`].
+    started: Instant,
+    /// Nanoseconds from `started` to the last commit.
+    decode_span_ns: AtomicU64,
+}
+
+struct CommitState {
+    /// Next window to commit (windows commit strictly in order: that
+    /// keeps injector pushes — and thus 1-worker replays —
+    /// deterministic).
+    next_window: usize,
+    /// Bump cursor into the `StreamRelease` node slab.
+    node_cursor: usize,
+    /// Enforced (post-dedup) edges registered so far.
+    edges: usize,
+    scratch: Vec<u32>,
+}
+
+impl<'a> DecodeShared<'a> {
+    fn new(trace: &'a TaskTrace, window: usize, shards: usize) -> Self {
+        let n = trace.len();
+        let windows = n.div_ceil(window.max(1));
+        DecodeShared {
+            trace,
+            window,
+            windows,
+            shards,
+            scan_done: (0..windows).map(|_| AtomicUsize::new(0)).collect(),
+            bufs: (0..windows)
+                .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            commit: Mutex::new(CommitState {
+                next_window: 0,
+                node_cursor: 0,
+                edges: 0,
+                scratch: Vec::new(),
+            }),
+            started: Instant::now(),
+            decode_span_ns: AtomicU64::new(0),
         }
     }
-    let completed = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
-    if released || completed == shared.graph.len() {
-        shared.parker.wake();
+
+    /// Registers edge `p → s` (committer thread, under the commit
+    /// lock). Returns `true` if `p` already completed — the edge is
+    /// born satisfied.
+    fn register_edge(&self, rel: &StreamRelease, node_idx: u32, p: u32, s: u32) -> bool {
+        loop {
+            let head = rel.pending[p as usize].load(Ordering::Acquire);
+            if head == PENDING_CLOSED {
+                // `p` completed and drained before this edge existed:
+                // the committer owns the satisfaction (§8).
+                return true;
+            }
+            rel.nodes[node_idx as usize].store(((head as u64) << 32) | s as u64, Ordering::Relaxed);
+            if rel.pending[p as usize]
+                .compare_exchange(head, node_idx, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return false;
+            }
+            // Lost to the drain swap (or another commit — impossible
+            // under the commit lock): retry against the new head.
+        }
+    }
+
+    /// Commits every consecutively-ready window starting at the commit
+    /// cursor. Called by whichever shard thread finished a window last;
+    /// the commit mutex makes the committer role migrate safely (the
+    /// injector's owner contract rides the same lock).
+    fn commit_ready(&self, shared: &Shared<'_, StreamRelease>) {
+        let mut st = self.commit.lock().expect("commit state poisoned");
+        let mut pushed_roots = false;
+        while st.next_window < self.windows {
+            let w = st.next_window;
+            if self.scan_done[w].load(Ordering::Acquire) != self.shards {
+                break;
+            }
+            let lo = w * self.window;
+            let hi = ((w + 1) * self.window).min(self.trace.len());
+            let views: Vec<PairBuf> = self.bufs[w]
+                .iter()
+                .map(|m| std::mem::take(&mut *m.lock().expect("window buffer poisoned")))
+                .collect();
+            let mut cursors = vec![0usize; self.shards];
+            let mut scratch = std::mem::take(&mut st.scratch);
+            let mut node_cursor = st.node_cursor;
+            let mut edges = 0usize;
+            merge_window(lo, hi, &views, &mut cursors, &mut scratch, |s, preds| {
+                let mut satisfied = 0usize;
+                for &p in preds {
+                    let idx = node_cursor as u32;
+                    node_cursor += 1;
+                    if self.register_edge(&shared.mode, idx, p, s) {
+                        satisfied += 1;
+                        node_cursor -= 1; // node unused: reuse the slot
+                    }
+                }
+                edges += preds.len();
+                // Publish: fold the sentinel away. Whichever atomic op
+                // lands the counter exactly on zero owns the push.
+                let delta = preds.len() as i32 - satisfied as i32 - UNPUBLISHED;
+                let old = shared.mode.unready[s as usize].fetch_add(delta, Ordering::AcqRel);
+                if old + delta == 0 {
+                    shared.injector.push(s);
+                    pushed_roots = true;
+                }
+            });
+            st.scratch = scratch;
+            st.node_cursor = node_cursor;
+            st.edges += edges;
+            st.next_window = w + 1;
+        }
+        let finished = st.next_window == self.windows;
+        drop(st);
+        if finished {
+            let ns = self.started.elapsed().as_nanos() as u64;
+            self.decode_span_ns.fetch_max(ns, Ordering::Relaxed);
+        }
+        if pushed_roots {
+            // One wake per commit, not per task: parked workers rescan
+            // the injector and re-balance via batch steals.
+            shared.parker.wake_all();
+        }
     }
 }
+
+/// One decode shard thread: scan every window (in order — the shard's
+/// rename state is sequential), commit whenever this shard is the last
+/// to finish a window.
+fn decode_loop(
+    shard: usize,
+    renaming: bool,
+    dec: &DecodeShared<'_>,
+    shared: &Shared<'_, StreamRelease>,
+) -> RenameStats {
+    let mut state = ShardState::new(renaming, shard as u32, dec.shards as u32);
+    for w in 0..dec.windows {
+        let lo = w * dec.window;
+        let hi = ((w + 1) * dec.window).min(dec.trace.len());
+        {
+            let mut buf = dec.bufs[w][shard].lock().expect("window buffer poisoned");
+            state.scan(dec.trace, lo, hi, &mut buf);
+        }
+        if dec.scan_done[w].fetch_add(1, Ordering::AcqRel) + 1 == dec.shards {
+            dec.commit_ready(shared);
+        }
+    }
+    *state.stats()
+}
+
+// ---------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------
 
 /// The native out-of-order task executor.
 ///
@@ -295,6 +719,7 @@ fn run_task(
 /// let report = Executor::new(ExecConfig { threads: 2, ..ExecConfig::default() }).run(&trace);
 /// assert_eq!(report.tasks, trace.len());
 /// assert!(report.validated);
+/// assert!(report.streaming);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Executor {
@@ -302,13 +727,16 @@ pub struct Executor {
 }
 
 impl Executor {
-    /// An executor with the given configuration.
+    /// An executor with the given configuration (`window` and
+    /// `decode_shards` are clamped to ≥ 1).
     ///
     /// # Panics
     ///
     /// Panics if `config.threads` is zero.
-    pub fn new(config: ExecConfig) -> Self {
+    pub fn new(mut config: ExecConfig) -> Self {
         assert!(config.threads >= 1, "the executor needs at least one worker");
+        config.window = config.window.max(1);
+        config.decode_shards = config.decode_shards.max(1);
         Executor { config }
     }
 
@@ -317,7 +745,9 @@ impl Executor {
         &self.config
     }
 
-    /// Decodes and replays `trace` on real threads.
+    /// Streams `trace` through the pipelined core: decode shard threads
+    /// rename window by window while workers already execute committed
+    /// windows.
     ///
     /// # Panics
     ///
@@ -325,68 +755,104 @@ impl Executor {
     /// program-order decode), loses tasks, or (with validation on)
     /// emits a completion log violating the `DepGraph` oracle.
     pub fn run(&self, trace: &TaskTrace) -> ExecReport {
+        let n = trace.len();
+        let threads = self.config.threads;
+        let shards = self.config.decode_shards;
+        let total_ops: usize = trace.iter().map(|t| t.operands.len()).sum();
+        // Pre-dedup pair bound: ≤ 1 RaW per read + 1 WaW per write +
+        // readers cleared per write (≤ total reads) — see renamer.rs.
+        let edge_cap = 3 * total_ops + 8;
+        let shared =
+            Shared::new_for(trace, StreamRelease::new(n, edge_cap), threads, self.config.payload);
+        let arena = self.arena();
+        // Constructed last: `dec.started` anchors the decode span, so
+        // nothing non-decode (notably the memcpy arena build) may sit
+        // between it and the run start.
+        let dec = DecodeShared::new(trace, self.config.window, shards);
+
+        let t0 = dec.started;
+        let mut workers = vec![WorkerStats::default(); threads];
+        let mut rename = RenameStats::default();
+        if n > 0 {
+            std::thread::scope(|scope| {
+                let decoders: Vec<_> = (0..shards)
+                    .map(|sh| {
+                        let dec = &dec;
+                        let shared = &shared;
+                        let renaming = self.config.renaming;
+                        scope.spawn(move || decode_loop(sh, renaming, dec, shared))
+                    })
+                    .collect();
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        let shared = &shared;
+                        let arena = &arena[..];
+                        let seed = self.config.seed;
+                        scope.spawn(move || worker_loop(w, shared, arena, seed))
+                    })
+                    .collect();
+                for d in decoders {
+                    let stats = d.join().expect("decoder panicked");
+                    rename.objects += stats.objects;
+                    rename.tracked_operands += stats.tracked_operands;
+                    rename.removed_by_renaming += stats.removed_by_renaming;
+                }
+                for (w, h) in handles.into_iter().enumerate() {
+                    workers[w] = h.join().expect("worker panicked");
+                }
+            });
+        }
+        let exec_wall = t0.elapsed();
+        rename.enforced_edges = dec.commit.lock().expect("commit state poisoned").edges;
+        let decode_wall = Duration::from_nanos(dec.decode_span_ns.load(Ordering::Relaxed));
+        let overlap = if exec_wall.as_secs_f64() > 0.0 {
+            100.0 * decode_wall.as_secs_f64().min(exec_wall.as_secs_f64()) / exec_wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        self.finish(trace, shared, decode_wall, exec_wall, overlap, true, workers, rename)
+    }
+
+    /// PR 3's two-phase shape: decode the whole trace first (timed as a
+    /// pure serial phase), then replay it. This is the
+    /// apples-to-apples *replay throughput* measurement — decode is
+    /// excluded from `exec_wall` — and the fixed-graph shape the
+    /// microbenches need.
+    ///
+    /// # Panics
+    ///
+    /// As [`Executor::run`].
+    pub fn run_oneshot(&self, trace: &TaskTrace) -> ExecReport {
         let t0 = Instant::now();
         let graph = Renamer::new().renaming(self.config.renaming).decode(trace);
         let decode_wall = t0.elapsed();
-        let (exec_wall, order, workers) = self.replay(trace, &graph);
-
-        assert_eq!(order.len(), trace.len(), "executor lost tasks");
-        let validated = self.config.validate;
-        if validated {
-            let oracle = DepGraph::from_trace(trace);
-            if let Err(v) = oracle.validate_order(&order) {
-                panic!("native replay violates the dependency oracle: {v}");
-            }
-        }
-        ExecReport {
-            benchmark: trace.name().to_string(),
-            tasks: trace.len(),
-            threads: self.config.threads,
-            payload: self.config.payload,
-            decode_wall,
-            exec_wall,
-            order,
-            workers,
-            rename: *graph.stats(),
-            validated,
-        }
+        self.replay(trace, &graph, decode_wall)
     }
 
-    /// Replays an already-decoded graph; returns wall time, completion
-    /// log, and per-worker stats.
-    fn replay(
+    /// Replays an already-decoded graph (one-shot mode without paying
+    /// the decode: benchmark loops hoist it).
+    ///
+    /// # Panics
+    ///
+    /// As [`Executor::run`].
+    pub fn replay(
         &self,
         trace: &TaskTrace,
         graph: &TaskGraph,
-    ) -> (Duration, Vec<TaskId>, Vec<WorkerStats>) {
-        let n = graph.len();
+        decode_wall: Duration,
+    ) -> ExecReport {
+        assert_eq!(graph.len(), trace.len(), "graph decoded from a different trace");
         let threads = self.config.threads;
-        let shared = Shared {
-            graph,
-            trace,
-            unready: (0..n).map(|t| AtomicU32::new(graph.pred_count(t))).collect(),
-            order: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect(),
-            next_ticket: AtomicUsize::new(0),
-            completed: AtomicUsize::new(0),
-            deques: (0..threads).map(|_| WorkDeque::new()).collect(),
-            injector: WorkDeque::new(),
-            parker: Parker::new(),
-            payload: self.config.payload,
-        };
+        let shared =
+            Shared::new_for(trace, PrebuiltRelease::new(graph), threads, self.config.payload);
         for r in graph.roots() {
             shared.injector.push(r as u32);
         }
-        // Only memcpy reads the source arena; noop/spin runs get a
-        // minimal zeroed one (building the 4 MB pattern would dominate
-        // short replays).
-        let arena = match self.config.payload {
-            PayloadMode::Memcpy => build_arena(),
-            _ => vec![0u8; 2 * tss_workloads::payload::CHUNK_CAP],
-        };
+        let arena = self.arena();
 
         let t0 = Instant::now();
         let mut workers = vec![WorkerStats::default(); threads];
-        if n > 0 {
+        if !graph.is_empty() {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|w| {
@@ -402,14 +868,61 @@ impl Executor {
             });
         }
         let exec_wall = t0.elapsed();
+        let rename = *graph.stats();
+        self.finish(trace, shared, decode_wall, exec_wall, 0.0, false, workers, rename)
+    }
 
-        let order =
-            shared.order.iter().map(|s| s.load(Ordering::SeqCst) as TaskId).collect::<Vec<_>>();
-        (exec_wall, order, workers)
+    /// Only memcpy reads the source arena; noop/spin runs get a minimal
+    /// zeroed one (building the 4 MB pattern would dominate short
+    /// replays).
+    fn arena(&self) -> Vec<u8> {
+        match self.config.payload {
+            PayloadMode::Memcpy => build_arena(),
+            _ => vec![0u8; 2 * tss_workloads::payload::CHUNK_CAP],
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish<R: ReleaseSuccs>(
+        &self,
+        trace: &TaskTrace,
+        shared: Shared<'_, R>,
+        decode_wall: Duration,
+        exec_wall: Duration,
+        decode_overlap_pct: f64,
+        streaming: bool,
+        workers: Vec<WorkerStats>,
+        rename: RenameStats,
+    ) -> ExecReport {
+        let order: Vec<TaskId> =
+            shared.order.iter().map(|s| s.load(Ordering::Relaxed) as TaskId).collect();
+        assert_eq!(order.len(), trace.len(), "executor lost tasks");
+        let validated = self.config.validate;
+        if validated {
+            let oracle = DepGraph::from_trace(trace);
+            if let Err(v) = oracle.validate_order(&order) {
+                panic!("native replay violates the dependency oracle: {v}");
+            }
+        }
+        ExecReport {
+            benchmark: trace.name().to_string(),
+            tasks: trace.len(),
+            threads: self.config.threads,
+            payload: self.config.payload,
+            decode_wall,
+            exec_wall,
+            decode_overlap_pct,
+            streaming,
+            decode_shards: if streaming { self.config.decode_shards } else { 1 },
+            order,
+            workers,
+            rename,
+            validated,
+        }
     }
 }
 
-/// Convenience: replay with defaults, returning the report.
+/// Convenience: stream with defaults, returning the report.
 ///
 /// # Panics
 ///
@@ -448,17 +961,35 @@ mod tests {
             assert_eq!(report.order[0], 0);
             assert_eq!(report.order[3], 3);
             assert!(report.validated);
+            assert!(report.streaming);
             let executed: u64 = report.workers.iter().map(|w| w.executed).sum();
             assert_eq!(executed, 4);
         }
     }
 
     #[test]
+    fn oneshot_replays_the_diamond_too() {
+        let cfg = ExecConfig { threads: 2, ..ExecConfig::default() };
+        let report = Executor::new(cfg).run_oneshot(&diamond());
+        assert_eq!(report.tasks, 4);
+        assert_eq!(report.order[0], 0);
+        assert!(!report.streaming);
+        assert_eq!(report.decode_overlap_pct, 0.0);
+    }
+
+    #[test]
     fn empty_trace_is_a_clean_noop() {
-        let report = run_trace(&TaskTrace::new("empty"), 2);
-        assert_eq!(report.tasks, 0);
-        assert!(report.order.is_empty());
-        assert_eq!(report.tasks_per_sec(), 0.0);
+        for streaming in [true, false] {
+            let exec = Executor::new(ExecConfig { threads: 2, ..ExecConfig::default() });
+            let report = if streaming {
+                exec.run(&TaskTrace::new("empty"))
+            } else {
+                exec.run_oneshot(&TaskTrace::new("empty"))
+            };
+            assert_eq!(report.tasks, 0);
+            assert!(report.order.is_empty());
+            assert_eq!(report.tasks_per_sec(), 0.0);
+        }
     }
 
     #[test]
@@ -496,11 +1027,31 @@ mod tests {
     }
 
     #[test]
+    fn tiny_windows_and_many_shards_replay_validated() {
+        // Window 1 with multiple shards maximizes cross-window edges
+        // and pending-release traffic.
+        let cfg = ExecConfig { threads: 3, window: 1, decode_shards: 3, ..ExecConfig::default() };
+        let report = Executor::new(cfg).run(&diamond());
+        assert!(report.validated);
+        assert_eq!(report.order[0], 0);
+        assert_eq!(report.order[3], 3);
+    }
+
+    #[test]
+    fn streaming_rename_stats_match_oneshot() {
+        let tr = diamond();
+        let oneshot = Renamer::new().decode(&tr);
+        let cfg = ExecConfig { threads: 2, window: 2, decode_shards: 2, ..ExecConfig::default() };
+        let report = Executor::new(cfg).run(&tr);
+        assert_eq!(&report.rename, oneshot.stats());
+    }
+
+    #[test]
     fn report_rates_are_sane() {
         let report = run_trace(&diamond(), 2);
-        assert!(report.decode_ns_per_task() > 0.0);
         assert!(report.tasks_per_sec() > 0.0);
         assert!(report.utilization(0) >= 0.0);
+        assert!((0.0..=100.0).contains(&report.decode_overlap_pct));
         assert_eq!(report.total_steals(), report.workers.iter().map(|w| w.steals).sum::<u64>());
     }
 }

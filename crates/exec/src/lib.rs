@@ -8,12 +8,16 @@
 //!
 //! 1. **[`renamer`]** — a software ORT/OVT: decodes `in`/`out`/`inout`
 //!    operands of a [`TaskTrace`] (or of tasks spawned through
-//!    [`TaskGraphBuilder`]) into producer→consumer chains in one
-//!    in-order pass, with renaming toggleable for ablation parity.
-//! 2. **[`executor`]** — real `std::thread` workers over per-worker
-//!    work-stealing deques ([`deque`]), O(1) atomic readiness counters,
-//!    and pluggable [`payload`]s (no-op / spin-for-runtime /
-//!    memcpy-over-footprint).
+//!    [`TaskGraphBuilder`]) into producer→consumer chains, either in
+//!    one in-order pass ([`Renamer`]) or streamed in windows with
+//!    address interning sharded across decode threads
+//!    ([`StreamingRenamer`] — the distributed-ORT analogy).
+//! 2. **[`executor`]** — real `std::thread` workers over lock-free
+//!    Chase-Lev work-stealing deques ([`deque`]), O(1) atomic
+//!    readiness counters, and pluggable [`payload`]s (no-op /
+//!    spin-for-runtime / memcpy-over-footprint). [`Executor::run`]
+//!    *pipelines* decode into execution: workers replay early windows
+//!    while decode threads still rename later ones.
 //! 3. **Validation & metrics** — every run emits a completion log that
 //!    is checked against the `tss-trace::DepGraph` oracle (a violating
 //!    order fails the run), plus tasks/sec, per-worker utilization,
@@ -43,9 +47,10 @@ pub mod executor;
 pub mod payload;
 pub mod renamer;
 
+pub use deque::ChaseLev;
 pub use executor::{run_trace, ExecConfig, ExecReport, Executor, WorkerStats};
 pub use payload::PayloadMode;
-pub use renamer::{RenameStats, Renamer, TaskGraph};
+pub use renamer::{RenameStats, Renamer, StreamingRenamer, TaskGraph};
 
 use tss_sim::us_to_cycles;
 use tss_trace::{KernelId, OperandDesc, TaskDesc, TaskId, TaskTrace};

@@ -89,36 +89,47 @@ impl<'a> PayloadScratch<'a> {
 
     /// Runs one task's payload; returns the busy wall time.
     pub fn run(&mut self, mode: PayloadMode, task: &TaskDesc) -> Duration {
-        let t0 = Instant::now();
         match mode {
-            PayloadMode::Noop => {}
-            PayloadMode::Spin { time_scale } => {
-                let target = cycles_to_ns(task.runtime) * time_scale;
-                let budget = Duration::from_nanos(target as u64);
-                while t0.elapsed() < budget {
-                    std::hint::spin_loop();
-                }
+            PayloadMode::Noop => Duration::ZERO,
+            PayloadMode::Spin { time_scale } => self.run_spin(task.runtime, time_scale),
+            PayloadMode::Memcpy => self.run_memcpy(task),
+        }
+    }
+
+    /// Busy-waits the traced `runtime` (in simulated cycles) scaled by
+    /// `time_scale`; returns the busy wall time. Split out so the
+    /// executor's hot path can feed it from a dense runtime column
+    /// instead of dereferencing the whole `TaskDesc`.
+    pub fn run_spin(&mut self, runtime: tss_sim::Cycle, time_scale: f64) -> Duration {
+        let t0 = Instant::now();
+        let target = cycles_to_ns(runtime) * time_scale;
+        let budget = Duration::from_nanos(target as u64);
+        while t0.elapsed() < budget {
+            std::hint::spin_loop();
+        }
+        t0.elapsed()
+    }
+
+    /// Moves the task's (capped) operand footprint through the worker's
+    /// scratch pair; returns the busy wall time.
+    pub fn run_memcpy(&mut self, task: &TaskDesc) -> Duration {
+        let t0 = Instant::now();
+        for c in operand_chunks(task) {
+            // Map the object's base address into the arena; the
+            // multiplicative hash spreads distinct objects.
+            let off = (c.addr.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                % (self.src.len() - c.len).max(1) as u64) as usize;
+            if c.reads {
+                self.dst[..c.len].copy_from_slice(&self.src[off..off + c.len]);
+                self.sink = self.sink.wrapping_add(self.dst[c.len / 2] as u64);
             }
-            PayloadMode::Memcpy => {
-                for c in operand_chunks(task) {
-                    // Map the object's base address into the arena; the
-                    // multiplicative hash spreads distinct objects.
-                    let off = (c.addr.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        % (self.src.len() - c.len).max(1) as u64)
-                        as usize;
-                    if c.reads {
-                        self.dst[..c.len].copy_from_slice(&self.src[off..off + c.len]);
-                        self.sink = self.sink.wrapping_add(self.dst[c.len / 2] as u64);
-                    }
-                    if c.writes {
-                        let fill = (c.addr as u8).wrapping_add(self.sink as u8);
-                        self.dst[..c.len].fill(fill);
-                        self.sink = self.sink.wrapping_add(self.dst[0] as u64);
-                    }
-                }
-                std::hint::black_box(self.sink);
+            if c.writes {
+                let fill = (c.addr as u8).wrapping_add(self.sink as u8);
+                self.dst[..c.len].fill(fill);
+                self.sink = self.sink.wrapping_add(self.dst[0] as u64);
             }
         }
+        std::hint::black_box(self.sink);
         t0.elapsed()
     }
 }

@@ -40,7 +40,10 @@ use tss_trace::{TaskId, TaskTrace};
 
 /// What the renamer decoded a trace into: the executor's dependency
 /// structures plus decode statistics.
-#[derive(Debug, Clone)]
+///
+/// Equality compares the full decoded structure (CSR, counters,
+/// stats) — what the streaming-vs-one-shot parity tests assert on.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskGraph {
     n: usize,
     succ_off: Vec<u32>,
@@ -225,10 +228,253 @@ impl Renamer {
     }
 }
 
+// ---------------------------------------------------------------------
+// Streaming sharded renamer
+// ---------------------------------------------------------------------
+
+/// Which address shard owns `addr` when interning is split `shards`
+/// ways. High multiplier bits so the partition is independent of the
+/// low-bit distribution `AddrMap`'s probe hash feeds on.
+#[inline]
+pub(crate) fn shard_of(addr: u64, shards: u32) -> u32 {
+    if shards <= 1 {
+        0
+    } else {
+        ((addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) % shards as u64) as u32
+    }
+}
+
+/// One shard's sequential rename state: the ORT/OVT slice owning every
+/// address that hashes to this shard (the paper's *distributed ORT*
+/// analogy — each hardware ORT owns an address partition and renames it
+/// independently; DESIGN.md §8).
+///
+/// A shard scans tasks in program order but touches only its own
+/// addresses, so `shards` states can run on `shards` threads with no
+/// shared rename state at all; dependency pairs meet again only at the
+/// window merge.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    renaming: bool,
+    shard: u32,
+    shards: u32,
+    map: AddrMap<u32>,
+    versions: Vec<ObjectVersion>,
+    stats: RenameStats,
+}
+
+impl ShardState {
+    pub(crate) fn new(renaming: bool, shard: u32, shards: u32) -> Self {
+        ShardState {
+            renaming,
+            shard,
+            shards,
+            map: AddrMap::with_capacity_and_hasher(64, Default::default()),
+            versions: Vec::with_capacity(64),
+            stats: RenameStats::default(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> &RenameStats {
+        &self.stats
+    }
+
+    /// Scans tasks `[lo, hi)` of `trace`, appending `(consumer,
+    /// producer)` pairs for operands whose address this shard owns.
+    /// Pairs are emitted with `consumer` ascending (scan order); the
+    /// per-consumer producer sets may hold duplicates (deduplicated at
+    /// the window merge, exactly as the one-shot decoder deduplicates
+    /// globally).
+    ///
+    /// Must be called with contiguous, in-order ranges: the rename
+    /// state is sequential per shard.
+    pub(crate) fn scan(
+        &mut self,
+        trace: &TaskTrace,
+        lo: usize,
+        hi: usize,
+        pairs: &mut Vec<(u32, u32)>,
+    ) {
+        for tid in lo..hi {
+            for op in trace.task(tid).operands.iter().filter(|o| o.is_tracked()) {
+                if shard_of(op.addr, self.shards) != self.shard {
+                    continue;
+                }
+                self.stats.tracked_operands += 1;
+                let id = *self.map.entry(op.addr).or_insert_with(|| {
+                    self.versions.push(ObjectVersion::default());
+                    (self.versions.len() - 1) as u32
+                });
+                let st = &mut self.versions[id as usize];
+                if op.dir.reads() {
+                    if let Some(w) = st.last_writer {
+                        if w != tid {
+                            pairs.push((tid as u32, w as u32)); // RaW
+                        }
+                    }
+                }
+                if op.dir.writes() {
+                    let inout = op.dir.reads();
+                    for r in st.readers() {
+                        if r != tid {
+                            if inout || !self.renaming {
+                                pairs.push((tid as u32, r as u32)); // anti / WaR
+                            } else {
+                                self.stats.removed_by_renaming += 1;
+                            }
+                        }
+                    }
+                    if let Some(w) = st.last_writer {
+                        if w != tid && !inout {
+                            if self.renaming {
+                                self.stats.removed_by_renaming += 1; // WaW renamed away
+                            } else {
+                                pairs.push((tid as u32, w as u32));
+                            }
+                        }
+                    }
+                    st.last_writer = Some(tid);
+                    st.clear_readers();
+                }
+                if op.dir.reads() {
+                    st.push_reader(tid);
+                }
+            }
+        }
+        self.stats.objects = self.versions.len();
+    }
+}
+
+/// Merges one window's shard pair buffers: for every task in `[lo,
+/// hi)`, in program order, gathers its producers from all shards,
+/// sorts and deduplicates them, and hands `(task, sorted unique
+/// producers)` to `commit`. `cursors[i]` tracks consumption of
+/// `bufs[i]` across windows; `scratch` is reused storage.
+///
+/// Per-task dedup here equals the one-shot decoder's global pair dedup
+/// (a `(p, s)` pair is unique iff it is unique within `s`'s set), which
+/// is what makes streaming output bit-identical to `Renamer::decode` —
+/// pinned by `tests/streaming.rs`.
+pub(crate) fn merge_window(
+    lo: usize,
+    hi: usize,
+    bufs: &[Vec<(u32, u32)>],
+    cursors: &mut [usize],
+    scratch: &mut Vec<u32>,
+    mut commit: impl FnMut(u32, &[u32]),
+) {
+    for s in lo..hi {
+        let s = s as u32;
+        scratch.clear();
+        for (buf, cur) in bufs.iter().zip(cursors.iter_mut()) {
+            while *cur < buf.len() && buf[*cur].0 == s {
+                scratch.push(buf[*cur].1);
+                *cur += 1;
+            }
+        }
+        scratch.sort_unstable();
+        scratch.dedup();
+        commit(s, scratch);
+    }
+}
+
+/// The streaming face of the renamer: decode in **windows** (so a
+/// consumer can start executing window 0 while window 1 is still being
+/// decoded) with address interning **sharded** `shards` ways (so
+/// multiple decode threads rename disjoint address partitions).
+///
+/// This type materializes graphs for tests and offline use; the live
+/// overlapped pipeline (decode threads feeding executing workers) is
+/// assembled in [`crate::executor`] from the same [`ShardState`] /
+/// [`merge_window`] building blocks.
+#[derive(Debug, Clone)]
+pub struct StreamingRenamer {
+    renaming: bool,
+    window: usize,
+    shards: usize,
+}
+
+impl Default for StreamingRenamer {
+    fn default() -> Self {
+        StreamingRenamer::new()
+    }
+}
+
+impl StreamingRenamer {
+    /// Defaults: renaming on, 1024-task windows, one shard.
+    pub fn new() -> Self {
+        StreamingRenamer { renaming: true, window: 1024, shards: 1 }
+    }
+
+    /// Enables or disables renaming (see [`Renamer::renaming`]).
+    pub fn renaming(mut self, on: bool) -> Self {
+        self.renaming = on;
+        self
+    }
+
+    /// Sets the decode window size (tasks committed per batch; ≥ 1).
+    pub fn window(mut self, tasks: usize) -> Self {
+        self.window = tasks.max(1);
+        self
+    }
+
+    /// Sets the interning shard count (≥ 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Decodes `trace` window by window through the sharded path and
+    /// materializes the same [`TaskGraph`] the one-shot
+    /// [`Renamer::decode`] produces (bit-identical CSR, counters, and
+    /// stats — the parity proptest in `tests/streaming.rs` pins this).
+    pub fn decode_graph(&self, trace: &TaskTrace) -> TaskGraph {
+        let n = trace.len();
+        let mut shards: Vec<ShardState> = (0..self.shards)
+            .map(|i| ShardState::new(self.renaming, i as u32, self.shards as u32))
+            .collect();
+        let mut bufs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.shards];
+        let mut cursors = vec![0usize; self.shards];
+        let mut scratch = Vec::new();
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut pred_count = vec![0u32; n];
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + self.window).min(n);
+            for (sh, buf) in shards.iter_mut().zip(bufs.iter_mut()) {
+                buf.clear();
+                sh.scan(trace, lo, hi, buf);
+            }
+            cursors.iter_mut().for_each(|c| *c = 0);
+            merge_window(lo, hi, &bufs, &mut cursors, &mut scratch, |s, preds| {
+                pred_count[s as usize] = preds.len() as u32;
+                for &p in preds {
+                    pairs.push((p, s));
+                }
+            });
+            lo = hi;
+        }
+        pairs.sort_unstable();
+        let (succ_off, succ_dat) = build_csr_sorted(n, &pairs);
+        let mut stats = RenameStats { enforced_edges: succ_dat.len(), ..RenameStats::default() };
+        for sh in &shards {
+            stats.objects += sh.stats.objects;
+            stats.tracked_operands += sh.stats.tracked_operands;
+            stats.removed_by_renaming += sh.stats.removed_by_renaming;
+        }
+        TaskGraph { n, succ_off, succ_dat, pred_count, stats }
+    }
+}
+
 /// Sorts `pairs` and builds a deduplicated CSR successor adjacency.
 fn build_csr(n: usize, pairs: &mut Vec<(u32, u32)>) -> (Vec<u32>, Vec<u32>) {
     pairs.sort_unstable();
     pairs.dedup();
+    build_csr_sorted(n, pairs)
+}
+
+/// CSR adjacency from an already-sorted, already-unique pair list.
+fn build_csr_sorted(n: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
     let mut off = vec![0u32; n + 1];
     for &(from, _) in pairs.iter() {
         off[from as usize + 1] += 1;
@@ -311,5 +557,43 @@ mod tests {
         let g = Renamer::new().decode(&TaskTrace::new("empty"));
         assert!(g.is_empty());
         assert_eq!(g.roots().count(), 0);
+        let s = StreamingRenamer::new().decode_graph(&TaskTrace::new("empty"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_on_unit_traces() {
+        let mut waw = TaskTrace::new("ww");
+        let k = waw.add_kernel("k");
+        waw.push_task(k, 10, vec![OperandDesc::output(0x100, 64)]);
+        waw.push_task(k, 10, vec![OperandDesc::input(0x100, 64)]);
+        waw.push_task(k, 10, vec![OperandDesc::output(0x100, 64)]);
+        for trace in [chain(), waw] {
+            for renaming in [true, false] {
+                let oneshot = Renamer::new().renaming(renaming).decode(&trace);
+                for (window, shards) in [(1, 1), (1, 3), (2, 2), (64, 4)] {
+                    let streamed = StreamingRenamer::new()
+                        .renaming(renaming)
+                        .window(window)
+                        .shards(shards)
+                        .decode_graph(&trace);
+                    assert_eq!(
+                        streamed, oneshot,
+                        "window {window} x shards {shards}, renaming {renaming}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_partition_is_total_and_stable() {
+        for shards in [1u32, 2, 3, 8] {
+            for addr in [0u64, 0xA, 0x100, 0xDEAD_BEEF, u64::MAX] {
+                let s = shard_of(addr, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(addr, shards), "stable");
+            }
+        }
     }
 }

@@ -1,9 +1,14 @@
-//! Determinism boundaries of the native executor (ISSUE 3):
+//! Determinism boundaries of the native executor (ISSUE 3, sharpened
+//! by ISSUE 4's pipelined core):
 //!
-//! - **Single-thread replay is bit-deterministic.** One worker, no
-//!   stealing, no ticket race: completion order is a pure function of
-//!   the queue discipline (own-deque LIFO over injector FIFO), so two
-//!   runs must produce byte-identical completion logs.
+//! - **Single-thread two-phase replay is bit-deterministic.** One
+//!   worker over a fully decoded graph: no stealing, no ticket race,
+//!   no decode race — completion order is a pure function of the queue
+//!   discipline (own-deque LIFO over injector FIFO, with batch steals
+//!   banking roots oldest-first), so two runs must produce
+//!   byte-identical completion logs. Streamed runs trade this for
+//!   decode overlap — their 1-worker contract (oracle determinism) is
+//!   pinned in `streaming.rs`.
 //! - **Multi-thread replay is oracle-deterministic, not bit-
 //!   deterministic.** The OS scheduler interleaves workers freely; the
 //!   contract is that *every* interleaving linearizes the dependency
@@ -22,7 +27,8 @@ fn single_thread_replay_is_bit_deterministic() {
     for b in [Benchmark::Cholesky, Benchmark::H264, Benchmark::Stap] {
         let trace = b.trace(Scale::Small, 7);
         let run = |seed| {
-            Executor::new(ExecConfig { threads: 1, seed, ..ExecConfig::default() }).run(&trace)
+            Executor::new(ExecConfig { threads: 1, seed, ..ExecConfig::default() })
+                .run_oneshot(&trace)
         };
         let first = run(1);
         let second = run(1);
@@ -55,14 +61,16 @@ fn renamer_matches_the_oracle_on_every_benchmark() {
 }
 
 #[test]
-fn every_benchmark_replays_validated_at_four_threads() {
+fn every_benchmark_replays_validated_at_two_four_and_eight_threads() {
     for b in Benchmark::all() {
-        let trace = b.trace(Scale::Small, 11);
-        let report = Executor::new(ExecConfig { threads: 4, ..ExecConfig::default() }).run(&trace);
-        assert!(report.validated, "{b}");
-        assert_eq!(report.tasks, trace.len(), "{b}");
-        let executed: u64 = report.workers.iter().map(|w| w.executed).sum();
-        assert_eq!(executed as usize, trace.len(), "{b}: workers lost tasks");
+        for threads in [2usize, 4, 8] {
+            let trace = b.trace(Scale::Small, 11);
+            let report = Executor::new(ExecConfig { threads, ..ExecConfig::default() }).run(&trace);
+            assert!(report.validated, "{b} at {threads} threads");
+            assert_eq!(report.tasks, trace.len(), "{b} at {threads} threads");
+            let executed: u64 = report.workers.iter().map(|w| w.executed).sum();
+            assert_eq!(executed as usize, trace.len(), "{b}: workers lost tasks at {threads}");
+        }
     }
 }
 

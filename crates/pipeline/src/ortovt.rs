@@ -152,7 +152,15 @@ struct PendingOp {
 }
 
 /// Counters exported after a run.
+///
+/// Cache-line-aligned so an array of module stats (one per ORT/OVT
+/// pair) can never false-share: the simulator core is single-threaded
+/// today, but these blocks are written on every lookup, and a parallel
+/// sweep driver running one `Simulation` per thread keeps each module's
+/// counters on private lines (ISSUE 4 satellite; measured delta on the
+/// single-threaded engine is noise-level, recorded in EXPERIMENTS.md).
 #[derive(Debug, Clone, Default)]
+#[repr(align(128))]
 pub struct OrtOvtStats {
     /// Operand lookups processed.
     pub lookups: u64,

@@ -88,7 +88,12 @@ impl TaskSlot {
 }
 
 /// Counters exported after a run.
+///
+/// Cache-line-aligned for the same reason as
+/// [`OrtOvtStats`](crate::ortovt::OrtOvtStats): per-module counter
+/// blocks must not share lines across modules (ISSUE 4 satellite).
 #[derive(Debug, Clone, Default)]
+#[repr(align(128))]
 pub struct TrsStats {
     /// Tasks allocated in this TRS.
     pub tasks_allocated: u64,

@@ -195,9 +195,12 @@ struct CalendarQueue<M> {
     nodes: Vec<Node<M>>,
     free_head: u32,
     l0: Vec<Bucket>,
-    occ0: [u64; L0_WORDS],
+    /// Occupancy bitmaps, cache-line-aligned: each is scanned as a unit
+    /// on every pop, so neither may straddle into the other's (or the
+    /// header fields') lines (ISSUE 4 padding satellite).
+    occ0: crate::stats::CachePadded<[u64; L0_WORDS]>,
     l1: Vec<Bucket>,
-    occ1: [u64; L1_WORDS],
+    occ1: crate::stats::CachePadded<[u64; L1_WORDS]>,
     /// Ultra-far events: segment index -> FIFO list, sorted.
     spill: BTreeMap<u64, Bucket>,
     /// Cached first spill segment, `u64::MAX` when empty.
@@ -218,9 +221,9 @@ impl<M> CalendarQueue<M> {
             nodes: Vec::with_capacity(1024),
             free_head: NIL,
             l0: vec![EMPTY_BUCKET; L0_SIZE],
-            occ0: [0; L0_WORDS],
+            occ0: crate::stats::CachePadded::new([0; L0_WORDS]),
             l1: vec![EMPTY_BUCKET; L1_SIZE],
-            occ1: [0; L1_WORDS],
+            occ1: crate::stats::CachePadded::new([0; L1_WORDS]),
             spill: BTreeMap::new(),
             spill_min_seg: u64::MAX,
         }

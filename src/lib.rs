@@ -50,7 +50,9 @@ pub use tss_workloads as workloads;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use tss_core::{ExperimentConfig, RunReport, SystemBuilder};
-    pub use tss_exec::{ExecConfig, ExecReport, Executor, PayloadMode, TaskGraphBuilder};
+    pub use tss_exec::{
+        ExecConfig, ExecReport, Executor, PayloadMode, StreamingRenamer, TaskGraphBuilder,
+    };
     pub use tss_sim::{cycles_to_ns, cycles_to_us, ns_to_cycles, us_to_cycles, Cycle};
     pub use tss_trace::{
         DepGraph, Direction, OperandDesc, OperandKind, TaskDesc, TaskTrace, TraceGenerator,
