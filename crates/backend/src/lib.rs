@@ -223,20 +223,12 @@ impl Component<Msg> for CorePool {
             other => panic!("backend received unexpected message {other:?}"),
         }
     }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
 }
 
 /// Factory for a hardware-pipeline backend, matching
 /// `tss_pipeline::assembly::build_frontend`'s signature.
-pub fn cmp_backend(
-    cfg: BackendConfig,
-) -> impl FnOnce(Arc<TaskTrace>, Topology) -> Box<dyn Component<Msg>> {
-    move |trace, topo| Box::new(CorePool::new(trace, topo, cfg, CompletionSink::Trs))
+pub fn cmp_backend(cfg: BackendConfig) -> impl FnOnce(Arc<TaskTrace>, Topology) -> CorePool {
+    move |trace, topo| CorePool::new(trace, topo, cfg, CompletionSink::Trs)
 }
 
 #[cfg(test)]
@@ -266,12 +258,6 @@ mod tests {
                 other => panic!("collector got {other:?}"),
             }
         }
-        fn as_any(&self) -> &dyn std::any::Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-            self
-        }
     }
 
     fn two_task_trace(rt: Cycle) -> Arc<TaskTrace> {
@@ -287,13 +273,13 @@ mod tests {
     fn single_core_serializes_two_tasks() {
         let trace = two_task_trace(1_000);
         let mut sim = Simulation::<Msg>::new();
-        let collector = sim.add_component(Box::new(Collector { done: vec![] }));
-        let pool = sim.add_component(Box::new(CorePool::new(
+        let collector = sim.add(Collector { done: vec![] });
+        let pool = sim.add(CorePool::new(
             trace.clone(),
             topo_for(1),
             BackendConfig::for_cores(1),
             CompletionSink::Decoder(collector),
-        )));
+        ));
         sim.schedule(0, pool, Msg::SoftDecoded { trace_id: 0 });
         sim.schedule(0, pool, Msg::SoftDecoded { trace_id: 1 });
         sim.run();
@@ -310,13 +296,13 @@ mod tests {
     fn two_cores_run_in_parallel() {
         let trace = two_task_trace(10_000);
         let mut sim = Simulation::<Msg>::new();
-        let collector = sim.add_component(Box::new(Collector { done: vec![] }));
-        let pool = sim.add_component(Box::new(CorePool::new(
+        let collector = sim.add(Collector { done: vec![] });
+        let pool = sim.add(CorePool::new(
             trace.clone(),
             topo_for(1),
             BackendConfig::for_cores(2),
             CompletionSink::Decoder(collector),
-        )));
+        ));
         sim.schedule(0, pool, Msg::SoftDecoded { trace_id: 0 });
         sim.schedule(0, pool, Msg::SoftDecoded { trace_id: 1 });
         sim.run();
@@ -330,13 +316,13 @@ mod tests {
     fn dispatch_pays_ring_latency() {
         let trace = two_task_trace(100);
         let mut sim = Simulation::<Msg>::new();
-        let collector = sim.add_component(Box::new(Collector { done: vec![] }));
-        let pool = sim.add_component(Box::new(CorePool::new(
+        let collector = sim.add(Collector { done: vec![] });
+        let pool = sim.add(CorePool::new(
             trace.clone(),
             topo_for(1),
             BackendConfig::for_cores(4),
             CompletionSink::Decoder(collector),
-        )));
+        ));
         sim.schedule(0, pool, Msg::SoftDecoded { trace_id: 0 });
         sim.run();
         let s = sim.component::<CorePool>(pool).schedule();
@@ -347,13 +333,13 @@ mod tests {
     fn completions_reach_the_decoder_sink() {
         let trace = two_task_trace(500);
         let mut sim = Simulation::<Msg>::new();
-        let collector = sim.add_component(Box::new(Collector { done: vec![] }));
-        let pool = sim.add_component(Box::new(CorePool::new(
+        let collector = sim.add(Collector { done: vec![] });
+        let pool = sim.add(CorePool::new(
             trace.clone(),
             topo_for(1),
             BackendConfig::for_cores(2),
             CompletionSink::Decoder(collector),
-        )));
+        ));
         sim.schedule(0, pool, Msg::SoftDecoded { trace_id: 1 });
         sim.run();
         let c = sim.component::<Collector>(collector);
@@ -365,13 +351,13 @@ mod tests {
     fn utilization_and_peak_queue_reported() {
         let trace = two_task_trace(1_000);
         let mut sim = Simulation::<Msg>::new();
-        let collector = sim.add_component(Box::new(Collector { done: vec![] }));
-        let pool = sim.add_component(Box::new(CorePool::new(
+        let collector = sim.add(Collector { done: vec![] });
+        let pool = sim.add(CorePool::new(
             trace.clone(),
             topo_for(1),
             BackendConfig::for_cores(1),
             CompletionSink::Decoder(collector),
-        )));
+        ));
         sim.schedule(0, pool, Msg::SoftDecoded { trace_id: 0 });
         sim.schedule(0, pool, Msg::SoftDecoded { trace_id: 1 });
         let end = sim.run();

@@ -36,11 +36,11 @@ fn fig12_decode_rate(c: &mut Criterion) {
     g.sample_size(10);
     let cholesky = Benchmark::Cholesky.trace(Scale::Small, 1);
     g.bench_function("cholesky_4trs_4ort", |b| {
-        b.iter(|| decode_rate_sweep(black_box(&cholesky), &[4], &[4]))
+        b.iter(|| decode_rate_sweep(black_box(&cholesky), &[4], &[4], 1))
     });
     let h264 = Benchmark::H264.trace(Scale::Small, 1);
     g.bench_function("h264_4trs_4ort", |b| {
-        b.iter(|| decode_rate_sweep(black_box(&h264), &[4], &[4]))
+        b.iter(|| decode_rate_sweep(black_box(&h264), &[4], &[4], 1))
     });
     g.finish();
 }
@@ -50,7 +50,7 @@ fn fig13_average_rate(c: &mut Criterion) {
     g.sample_size(10);
     let stap = Benchmark::Stap.trace(Scale::Small, 1);
     g.bench_function("stap_operating_point", |b| {
-        b.iter(|| decode_rate_sweep(black_box(&stap), &[8], &[2]))
+        b.iter(|| decode_rate_sweep(black_box(&stap), &[8], &[2], 1))
     });
     g.finish();
 }
@@ -60,7 +60,7 @@ fn fig14_ort_capacity(c: &mut Criterion) {
     g.sample_size(10);
     let tr = Benchmark::KMeans.trace(Scale::Small, 1);
     g.bench_function("kmeans_two_points", |b| {
-        b.iter(|| ort_capacity_sweep(black_box(&tr), &[32 << 10, 512 << 10], 64))
+        b.iter(|| ort_capacity_sweep(black_box(&tr), &[32 << 10, 512 << 10], 64, 1))
     });
     g.finish();
 }
@@ -70,7 +70,7 @@ fn fig15_trs_capacity(c: &mut Criterion) {
     g.sample_size(10);
     let tr = Benchmark::Fft.trace(Scale::Small, 1);
     g.bench_function("fft_two_points", |b| {
-        b.iter(|| trs_capacity_sweep(black_box(&tr), &[256 << 10, 2 << 20], 64))
+        b.iter(|| trs_capacity_sweep(black_box(&tr), &[256 << 10, 2 << 20], 64, 1))
     });
     g.finish();
 }
@@ -80,7 +80,7 @@ fn fig16_scalability(c: &mut Criterion) {
     g.sample_size(10);
     let tr = Benchmark::MatMul.trace(Scale::Small, 1);
     g.bench_function("matmul_hw_vs_sw_64p", |b| {
-        b.iter(|| scalability_sweep(black_box(&tr), &[64]))
+        b.iter(|| scalability_sweep(black_box(&tr), &[64], 1))
     });
     g.finish();
 }

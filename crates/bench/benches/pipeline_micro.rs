@@ -32,12 +32,6 @@ impl Component<u32> for Relay {
             ctx.request_stop();
         }
     }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
 }
 
 /// Counts deliveries; used as a sink for fan-out storms.
@@ -48,12 +42,6 @@ struct Sink {
 impl Component<u32> for Sink {
     fn on_message(&mut self, _msg: u32, _ctx: &mut Context<'_, u32>) {
         self.seen += 1;
-    }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
     }
 }
 
@@ -81,12 +69,6 @@ impl Component<u32> for Sprayer {
             ctx.send(me, 1 + *self.delays.iter().max().expect("non-empty"), 0);
         }
     }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
 }
 
 fn bench_engine_core(c: &mut Criterion) {
@@ -97,12 +79,8 @@ fn bench_engine_core(c: &mut Criterion) {
     g.bench_function("ping_pong_chain_10k", |b| {
         b.iter(|| {
             let mut sim = Simulation::new();
-            let a = sim.add_component(Box::new(Relay {
-                next: ComponentId::from_index(1),
-                delay: 7,
-                left: 10_000,
-            }));
-            let bounce = sim.add_component(Box::new(Relay { next: a, delay: 9, left: 10_000 }));
+            let a = sim.add(Relay { next: ComponentId::from_index(1), delay: 7, left: 10_000 });
+            let bounce = sim.add(Relay { next: a, delay: 9, left: 10_000 });
             sim.component_mut::<Relay>(a).next = bounce;
             sim.schedule(0, a, 1u32);
             sim.run();
@@ -115,13 +93,9 @@ fn bench_engine_core(c: &mut Criterion) {
     g.bench_function("fan_out_64x200", |b| {
         b.iter(|| {
             let mut sim = Simulation::new();
-            let sinks: Vec<ComponentId> =
-                (0..64).map(|_| sim.add_component(Box::new(Sink { seen: 0 }))).collect();
-            let sprayer = sim.add_component(Box::new(Sprayer {
-                targets: sinks,
-                delays: [3, 40, 5_000, 80_000],
-                rounds: 200,
-            }));
+            let sinks: Vec<ComponentId> = (0..64).map(|_| sim.add(Sink { seen: 0 })).collect();
+            let sprayer =
+                sim.add(Sprayer { targets: sinks, delays: [3, 40, 5_000, 80_000], rounds: 200 });
             sim.schedule(0, sprayer, 0u32);
             sim.run();
             black_box(sim.events_processed())
@@ -133,10 +107,147 @@ fn bench_engine_core(c: &mut Criterion) {
     g.bench_function("same_cycle_storm_8k", |b| {
         b.iter(|| {
             let mut sim = Simulation::new();
-            let sink = sim.add_component(Box::new(Sink { seen: 0 }));
+            let sink = sim.add(Sink { seen: 0 });
             for i in 0..8_192u32 {
                 sim.schedule(1_000, sink, i);
             }
+            sim.run();
+            let seen = sim.component::<Sink>(sink).seen;
+            assert_eq!(seen, 8_192);
+            black_box(seen)
+        })
+    });
+
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
+// Dispatch mechanics (ISSUE 5): the same traffic through the default
+// dyn store vs a monomorphized enum store, and the same-cycle storm via
+// queued events vs zero-delay fast-lane chains.
+// ---------------------------------------------------------------------
+
+/// Minimal monomorphized store over the bench components — the
+/// `SystemStore` pattern at micro scale, so dyn-vs-static dispatch is
+/// measured with identical handler code.
+enum MicroComponent {
+    Relay(Relay),
+    Sink(Sink),
+}
+
+#[derive(Default)]
+struct MicroStore {
+    items: Vec<MicroComponent>,
+}
+
+impl tss_sim::ComponentStore<u32> for MicroStore {
+    #[inline]
+    fn deliver(&mut self, dst: ComponentId, msg: u32, ctx: &mut Context<'_, u32>) {
+        match &mut self.items[dst.index()] {
+            MicroComponent::Relay(c) => c.on_message(msg, ctx),
+            MicroComponent::Sink(c) => c.on_message(msg, ctx),
+        }
+    }
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+impl tss_sim::Insert<Relay> for MicroStore {
+    fn insert(&mut self, c: Relay) -> usize {
+        self.items.push(MicroComponent::Relay(c));
+        self.items.len() - 1
+    }
+}
+
+impl tss_sim::Insert<Sink> for MicroStore {
+    fn insert(&mut self, c: Sink) -> usize {
+        self.items.push(MicroComponent::Sink(c));
+        self.items.len() - 1
+    }
+}
+
+impl tss_sim::Extract<Relay> for MicroStore {
+    fn get(&self, index: usize) -> Option<&Relay> {
+        match self.items.get(index)? {
+            MicroComponent::Relay(c) => Some(c),
+            _ => None,
+        }
+    }
+    fn get_mut(&mut self, index: usize) -> Option<&mut Relay> {
+        match self.items.get_mut(index)? {
+            MicroComponent::Relay(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Emits `left` zero-delay messages, one per delivery: a same-cycle
+/// storm carried entirely by the fast lane.
+struct FastChain {
+    sink: ComponentId,
+    left: u32,
+}
+
+impl Component<u32> for FastChain {
+    fn on_message(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.send(self.sink, 0, msg);
+            let me = ctx.self_id();
+            ctx.send(me, 0, msg);
+        }
+    }
+}
+
+fn bench_engine_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_dispatch");
+
+    // Identical ping-pong traffic, boxed-dyn vs enum-static dispatch:
+    // the gap is the vtable hop + lost inlining, nothing else.
+    g.bench_function("ping_pong_10k_dyn", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::<u32>::new();
+            let a = sim.add(Relay { next: ComponentId::from_index(1), delay: 7, left: 10_000 });
+            let bounce = sim.add(Relay { next: a, delay: 9, left: 10_000 });
+            sim.component_mut::<Relay>(a).next = bounce;
+            sim.schedule(0, a, 1u32);
+            sim.run();
+            black_box(sim.events_processed())
+        })
+    });
+    g.bench_function("ping_pong_10k_static", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::<u32, MicroStore>::with_store(MicroStore::default());
+            let a = sim.add(Relay { next: ComponentId::from_index(1), delay: 7, left: 10_000 });
+            let bounce = sim.add(Relay { next: a, delay: 9, left: 10_000 });
+            sim.component_mut::<Relay>(a).next = bounce;
+            sim.schedule(0, a, 1u32);
+            sim.run();
+            black_box(sim.events_processed())
+        })
+    });
+
+    // 8k same-cycle deliveries: pre-queued (bucket drain) vs generated
+    // as a zero-delay chain (fast-lane appends + drains). Both run the
+    // dyn store so the delta is purely the queue path.
+    g.bench_function("same_cycle_8k_queued", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::<u32>::new();
+            let sink = sim.add(Sink { seen: 0 });
+            for i in 0..8_192u32 {
+                sim.schedule(1_000, sink, i);
+            }
+            sim.run();
+            black_box(sim.component::<Sink>(sink).seen)
+        })
+    });
+    g.bench_function("same_cycle_8k_fastlane", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::<u32>::new();
+            let sink = sim.add(Sink { seen: 0 });
+            let chain = sim.add(FastChain { sink, left: 8_192 });
+            sim.schedule(1_000, chain, 0u32);
             sim.run();
             let seen = sim.component::<Sink>(sink).seen;
             assert_eq!(seen, 8_192);
@@ -211,5 +322,12 @@ fn bench_generators(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine_core, bench_block_store, bench_oracle, bench_generators);
+criterion_group!(
+    benches,
+    bench_engine_core,
+    bench_engine_dispatch,
+    bench_block_store,
+    bench_oracle,
+    bench_generators
+);
 criterion_main!(benches);

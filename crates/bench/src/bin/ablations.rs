@@ -30,26 +30,38 @@ fn main() {
         ],
     );
 
-    for bench in benches {
-        let trace = bench.trace(args.scale, args.seed);
-        let run = |f: &dyn Fn(&mut tss_pipeline::FrontendConfig)| {
-            let r = SystemBuilder::new()
-                .processors(256)
-                .with_frontend(f)
-                .skip_validation()
-                .run_hardware(&trace);
-            format!("{} ({})", fmt_f(r.speedup(), 1), fmt_f(r.decode_rate_cycles, 0))
-        };
-        table.row(vec![
-            bench.name().to_string(),
-            run(&|_| {}),
-            run(&|f| f.renaming = false),
-            run(&|f| f.chaining = false),
-            run(&|f| f.timing.edram_latency = 11),
-            run(&|f| f.timing.edram_latency = 44),
-            run(&|f| f.timing.packet_cost = 8),
-            run(&|f| f.timing.packet_cost = 32),
-        ]);
+    // The grid is benchmark × ablation: every cell is an independent
+    // run, so the fabric fans over the full cross product and the rows
+    // are reassembled in declaration order afterwards.
+    type Knob = fn(&mut tss_pipeline::FrontendConfig);
+    let knobs: [Knob; 7] = [
+        |_| {},
+        |f| f.renaming = false,
+        |f| f.chaining = false,
+        |f| f.timing.edram_latency = 11,
+        |f| f.timing.edram_latency = 44,
+        |f| f.timing.packet_cost = 8,
+        |f| f.timing.packet_cost = 32,
+    ];
+    let mut points = Vec::new();
+    for &bench in &benches {
+        let trace = std::sync::Arc::new(bench.trace(args.scale, args.seed));
+        for knob in 0..7usize {
+            points.push((trace.clone(), knob));
+        }
+    }
+    let cells = tss_core::fabric::sweep(args.jobs, points, |(trace, knob)| {
+        let r = SystemBuilder::new()
+            .processors(256)
+            .with_frontend(|f| knobs[knob](f))
+            .skip_validation()
+            .run_hardware_arc(&trace);
+        format!("{} ({})", fmt_f(r.speedup(), 1), fmt_f(r.decode_rate_cycles, 0))
+    });
+    for (bi, bench) in benches.iter().enumerate() {
+        let mut row = vec![bench.name().to_string()];
+        row.extend(cells[bi * 7..(bi + 1) * 7].iter().cloned());
+        table.row(row);
         eprintln!("  [ablations] {bench} done");
     }
     args.emit(&table);

@@ -4,6 +4,15 @@
 //! bench trajectory is tracked *in-repo* instead of only as uploaded CI
 //! artifacts.
 //!
+//! Three layers of checks:
+//!
+//! The `totals` object (when the baseline has one) is gated too:
+//! `events` exactly, `wall_ms`/`suite_wall_ms` under the wall
+//! tolerance, and structural fields (`suite_wall_ms`, `jobs` — the
+//! ISSUE 5 sweep-fabric additions) must at least be *present* in the
+//! fresh artifact whenever the baseline carries them, so a regression
+//! that silently drops them fails the gate.
+//!
 //! Two kinds of checks per result row (rows are matched positionally
 //! and must agree on `benchmark`/`engine`):
 //!
@@ -31,10 +40,37 @@
 const EXACT_FIELDS: [&str; 4] = ["tasks", "events", "enforced_edges", "makespan_cycles"];
 const WALL_FIELDS: [&str; 3] = ["wall_ms", "exec_wall_ms", "stream_wall_ms"];
 const LABEL_FIELDS: [&str; 2] = ["benchmark", "engine"];
+/// Totals-object checks: exact, wall-tolerance, and must-exist-if-the-
+/// baseline-has-it (host-dependent values like `jobs` are only gated
+/// for presence).
+const TOTAL_EXACT_FIELDS: [&str; 1] = ["events"];
+const TOTAL_WALL_FIELDS: [&str; 2] = ["wall_ms", "suite_wall_ms"];
+const TOTAL_PRESENT_FIELDS: [&str; 2] = ["suite_wall_ms", "jobs"];
 
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("bench_check: error: {msg}");
     std::process::exit(2);
+}
+
+/// Extracts the `"totals": { ... }` object substring, if present.
+fn totals_body(doc: &str) -> Option<&str> {
+    let key = "\"totals\":";
+    let start = doc.find(key)?;
+    let open = doc[start..].find('{')? + start;
+    let mut depth = 0usize;
+    for (i, c) in doc[open..].char_indices() {
+        match c {
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&doc[open..=open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Extracts the `"results": [ ... ]` array body (depth-aware).
@@ -188,6 +224,46 @@ fn main() {
     if walls_checked == 0 {
         problems.push("no wall-time fields found to compare (wrong artifact?)".to_string());
     }
+    // Totals layer: only active when the baseline carries a totals
+    // object (both artifacts do today; this keeps the gate usable on
+    // older snapshots). A fresh artifact with no totals at all is one
+    // defect, reported once.
+    if let (Some(bt), ft) = (totals_body(&baseline), totals_body(&fresh)) {
+        let Some(ft) = ft else {
+            problems.push("totals: baseline has a totals object, fresh does not".into());
+            fail_with(problems, &baseline_path);
+        };
+        for key in TOTAL_EXACT_FIELDS {
+            if let (Some(bv), Some(fv)) = (field(bt, key), field(ft, key)) {
+                if bv != fv {
+                    problems
+                        .push(format!("totals: {key} changed {bv} -> {fv} (must match exactly)"));
+                }
+            }
+        }
+        for key in TOTAL_WALL_FIELDS {
+            if let (Some(bv), Some(fv)) = (field(bt, key), field(ft, key)) {
+                let (bv, fv): (f64, f64) = (
+                    bv.parse().unwrap_or_else(|_| fail(format!("totals: bad {key} '{bv}'"))),
+                    fv.parse().unwrap_or_else(|_| fail(format!("totals: bad {key} '{fv}'"))),
+                );
+                walls_checked += 1;
+                if fv > (bv * tolerance).max(bv + min_ms) {
+                    problems.push(format!(
+                        "totals: {key} regressed {bv:.3} -> {fv:.3} ms \
+                         (> {tolerance}x tolerance, +{min_ms} ms floor)"
+                    ));
+                }
+            }
+        }
+        for key in TOTAL_PRESENT_FIELDS {
+            if field(bt, key).is_some() && field(ft, key).is_none() {
+                problems.push(format!(
+                    "totals: structural field '{key}' present in baseline but missing in fresh"
+                ));
+            }
+        }
+    }
     if problems.is_empty() {
         println!(
             "bench_check: {} rows ok vs {} ({} wall fields within {tolerance}x)",
@@ -196,14 +272,19 @@ fn main() {
             walls_checked,
         );
     } else {
-        for p in &problems {
-            eprintln!("bench_check: FAIL: {p}");
-        }
-        eprintln!(
-            "bench_check: {} problem(s) vs {baseline_path}; if the model legitimately \
-             changed, regenerate the snapshot under ci/baselines/ in the same PR",
-            problems.len()
-        );
-        std::process::exit(1);
+        fail_with(problems, &baseline_path);
     }
+}
+
+/// Prints every problem and exits 1 (regression/mismatch).
+fn fail_with(problems: Vec<String>, baseline_path: &str) -> ! {
+    for p in &problems {
+        eprintln!("bench_check: FAIL: {p}");
+    }
+    eprintln!(
+        "bench_check: {} problem(s) vs {baseline_path}; if the model legitimately \
+         changed, regenerate the snapshot under ci/baselines/ in the same PR",
+        problems.len()
+    );
+    std::process::exit(1);
 }

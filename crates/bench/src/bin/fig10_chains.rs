@@ -9,7 +9,6 @@
 use tss_bench::HarnessArgs;
 use tss_core::report::fmt_f;
 use tss_core::{SystemBuilder, Table};
-use tss_workloads::Benchmark;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -17,8 +16,9 @@ fn main() {
         "Figure 10: consumer-chain length distribution (readers per version)",
         &["Benchmark", "versions", "p(<=2)", "p(<=7)", "max bucket", "forwards/task"],
     );
-    for bench in Benchmark::all() {
-        let trace = bench.trace(args.scale, args.seed);
+    // One fabric point per benchmark; rows come back (and print) in
+    // catalog order whatever --jobs is.
+    let rows = args.sweep_benchmarks(|bench, trace| {
         let report = SystemBuilder::new().processors(256).skip_validation().run_hardware(&trace);
         let fe = report.frontend.expect("hardware run");
         let hist = fe.ort.chain_hist;
@@ -26,15 +26,18 @@ fn main() {
         let le2: u64 = hist[..=2].iter().sum();
         let le7: u64 = hist[..=7].iter().sum();
         let maxb = hist.iter().rposition(|&c| c > 0).unwrap_or(0);
-        table.row(vec![
+        eprintln!("  [fig10] {bench} done");
+        vec![
             bench.name().to_string(),
             total.to_string(),
             fmt_f(le2 as f64 / total.max(1) as f64, 3),
             fmt_f(le7 as f64 / total.max(1) as f64, 3),
             if maxb == 9 { "9+".into() } else { maxb.to_string() },
             fmt_f(fe.chain_forwards as f64 / report.tasks as f64, 2),
-        ]);
-        eprintln!("  [fig10] {bench} done");
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     args.emit(&table);
 }

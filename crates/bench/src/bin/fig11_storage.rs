@@ -7,7 +7,6 @@ use tss_bench::HarnessArgs;
 use tss_core::report::fmt_f;
 use tss_core::{SystemBuilder, Table};
 use tss_pipeline::blocks::{blocks_for_operands, fragmentation_waste};
-use tss_workloads::Benchmark;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -31,18 +30,18 @@ fn main() {
         "Measured TRS storage waste per benchmark (paper: ~20% average)",
         &["Benchmark", "avg waste", "peak window (tasks)"],
     );
-    let mut sum = 0.0;
-    for bench in Benchmark::all() {
-        let trace = bench.trace(args.scale, args.seed);
+    // One fabric point per benchmark; the average is folded afterwards
+    // in catalog order, so the sum (and stdout) is jobs-invariant.
+    let rows = args.sweep_benchmarks(|bench, trace| {
         let report = SystemBuilder::new().processors(256).skip_validation().run_hardware(&trace);
         let fe = report.frontend.expect("hardware run");
-        sum += fe.avg_storage_waste;
-        measured.row(vec![
-            bench.name().to_string(),
-            fmt_f(fe.avg_storage_waste * 100.0, 1) + "%",
-            report.window_peak.to_string(),
-        ]);
         eprintln!("  [fig11] {bench} done");
+        (fe.avg_storage_waste, bench.name().to_string(), report.window_peak)
+    });
+    let mut sum = 0.0;
+    for (waste, name, window_peak) in rows {
+        sum += waste;
+        measured.row(vec![name, fmt_f(waste * 100.0, 1) + "%", window_peak.to_string()]);
     }
     args.emit(&measured);
     println!("average waste across benchmarks: {:.1}%", sum / 9.0 * 100.0);

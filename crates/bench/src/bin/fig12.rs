@@ -19,7 +19,7 @@ fn main() {
 
     for bench in [Benchmark::Cholesky, Benchmark::H264] {
         let trace = bench.trace(args.scale, args.seed);
-        let points = decode_rate_sweep(&trace, &trs_counts, &ort_counts);
+        let points = decode_rate_sweep(&trace, &trs_counts, &ort_counts, args.jobs);
         let mut table = Table::new(
             format!("Figure 12: {} decode rate [cycles/task] ({} tasks)", bench, trace.len()),
             &["#TRS", "1 ORT", "2 ORTs", "4 ORTs", "8 ORTs"],

@@ -25,7 +25,7 @@ fn main() {
         let trace = bench.trace(args.scale, args.seed);
         limit_128 += trace.decode_rate_limit(128).unwrap() / 9.0;
         limit_256 += trace.decode_rate_limit(256).unwrap() / 9.0;
-        let pts = decode_rate_sweep(&trace, &trs_counts, &ort_counts);
+        let pts = decode_rate_sweep(&trace, &trs_counts, &ort_counts, args.jobs);
         for (j, _) in ort_counts.iter().enumerate() {
             for (i, _) in trs_counts.iter().enumerate() {
                 sums[j][i] += pts[j * trs_counts.len() + i].rate_cycles / 9.0;

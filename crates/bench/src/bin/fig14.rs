@@ -23,7 +23,7 @@ fn main() {
     let mut h264_row: Vec<String> = Vec::new();
     for bench in Benchmark::all() {
         let trace = bench.trace(args.scale, args.seed);
-        let pts = ort_capacity_sweep(&trace, &caps, 256);
+        let pts = ort_capacity_sweep(&trace, &caps, 256, args.jobs);
         for (i, p) in pts.iter().enumerate() {
             avg[i] += p.speedup / 9.0;
         }

@@ -27,7 +27,7 @@ fn main() {
     let mut avg = [0.0f64; 8];
     for bench in Benchmark::all() {
         let trace = bench.trace(args.scale, args.seed);
-        let pts = scalability_sweep(&trace, &procs);
+        let pts = scalability_sweep(&trace, &procs, args.jobs);
         let mut row = vec![bench.name().to_string()];
         for (i, p) in pts.iter().enumerate() {
             row.push(fmt_f(p.hardware, 1));

@@ -10,7 +10,6 @@ use tss_bench::HarnessArgs;
 use tss_core::report::fmt_f;
 use tss_core::Table;
 use tss_mem::TaskRuntimeModel;
-use tss_workloads::Benchmark;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -21,13 +20,21 @@ fn main() {
         &["Benchmark", "P=32", "P=64", "P=128", "P=256"],
     );
     let mut avg = [0.0f64; 4];
-    for bench in Benchmark::all() {
-        let trace = bench.trace(args.scale, args.seed);
+    // One fabric point per benchmark (trace generation is the cost
+    // here); the averages fold afterwards in catalog order.
+    let rows = args.sweep_benchmarks(|bench, trace| {
         let mut row = vec![bench.name().to_string()];
+        let mut rates = [0.0f64; 4];
         for (i, p) in [32usize, 64, 128, 256].iter().enumerate() {
             let ns = tss_sim::cycles_to_ns(trace.decode_rate_limit(*p).unwrap() as u64);
-            avg[i] += ns / 9.0;
+            rates[i] = ns;
             row.push(fmt_f(ns, 0));
+        }
+        (row, rates)
+    });
+    for (row, rates) in rows {
+        for (a, r) in avg.iter_mut().zip(rates) {
+            *a += r / 9.0;
         }
         rule.row(row);
     }

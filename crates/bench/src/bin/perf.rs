@@ -1,38 +1,53 @@
 //! Simulator throughput harness: the benchmark trajectory for the event
-//! core itself (DESIGN.md §6).
+//! core itself (DESIGN.md §6, §9).
 //!
 //! Runs all nine Table-I benchmarks through **both** engines (hardware
 //! pipeline and software runtime) at the requested `--scale`, measuring
 //! host wall time, delivered events per second, and peak event-queue
 //! depth, then writes `BENCH_pipeline.json` (schema
-//! `tss-bench-pipeline/v1`) next to the working directory for CI to
+//! `tss-bench-pipeline/v2`) next to the working directory for CI to
 //! archive and EXPERIMENTS.md to quote.
 //!
 //! Unlike the figure binaries this one times the *simulator*, not the
 //! simulated machine: oracle validation is skipped so the measurement is
 //! the event loop plus module handlers, nothing else.
 //!
-//! Flags: `--scale small|paper|large`, `--seed N`, `--json` (print the
-//! JSON document to stdout instead of the aligned table), `--out PATH`
-//! (where to write the JSON file; default `BENCH_pipeline.json`).
+//! `--jobs N` fans the benchmarks across the sweep fabric. Per-row wall
+//! times are each run's own span, so with `--jobs > 1` concurrent runs
+//! share the host and per-row `events_per_sec` is *not* comparable to a
+//! serial session — use `--jobs 1` (what CI's baseline gate runs) for
+//! per-row throughput numbers. `suite_wall_ms` in `totals` is the
+//! end-to-end suite span, the figure the fabric is meant to shrink; the
+//! `jobs` field records what produced the artifact.
+//!
+//! Flags: `--scale small|paper|large`, `--seed N`, `--jobs N`, `--json`
+//! (print the JSON document to stdout instead of the aligned table),
+//! `--out PATH` (where to write the JSON file; default
+//! `BENCH_pipeline.json`).
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use tss_core::report::fmt_f;
-use tss_core::{RunReport, SystemBuilder, Table};
+use tss_core::{fabric, RunReport, SystemBuilder, Table};
 use tss_workloads::{Benchmark, Scale};
 
 struct PerfArgs {
     scale: Scale,
     seed: u64,
+    jobs: usize,
     json: bool,
     out: String,
 }
 
 fn parse_args() -> PerfArgs {
-    let mut out =
-        PerfArgs { scale: Scale::Paper, seed: 42, json: false, out: "BENCH_pipeline.json".into() };
+    let mut out = PerfArgs {
+        scale: Scale::Paper,
+        seed: 42,
+        jobs: fabric::default_jobs(),
+        json: false,
+        out: "BENCH_pipeline.json".into(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -48,11 +63,20 @@ fn parse_args() -> PerfArgs {
                     .parse()
                     .expect("--seed must be an integer");
             }
+            "--jobs" => {
+                out.jobs = args
+                    .next()
+                    .expect("--jobs needs a value")
+                    .parse()
+                    .expect("--jobs must be a positive integer");
+                assert!(out.jobs >= 1, "--jobs must be >= 1");
+            }
             "--json" => out.json = true,
             "--out" => out.out = args.next().expect("--out needs a path"),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: perf [--scale small|paper|large] [--seed N] [--json] [--out PATH]"
+                    "usage: perf [--scale small|paper|large] [--seed N] [--jobs N] [--json] \
+                     [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -98,12 +122,13 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn to_json(args: &PerfArgs, points: &[PerfPoint]) -> String {
+fn to_json(args: &PerfArgs, points: &[PerfPoint], suite_wall_s: f64) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"tss-bench-pipeline/v1\",\n");
+    s.push_str("  \"schema\": \"tss-bench-pipeline/v2\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", args.scale.name()));
     s.push_str(&format!("  \"seed\": {},\n", args.seed));
+    s.push_str(&format!("  \"jobs\": {},\n", args.jobs));
     s.push_str(&format!("  \"event_core\": \"{}\",\n", tss_sim::engine::EVENT_CORE));
     s.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
@@ -127,8 +152,11 @@ fn to_json(args: &PerfArgs, points: &[PerfPoint]) -> String {
     let wall: f64 = points.iter().map(|p| p.wall_s).sum();
     let eps = if wall > 0.0 { events as f64 / wall } else { 0.0 };
     s.push_str(&format!(
-        "  \"totals\": {{\"events\": {events}, \"wall_ms\": {:.3}, \"events_per_sec\": {eps:.0}}}\n",
+        "  \"totals\": {{\"events\": {events}, \"wall_ms\": {:.3}, \
+         \"events_per_sec\": {eps:.0}, \"suite_wall_ms\": {:.3}, \"jobs\": {}}}\n",
         wall * 1e3,
+        suite_wall_s * 1e3,
+        args.jobs,
     ));
     s.push_str("}\n");
     s
@@ -136,23 +164,27 @@ fn to_json(args: &PerfArgs, points: &[PerfPoint]) -> String {
 
 fn main() {
     let args = parse_args();
-    let mut points = Vec::with_capacity(18);
-    for bench in Benchmark::all() {
+    let suite_t0 = Instant::now();
+    // One fabric point per benchmark (hardware + software measured
+    // back-to-back inside the point); rows come back in catalog order.
+    let benches: Vec<Benchmark> = Benchmark::all().to_vec();
+    let rows = fabric::sweep(args.jobs, benches, |bench| {
         let trace = Arc::new(bench.trace(args.scale, args.seed));
         // Validation is O(edges) outside the event loop; skip it so the
         // clock sees only the engine + handlers.
         let t0 = Instant::now();
         let hw = SystemBuilder::new().processors(256).skip_validation().run_hardware_arc(&trace);
         let hw_wall = t0.elapsed().as_secs_f64();
-        points.push(measure(hw, "hardware", hw_wall));
         let t1 = Instant::now();
         let sw = SystemBuilder::new().processors(256).skip_validation().run_software_arc(&trace);
         let sw_wall = t1.elapsed().as_secs_f64();
-        points.push(measure(sw, "software", sw_wall));
         eprintln!("  [perf] {bench} done (hw {:.0} ms, sw {:.0} ms)", hw_wall * 1e3, sw_wall * 1e3);
-    }
+        [measure(hw, "hardware", hw_wall), measure(sw, "software", sw_wall)]
+    });
+    let points: Vec<PerfPoint> = rows.into_iter().flatten().collect();
+    let suite_wall_s = suite_t0.elapsed().as_secs_f64();
 
-    let json = to_json(&args, &points);
+    let json = to_json(&args, &points, suite_wall_s);
     std::fs::write(&args.out, &json).expect("write BENCH_pipeline.json");
 
     if args.json {
@@ -190,6 +222,11 @@ fn main() {
             fmt_f(if wall > 0.0 { events as f64 / wall } else { 0.0 }, 0),
         ]);
         println!("{}", table.render());
-        println!("(wrote {})", args.out);
+        println!(
+            "suite wall: {:.1} ms with --jobs {} (wrote {})",
+            suite_wall_s * 1e3,
+            args.jobs,
+            args.out
+        );
     }
 }

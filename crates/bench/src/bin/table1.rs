@@ -5,7 +5,6 @@
 use tss_bench::HarnessArgs;
 use tss_core::report::fmt_f;
 use tss_core::Table;
-use tss_workloads::Benchmark;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -25,13 +24,10 @@ fn main() {
             "(paper)",
         ],
     );
-    let mut rate_sum = 0.0;
-    for b in Benchmark::all() {
-        let trace = b.trace(args.scale, args.seed);
+    let rows = args.sweep_benchmarks(|b, trace| {
         let (p_data, p_min, p_med, p_avg, p_rate) = b.table1_reference();
         let rate_ns = tss_sim::cycles_to_ns(trace.decode_rate_limit(256).unwrap() as u64);
-        rate_sum += rate_ns;
-        table.row(vec![
+        let row = vec![
             b.name().to_string(),
             fmt_f(trace.avg_data_bytes() / 1024.0, 0),
             fmt_f(p_data, 0),
@@ -43,7 +39,13 @@ fn main() {
             fmt_f(p_avg, 0),
             fmt_f(rate_ns, 0),
             fmt_f(p_rate, 0),
-        ]);
+        ];
+        (row, rate_ns)
+    });
+    let mut rate_sum = 0.0;
+    for (row, rate_ns) in rows {
+        rate_sum += rate_ns;
+        table.row(row);
     }
     args.emit(&table);
     println!(

@@ -5,7 +5,11 @@
 //! - `--scale small|paper|large` — trace size (default `paper`; `small`
 //!   for a quick smoke run),
 //! - `--csv` — emit CSV instead of the aligned table,
-//! - `--seed N` — workload seed (default 42).
+//! - `--seed N` — workload seed (default 42),
+//! - `--jobs N` — sweep-fabric worker threads (default: available
+//!   parallelism). Points are independent single-threaded simulations
+//!   collected in deterministic order, so any `--jobs` value produces
+//!   byte-identical stdout (gated in CI; DESIGN.md §9.3).
 //!
 //! See `DESIGN.md` §4 for the experiment-to-binary index and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
@@ -21,11 +25,18 @@ pub struct HarnessArgs {
     pub csv: bool,
     /// Workload seed.
     pub seed: u64,
+    /// Sweep-fabric worker threads.
+    pub jobs: usize,
 }
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { scale: Scale::Paper, csv: false, seed: 42 }
+        HarnessArgs {
+            scale: Scale::Paper,
+            csv: false,
+            seed: 42,
+            jobs: tss_core::fabric::default_jobs(),
+        }
     }
 }
 
@@ -53,8 +64,16 @@ impl HarnessArgs {
                         .parse()
                         .expect("--seed must be an integer");
                 }
+                "--jobs" => {
+                    out.jobs = args
+                        .next()
+                        .expect("--jobs needs a value")
+                        .parse()
+                        .expect("--jobs must be a positive integer");
+                    assert!(out.jobs >= 1, "--jobs must be >= 1");
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale small|paper|large] [--csv] [--seed N]");
+                    eprintln!("usage: [--scale small|paper|large] [--csv] [--seed N] [--jobs N]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag '{other}' (try --help)"),
@@ -71,6 +90,21 @@ impl HarnessArgs {
             println!("{}", table.render());
         }
     }
+
+    /// Fans one closure per benchmark across the sweep fabric and
+    /// returns the results in `Benchmark::all()` order — the standard
+    /// shape of the per-benchmark figure binaries. The closure receives
+    /// the benchmark and its generated trace.
+    pub fn sweep_benchmarks<R: Send>(
+        &self,
+        f: impl Fn(tss_workloads::Benchmark, tss_trace::TaskTrace) -> R + Sync,
+    ) -> Vec<R> {
+        let points: Vec<tss_workloads::Benchmark> = tss_workloads::Benchmark::all().to_vec();
+        tss_core::fabric::sweep(self.jobs, points, |bench| {
+            let trace = bench.trace(self.scale, self.seed);
+            f(bench, trace)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -83,5 +117,6 @@ mod tests {
         assert_eq!(a.scale, Scale::Paper);
         assert!(!a.csv);
         assert_eq!(a.seed, 42);
+        assert!(a.jobs >= 1);
     }
 }

@@ -1,9 +1,16 @@
 //! Sweep drivers for the paper's evaluation (Section VI): one function
 //! per experiment family, shared by the `tss-bench` harness binaries and
 //! the integration tests.
+//!
+//! Every sweep fans its independent points across `jobs` worker threads
+//! through [`crate::fabric::sweep`]; results come back in point order,
+//! so the produced tables are byte-identical at any `jobs` value (each
+//! point is a complete single-threaded deterministic simulation —
+//! DESIGN.md §9.3). `jobs = 1` runs serially on the calling thread.
 
 use std::sync::Arc;
 
+use crate::fabric;
 use crate::{RunReport, SystemBuilder};
 use tss_pipeline::FrontendConfig;
 use tss_trace::TaskTrace;
@@ -21,7 +28,7 @@ pub struct DecodeRatePoint {
 
 /// Measures the decode rate (cycles between successive task-graph
 /// additions) for every `(num_trs, num_ort)` combination — Figures 12
-/// and 13.
+/// and 13 — fanning the grid across `jobs` threads.
 ///
 /// The figure studies *pipeline parallelism*, so storage capacities are
 /// made abundant (64 MB TRS, 16 MB ORT/OVT): otherwise window
@@ -31,26 +38,29 @@ pub fn decode_rate_sweep(
     trace: &TaskTrace,
     trs_counts: &[usize],
     ort_counts: &[usize],
+    jobs: usize,
 ) -> Vec<DecodeRatePoint> {
-    let mut out = Vec::new();
     let arc = Arc::new(trace.clone());
+    let mut points = Vec::with_capacity(trs_counts.len() * ort_counts.len());
     for &num_ort in ort_counts {
         for &num_trs in trs_counts {
-            let report = SystemBuilder::new()
-                .processors(256)
-                .with_frontend(|f| {
-                    f.num_trs = num_trs;
-                    f.num_ort = num_ort;
-                    f.trs_total_bytes = 64 << 20;
-                    f.ort_total_bytes = 16 << 20;
-                    f.ovt_total_bytes = 16 << 20;
-                })
-                .skip_validation() // sweeps revalidate nothing: points are timing-only
-                .run_hardware_arc(&arc);
-            out.push(DecodeRatePoint { num_trs, num_ort, rate_cycles: report.decode_rate_cycles });
+            points.push((num_trs, num_ort));
         }
     }
-    out
+    fabric::sweep(jobs, points, |(num_trs, num_ort)| {
+        let report = SystemBuilder::new()
+            .processors(256)
+            .with_frontend(|f| {
+                f.num_trs = num_trs;
+                f.num_ort = num_ort;
+                f.trs_total_bytes = 64 << 20;
+                f.ort_total_bytes = 16 << 20;
+                f.ovt_total_bytes = 16 << 20;
+            })
+            .skip_validation() // sweeps revalidate nothing: points are timing-only
+            .run_hardware_arc(&arc);
+        DecodeRatePoint { num_trs, num_ort, rate_cycles: report.decode_rate_cycles }
+    })
 }
 
 /// One point of a capacity sweep (Figures 14 and 15).
@@ -70,26 +80,24 @@ pub fn ort_capacity_sweep(
     trace: &TaskTrace,
     capacities: &[u64],
     processors: usize,
+    jobs: usize,
 ) -> Vec<CapacityPoint> {
     let arc = Arc::new(trace.clone());
-    capacities
-        .iter()
-        .map(|&cap| {
-            let report = SystemBuilder::new()
-                .processors(processors)
-                .with_frontend(|f| {
-                    f.ort_total_bytes = cap;
-                    f.ovt_total_bytes = cap;
-                })
-                .skip_validation()
-                .run_hardware_arc(&arc);
-            CapacityPoint {
-                capacity_bytes: cap,
-                speedup: report.speedup(),
-                window_peak: report.window_peak,
-            }
-        })
-        .collect()
+    fabric::sweep(jobs, capacities.to_vec(), |cap| {
+        let report = SystemBuilder::new()
+            .processors(processors)
+            .with_frontend(|f| {
+                f.ort_total_bytes = cap;
+                f.ovt_total_bytes = cap;
+            })
+            .skip_validation()
+            .run_hardware_arc(&arc);
+        CapacityPoint {
+            capacity_bytes: cap,
+            speedup: report.speedup(),
+            window_peak: report.window_peak,
+        }
+    })
 }
 
 /// Figure 15: speedup as a function of the total TRS capacity.
@@ -97,23 +105,21 @@ pub fn trs_capacity_sweep(
     trace: &TaskTrace,
     capacities: &[u64],
     processors: usize,
+    jobs: usize,
 ) -> Vec<CapacityPoint> {
     let arc = Arc::new(trace.clone());
-    capacities
-        .iter()
-        .map(|&cap| {
-            let report = SystemBuilder::new()
-                .processors(processors)
-                .with_frontend(|f| f.trs_total_bytes = cap)
-                .skip_validation()
-                .run_hardware_arc(&arc);
-            CapacityPoint {
-                capacity_bytes: cap,
-                speedup: report.speedup(),
-                window_peak: report.window_peak,
-            }
-        })
-        .collect()
+    fabric::sweep(jobs, capacities.to_vec(), |cap| {
+        let report = SystemBuilder::new()
+            .processors(processors)
+            .with_frontend(|f| f.trs_total_bytes = cap)
+            .skip_validation()
+            .run_hardware_arc(&arc);
+        CapacityPoint {
+            capacity_bytes: cap,
+            speedup: report.speedup(),
+            window_peak: report.window_peak,
+        }
+    })
 }
 
 /// One point of the Figure 16 scalability comparison.
@@ -128,16 +134,18 @@ pub struct ScalabilityPoint {
 }
 
 /// Figure 16: hardware vs software speedups over 32–256 processors.
-pub fn scalability_sweep(trace: &TaskTrace, processor_counts: &[usize]) -> Vec<ScalabilityPoint> {
+/// Each processor count is one fabric point running both engines.
+pub fn scalability_sweep(
+    trace: &TaskTrace,
+    processor_counts: &[usize],
+    jobs: usize,
+) -> Vec<ScalabilityPoint> {
     let arc = Arc::new(trace.clone());
-    processor_counts
-        .iter()
-        .map(|&p| {
-            let hw = SystemBuilder::new().processors(p).skip_validation().run_hardware_arc(&arc);
-            let sw = SystemBuilder::new().processors(p).skip_validation().run_software_arc(&arc);
-            ScalabilityPoint { processors: p, hardware: hw.speedup(), software: sw.speedup() }
-        })
-        .collect()
+    fabric::sweep(jobs, processor_counts.to_vec(), |p| {
+        let hw = SystemBuilder::new().processors(p).skip_validation().run_hardware_arc(&arc);
+        let sw = SystemBuilder::new().processors(p).skip_validation().run_software_arc(&arc);
+        ScalabilityPoint { processors: p, hardware: hw.speedup(), software: sw.speedup() }
+    })
 }
 
 /// Runs one benchmark at the paper's chosen operating point (8 TRS,
@@ -154,7 +162,7 @@ mod tests {
     #[test]
     fn decode_rate_improves_with_more_trs() {
         let trace = Benchmark::Cholesky.trace(Scale::Small, 1);
-        let pts = decode_rate_sweep(&trace, &[1, 8], &[2]);
+        let pts = decode_rate_sweep(&trace, &[1, 8], &[2], 1);
         assert!(
             pts[1].rate_cycles < pts[0].rate_cycles,
             "8 TRS ({:.0}) must decode faster than 1 TRS ({:.0})",
@@ -166,7 +174,7 @@ mod tests {
     #[test]
     fn trs_capacity_grows_window_and_speedup() {
         let trace = Benchmark::KMeans.trace(Scale::Small, 1);
-        let pts = trs_capacity_sweep(&trace, &[32 << 10, 2 << 20], 64);
+        let pts = trs_capacity_sweep(&trace, &[32 << 10, 2 << 20], 64, 1);
         assert!(pts[1].window_peak >= pts[0].window_peak);
         assert!(pts[1].speedup >= pts[0].speedup * 0.95);
     }
@@ -174,7 +182,28 @@ mod tests {
     #[test]
     fn scalability_produces_monotonicish_hw_curve() {
         let trace = Benchmark::MatMul.trace(Scale::Small, 1);
-        let pts = scalability_sweep(&trace, &[32, 128]);
+        let pts = scalability_sweep(&trace, &[32, 128], 1);
         assert!(pts[1].hardware > pts[0].hardware);
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        // The ISSUE 5 determinism contract: --jobs K output == --jobs 1
+        // output for every routed sweep. Points are compared exactly
+        // (the per-point simulations are bit-deterministic).
+        let trace = Benchmark::Cholesky.trace(Scale::Small, 1);
+        let serial = decode_rate_sweep(&trace, &[1, 2], &[1, 2], 1);
+        let parallel = decode_rate_sweep(&trace, &[1, 2], &[1, 2], 3);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!((s.num_trs, s.num_ort), (p.num_trs, p.num_ort));
+            assert_eq!(s.rate_cycles.to_bits(), p.rate_cycles.to_bits(), "point diverged");
+        }
+        let serial = scalability_sweep(&trace, &[32, 64], 1);
+        let parallel = scalability_sweep(&trace, &[32, 64], 2);
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.hardware.to_bits(), p.hardware.to_bits());
+            assert_eq!(s.software.to_bits(), p.software.to_bits());
+        }
     }
 }

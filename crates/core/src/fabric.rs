@@ -1,0 +1,122 @@
+//! The sweep fabric (ISSUE 5 tentpole): a scoped worker pool that fans
+//! *independent* simulation points across threads.
+//!
+//! The paper's evaluation (Section VI) is a large surface of independent
+//! runs — `(num_trs, num_ort)` grids, capacity ladders, per-benchmark
+//! rows — and every point is a complete, single-threaded, deterministic
+//! simulation. The fabric exploits exactly that shape: workers claim
+//! points from a shared cursor, each point's result is written into its
+//! own pre-assigned slot, and the caller receives results **in point
+//! order** regardless of which worker finished when. Per-point
+//! simulations stay single-threaded, so each point's output is
+//! bit-identical to a serial run; only wall-clock completion order
+//! varies — which is why every routed harness binary produces
+//! byte-identical tables at any `--jobs` value (gated in CI by diffing
+//! `fig13 --jobs 2` against `--jobs 1`; DESIGN.md §9.3).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default `--jobs` value: the host's available parallelism (1 when
+/// it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over every point, fanning across `jobs` worker threads, and
+/// returns the results in point order.
+///
+/// `jobs` is clamped to `[1, points.len()]`; `jobs <= 1` degenerates to
+/// a plain serial map (no threads spawned). A panicking point propagates
+/// the panic to the caller once the scope joins.
+pub fn sweep<P, R, F>(jobs: usize, points: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let n = points.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 {
+        return points.into_iter().map(f).collect();
+    }
+    // Hand-rolled claim/slot scheme (the workspace is offline — no rayon):
+    // a shared cursor assigns each point to exactly one worker; the
+    // result lands in the point's own slot, pinning output order to
+    // input order. The per-slot mutexes are uncontended by construction
+    // (one owner each).
+    let cursor = AtomicUsize::new(0);
+    let inputs: Vec<Mutex<Option<P>>> = points.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let p = inputs[i]
+                    .lock()
+                    .expect("fabric input poisoned")
+                    .take()
+                    .expect("point claimed twice");
+                let r = f(p);
+                *outputs[i].lock().expect("fabric output poisoned") = Some(r);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("fabric output poisoned")
+                .expect("worker finished without a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_point_order() {
+        for jobs in [1, 2, 4, 7] {
+            let points: Vec<usize> = (0..53).collect();
+            let out = sweep(jobs, points.clone(), |p| p * 10);
+            assert_eq!(out, points.iter().map(|p| p * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn oversubscribed_jobs_are_clamped() {
+        let out = sweep(64, vec![1, 2, 3], |p| p + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_point_set_is_fine() {
+        let out: Vec<u32> = sweep(8, Vec::<u32>::new(), |p| p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_stateful_work() {
+        // Each point is an independent "simulation": result depends only
+        // on the point, never on scheduling.
+        let f = |p: u64| {
+            let mut x = p;
+            for _ in 0..1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            x
+        };
+        let points: Vec<u64> = (0..40).collect();
+        assert_eq!(sweep(1, points.clone(), f), sweep(4, points, f));
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

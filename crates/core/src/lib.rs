@@ -15,18 +15,21 @@
 //! ```
 
 pub mod experiments;
+pub mod fabric;
 pub mod report;
+pub mod store;
 
 use std::sync::Arc;
 
 use tss_backend::{cmp_backend, BackendConfig, CorePool};
 use tss_pipeline::assembly::{build_frontend, frontend_stats, FrontendStats};
-use tss_pipeline::{FrontendConfig, Msg};
+use tss_pipeline::FrontendConfig;
 use tss_runtime::{build_software_runtime, SoftDecoder, SoftRuntimeConfig};
-use tss_sim::{cycles_to_ns, Cycle, Simulation};
-use tss_trace::{validate_schedule, DepGraph, ScheduleRecord, TaskTrace};
+use tss_sim::{cycles_to_ns, Cycle};
+use tss_trace::{validate_schedule, ScheduleRecord, TaskTrace};
 
 pub use report::Table;
+pub use store::{system_sim, SystemSim, SystemStore};
 
 /// Which engine executed a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,7 +165,9 @@ impl SystemBuilder {
     /// [`Self::run_hardware`] without the per-run trace clone.
     pub fn run_hardware_arc(&self, trace: &Arc<TaskTrace>) -> RunReport {
         let arc = Arc::clone(trace);
-        let mut sim = Simulation::<Msg>::new();
+        // Monomorphized store: every delivery is a direct match arm, and
+        // stats extraction below needs no `Any` downcasts (§9.1).
+        let mut sim = system_sim();
         let backend_cfg = BackendConfig::for_cores(self.processors);
         let topo = build_frontend(&mut sim, arc.clone(), &self.frontend, cmp_backend(backend_cfg));
         sim.run();
@@ -177,7 +182,7 @@ impl SystemBuilder {
         );
         let schedule = pool.schedule().to_vec();
         if self.validate {
-            let graph = DepGraph::from_trace(trace);
+            let graph = trace.dep_graph();
             validate_schedule(&graph, &schedule).expect("hardware schedule violates the oracle");
         }
         let stats = frontend_stats(&sim, &topo, &self.frontend);
@@ -216,7 +221,7 @@ impl SystemBuilder {
     /// [`Self::run_software`] without the per-run trace clone.
     pub fn run_software_arc(&self, trace: &Arc<TaskTrace>) -> RunReport {
         let arc = Arc::clone(trace);
-        let mut sim = Simulation::<Msg>::new();
+        let mut sim = system_sim();
         let backend_cfg = BackendConfig::for_cores(self.processors);
         let (dec, pool_id) = build_software_runtime(&mut sim, arc, &self.soft, backend_cfg);
         sim.run();
@@ -226,7 +231,7 @@ impl SystemBuilder {
         let pool = sim.component::<CorePool>(pool_id);
         let schedule = pool.schedule().to_vec();
         if self.validate {
-            let graph = DepGraph::from_trace(trace);
+            let graph = trace.dep_graph();
             validate_schedule(&graph, &schedule).expect("software schedule violates the oracle");
         }
         let times = decoder.decode_times();

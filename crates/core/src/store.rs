@@ -1,0 +1,144 @@
+//! The monomorphized component store for assembled systems (ISSUE 5
+//! tentpole, DESIGN.md §9.1).
+//!
+//! [`SystemStore`] is an enum over every concrete component type a
+//! hardware-pipeline or software-runtime system contains. The event
+//! loop's `deliver` is a direct match on the variant — the compiler sees
+//! each handler's concrete type, so a delivery is a branch plus a direct
+//! (inlinable) call instead of `DynStore`'s virtual call, and post-run
+//! statistics extraction is a variant match instead of an `Any`
+//! downcast.
+//!
+//! Adding a component type = one line in the `system_store!` invocation.
+
+use tss_backend::CorePool;
+use tss_pipeline::assembly::InstantBackend;
+use tss_pipeline::{Gateway, Generator, Msg, OrtOvt, Trs};
+use tss_runtime::SoftDecoder;
+use tss_sim::{Component, ComponentId, ComponentStore, Context, Extract, Insert};
+
+/// Generates the component enum, the store, and the per-type
+/// [`Insert`]/[`Extract`] impls.
+macro_rules! system_store {
+    ($(#[$meta:meta] $variant:ident($ty:ty)),+ $(,)?) => {
+        /// One system component, by concrete type.
+        #[allow(clippy::large_enum_variant)] // deliberately unboxed: the
+        // store is built once per run and dispatch locality beats size.
+        pub enum SystemComponent {
+            $(#[$meta] $variant($ty)),+
+        }
+
+        /// Monomorphized store over every system component type.
+        #[derive(Default)]
+        pub struct SystemStore {
+            items: Vec<SystemComponent>,
+        }
+
+        impl SystemStore {
+            /// An empty store.
+            pub fn new() -> Self {
+                Self::default()
+            }
+        }
+
+        impl ComponentStore<Msg> for SystemStore {
+            #[inline]
+            fn deliver(&mut self, dst: ComponentId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+                match &mut self.items[dst.index()] {
+                    $(SystemComponent::$variant(c) => c.on_message(msg, ctx)),+
+                }
+            }
+
+            fn len(&self) -> usize {
+                self.items.len()
+            }
+        }
+
+        $(
+            impl Insert<$ty> for SystemStore {
+                fn insert(&mut self, c: $ty) -> usize {
+                    self.items.push(SystemComponent::$variant(c));
+                    self.items.len() - 1
+                }
+            }
+
+            impl Extract<$ty> for SystemStore {
+                fn get(&self, index: usize) -> Option<&$ty> {
+                    match self.items.get(index)? {
+                        SystemComponent::$variant(c) => Some(c),
+                        _ => None,
+                    }
+                }
+
+                fn get_mut(&mut self, index: usize) -> Option<&mut $ty> {
+                    match self.items.get_mut(index)? {
+                        SystemComponent::$variant(c) => Some(c),
+                        _ => None,
+                    }
+                }
+            }
+        )+
+    };
+}
+
+system_store! {
+    /// A task-generating thread.
+    Generator(Generator),
+    /// The pipeline gateway.
+    Gateway(Gateway),
+    /// A task reservation station.
+    Trs(Trs),
+    /// An ORT/OVT pair.
+    OrtOvt(OrtOvt),
+    /// The CMP backend (ready queue + cores + ring).
+    CorePool(CorePool),
+    /// The idealized one-core-per-task backend.
+    InstantBackend(InstantBackend),
+    /// The software StarSs-like serial decoder.
+    SoftDecoder(SoftDecoder),
+}
+
+/// A simulation over the monomorphized system store.
+pub type SystemSim = tss_sim::Simulation<Msg, SystemStore>;
+
+/// An empty [`SystemSim`].
+pub fn system_sim() -> SystemSim {
+    SystemSim::with_store(SystemStore::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tss_pipeline::assembly::{build_frontend, frontend_stats, instant_backend};
+    use tss_pipeline::FrontendConfig;
+    use tss_trace::{OperandDesc, TaskTrace};
+
+    #[test]
+    fn system_store_runs_the_frontend_and_extracts_stats() {
+        let mut trace = TaskTrace::new("demo");
+        let k = trace.add_kernel("kern");
+        trace.push_task(k, 1_000, vec![OperandDesc::output(0x1000, 512)]);
+        trace.push_task(k, 1_000, vec![OperandDesc::input(0x1000, 512)]);
+        let mut sim = system_sim();
+        let cfg = FrontendConfig::default();
+        let topo = build_frontend(&mut sim, Arc::new(trace), &cfg, instant_backend);
+        sim.run();
+        let stats = frontend_stats(&sim, &topo, &cfg);
+        assert_eq!(stats.tasks_decoded, 2);
+        let backend = sim.component::<InstantBackend>(topo.backend);
+        assert_eq!(backend.completed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a")]
+    fn wrong_variant_extraction_panics() {
+        let mut sim = system_sim();
+        let id = sim.add(SoftDecoder::new(
+            &TaskTrace::new("empty"),
+            &tss_runtime::SoftRuntimeConfig::default(),
+            tss_sim::ComponentId::from_index(0),
+        ));
+        let _ = sim.component::<Gateway>(id);
+    }
+}

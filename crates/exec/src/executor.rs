@@ -60,7 +60,7 @@ use crate::deque::{ChaseLev, BATCH_MAX};
 use crate::payload::{build_arena, PayloadMode, PayloadScratch};
 use crate::renamer::{merge_window, RenameStats, Renamer, ShardState, TaskGraph};
 use tss_sim::{CachePadded, Cycle};
-use tss_trace::{DepGraph, OrderViolation, TaskId, TaskTrace};
+use tss_trace::{OrderViolation, TaskId, TaskTrace};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -110,9 +110,13 @@ pub struct WorkerStats {
     pub executed: u64,
     /// Steal *events* (a batch steal of k tasks counts once).
     pub steals: u64,
-    /// Wall time spent inside payloads. Zero for `noop` runs: the no-op
-    /// payload skips the two clock reads per task that PR 3 paid, so
-    /// `noop` throughput numbers measure scheduling alone.
+    /// Wall time spent executing tasks, measured per work *burst* (the
+    /// span from acquiring work to going idle), not per task: noop
+    /// payloads pay two clock reads per burst instead of two per task,
+    /// so `noop` throughput still measures scheduling, yet `busy_frac`
+    /// is real for every payload (the ISSUE 5 regression was `busy`
+    /// never accumulating on noop runs, printing 0.0000 for a worker
+    /// that executed every task).
     pub busy: Duration,
 }
 
@@ -182,8 +186,8 @@ impl ExecReport {
         self.workers.iter().map(|w| w.steals).sum()
     }
 
-    /// A worker's busy fraction of the replay wall time (zero for
-    /// `noop` payloads, which skip busy timing — see [`WorkerStats`]).
+    /// A worker's busy fraction of the replay wall time (burst-timed;
+    /// see [`WorkerStats::busy`]).
     pub fn utilization(&self, worker: usize) -> f64 {
         let wall = self.exec_wall.as_secs_f64();
         if wall > 0.0 {
@@ -435,14 +439,15 @@ fn run_task<R: ReleaseSuccs>(
     ready: &mut Vec<u32>,
 ) {
     match shared.payload {
-        // No clock reads on the no-op path: noop runs measure pure
+        // No per-task clock reads on any path: busy time is accumulated
+        // per burst by `worker_loop`, so noop runs still measure pure
         // decode + scheduling throughput.
         PayloadMode::Noop => {}
         PayloadMode::Spin { time_scale } => {
-            stats.busy += scratch.run_spin(shared.runtimes[t as usize], time_scale);
+            scratch.run_spin(shared.runtimes[t as usize], time_scale);
         }
         PayloadMode::Memcpy => {
-            stats.busy += scratch.run_memcpy(shared.trace.task(t as TaskId));
+            scratch.run_memcpy(shared.trace.task(t as TaskId));
         }
     }
     stats.executed += 1;
@@ -487,9 +492,15 @@ fn worker_loop<R: ReleaseSuccs>(
 
     loop {
         // Fast path: drain the own deque depth-first. No epoch or done
-        // loads per task — those belong to the idle path.
-        while let Some(t) = me.pop() {
+        // loads per task — those belong to the idle path. The burst is
+        // clocked as one span: two clock reads however many tasks drain.
+        if let Some(t) = me.pop() {
+            let burst = Instant::now();
             run_task(t, w, shared, &mut scratch, &mut stats, &mut ready);
+            while let Some(t) = me.pop() {
+                run_task(t, w, shared, &mut scratch, &mut stats, &mut ready);
+            }
+            stats.busy += burst.elapsed();
         }
         if shared.done() {
             break;
@@ -518,7 +529,9 @@ fn worker_loop<R: ReleaseSuccs>(
                 if !me.is_empty() && shared.parker.has_idle() {
                     shared.parker.wake_one();
                 }
+                let burst = Instant::now();
                 run_task(t, w, shared, &mut scratch, &mut stats, &mut ready);
+                stats.busy += burst.elapsed();
             }
             None => {
                 if shared.done() {
@@ -899,7 +912,7 @@ impl Executor {
         assert_eq!(order.len(), trace.len(), "executor lost tasks");
         let validated = self.config.validate;
         if validated {
-            let oracle = DepGraph::from_trace(trace);
+            let oracle = trace.dep_graph();
             if let Err(v) = oracle.validate_order(&order) {
                 panic!("native replay violates the dependency oracle: {v}");
             }
@@ -934,7 +947,7 @@ pub fn run_trace(trace: &TaskTrace, threads: usize) -> ExecReport {
 /// Re-exported for harness use: classifies a completion log against an
 /// oracle without panicking.
 pub fn check_order(trace: &TaskTrace, order: &[TaskId]) -> Result<(), OrderViolation> {
-    DepGraph::from_trace(trace).validate_order(order)
+    trace.dep_graph().validate_order(order)
 }
 
 #[cfg(test)]
@@ -1044,6 +1057,35 @@ mod tests {
         let cfg = ExecConfig { threads: 2, window: 2, decode_shards: 2, ..ExecConfig::default() };
         let report = Executor::new(cfg).run(&tr);
         assert_eq!(&report.rename, oneshot.stats());
+    }
+
+    #[test]
+    fn busy_frac_is_positive_for_working_workers() {
+        // ISSUE 5 satellite regression: a worker that executed > 0
+        // tasks on a non-trivial replay must report busy_frac > 0. The
+        // old per-payload accounting skipped noop entirely, so the
+        // default BENCH_exec.json printed 0.0000 for a worker that
+        // executed every task.
+        let mut tr = TaskTrace::new("busy");
+        let k = tr.add_kernel("k");
+        for i in 0..400u64 {
+            tr.push_task(k, 10, vec![OperandDesc::output(0x1000 + i * 64, 64)]);
+        }
+        for threads in [1, 2] {
+            let exec = Executor::new(ExecConfig { threads, ..ExecConfig::default() });
+            let report = exec.run_oneshot(&tr);
+            assert!(report.workers.iter().any(|w| w.executed > 0));
+            for (w, ws) in report.workers.iter().enumerate() {
+                if ws.executed > 0 {
+                    assert!(ws.busy > Duration::ZERO, "worker {w} executed, busy stayed zero");
+                    assert!(
+                        report.utilization(w) > 0.0,
+                        "worker {w} executed {} tasks with busy_frac 0",
+                        ws.executed
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use tss_sim::{Component, Context, Cycle, Simulation};
+use tss_sim::{Component, ComponentStore, Context, Cycle, Extract, Insert, Simulation};
 use tss_trace::{ScheduleRecord, TaskTrace};
 
 use crate::config::FrontendConfig;
@@ -18,22 +18,57 @@ use crate::msg::Msg;
 use crate::ortovt::{OrtOvt, OrtOvtStats};
 use crate::trs::Trs;
 
+/// What a component store must support to host (and report on) the
+/// frontend modules. `tss-sim`'s boxed [`tss_sim::DynStore`] satisfies
+/// this via its blanket impls; `tss-core`'s monomorphized `SystemStore`
+/// implements it with direct enum variants (no boxing, no `Any`).
+pub trait FrontendStore:
+    ComponentStore<Msg>
+    + Insert<Generator>
+    + Insert<Gateway>
+    + Insert<Trs>
+    + Insert<OrtOvt>
+    + Extract<Generator>
+    + Extract<Gateway>
+    + Extract<Trs>
+    + Extract<OrtOvt>
+{
+}
+
+impl<S> FrontendStore for S where
+    S: ComponentStore<Msg>
+        + Insert<Generator>
+        + Insert<Gateway>
+        + Insert<Trs>
+        + Insert<OrtOvt>
+        + Extract<Generator>
+        + Extract<Gateway>
+        + Extract<Trs>
+        + Extract<OrtOvt>
+{
+}
+
 /// Builds the frontend and backend into `sim`; returns the routing table.
 ///
 /// Component ids are assigned in a fixed order (generator, gateway,
 /// TRSs, ORTs, backend) so the [`Topology`] can be constructed up front.
-/// The initial generator kick is scheduled automatically.
+/// The initial generator kick is scheduled automatically. The backend is
+/// whatever concrete component `make_backend` produces, as long as the
+/// store can hold it.
 ///
 /// # Panics
 ///
 /// Panics if `cfg` is invalid (see [`FrontendConfig::validate`]) or if
 /// `sim` already contains components.
-pub fn build_frontend(
-    sim: &mut Simulation<Msg>,
+pub fn build_frontend<S, B>(
+    sim: &mut Simulation<Msg, S>,
     trace: Arc<TaskTrace>,
     cfg: &FrontendConfig,
-    make_backend: impl FnOnce(Arc<TaskTrace>, Topology) -> Box<dyn Component<Msg>>,
-) -> Topology {
+    make_backend: impl FnOnce(Arc<TaskTrace>, Topology) -> B,
+) -> Topology
+where
+    S: FrontendStore + Insert<B>,
+{
     let thread_of = Arc::new(vec![0u8; trace.len()]);
     build_frontend_threaded(sim, trace, cfg, thread_of, make_backend)
 }
@@ -49,13 +84,16 @@ pub fn build_frontend(
 /// crosses threads): in-order decode is only guaranteed per thread, so a
 /// cross-thread dependency could be decoded backwards (the paper's
 /// correctness argument requires partitioned data).
-pub fn build_frontend_threaded(
-    sim: &mut Simulation<Msg>,
+pub fn build_frontend_threaded<S, B>(
+    sim: &mut Simulation<Msg, S>,
     trace: Arc<TaskTrace>,
     cfg: &FrontendConfig,
     thread_of: Arc<Vec<u8>>,
-    make_backend: impl FnOnce(Arc<TaskTrace>, Topology) -> Box<dyn Component<Msg>>,
-) -> Topology {
+    make_backend: impl FnOnce(Arc<TaskTrace>, Topology) -> B,
+) -> Topology
+where
+    S: FrontendStore + Insert<B>,
+{
     cfg.validate();
     assert_eq!(sim.component_count(), 0, "build_frontend needs a fresh simulation");
     assert_eq!(thread_of.len(), trace.len(), "one thread tag per task");
@@ -63,13 +101,15 @@ pub fn build_frontend_threaded(
     if threads > 1 {
         // Verify the data partition: no enforced dependency may cross
         // threads (Section III.B).
-        let graph = tss_trace::DepGraph::from_trace(&trace);
+        let graph = trace.dep_graph();
         for e in graph.edges() {
             if e.kind.enforced() {
                 assert_eq!(
-                    thread_of[e.from], thread_of[e.to],
+                    thread_of[e.from_id()],
+                    thread_of[e.to_id()],
                     "dependency {} -> {} crosses generating threads: data must be partitioned",
-                    e.from, e.to
+                    e.from,
+                    e.to
                 );
             }
         }
@@ -99,25 +139,20 @@ pub fn build_frontend_threaded(
             Arc::new(ids),
             credit_share,
         );
-        let id = sim.add_component(Box::new(g));
+        let id = sim.add(g);
         assert_eq!(id, want);
     }
-    let id = sim.add_component(Box::new(Gateway::with_threads(
-        trace.clone(),
-        cfg,
-        topo.clone(),
-        thread_of,
-    )));
+    let id = sim.add(Gateway::with_threads(trace.clone(), cfg, topo.clone(), thread_of));
     assert_eq!(id, topo.gateway);
     for (i, &want) in topo.trs.iter().enumerate() {
-        let id = sim.add_component(Box::new(Trs::new(i as u8, trace.clone(), cfg, topo.clone())));
+        let id = sim.add(Trs::new(i as u8, trace.clone(), cfg, topo.clone()));
         assert_eq!(id, want);
     }
     for (i, &want) in topo.ort.iter().enumerate() {
-        let id = sim.add_component(Box::new(OrtOvt::new(i as u8, cfg, topo.clone())));
+        let id = sim.add(OrtOvt::new(i as u8, cfg, topo.clone()));
         assert_eq!(id, want);
     }
-    let id = sim.add_component(make_backend(trace.clone(), topo.clone()));
+    let id = sim.add(make_backend(trace.clone(), topo.clone()));
     assert_eq!(id, topo.backend);
 
     if !trace.is_empty() {
@@ -179,17 +214,11 @@ impl Component<Msg> for InstantBackend {
             other => panic!("instant backend received unexpected message {other:?}"),
         }
     }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
 }
 
 /// Factory for [`InstantBackend`] matching [`build_frontend`]'s signature.
-pub fn instant_backend(trace: Arc<TaskTrace>, topo: Topology) -> Box<dyn Component<Msg>> {
-    Box::new(InstantBackend::new(trace, topo))
+pub fn instant_backend(trace: Arc<TaskTrace>, topo: Topology) -> InstantBackend {
+    InstantBackend::new(trace, topo)
 }
 
 /// Aggregated post-run frontend statistics.
@@ -222,8 +251,8 @@ pub struct FrontendStats {
 }
 
 /// Extracts aggregated statistics after a run.
-pub fn frontend_stats(
-    sim: &Simulation<Msg>,
+pub fn frontend_stats<S: FrontendStore>(
+    sim: &Simulation<Msg, S>,
     topo: &Topology,
     _cfg: &FrontendConfig,
 ) -> FrontendStats {

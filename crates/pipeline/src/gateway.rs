@@ -18,7 +18,7 @@
 //! - pauses while any ORT reports a stall (full set / exhausted OVT) and
 //!   resumes when all clear.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use tss_sim::{Component, ComponentId, Context, Cycle, ServerTimeline, SplitMix64};
@@ -170,12 +170,6 @@ impl Component<Msg> for Generator {
             other => panic!("generator received unexpected message {other:?}"),
         }
     }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
 }
 
 /// The pipeline gateway.
@@ -191,12 +185,13 @@ pub struct Gateway {
     /// window cannot be monopolized by younger tasks that are themselves
     /// waiting (in program order) on the starved one.
     pending_alloc: BTreeSet<TaskId>,
-    /// Allocated tasks whose operands have not been issued yet, keyed by
-    /// trace id. Operand issue MUST follow per-thread program order (the
-    /// in-order decode requirement, Section III.B): allocation replies
-    /// arrive out of order from differently-loaded TRSs, so issue is
-    /// re-serialized here.
-    issuable: BTreeMap<TaskId, TaskRef>,
+    /// Allocated tasks whose operands have not been issued yet, indexed
+    /// densely by trace id (two hot map operations per task replaced by
+    /// two array accesses). Operand issue MUST follow per-thread program
+    /// order (the in-order decode requirement, Section III.B):
+    /// allocation replies arrive out of order from differently-loaded
+    /// TRSs, so issue is re-serialized here.
+    issuable: Vec<Option<TaskRef>>,
     /// Which generating thread emitted each task.
     thread_of: Arc<Vec<u8>>,
     /// Per-thread program order of task ids.
@@ -233,6 +228,7 @@ impl Gateway {
             thread_order[t as usize].push(id);
         }
         Gateway {
+            issuable: vec![None; trace.len()],
             trace,
             cfg: cfg.clone(),
             trs_queue: (0..cfg.num_trs as u8).collect(),
@@ -240,7 +236,6 @@ impl Gateway {
             topo,
             server: ServerTimeline::new(),
             pending_alloc: BTreeSet::new(),
-            issuable: BTreeMap::new(),
             thread_of,
             issue_next: vec![0; threads],
             thread_order,
@@ -344,7 +339,7 @@ impl Gateway {
                     let Some(&head) = self.thread_order[th].get(self.issue_next[th]) else {
                         break;
                     };
-                    let Some(task) = self.issuable.remove(&head) else { break };
+                    let Some(task) = self.issuable[head].take() else { break };
                     self.issue_next[th] += 1;
                     progressed = true;
                     self.issue_operands(task, head, ctx);
@@ -369,7 +364,7 @@ impl Component<Msg> for Gateway {
             }
             Msg::AllocReply { task, trace_id, gw_buf: _, trs } => match task {
                 Some(task) => {
-                    self.issuable.insert(trace_id, task);
+                    self.issuable[trace_id] = Some(task);
                     self.try_issue(ctx);
                 }
                 None => {
@@ -409,12 +404,6 @@ impl Component<Msg> for Gateway {
             }
             other => panic!("gateway received unexpected message {other:?}"),
         }
-    }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
     }
 }
 

@@ -143,6 +143,15 @@ struct VersionRec {
     rename_buffer: Option<u64>,
 }
 
+/// One OVT record slot: generation + in-place record, so the hot
+/// `ReleaseUse` path (generation check + usage countdown) touches one
+/// indexed entry instead of two parallel arrays (ISSUE 5, §9.1).
+#[derive(Debug, Clone)]
+struct VersionEntry {
+    gen: u32,
+    rec: Option<VersionRec>,
+}
+
 #[derive(Debug, Clone)]
 struct PendingOp {
     op: OperandRef,
@@ -205,8 +214,7 @@ pub struct OrtOvt {
     tags: Vec<u64>,
     live_mask: Vec<u16>,
     live_entries: u32,
-    versions: Vec<Option<VersionRec>>,
-    vgens: Vec<u32>,
+    versions: Vec<VersionEntry>,
     vfree: Vec<u32>,
     queue: VecDeque<PendingOp>,
     processing: bool,
@@ -237,8 +245,7 @@ impl OrtOvt {
             tags: vec![0; (sets as usize) * ways],
             live_mask: vec![0; sets as usize],
             live_entries: 0,
-            versions: vec![None; records as usize],
-            vgens: vec![0; records as usize],
+            versions: vec![VersionEntry { gen: 0, rec: None }; records as usize],
             vfree: (0..records).rev().collect(),
             queue: VecDeque::with_capacity(64),
             processing: false,
@@ -333,7 +340,7 @@ impl OrtOvt {
     }
 
     fn vref(&self, idx: u32) -> VersionRef {
-        VersionRef { ovt: self.index, idx, gen: self.vgens[idx as usize] }
+        VersionRef { ovt: self.index, idx, gen: self.versions[idx as usize].gen }
     }
 
     fn alloc_version(&mut self, addr: u64, size: u32, entry_slot: u32, rename: bool) -> u32 {
@@ -342,7 +349,7 @@ impl OrtOvt {
         if rename {
             self.stats.renames += 1;
         }
-        self.versions[idx as usize] = Some(VersionRec {
+        self.versions[idx as usize].rec = Some(VersionRec {
             addr,
             size,
             entry_slot,
@@ -361,7 +368,7 @@ impl OrtOvt {
     /// for renamed buffers, and notifies a chained writer if present.
     /// Returns the entry slot the record belonged to.
     fn finalize_version(&mut self, idx: u32, at: Cycle, ctx: &mut Context<'_, Msg>) -> u32 {
-        let rec = self.versions[idx as usize].take().expect("finalizing a live version");
+        let rec = self.versions[idx as usize].rec.take().expect("finalizing a live version");
         debug_assert_eq!(rec.usage, 0, "finalize requires a drained version");
         let readers = rec.users_total.saturating_sub(1) as usize;
         self.stats.chain_hist[readers.min(9)] += 1;
@@ -380,7 +387,7 @@ impl OrtOvt {
                 Msg::DataReady { op: writer, buffer: rec.addr, kind: ReadyKind::Output },
             );
         }
-        self.vgens[idx as usize] += 1;
+        self.versions[idx as usize].gen += 1;
         self.vfree.push(idx);
         let entry = self.entries[rec.entry_slot as usize]
             .as_mut()
@@ -398,6 +405,7 @@ impl OrtOvt {
         }
         let cur = e.current_version;
         let drained = self.versions[cur as usize]
+            .rec
             .as_ref()
             .map(|v| v.usage == 0 && !v.superseded)
             .unwrap_or(false);
@@ -405,7 +413,7 @@ impl OrtOvt {
             return;
         }
         // Free the current record (copy-back if renamed) and the entry.
-        let rec = self.versions[cur as usize].as_mut().expect("checked");
+        let rec = self.versions[cur as usize].rec.as_mut().expect("checked");
         debug_assert!(rec.chained_writer.is_none(), "current version cannot have a chained writer");
         rec.superseded = true; // mark so finalize's invariants hold
         self.finalize_version(cur, at, ctx);
@@ -481,7 +489,8 @@ impl OrtOvt {
                     let cur = e.current_version;
                     let v = self.vref(cur);
                     {
-                        let rec = self.versions[cur as usize].as_mut().expect("current is live");
+                        let rec =
+                            self.versions[cur as usize].rec.as_mut().expect("current is live");
                         rec.usage += 1;
                         rec.users_total += 1;
                     }
@@ -610,6 +619,7 @@ impl OrtOvt {
                 if rename {
                     // Figure 7: renamed output — buffer immediately free.
                     let buf = self.versions[vidx as usize]
+                        .rec
                         .as_ref()
                         .expect("live")
                         .rename_buffer
@@ -622,7 +632,7 @@ impl OrtOvt {
                     // The previous version drains independently.
                     if let Some(pc) = prev_cur {
                         let drained = {
-                            let p = self.versions[pc as usize].as_mut().expect("live");
+                            let p = self.versions[pc as usize].rec.as_mut().expect("live");
                             p.superseded = true;
                             p.usage == 0
                         };
@@ -637,7 +647,7 @@ impl OrtOvt {
                     match prev_cur {
                         Some(pc) => {
                             let drained = {
-                                let p = self.versions[pc as usize].as_mut().expect("live");
+                                let p = self.versions[pc as usize].rec.as_mut().expect("live");
                                 p.superseded = true;
                                 p.usage == 0
                             };
@@ -654,8 +664,11 @@ impl OrtOvt {
                                     },
                                 );
                             } else {
-                                self.versions[pc as usize].as_mut().expect("live").chained_writer =
-                                    Some(head.op);
+                                self.versions[pc as usize]
+                                    .rec
+                                    .as_mut()
+                                    .expect("live")
+                                    .chained_writer = Some(head.op);
                             }
                         }
                         None => {
@@ -728,17 +741,16 @@ impl Component<Msg> for OrtOvt {
             }
             Msg::ReleaseUse { version } => {
                 assert_eq!(version.ovt, self.index, "release routed to the wrong OVT");
-                assert_eq!(
-                    self.vgens[version.idx as usize], version.gen,
-                    "release of a stale version: uses must keep records alive"
-                );
                 let t = self
                     .ovt_server
                     .occupy(ctx.now(), self.timing.packet_cost + self.timing.edram_latency);
                 let (drained, superseded, entry_slot) = {
-                    let rec = self.versions[version.idx as usize]
-                        .as_mut()
-                        .expect("live version (generation checked)");
+                    let e = &mut self.versions[version.idx as usize];
+                    assert_eq!(
+                        e.gen, version.gen,
+                        "release of a stale version: uses must keep records alive"
+                    );
+                    let rec = e.rec.as_mut().expect("live version (generation checked)");
                     debug_assert!(rec.usage > 0, "usage underflow");
                     rec.usage -= 1;
                     (rec.usage == 0, rec.superseded, rec.entry_slot)
@@ -755,11 +767,5 @@ impl Component<Msg> for OrtOvt {
             }
             other => panic!("ORT/OVT received unexpected message {other:?}"),
         }
-    }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
     }
 }

@@ -13,10 +13,20 @@
 //! proves the producer already finished, so the consumer is answered
 //! "data ready" immediately.
 //!
-//! Task slots live in a dense `Vec` indexed by slot id (the id *is* the
-//! task's main block index, handed out low-first by [`BlockStore`] and
-//! bounded by the configured block count), so the hot path never hashes;
-//! the vector grows once to peak occupancy and is flat thereafter.
+//! # Host data layout (ISSUE 5, DESIGN.md §9.1)
+//!
+//! Task slots live in a dense `Vec<SlotEntry>` indexed by slot id (the
+//! id *is* the task's main block index, handed out low-first by
+//! [`BlockStore`] and bounded by the configured block count). Every hot
+//! message resolves to exactly one slot + one operand, so the layout is
+//! tuned for that access: the generation counter lives *inside* the
+//! entry (not a parallel array — one random access, not two), the first
+//! [`INLINE_OPS`] operands are stored inline (no heap hop behind a
+//! dependent pointer load), and each operand's chained consumer is an
+//! inline `Option` (a `Vec` spill exists only for the no-chaining
+//! ablation). Slots are recycled **in place**: a finished task bumps the
+//! generation and clears the live flag; nothing is moved, dropped, or
+//! reallocated on the steady-state path.
 
 use std::sync::Arc;
 
@@ -29,15 +39,27 @@ use crate::gateway::Topology;
 use crate::ids::{OperandRef, TaskRef, VersionRef};
 use crate::msg::{Msg, ReadyKind};
 
+/// Operands stored inline in the slot entry. Eight covers nearly every
+/// task of all nine Table-I benchmarks including H264's >6-operand
+/// macroblocks (measured: 8 beats 4 on H264 with no regression
+/// elsewhere); wider tasks spill to a per-slot `Vec` whose capacity is
+/// recycled with the slot. The value trades operand-lookup locality
+/// against slot footprint.
+const INLINE_OPS: usize = 8;
+
 #[derive(Debug, Clone)]
 struct OperandSlot {
     dir: Direction,
     is_scalar: bool,
     version: Option<VersionRef>,
-    /// Chained consumers. With consumer chaining (Figure 10) at most one
-    /// entry exists (the ORT always points newcomers at the last user);
-    /// the no-chaining ablation stores the full list.
-    consumers: Vec<OperandRef>,
+    /// Chained consumer (Figure 10): with consumer chaining at most one
+    /// exists (the ORT always points newcomers at the last user), stored
+    /// inline. The no-chaining ablation's longer lists overflow to the
+    /// TRS-level side table (`Trs::overflow_consumers`) so the hot
+    /// operand stays small.
+    consumer: Option<OperandRef>,
+    /// Whether this operand has overflow consumers in the side table.
+    consumer_overflow: bool,
     /// The "producer" was an earlier operand of the same task: the data
     /// this operand stands for is produced by its own task, so chain
     /// forwarding must wait for task finish (like a writer).
@@ -47,6 +69,41 @@ struct OperandSlot {
     readies_needed: u8,
     readies_got: u8,
     info_received: bool,
+}
+
+impl OperandSlot {
+    fn empty() -> Self {
+        OperandSlot {
+            dir: Direction::In,
+            is_scalar: false,
+            version: None,
+            consumer: None,
+            consumer_overflow: false,
+            self_produced: false,
+            data_ready: false,
+            buffer: 0,
+            readies_needed: 0,
+            readies_got: 0,
+            info_received: false,
+        }
+    }
+
+    /// Resets for a fresh task. The caller clears any overflow list
+    /// (recycled slots cannot carry one: overflow only outlives a task
+    /// in the no-chaining ablation, and is purged on task finish).
+    fn reset(&mut self, dir: Direction, is_scalar: bool) {
+        self.dir = dir;
+        self.is_scalar = is_scalar;
+        self.version = None;
+        self.consumer = None;
+        debug_assert!(!self.consumer_overflow, "overflow must be purged on finish");
+        self.self_produced = false;
+        self.data_ready = false;
+        self.buffer = 0;
+        self.readies_needed = 0;
+        self.readies_got = 0;
+        self.info_received = false;
+    }
 }
 
 /// Decode lifecycle of a slot. The paper's intermediate "ready" state
@@ -65,7 +122,7 @@ struct TaskSlot {
     /// blocks, so no per-task heap allocation is needed.
     blocks: [u32; 4],
     block_count: u8,
-    operands: Vec<OperandSlot>,
+    op_len: u8,
     infos_pending: u8,
     /// Operands still waiting for readies (`readies_got <
     /// readies_needed`), maintained incrementally so readiness checks
@@ -73,17 +130,73 @@ struct TaskSlot {
     unready_ops: u8,
     state: SlotState,
     decode_done: Option<Cycle>,
+    /// The first `INLINE_OPS` operands, in place.
+    ops: [OperandSlot; INLINE_OPS],
+    /// Operands `INLINE_OPS..op_len` (rare; capacity recycled).
+    ops_spill: Vec<OperandSlot>,
 }
 
 impl TaskSlot {
+    fn empty() -> Self {
+        TaskSlot {
+            trace_id: 0,
+            blocks: [0; 4],
+            block_count: 0,
+            op_len: 0,
+            infos_pending: 0,
+            unready_ops: 0,
+            state: SlotState::Decoding,
+            decode_done: None,
+            ops: std::array::from_fn(|_| OperandSlot::empty()),
+            ops_spill: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn op(&self, i: usize) -> &OperandSlot {
+        if i < INLINE_OPS {
+            &self.ops[i]
+        } else {
+            &self.ops_spill[i - INLINE_OPS]
+        }
+    }
+
+    #[inline]
+    fn op_mut(&mut self, i: usize) -> &mut OperandSlot {
+        if i < INLINE_OPS {
+            &mut self.ops[i]
+        } else {
+            &mut self.ops_spill[i - INLINE_OPS]
+        }
+    }
+
+    fn ops_iter(&self) -> impl Iterator<Item = &OperandSlot> {
+        let inline = (self.op_len as usize).min(INLINE_OPS);
+        self.ops[..inline].iter().chain(self.ops_spill.iter())
+    }
+
     /// O(1) readiness test (the full scan survives as a debug check).
     fn all_ready(&self) -> bool {
         debug_assert_eq!(
             self.unready_ops == 0,
-            self.operands.iter().all(|o| o.readies_got >= o.readies_needed),
+            self.ops_iter().all(|o| o.readies_got >= o.readies_needed),
             "unready_ops counter out of sync"
         );
         self.infos_pending == 0 && self.unready_ops == 0
+    }
+}
+
+/// One dense slot entry: generation + live flag + in-place task storage.
+/// Everything a hot message needs is behind a single indexed access.
+struct SlotEntry {
+    gen: u32,
+    live: bool,
+    task: TaskSlot,
+}
+
+impl SlotEntry {
+    fn empty() -> Self {
+        SlotEntry { gen: 0, live: false, task: TaskSlot::empty() }
     }
 }
 
@@ -122,12 +235,12 @@ pub struct Trs {
     block_bytes: u64,
     topo: Topology,
     store: BlockStore,
-    slots: Vec<Option<TaskSlot>>,
-    /// Retired operand vectors, recycled into the next allocation so
-    /// steady-state decode performs no heap allocation (each recycled
-    /// slot also keeps its consumer-list capacity).
-    operand_pool: Vec<Vec<OperandSlot>>,
-    gens: Vec<u32>,
+    slots: Vec<SlotEntry>,
+    /// Consumers beyond each operand's inline slot, keyed by
+    /// `(slot, operand)`. Populated only by the no-chaining ablation
+    /// (with chaining an operand has at most one consumer), so the hot
+    /// layout never pays for the list.
+    overflow_consumers: std::collections::HashMap<(u32, u8), Vec<OperandRef>>,
     server: ServerTimeline,
     reported_full: bool,
     in_flight: u32,
@@ -147,8 +260,7 @@ impl Trs {
             topo,
             store: BlockStore::new(blocks, cfg.timing.edram_latency),
             slots: Vec::new(),
-            operand_pool: Vec::new(),
-            gens: vec![0; blocks as usize],
+            overflow_consumers: std::collections::HashMap::new(),
             server: ServerTimeline::new(),
             reported_full: false,
             in_flight: 0,
@@ -176,24 +288,33 @@ impl Trs {
         &self.store
     }
 
-    fn task_ref(&self, slot: u32) -> TaskRef {
-        TaskRef { trs: self.index, slot, gen: self.gens[slot as usize] }
-    }
-
     /// The live task in `slot`, if any.
     fn slot(&mut self, slot: u32) -> Option<&mut TaskSlot> {
-        self.slots.get_mut(slot as usize).and_then(Option::as_mut)
+        match self.slots.get_mut(slot as usize) {
+            Some(e) if e.live => Some(&mut e.task),
+            _ => None,
+        }
     }
 
-    /// Installs a freshly allocated task into `slot` (grows the dense
-    /// vector up to the slot id, which `BlockStore` bounds by capacity).
-    fn install(&mut self, slot: u32, task: TaskSlot) {
+    /// The slot entry for a directly-addressed message, with the
+    /// release-mode generation check every such message must pass
+    /// (stale-slot delivery is a protocol bug, never noise).
+    #[inline]
+    fn live_entry(&mut self, slot: u32, gen: u32, what: &str) -> &mut TaskSlot {
+        let e = &mut self.slots[slot as usize];
+        assert!(e.live && e.gen == gen, "{what} addressed a recycled slot");
+        &mut e.task
+    }
+
+    /// Grows the dense vector up to the slot id (which `BlockStore`
+    /// bounds by capacity) and returns the entry for (re)initialization.
+    fn entry_for_install(&mut self, slot: u32) -> &mut SlotEntry {
         let i = slot as usize;
         if i >= self.slots.len() {
-            self.slots.resize_with(i + 1, || None);
+            self.slots.resize_with(i + 1, SlotEntry::empty);
         }
-        debug_assert!(self.slots[i].is_none(), "slot {slot} double-allocated");
-        self.slots[i] = Some(task);
+        debug_assert!(!self.slots[i].live, "slot {slot} double-allocated");
+        &mut self.slots[i]
     }
 
     fn occupy(&mut self, now: Cycle, cost: Cycle) -> Cycle {
@@ -205,8 +326,10 @@ impl Trs {
         // borrowed exactly once (this runs once per frontend message).
         let backend = self.topo.backend;
         let hop = self.timing.frontend_hop;
-        let task = TaskRef { trs: self.index, slot, gen: self.gens[slot as usize] };
-        let Some(s) = self.slots.get_mut(slot as usize).and_then(Option::as_mut) else { return };
+        let trs = self.index;
+        let Some(e) = self.slots.get_mut(slot as usize).filter(|e| e.live) else { return };
+        let task = TaskRef { trs, slot, gen: e.gen };
+        let s = &mut e.task;
         if s.state == SlotState::Decoding && s.all_ready() {
             s.state = SlotState::Running;
             let trace_id = s.trace_id;
@@ -218,9 +341,9 @@ impl Trs {
     /// Handles a `DataReady` for `op` at service completion `at`.
     ///
     /// This is the hottest frontend handler (one per ready notification,
-    /// plus chain traffic), so the task slot is borrowed exactly once:
-    /// sibling fields (`stats`, `topo`, `timing`) stay accessible through
-    /// disjoint field borrows while the slot borrow is live.
+    /// plus chain traffic): a single slot access resolves generation,
+    /// task header, and the operand, and sibling fields (`stats`,
+    /// `topo`, `timing`) stay accessible through disjoint field borrows.
     fn apply_data_ready(
         &mut self,
         op: OperandRef,
@@ -229,14 +352,15 @@ impl Trs {
         at: Cycle,
         ctx: &mut Context<'_, Msg>,
     ) {
-        assert_eq!(
-            self.gens[op.task.slot as usize], op.task.gen,
-            "DataReady for a recycled slot: operands must be ready before a task finishes"
-        );
         debug_assert_eq!(op.task.trs, self.index, "DataReady routed to the wrong TRS");
         let hop = self.timing.frontend_hop;
-        let s = self.slots[op.task.slot as usize].as_mut().expect("live slot (gen checked)");
-        let o = &mut s.operands[op.index as usize];
+        let e = &mut self.slots[op.task.slot as usize];
+        assert!(
+            e.live && e.gen == op.task.gen,
+            "DataReady for a recycled slot: operands must be ready before a task finishes"
+        );
+        let s = &mut e.task;
+        let o = s.op_mut(op.index as usize);
         o.readies_got += 1;
         debug_assert!(
             o.readies_got <= o.readies_needed.max(1),
@@ -262,17 +386,33 @@ impl Trs {
             s.unready_ops -= 1;
         }
         if forward {
-            for next in &s.operands[op.index as usize].consumers {
+            let o = s.op(op.index as usize);
+            let overflow = o.consumer_overflow;
+            if let Some(next) = o.consumer {
                 self.stats.chain_forwards += 1;
                 ctx.send_at(
                     self.topo.trs[next.task.trs as usize],
                     at + hop,
-                    Msg::DataReady { op: *next, buffer, kind: ReadyKind::Input },
+                    Msg::DataReady { op: next, buffer, kind: ReadyKind::Input },
                 );
+            }
+            if overflow {
+                // No-chaining ablation: the rest of the list lives in
+                // the side table.
+                if let Some(rest) = self.overflow_consumers.get(&(op.task.slot, op.index)) {
+                    for next in rest {
+                        self.stats.chain_forwards += 1;
+                        ctx.send_at(
+                            self.topo.trs[next.task.trs as usize],
+                            at + hop,
+                            Msg::DataReady { op: *next, buffer, kind: ReadyKind::Input },
+                        );
+                    }
+                }
             }
         }
         // Inline readiness check: the chain forwards above must precede
-        // the TaskReady in the outbox (FIFO determinism).
+        // the TaskReady in the queue (FIFO determinism).
         if s.state == SlotState::Decoding && s.all_ready() {
             s.state = SlotState::Running;
             let trace_id = s.trace_id;
@@ -296,73 +436,58 @@ impl Component<Msg> for Trs {
                     let cost = self.timing.packet_cost + cost_cycles + self.timing.edram_latency;
                     let t = self.occupy(ctx.now(), cost);
                     let slot = blocks[0];
-                    let task = self.trace.task(trace_id);
-                    // Refill a recycled operand vector in place: its
-                    // spare capacity (and each slot's consumer-list
-                    // allocation) survives task churn.
-                    let mut operands = self.operand_pool.pop().unwrap_or_default();
-                    operands.truncate(task.operands.len());
-                    for (i, od) in task.operands.iter().enumerate() {
-                        let is_scalar = od.kind == OperandKind::Scalar;
-                        if let Some(o) = operands.get_mut(i) {
-                            o.dir = od.dir;
-                            o.is_scalar = is_scalar;
-                            o.version = None;
-                            o.consumers.clear();
-                            o.self_produced = false;
-                            o.data_ready = false;
-                            o.buffer = 0;
-                            o.readies_needed = 0;
-                            o.readies_got = 0;
-                            o.info_received = false;
-                        } else {
-                            operands.push(OperandSlot {
-                                dir: od.dir,
-                                is_scalar,
-                                version: None,
-                                consumers: Vec::new(),
-                                self_produced: false,
-                                data_ready: false,
-                                buffer: 0,
-                                readies_needed: 0,
-                                readies_got: 0,
-                                info_received: false,
-                            });
-                        }
-                    }
+                    let index = self.index;
+                    // Local handle so the task borrow stays disjoint
+                    // from the slot-entry borrow below.
+                    let trace = Arc::clone(&self.trace);
+                    let task = trace.task(trace_id);
                     let waste =
-                        crate::blocks::fragmentation_waste(operands.len(), self.block_bytes);
+                        crate::blocks::fragmentation_waste(task.operands.len(), self.block_bytes);
                     self.stats.waste_sum += waste;
                     self.stats.tasks_allocated += 1;
                     self.in_flight += 1;
                     self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
-                    let infos_pending = operands.len() as u8;
-                    self.install(
-                        slot,
-                        TaskSlot {
-                            trace_id,
-                            blocks,
-                            block_count: need as u8,
-                            operands,
-                            infos_pending,
-                            unready_ops: 0,
-                            state: SlotState::Decoding,
-                            decode_done: None,
-                        },
-                    );
-                    let task_ref = self.task_ref(slot);
+                    // In-place (re)initialization: reset exactly the
+                    // operands this task uses; spare spill capacity (and
+                    // each consumer list's allocation) survives churn.
+                    let op_len = task.operands.len();
+                    let e = self.entry_for_install(slot);
+                    e.live = true;
+                    let s = &mut e.task;
+                    s.trace_id = trace_id;
+                    s.blocks = blocks;
+                    s.block_count = need as u8;
+                    s.op_len = op_len as u8;
+                    s.infos_pending = op_len as u8;
+                    s.unready_ops = 0;
+                    s.state = SlotState::Decoding;
+                    s.decode_done = None;
+                    s.ops_spill.truncate(op_len.saturating_sub(INLINE_OPS));
+                    for (i, od) in task.operands.iter().enumerate() {
+                        let is_scalar = od.kind == OperandKind::Scalar;
+                        if i < INLINE_OPS {
+                            s.ops[i].reset(od.dir, is_scalar);
+                        } else if let Some(o) = s.ops_spill.get_mut(i - INLINE_OPS) {
+                            o.reset(od.dir, is_scalar);
+                        } else {
+                            let mut o = OperandSlot::empty();
+                            o.dir = od.dir;
+                            o.is_scalar = is_scalar;
+                            s.ops_spill.push(o);
+                        }
+                    }
+                    let task_ref = TaskRef { trs: index, slot, gen: e.gen };
                     ctx.send_at(
                         reply_to,
                         t + hop,
-                        Msg::AllocReply { task: Some(task_ref), trace_id, gw_buf, trs: self.index },
+                        Msg::AllocReply { task: Some(task_ref), trace_id, gw_buf, trs: index },
                     );
                     // Zero-operand tasks are ready the moment they decode.
-                    if let Some(s) = self.slot(slot) {
-                        if s.infos_pending == 0 {
-                            s.decode_done = Some(t);
-                            self.stats.decode_times.push(t);
-                            self.check_ready(slot, t, ctx);
-                        }
+                    if op_len == 0 {
+                        let s = self.slot(slot).expect("just installed");
+                        s.decode_done = Some(t);
+                        self.stats.decode_times.push(t);
+                        self.check_ready(slot, t, ctx);
                     }
                 } else {
                     self.stats.allocs_rejected += 1;
@@ -379,9 +504,8 @@ impl Component<Msg> for Trs {
             // ------------------------------------------------ scalar path
             Msg::ScalarOperand { op } => {
                 let t = self.occupy(ctx.now(), self.timing.packet_cost);
-                assert_eq!(self.gens[op.task.slot as usize], op.task.gen, "scalar to stale slot");
-                let s = self.slots[op.task.slot as usize].as_mut().expect("live slot");
-                let o = &mut s.operands[op.index as usize];
+                let s = self.live_entry(op.task.slot, op.task.gen, "scalar");
+                let o = s.op_mut(op.index as usize);
                 debug_assert!(o.is_scalar, "scalar message for a memory operand");
                 debug_assert!(!o.info_received, "duplicate scalar for {op}");
                 o.info_received = true;
@@ -400,11 +524,10 @@ impl Component<Msg> for Trs {
             // ----------------------------------------------- Figures 7–9
             Msg::OperandInfo { op, size: _, producer, version, readies_needed } => {
                 let t = self.occupy(ctx.now(), self.timing.packet_cost + self.timing.edram_latency);
-                assert_eq!(self.gens[op.task.slot as usize], op.task.gen, "info to stale slot");
                 let self_task = op.task;
-                let s = self.slot(op.task.slot).expect("live slot");
+                let s = self.live_entry(op.task.slot, op.task.gen, "OperandInfo");
                 {
-                    let o = &mut s.operands[op.index as usize];
+                    let o = s.op_mut(op.index as usize);
                     debug_assert!(!o.info_received, "duplicate OperandInfo for {op}");
                     debug_assert_eq!(o.readies_got, 0, "ready before OperandInfo for {op}");
                     o.info_received = true;
@@ -427,7 +550,7 @@ impl Component<Msg> for Trs {
                         // but consumers chained here must wait for the
                         // task to finish (they read ITS product).
                         let s = self.slot(op.task.slot).expect("live slot");
-                        s.operands[op.index as usize].self_produced = true;
+                        s.op_mut(op.index as usize).self_produced = true;
                         self.apply_data_ready(op, 0, ReadyKind::Input, t, ctx);
                     }
                     Some(p) => {
@@ -449,8 +572,10 @@ impl Component<Msg> for Trs {
             // -------------------------------------- Figures 8 and 10
             Msg::RegisterConsumer { producer, consumer } => {
                 let t = self.occupy(ctx.now(), self.timing.packet_cost + self.timing.edram_latency);
-                let stale = self.gens[producer.task.slot as usize] != producer.task.gen
-                    || !matches!(self.slots.get(producer.task.slot as usize), Some(Some(_)));
+                let stale = match self.slots.get(producer.task.slot as usize) {
+                    Some(e) => !e.live || e.gen != producer.task.gen,
+                    None => true,
+                };
                 if stale {
                     // The producing task finished and its slot was
                     // recycled: its data is long since in memory.
@@ -461,8 +586,8 @@ impl Component<Msg> for Trs {
                         Msg::DataReady { op: consumer, buffer: 0, kind: ReadyKind::Input },
                     );
                 } else {
-                    let s = self.slots[producer.task.slot as usize].as_mut().expect("checked");
-                    let o = &mut s.operands[producer.index as usize];
+                    let s = &mut self.slots[producer.task.slot as usize].task;
+                    let o = s.op_mut(producer.index as usize);
                     if !o.dir.writes() && !o.self_produced && o.data_ready {
                         // A reader that already has its data forwards
                         // immediately.
@@ -478,11 +603,18 @@ impl Component<Msg> for Trs {
                             self.chaining || o.dir.writes() || o.self_produced,
                             "with chaining, readers forward instead of accumulating"
                         );
-                        debug_assert!(
-                            !self.chaining || o.consumers.is_empty(),
-                            "an operand chains at most one consumer (ORT forwards the last user)"
-                        );
-                        o.consumers.push(consumer);
+                        if o.consumer.is_none() && !o.consumer_overflow {
+                            o.consumer = Some(consumer);
+                        } else {
+                            // Only the no-chaining ablation grows a list
+                            // (the ORT forwards the last user otherwise).
+                            debug_assert!(!self.chaining, "an operand chains at most one consumer");
+                            o.consumer_overflow = true;
+                            self.overflow_consumers
+                                .entry((producer.task.slot, producer.index))
+                                .or_default()
+                                .push(consumer);
+                        }
                     }
                 }
             }
@@ -495,50 +627,97 @@ impl Component<Msg> for Trs {
 
             // ----------------------------------------------- task finish
             Msg::TaskFinished { task } => {
-                assert_eq!(self.gens[task.slot as usize], task.gen, "finish for stale slot");
-                let s = self
-                    .slots
-                    .get_mut(task.slot as usize)
-                    .and_then(Option::take)
-                    .expect("live slot");
-                debug_assert_eq!(s.state, SlotState::Running, "finish of a non-running task");
+                {
+                    let e = &self.slots[task.slot as usize];
+                    assert!(e.live && e.gen == task.gen, "finish for stale slot");
+                    debug_assert_eq!(
+                        e.task.state,
+                        SlotState::Running,
+                        "finish of a non-running task"
+                    );
+                }
                 // Traverse all operands: one eDRAM access each.
-                let cost = self.timing.packet_cost
-                    + self.timing.edram_latency * s.operands.len().max(1) as Cycle;
+                let op_len = self.slots[task.slot as usize].task.op_len as usize;
+                let cost =
+                    self.timing.packet_cost + self.timing.edram_latency * op_len.max(1) as Cycle;
                 let t = self.occupy(ctx.now(), cost);
-                for o in &s.operands {
+                // Field-disjoint borrows: the slot entry is read for the
+                // notify loop while `server` (chained notify costs) and
+                // the context are written.
+                let entry = &mut self.slots[task.slot as usize];
+                let s = &entry.task;
+                let server = &mut self.server;
+                let timing = &self.timing;
+                let topo = &self.topo;
+                let overflow_consumers = &self.overflow_consumers;
+                let mut any_overflow = false;
+                for i in 0..op_len {
+                    let o = s.op(i);
+                    any_overflow |= o.consumer_overflow;
                     if o.dir.writes() || o.self_produced {
                         // The produced data is now ready: notify the first
                         // consumer in the chain (with chaining there is at
                         // most one; the ablation notifies all directly,
                         // paying a packet cost per extra message).
                         let mut t_send = t;
-                        for (i, next) in o.consumers.iter().enumerate() {
-                            if i > 0 {
-                                t_send = self.server.occupy(t_send, self.timing.packet_cost);
-                            }
+                        if let Some(next) = o.consumer {
                             ctx.send_at(
-                                self.topo.trs[next.task.trs as usize],
+                                topo.trs[next.task.trs as usize],
                                 t_send + hop,
                                 Msg::DataReady {
-                                    op: *next,
+                                    op: next,
                                     buffer: o.buffer,
                                     kind: ReadyKind::Input,
                                 },
                             );
                         }
+                        if o.consumer_overflow {
+                            let rest = overflow_consumers
+                                .get(&(task.slot, i as u8))
+                                .map(Vec::as_slice)
+                                .unwrap_or_default();
+                            for next in rest {
+                                t_send = server.occupy(t_send, timing.packet_cost);
+                                ctx.send_at(
+                                    topo.trs[next.task.trs as usize],
+                                    t_send + hop,
+                                    Msg::DataReady {
+                                        op: *next,
+                                        buffer: o.buffer,
+                                        kind: ReadyKind::Input,
+                                    },
+                                );
+                            }
+                        }
                     }
                     if let Some(v) = o.version {
                         ctx.send_at(
-                            self.topo.ort[v.ovt as usize],
+                            topo.ort[v.ovt as usize],
                             t + hop,
                             Msg::ReleaseUse { version: v },
                         );
                     }
                 }
-                self.store.free(&s.blocks[..s.block_count as usize]);
-                self.operand_pool.push(s.operands);
-                self.gens[task.slot as usize] += 1;
+                let blocks = s.blocks;
+                let block_count = s.block_count;
+                // Recycle in place: bump the generation, drop liveness.
+                // Operand state is re-initialized by the next install;
+                // spill/consumer capacities stay with the slot.
+                entry.live = false;
+                entry.gen += 1;
+                if any_overflow {
+                    // Ablation-only cleanup: purge side-table lists and
+                    // their flags before the slot is reused.
+                    let s = &mut entry.task;
+                    for i in 0..op_len {
+                        let o = s.op_mut(i);
+                        if o.consumer_overflow {
+                            o.consumer_overflow = false;
+                            self.overflow_consumers.remove(&(task.slot, i as u8));
+                        }
+                    }
+                }
+                self.store.free(&blocks[..block_count as usize]);
                 self.in_flight -= 1;
                 if self.reported_full && self.store.can_alloc(4) {
                     self.reported_full = false;
@@ -548,11 +727,5 @@ impl Component<Msg> for Trs {
 
             other => panic!("TRS received unexpected message {other:?}"),
         }
-    }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
     }
 }

@@ -48,7 +48,7 @@ impl Default for SoftRuntimeConfig {
 
 /// The serial software dependency decoder (master thread).
 pub struct SoftDecoder {
-    graph: DepGraph,
+    graph: std::sync::Arc<DepGraph>,
     decode_cost: Cycle,
     backend: ComponentId,
     next_decode: TaskId,
@@ -64,7 +64,9 @@ pub struct SoftDecoder {
 impl SoftDecoder {
     /// Creates a decoder over `trace`'s exact dependency graph.
     pub fn new(trace: &TaskTrace, cfg: &SoftRuntimeConfig, backend: ComponentId) -> Self {
-        let graph = DepGraph::from_trace(trace);
+        // Memoized oracle: sweeps running one shared trace through many
+        // software systems decode the dependency graph once (ISSUE 5).
+        let graph = trace.dep_graph();
         let n = trace.len();
         let missing_preds = (0..n).map(|t| graph.preds(t).len()).collect();
         SoftDecoder {
@@ -146,23 +148,20 @@ impl Component<Msg> for SoftDecoder {
             other => panic!("software decoder received unexpected message {other:?}"),
         }
     }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
 }
 
 /// Assembles the software-runtime system: serial decoder + CMP backend.
 /// Returns `(decoder, pool)` component ids; the initial decode kick is
 /// scheduled automatically.
-pub fn build_software_runtime(
-    sim: &mut Simulation<Msg>,
+pub fn build_software_runtime<S>(
+    sim: &mut Simulation<Msg, S>,
     trace: Arc<TaskTrace>,
     rt_cfg: &SoftRuntimeConfig,
     backend_cfg: BackendConfig,
-) -> (ComponentId, ComponentId) {
+) -> (ComponentId, ComponentId)
+where
+    S: tss_sim::ComponentStore<Msg> + tss_sim::Insert<SoftDecoder> + tss_sim::Insert<CorePool>,
+{
     let decoder_id = ComponentId::from_index(sim.component_count());
     let pool_id = ComponentId::from_index(sim.component_count() + 1);
     // The pool only uses `topo.trs` for the hardware sink; a software
@@ -174,14 +173,14 @@ pub fn build_software_runtime(
         ort: Vec::new(),
         backend: pool_id,
     };
-    let id = sim.add_component(Box::new(SoftDecoder::new(&trace, rt_cfg, pool_id)));
+    let id = sim.add(SoftDecoder::new(&trace, rt_cfg, pool_id));
     assert_eq!(id, decoder_id);
-    let id = sim.add_component(Box::new(CorePool::new(
+    let id = sim.add(CorePool::new(
         trace.clone(),
         topo,
         backend_cfg,
         CompletionSink::Decoder(decoder_id),
-    )));
+    ));
     assert_eq!(id, pool_id);
     if !trace.is_empty() {
         sim.schedule(0, decoder_id, Msg::GatewayCredit { free_bytes: 0 });

@@ -1,9 +1,10 @@
 //! The discrete-event engine: components, messages, and the event queue.
 //!
-//! A [`Simulation`] owns a set of [`Component`]s addressed by
-//! [`ComponentId`]. Events are `(deliver_at, destination, message)`
-//! triples; the queue is ordered by delivery cycle and, within a cycle, by
-//! insertion order (FIFO-stable), which makes every run deterministic.
+//! A [`Simulation`] owns a set of components addressed by
+//! [`ComponentId`], held in a [`ComponentStore`]. Events are
+//! `(deliver_at, destination, message)` triples; the queue is ordered by
+//! delivery cycle and, within a cycle, by insertion order (FIFO-stable),
+//! which makes every run deterministic.
 //!
 //! Components react to messages via [`Component::on_message`] and use the
 //! provided [`Context`] to send further messages with a non-negative
@@ -11,26 +12,39 @@
 //! delay 0 is delivered after all messages already enqueued for the
 //! current cycle.
 //!
+//! # Dispatch
+//!
+//! The store decides how a delivery reaches its handler. [`DynStore`]
+//! (the default) boxes heterogeneous components behind `dyn Component`
+//! and is what ad-hoc test benches use. Monomorphized stores — an enum
+//! over the concrete module types, like `tss-core`'s `SystemStore` —
+//! turn every delivery into a direct match arm instead of a vtable hop,
+//! and post-run extraction into a field access instead of an `Any`
+//! downcast (DESIGN.md §9.1).
+//!
 //! # Event core
 //!
 //! The queue is a hierarchical **calendar queue** (timing wheel + spill
-//! level), not a comparison heap — see `DESIGN.md` §6. Frontend delays
-//! are small bounded constants (Table II: 16-cycle packet processing,
-//! 22-cycle eDRAM, single-cycle ring hops), so almost every send lands
-//! within the wheel's horizon and costs O(1) with no comparisons; only
-//! far-future events (task completions, congested ring arrivals) take the
-//! sorted spill path. Event nodes are recycled through a slab, so
-//! steady-state scheduling performs no heap allocation, and a queued
-//! message never moves in memory between `schedule` and delivery.
+//! level), not a comparison heap — see `DESIGN.md` §6 and §9.2. Frontend
+//! delays are small bounded constants (Table II: 16-cycle packet
+//! processing, 22-cycle eDRAM, single-cycle ring hops), so almost every
+//! send lands within the wheel's horizon and costs O(1) with no
+//! comparisons; only far-future events (task completions, congested ring
+//! arrivals) take the sorted spill path. Event nodes are recycled
+//! through a slab whose LIFO free list keeps the hottest node in cache,
+//! steady-state scheduling performs no allocation, and a queued message
+//! never moves in memory between `schedule` and delivery. Sends that
+//! land on the **current** cycle take a dedicated fast lane that skips
+//! the wheel entirely (§9.2).
 
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::time::Cycle;
 
 /// Name of the event-queue implementation backing [`Simulation`], for
 /// benchmark provenance (`perf` records it in `BENCH_pipeline.json`).
-pub const EVENT_CORE: &str = "calendar-wheel";
+pub const EVENT_CORE: &str = "calendar-wheel/fastlane";
 
 /// Identifies a component registered with a [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -44,9 +58,9 @@ impl ComponentId {
 
     /// Builds an id from a raw index.
     ///
-    /// Ids are assigned sequentially by [`Simulation::add_component`];
-    /// this is for assemblers that lay out a topology before creating
-    /// the components (they assert the returned ids match).
+    /// Ids are assigned sequentially by [`Simulation::add`]; this is for
+    /// assemblers that lay out a topology before creating the components
+    /// (they assert the returned ids match).
     ///
     /// # Panics
     ///
@@ -63,33 +77,129 @@ impl std::fmt::Display for ComponentId {
 }
 
 /// A simulated entity that reacts to messages of type `M`.
-///
-/// The `as_any` methods allow callers to recover the concrete type after a
-/// run (e.g. to read statistics out of a pipeline module).
 pub trait Component<M>: 'static {
     /// Handles one message delivered at `ctx.now()`.
     fn on_message(&mut self, msg: M, ctx: &mut Context<'_, M>);
+}
 
-    /// Upcasts to [`Any`] for post-run downcasting.
+/// Holds a simulation's components and routes deliveries to them.
+///
+/// Implementations choose the dispatch mechanism: [`DynStore`] pays a
+/// virtual call per delivery; a concrete enum store (see `tss-core`'s
+/// `SystemStore`) dispatches through a match and lets the handlers
+/// inline into the event loop.
+pub trait ComponentStore<M>: 'static {
+    /// Delivers `msg` to component `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not a registered component.
+    fn deliver(&mut self, dst: ComponentId, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Number of registered components.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no components.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A store that can register components of type `T`.
+///
+/// [`DynStore`] implements this for every `T: Component<M>`; enum stores
+/// implement it once per variant type.
+pub trait Insert<T> {
+    /// Appends `c`, returning its raw index.
+    fn insert(&mut self, c: T) -> usize;
+}
+
+/// A store that can hand back components of concrete type `T` after a
+/// run (statistics extraction).
+///
+/// [`DynStore`] implements this via an `Any` downcast; enum stores match
+/// on the variant — no `Any` in sight.
+pub trait Extract<T> {
+    /// The component at `index` if it exists *and* is a `T`.
+    fn get(&self, index: usize) -> Option<&T>;
+
+    /// Mutable variant of [`Extract::get`].
+    fn get_mut(&mut self, index: usize) -> Option<&mut T>;
+}
+
+/// Internal upcast shim so [`DynStore`] can downcast its boxes without
+/// forcing `as_any` boilerplate onto every [`Component`] implementation
+/// (the blanket impl below writes it once, for all of them).
+trait AnyComponent<M>: Component<M> {
     fn as_any(&self) -> &dyn Any;
-
-    /// Mutable upcast to [`Any`].
     fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M, T: Component<M>> AnyComponent<M> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The default component store: boxed trait objects, one virtual call
+/// per delivery, extraction by `Any` downcast. Maximally flexible (any
+/// mix of component types, no wiring); the pipeline's hot path uses a
+/// monomorphized enum store instead.
+pub struct DynStore<M> {
+    items: Vec<Box<dyn AnyComponent<M>>>,
+}
+
+impl<M> Default for DynStore<M> {
+    fn default() -> Self {
+        DynStore { items: Vec::new() }
+    }
+}
+
+impl<M: 'static> ComponentStore<M> for DynStore<M> {
+    #[inline]
+    fn deliver(&mut self, dst: ComponentId, msg: M, ctx: &mut Context<'_, M>) {
+        self.items[dst.index()].on_message(msg, ctx);
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+impl<M: 'static, T: Component<M>> Insert<T> for DynStore<M> {
+    fn insert(&mut self, c: T) -> usize {
+        self.items.push(Box::new(c));
+        self.items.len() - 1
+    }
+}
+
+impl<M: 'static, T: Component<M>> Extract<T> for DynStore<M> {
+    fn get(&self, index: usize) -> Option<&T> {
+        self.items.get(index)?.as_any().downcast_ref()
+    }
+
+    fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        self.items.get_mut(index)?.as_any_mut().downcast_mut()
+    }
 }
 
 /// Per-delivery view handed to [`Component::on_message`].
 ///
 /// Sends go straight into the event queue (no intermediate outbox — the
-/// queue and the component are disjoint borrows of the simulation), so a
-/// handler's messages are enqueued in the order it sends them.
+/// queue and the component store are disjoint borrows of the
+/// simulation), so a handler's messages are enqueued in the order it
+/// sends them.
 pub struct Context<'a, M> {
     now: Cycle,
     self_id: ComponentId,
     queue: &'a mut CalendarQueue<M>,
-    /// Registered components, for the send-path destination check.
+    /// Registered component count, for the send-path destination check.
     ///
     /// Invariant: handlers only address ids handed out by
-    /// `add_component`, so the check is a `debug_assert` here (the
+    /// [`Simulation::add`], so the check is a `debug_assert` here (the
     /// public `Simulation::schedule` keeps its release-mode check; a
     /// bad id would also fault at delivery, just less legibly).
     component_count: usize,
@@ -108,6 +218,9 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// Sends `msg` to `dst`, to be delivered `delay` cycles from now.
+    ///
+    /// A zero-delay send takes the fast lane: it is delivered within the
+    /// current cycle, after everything already enqueued for it.
     pub fn send(&mut self, dst: ComponentId, delay: Cycle, msg: M) {
         debug_assert!(dst.index() < self.component_count, "message sent to unknown {dst}");
         self.queue.push(self.now + delay, dst, msg);
@@ -131,7 +244,7 @@ impl<'a, M> Context<'a, M> {
 }
 
 // ---------------------------------------------------------------------
-// Calendar queue (timing wheel + spill level)
+// Calendar queue (fast lane + timing wheel + spill level)
 // ---------------------------------------------------------------------
 
 /// Sentinel slab index for "no node".
@@ -152,6 +265,14 @@ const L1_SIZE: usize = 4096;
 const L1_WORDS: usize = L1_SIZE / 64;
 
 /// One event node in the slab. Freed nodes are chained through `next`.
+///
+/// The slab's LIFO free list is deliberate cache policy, not just
+/// allocation hygiene: the most recently delivered node is reused for
+/// the next send, so sparse traffic (a software-runtime decode tick
+/// every ~2240 cycles, a ping-pong) keeps rewriting the same hot lines.
+/// A per-bucket ring-buffer layout was tried for ISSUE 5 and *lost* on
+/// exactly those patterns (§9.2): 4096 cold per-bucket buffers scatter
+/// what the slab concentrates.
 struct Node<M> {
     when: Cycle,
     dst: ComponentId,
@@ -168,8 +289,14 @@ struct Bucket {
 
 const EMPTY_BUCKET: Bucket = Bucket { head: NIL, tail: NIL };
 
-/// The hierarchical calendar queue (two timing-wheel levels + spill).
+/// The hierarchical calendar queue (fast lane + two timing-wheel levels
+/// + spill).
 ///
+/// - **Fast lane**: sends landing on the *current* cycle (`when ==
+///   base`; in handler terms, delay 0). They skip the wheel — no node
+///   allocation, no bucket indexing, no occupancy bitmaps — one
+///   ring-buffer append, drained in send order after the current
+///   cycle's bucket empties.
 /// - **Level 0**: per-cycle FIFO buckets for the current segment
 ///   (`seg(base)`), with an occupancy bitmap for "next non-empty cycle".
 /// - **Level 1**: per-*segment* FIFO buckets for the next 4096 segments;
@@ -178,26 +305,34 @@ const EMPTY_BUCKET: Bucket = Bucket { head: NIL, tail: NIL };
 /// - **Spill**: segments beyond the level-1 horizon, as FIFO lists in a
 ///   sorted map; they refill level 1 as the window advances.
 ///
-/// Determinism argument (DESIGN.md §6): an event is pushed directly to
-/// level 0 only when its cycle lies in the current segment, which is
-/// strictly after that segment's level-1 list was redistributed (and
-/// any spill list migrated), so every per-cycle list is always in
-/// global insertion order — FIFO-within-cycle without a sequence
-/// counter. All three levels share one node slab; steady-state
-/// scheduling allocates nothing and a queued message never moves.
+/// Determinism argument (DESIGN.md §6, §9.2): all bucket entries for
+/// cycle `c` are pushed while `base < c` (once `base == c`, same-cycle
+/// sends are routed to the fast lane instead), so every bucket entry
+/// globally precedes every fast-lane entry of its cycle, and draining
+/// bucket-then-fast-lane is exactly global insertion order. An event is
+/// pushed directly to level 0 only when its cycle lies in the current
+/// segment, which is strictly after that segment's level-1 list was
+/// redistributed (and any spill list migrated), so every per-cycle list
+/// is always in global insertion order — FIFO-within-cycle without a
+/// sequence counter. All three wheel levels share one node slab;
+/// steady-state scheduling allocates nothing and a queued message never
+/// moves in memory between `schedule` and delivery.
 struct CalendarQueue<M> {
-    /// Earliest cycle the wheel can hold. Invariant: `base` equals the
-    /// delivery time of the last popped event (or 0), so it never exceeds
-    /// the simulation's `now` and every `push` satisfies `when >= base`.
+    /// Current wheel floor. Invariant: `base` equals the delivery time
+    /// of the last popped event (or 0), so it never exceeds the
+    /// simulation's `now` and every `push` satisfies `when >= base`.
     base: Cycle,
     len: usize,
     peak: usize,
+    /// Same-cycle sends (`when == base`), in send order.
+    fast: VecDeque<(ComponentId, M)>,
     nodes: Vec<Node<M>>,
     free_head: u32,
     l0: Vec<Bucket>,
     /// Occupancy bitmaps, cache-line-aligned: each is scanned as a unit
-    /// on every pop, so neither may straddle into the other's (or the
-    /// header fields') lines (ISSUE 4 padding satellite).
+    /// on every segment advance, so neither may straddle into the
+    /// other's (or the header fields') lines (ISSUE 4 padding
+    /// satellite).
     occ0: crate::stats::CachePadded<[u64; L0_WORDS]>,
     l1: Vec<Bucket>,
     occ1: crate::stats::CachePadded<[u64; L1_WORDS]>,
@@ -218,6 +353,7 @@ impl<M> CalendarQueue<M> {
             base: 0,
             len: 0,
             peak: 0,
+            fast: VecDeque::with_capacity(16),
             nodes: Vec::with_capacity(1024),
             free_head: NIL,
             l0: vec![EMPTY_BUCKET; L0_SIZE],
@@ -255,11 +391,19 @@ impl<M> CalendarQueue<M> {
     /// `when >= self.base`.
     fn push(&mut self, when: Cycle, dst: ComponentId, msg: M) {
         debug_assert!(when >= self.base, "push below the wheel base");
-        let idx = self.alloc_node(when, dst, msg);
         self.len += 1;
         if self.len > self.peak {
             self.peak = self.len;
         }
+        if when == self.base {
+            // Fast lane: the send lands on the cycle being drained (or,
+            // between runs, on the resume cycle). Everything already
+            // queued for this cycle was pushed earlier, so appending
+            // here preserves global FIFO order.
+            self.fast.push_back((dst, msg));
+            return;
+        }
+        let idx = self.alloc_node(when, dst, msg);
         let s = seg(when);
         let delta = s - seg(self.base);
         if delta == 0 {
@@ -348,10 +492,30 @@ impl<M> CalendarQueue<M> {
     /// to a delivery, so a deadline miss leaves the queue untouched and
     /// `base` never outruns the simulation clock.
     fn pop_at_or_before(&mut self, deadline: Cycle) -> Option<(Cycle, ComponentId, M)> {
-        if self.len == 0 {
+        if self.len == 0 || self.base > deadline {
+            // Every queued event satisfies `when >= base`, so a floor
+            // past the deadline rules them all out at once.
             return None;
         }
         let bit = (self.base & L0_MASK) as usize;
+        // 1. Current cycle, queued-before-entry events first: they were
+        //    pushed while `base` was still behind this cycle, so they
+        //    precede every fast-lane entry in insertion order. (A
+        //    non-empty bucket at this ring position always holds cycle
+        //    `base` exactly: same-cycle pushes are diverted to the fast
+        //    lane the moment `base` reaches a cycle, and ring positions
+        //    are unique within a segment.)
+        // 2. Fast lane, in send order.
+        // 3. Advance the wheel to the next occupied cycle.
+        let head = self.l0[bit].head;
+        if head != NIL && self.nodes[head as usize].when == self.base {
+            return Some(self.pop_bucket_head(bit));
+        }
+        if !self.fast.is_empty() {
+            let (dst, msg) = self.fast.pop_front().expect("checked non-empty");
+            self.len -= 1;
+            return Some((self.base, dst, msg));
+        }
         let found = match self.scan_l0(bit) {
             Some(p) => p,
             None => {
@@ -387,27 +551,35 @@ impl<M> CalendarQueue<M> {
             return None;
         }
         self.base = c;
-        let bucket = &mut self.l0[found];
+        Some(self.pop_bucket_head(found))
+    }
+
+    /// Unlinks and recycles the head node of level-0 bucket `b` (which
+    /// the caller has verified holds the current cycle).
+    fn pop_bucket_head(&mut self, b: usize) -> (Cycle, ComponentId, M) {
+        let bucket = &mut self.l0[b];
         let idx = bucket.head;
         let node = &mut self.nodes[idx as usize];
-        debug_assert_eq!(node.when, c, "bucket holds a foreign cycle");
+        debug_assert_eq!(node.when, self.base, "bucket holds a foreign cycle");
         let msg = node.msg.take().expect("queued node lost its message");
+        let when = node.when;
         let dst = node.dst;
         bucket.head = node.next;
         node.next = self.free_head;
         self.free_head = idx;
         if bucket.head == NIL {
             bucket.tail = NIL;
-            self.occ0[found >> 6] &= !(1u64 << (found & 63));
+            self.occ0[b >> 6] &= !(1u64 << (b & 63));
         }
         self.len -= 1;
-        Some((c, dst, msg))
+        (when, dst, msg)
     }
 
     /// Commits a segment advance to the segment of `m` (the next event):
     /// migrates spill segments that entered the level-1 window, then
     /// redistributes the new current segment's list into level 0.
     fn advance_to(&mut self, m: Cycle) {
+        debug_assert!(self.fast.is_empty(), "advancing with fast-lane events pending");
         self.base = m & !L0_MASK; // provisional: start of the new segment
         let bs = seg(m);
         // Spill segments now within [bs, bs + L1_SIZE) move to level 1.
@@ -437,6 +609,13 @@ impl<M> CalendarQueue<M> {
             idx = next;
         }
     }
+
+    /// Slab nodes currently allocated (test hook: steady-state
+    /// scheduling must recycle, not grow).
+    #[cfg(test)]
+    fn slab_len(&self) -> usize {
+        self.nodes.len()
+    }
 }
 
 /// Links `tail -> idx` in the slab (free function so bucket borrows and
@@ -449,45 +628,51 @@ fn nodes_link<M>(nodes: &mut [Node<M>], tail: u32, idx: u32) {
 // Simulation
 // ---------------------------------------------------------------------
 
-/// A deterministic discrete-event simulation.
+/// A deterministic discrete-event simulation over component store `S`.
 ///
 /// See the [crate-level documentation](crate) for an example.
-pub struct Simulation<M> {
+pub struct Simulation<M, S: ComponentStore<M> = DynStore<M>> {
     now: Cycle,
     queue: CalendarQueue<M>,
-    components: Vec<Box<dyn Component<M>>>,
+    store: S,
     stop: bool,
     events_processed: u64,
 }
 
-impl<M: 'static> Default for Simulation<M> {
+impl<M: 'static> Default for Simulation<M, DynStore<M>> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M: 'static> Simulation<M> {
-    /// Creates an empty simulation at cycle 0.
+impl<M: 'static> Simulation<M, DynStore<M>> {
+    /// Creates an empty simulation at cycle 0 with the default
+    /// dyn-dispatch store.
     pub fn new() -> Self {
-        Simulation {
-            now: 0,
-            queue: CalendarQueue::new(),
-            components: Vec::new(),
-            stop: false,
-            events_processed: 0,
-        }
+        Self::with_store(DynStore::default())
+    }
+}
+
+impl<M: 'static, S: ComponentStore<M>> Simulation<M, S> {
+    /// Creates an empty simulation at cycle 0 over `store` (usually an
+    /// empty monomorphized store; components are added through
+    /// [`Simulation::add`]).
+    pub fn with_store(store: S) -> Self {
+        Simulation { now: 0, queue: CalendarQueue::new(), store, stop: false, events_processed: 0 }
     }
 
     /// Registers a component and returns its id.
-    pub fn add_component(&mut self, c: Box<dyn Component<M>>) -> ComponentId {
-        let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
-        self.components.push(c);
-        id
+    pub fn add<T>(&mut self, c: T) -> ComponentId
+    where
+        S: Insert<T>,
+    {
+        let idx = self.store.insert(c);
+        ComponentId(u32::try_from(idx).expect("too many components"))
     }
 
     /// Number of registered components.
     pub fn component_count(&self) -> usize {
-        self.components.len()
+        self.store.len()
     }
 
     /// Enqueues `msg` for delivery to `dst` at absolute cycle `at`.
@@ -497,7 +682,7 @@ impl<M: 'static> Simulation<M> {
     /// Panics if `at` lies in the past or `dst` is not registered.
     pub fn schedule(&mut self, at: Cycle, dst: ComponentId, msg: M) {
         assert!(at >= self.now, "cannot schedule into the past");
-        assert!(dst.index() < self.components.len(), "unknown component {dst}");
+        assert!(dst.index() < self.store.len(), "unknown component {dst}");
         self.queue.push(at, dst, msg);
     }
 
@@ -530,13 +715,12 @@ impl<M: 'static> Simulation<M> {
     /// Runs until the queue drains, a stop is requested, or the next event
     /// would be delivered after `deadline`. Returns the final time.
     pub fn run_until(&mut self, deadline: Cycle) -> Cycle {
+        let component_count = self.store.len();
         while !self.stop {
             let Some((when, dst, msg)) = self.queue.pop_at_or_before(deadline) else { break };
             debug_assert!(when >= self.now, "event queue went backwards");
             self.now = when;
             self.events_processed += 1;
-            let component_count = self.components.len();
-            let comp = &mut self.components[dst.index()];
             let mut ctx = Context {
                 now: self.now,
                 self_id: dst,
@@ -544,38 +728,48 @@ impl<M: 'static> Simulation<M> {
                 component_count,
                 stop: &mut self.stop,
             };
-            comp.on_message(msg, &mut ctx);
+            self.store.deliver(dst, msg, &mut ctx);
         }
         self.now
     }
 
-    /// Borrows a component, downcast to its concrete type.
+    /// Borrows a component of concrete type `T`.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range or the component is not a `T`.
-    pub fn component<T: 'static>(&self, id: ComponentId) -> &T {
-        self.components[id.index()]
-            .as_any()
-            .downcast_ref::<T>()
+    pub fn component<T: 'static>(&self, id: ComponentId) -> &T
+    where
+        S: Extract<T>,
+    {
+        self.store
+            .get(id.index())
             .unwrap_or_else(|| panic!("component {id} is not a {}", std::any::type_name::<T>()))
     }
 
-    /// Mutably borrows a component, downcast to its concrete type.
+    /// Mutably borrows a component of concrete type `T`.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range or the component is not a `T`.
-    pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> &mut T {
-        self.components[id.index()]
-            .as_any_mut()
-            .downcast_mut::<T>()
+    pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> &mut T
+    where
+        S: Extract<T>,
+    {
+        self.store
+            .get_mut(id.index())
             .unwrap_or_else(|| panic!("component {id} is not a {}", std::any::type_name::<T>()))
     }
 
     /// Whether the event queue is empty.
     pub fn is_idle(&self) -> bool {
         self.queue.len() == 0
+    }
+
+    /// Borrows the component store (e.g. to read counters off a
+    /// delegating instrumentation store; see `examples/msg_profile.rs`).
+    pub fn store(&self) -> &S {
+        &self.store
     }
 }
 
@@ -660,18 +854,12 @@ mod tests {
                 self.seen.push((ctx.now(), v));
             }
         }
-        fn as_any(&self) -> &dyn Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn Any {
-            self
-        }
     }
 
     #[test]
     fn delivers_in_time_order_fifo_within_cycle() {
         let mut sim = Simulation::new();
-        let r = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        let r = sim.add(Recorder { seen: vec![] });
         sim.schedule(5, r, Msg::Ping(1));
         sim.schedule(3, r, Msg::Ping(2));
         sim.schedule(5, r, Msg::Ping(3));
@@ -697,20 +885,14 @@ mod tests {
                 ctx.request_stop();
             }
         }
-        fn as_any(&self) -> &dyn Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn Any {
-            self
-        }
     }
 
     #[test]
     fn chained_sends_accumulate_latency_and_stop_works() {
         let mut sim = Simulation::new();
-        let c2 = sim.add_component(Box::new(Chain { next: None, fired: false }));
-        let c1 = sim.add_component(Box::new(Chain { next: Some(c2), fired: false }));
-        let c0 = sim.add_component(Box::new(Chain { next: Some(c1), fired: false }));
+        let c2 = sim.add(Chain { next: None, fired: false });
+        let c1 = sim.add(Chain { next: Some(c2), fired: false });
+        let c0 = sim.add(Chain { next: Some(c1), fired: false });
         sim.schedule(0, c0, Msg::Log);
         // Events beyond the stop are dropped on the floor.
         sim.schedule(1_000, c0, Msg::Log);
@@ -723,7 +905,7 @@ mod tests {
     #[test]
     fn run_until_respects_deadline() {
         let mut sim = Simulation::new();
-        let r = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        let r = sim.add(Recorder { seen: vec![] });
         sim.schedule(10, r, Msg::Ping(1));
         sim.schedule(20, r, Msg::Ping(2));
         sim.run_until(15);
@@ -737,7 +919,7 @@ mod tests {
         // A deadline miss must not advance the wheel past `now`: events
         // scheduled afterwards, before the far-future one, still win.
         let mut sim = Simulation::new();
-        let r = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        let r = sim.add(Recorder { seen: vec![] });
         sim.schedule(10, r, Msg::Ping(1));
         sim.schedule(200_000, r, Msg::Ping(2)); // beyond the wheel horizon
         sim.run_until(15);
@@ -750,7 +932,7 @@ mod tests {
     #[should_panic(expected = "cannot schedule into the past")]
     fn scheduling_in_the_past_panics() {
         let mut sim = Simulation::new();
-        let r = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        let r = sim.add(Recorder { seen: vec![] });
         sim.schedule(10, r, Msg::Ping(1));
         sim.run();
         sim.schedule(5, r, Msg::Ping(2));
@@ -760,7 +942,7 @@ mod tests {
     #[should_panic(expected = "is not a")]
     fn wrong_downcast_panics() {
         let mut sim: Simulation<Msg> = Simulation::new();
-        let r = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        let r = sim.add(Recorder { seen: vec![] });
         let _ = sim.component::<Chain>(r);
     }
 
@@ -775,16 +957,10 @@ mod tests {
                     ctx.send(t, 0, Msg::Ping(99));
                 }
             }
-            fn as_any(&self) -> &dyn Any {
-                self
-            }
-            fn as_any_mut(&mut self) -> &mut dyn Any {
-                self
-            }
         }
         let mut sim = Simulation::new();
-        let rec = sim.add_component(Box::new(Recorder { seen: vec![] }));
-        let rep = sim.add_component(Box::new(Replier { target: Some(rec) }));
+        let rec = sim.add(Recorder { seen: vec![] });
+        let rep = sim.add(Replier { target: Some(rec) });
         sim.schedule(4, rep, Msg::Log);
         sim.schedule(4, rec, Msg::Ping(1));
         sim.run();
@@ -793,10 +969,48 @@ mod tests {
     }
 
     #[test]
+    fn fast_lane_chains_preserve_send_order() {
+        // A handler emitting several zero-delay sends, some of which
+        // trigger further zero-delay sends, must deliver everything in
+        // global send order within the cycle.
+        struct Burster {
+            sink: ComponentId,
+            relay: Option<ComponentId>,
+        }
+        impl Component<Msg> for Burster {
+            fn on_message(&mut self, _m: Msg, ctx: &mut Context<'_, Msg>) {
+                ctx.send(self.sink, 0, Msg::Ping(1));
+                if let Some(r) = self.relay {
+                    ctx.send(r, 0, Msg::Log);
+                }
+                ctx.send(self.sink, 0, Msg::Ping(2));
+            }
+        }
+        struct Relay {
+            sink: ComponentId,
+        }
+        impl Component<Msg> for Relay {
+            fn on_message(&mut self, _m: Msg, ctx: &mut Context<'_, Msg>) {
+                ctx.send(self.sink, 0, Msg::Ping(10));
+            }
+        }
+        let mut sim = Simulation::new();
+        let sink = sim.add(Recorder { seen: vec![] });
+        let relay = sim.add(Relay { sink });
+        let burst = sim.add(Burster { sink, relay: Some(relay) });
+        sim.schedule(7, burst, Msg::Log);
+        sim.schedule(7, sink, Msg::Ping(0));
+        sim.run();
+        // Queued-before-entry Ping(0) first; then the burst in send
+        // order; the relay's own send lands after the burst finished.
+        assert_eq!(sim.component::<Recorder>(sink).seen, vec![(7, 0), (7, 1), (7, 2), (7, 10)]);
+    }
+
+    #[test]
     fn far_future_events_cross_the_spill_level() {
         // Several wheel revolutions apart, interleaved with near events.
         let mut sim = Simulation::new();
-        let r = sim.add_component(Box::new(Recorder { seen: vec![] }));
+        let r = sim.add(Recorder { seen: vec![] });
         let horizon = (L0_SIZE * L1_SIZE) as Cycle;
         let ats = [1_000_000_000u64, 3, 123_456, 9_000_000_000, horizon - 1, horizon, 2 * horizon];
         for (i, at) in ats.iter().enumerate() {
@@ -812,7 +1026,8 @@ mod tests {
     #[test]
     fn slab_recycles_nodes_across_a_long_run() {
         // A two-component ping-pong delivers 10_000 events through a
-        // queue that never holds more than one: the slab must not grow.
+        // queue that never holds more than one: the slab must keep
+        // reusing its single (hot) node instead of growing.
         struct Pong {
             peer: Option<ComponentId>,
             left: u32,
@@ -827,31 +1042,25 @@ mod tests {
                 let to = self.peer.unwrap_or(ctx.self_id());
                 ctx.send(to, 3, Msg::Log);
             }
-            fn as_any(&self) -> &dyn Any {
-                self
-            }
-            fn as_any_mut(&mut self) -> &mut dyn Any {
-                self
-            }
         }
         let mut sim = Simulation::new();
-        let a = sim.add_component(Box::new(Pong { peer: None, left: 10_000 }));
-        let b = sim.add_component(Box::new(Pong { peer: Some(a), left: 10_000 }));
+        let a = sim.add(Pong { peer: None, left: 10_000 });
+        let b = sim.add(Pong { peer: Some(a), left: 10_000 });
         sim.component_mut::<Pong>(a).peer = Some(b);
         sim.schedule(0, a, Msg::Log);
         sim.run();
         assert!(sim.events_processed() > 10_000);
         assert_eq!(sim.peak_queue_depth(), 1, "ping-pong keeps exactly one event in flight");
-        assert_eq!(sim.queue.nodes.len(), 1, "slab must recycle its single node");
+        assert_eq!(sim.queue.slab_len(), 1, "slab must recycle its single node");
     }
 
     // -----------------------------------------------------------------
-    // Property test: calendar queue == reference heap, event for event
+    // Property tests: calendar queue == reference heap, event for event
     // -----------------------------------------------------------------
 
     /// Delay classes covering the interesting regimes: same-cycle
-    /// (zero-delay sends from handlers), in-segment constants, the exact
-    /// segment and level-1 horizons, and far-future spills.
+    /// (zero-delay fast-lane sends from handlers), in-segment constants,
+    /// the exact segment and level-1 horizons, and far-future spills.
     const DELAY_MENU: [Cycle; 8] = [
         0,
         1,
@@ -862,6 +1071,51 @@ mod tests {
         (L0_SIZE * L1_SIZE) as Cycle,
         3 * (L0_SIZE * L1_SIZE) as Cycle + 12_345,
     ];
+
+    /// Fast-lane-heavy delay menu: mostly zero-delay sends, with just
+    /// enough segment-crossing delays that fast-lane drains interleave
+    /// with wheel advances and redistributions.
+    const FAST_MENU: [Cycle; 8] =
+        [0, 0, 0, 1, 0, L0_SIZE as Cycle, 0, (L0_SIZE * L1_SIZE) as Cycle + 7];
+
+    /// Drains `cal` and `heap` in lockstep, asserting identical
+    /// `(when, dst, payload)` streams; each delivery triggers the next
+    /// batch of "handler" sends from `followups`, whose delays are drawn
+    /// from `menu` relative to the delivered cycle (delay 0 exercises
+    /// the fast lane: the calendar's `base` equals the delivered cycle).
+    fn lockstep_drain(
+        cal: &mut CalendarQueue<u32>,
+        heap: &mut reference::HeapQueue<u32>,
+        followups: &[Vec<(u8, u8)>],
+        menu: &[Cycle],
+        payload: &mut u32,
+    ) -> Result<(), TestCaseError> {
+        let mut delivered = 0usize;
+        loop {
+            let a = cal.pop_at_or_before(Cycle::MAX);
+            let b = heap.pop();
+            match (a, b) {
+                (None, None) => break,
+                (Some((wa, da, pa)), Some((wb, db, pb))) => {
+                    prop_assert_eq!(wa, wb, "delivery cycle diverged");
+                    prop_assert_eq!(da, db, "destination diverged");
+                    prop_assert_eq!(pa, pb, "payload (insertion order) diverged");
+                    if let Some(sends) = followups.get(delivered) {
+                        for &(delay_ix, dst) in sends {
+                            let when = wa + menu[delay_ix as usize % menu.len()];
+                            let dst = ComponentId(dst as u32);
+                            cal.push(when, dst, *payload);
+                            heap.push(when, dst, *payload);
+                            *payload += 1;
+                        }
+                    }
+                    delivered += 1;
+                }
+                (a, b) => prop_assert!(false, "queue lengths diverged: {a:?} vs {b:?}"),
+            }
+        }
+        Ok(())
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
@@ -887,35 +1141,37 @@ mod tests {
                 heap.push(when, dst, payload);
                 payload += 1;
             }
-
-            // Drain both queues in lockstep; each delivery may trigger
-            // "handler" sends relative to the current cycle, including
-            // zero-delay sends landing back on the cycle being drained.
-            let mut delivered = 0usize;
-            loop {
-                let a = cal.pop_at_or_before(Cycle::MAX);
-                let b = heap.pop();
-                match (a, b) {
-                    (None, None) => break,
-                    (Some((wa, da, pa)), Some((wb, db, pb))) => {
-                        prop_assert_eq!(wa, wb, "delivery cycle diverged");
-                        prop_assert_eq!(da, db, "destination diverged");
-                        prop_assert_eq!(pa, pb, "payload (insertion order) diverged");
-                        if let Some(sends) = followups.get(delivered) {
-                            for &(delay_ix, dst) in sends {
-                                let when = wa + DELAY_MENU[delay_ix as usize];
-                                let dst = ComponentId(dst as u32);
-                                cal.push(when, dst, payload);
-                                heap.push(when, dst, payload);
-                                payload += 1;
-                            }
-                        }
-                        delivered += 1;
-                    }
-                    (a, b) => prop_assert!(false, "queue lengths diverged: {a:?} vs {b:?}"),
-                }
-            }
+            lockstep_drain(&mut cal, &mut heap, &followups, &DELAY_MENU, &mut payload)?;
             prop_assert_eq!(cal.len(), 0);
+        }
+
+        /// The ISSUE 5 fast-lane oracle: random handlers mix zero-delay
+        /// fast-lane sends with queued sends across segment boundaries;
+        /// delivery order must be bit-identical to the `(when, seq)`
+        /// heap. Larger follow-up bursts than the base property so
+        /// fast-lane chains (a delay-0 delivery spawning further delay-0
+        /// sends) actually form.
+        #[test]
+        fn fast_lane_interleavings_match_reference_heap(
+            initial in prop::collection::vec((0u8..8, 0u8..16), 1..30),
+            followups in prop::collection::vec(
+                prop::collection::vec((0u8..8, 0u8..16), 0..5),
+                0..600
+            ),
+        ) {
+            let mut cal = CalendarQueue::<u32>::new();
+            let mut heap = reference::HeapQueue::<u32>::new();
+            let mut payload = 0u32;
+            for &(delay_ix, dst) in &initial {
+                let when = FAST_MENU[delay_ix as usize];
+                let dst = ComponentId(dst as u32);
+                cal.push(when, dst, payload);
+                heap.push(when, dst, payload);
+                payload += 1;
+            }
+            lockstep_drain(&mut cal, &mut heap, &followups, &FAST_MENU, &mut payload)?;
+            prop_assert_eq!(cal.len(), 0);
+            prop_assert!(cal.fast.is_empty(), "fast lane drained");
         }
     }
 }

@@ -22,17 +22,20 @@
 //!             ctx.send(me, 10, msg - 1);
 //!         }
 //!     }
-//!     fn as_any(&self) -> &dyn std::any::Any { self }
-//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
 //! }
 //!
 //! let mut sim = Simulation::new();
-//! let id = sim.add_component(Box::new(Echo { heard: 0 }));
+//! let id = sim.add(Echo { heard: 0 });
 //! sim.schedule(0, id, 3u64);
 //! sim.run();
 //! assert_eq!(sim.now(), 20);
 //! assert_eq!(sim.component::<Echo>(id).heard, 3 + 2 + 1);
 //! ```
+//!
+//! `Simulation::new()` uses the boxed [`engine::DynStore`]; hot paths
+//! supply a monomorphized [`engine::ComponentStore`] (an enum over the
+//! concrete component types) via [`Simulation::with_store`] so every
+//! delivery is a direct match arm instead of a virtual call.
 
 pub mod engine;
 pub mod rng;
@@ -40,7 +43,9 @@ pub mod server;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Component, ComponentId, Context, Simulation};
+pub use engine::{
+    Component, ComponentId, ComponentStore, Context, DynStore, Extract, Insert, Simulation,
+};
 pub use rng::{Rng, RuntimeDist, SplitMix64};
 pub use server::{LaneServer, ServerTimeline};
 pub use stats::{CachePadded, Histogram, OnlineStats, SampleSet, Utilization};

@@ -109,14 +109,32 @@ impl std::fmt::Display for OrderViolation {
 impl std::error::Error for OrderViolation {}
 
 /// One dependency edge `from → to` (with `from` earlier in program order).
+///
+/// Endpoints are `u32` (not `TaskId = usize`): the edge list of a paper-
+/// scale trace runs to hundreds of thousands of entries and is scanned
+/// several times during CSR construction, so halving the record from 24
+/// to 12 bytes measurably shortens the graph build (ISSUE 5). Use
+/// [`DepEdge::from_id`]/[`DepEdge::to_id`] for `TaskId`-typed endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DepEdge {
     /// Producer / predecessor task.
-    pub from: TaskId,
+    pub from: u32,
     /// Consumer / successor task.
-    pub to: TaskId,
+    pub to: u32,
     /// Classification.
     pub kind: DepKind,
+}
+
+impl DepEdge {
+    /// Producer endpoint as a [`TaskId`].
+    pub fn from_id(&self) -> TaskId {
+        self.from as TaskId
+    }
+
+    /// Consumer endpoint as a [`TaskId`].
+    pub fn to_id(&self) -> TaskId {
+        self.to as TaskId
+    }
 }
 
 #[derive(Debug, Default, Clone)]
@@ -173,13 +191,10 @@ pub struct DepGraph {
 
 /// Builds one CSR direction from `(node, neighbor)` pairs; neighbors of
 /// each node end up sorted and deduplicated.
-fn build_csr(
-    n: usize,
-    pairs: impl Iterator<Item = (TaskId, TaskId)> + Clone,
-) -> (Vec<u32>, Vec<TaskId>) {
+fn build_csr(n: usize, pairs: impl Iterator<Item = (u32, u32)> + Clone) -> (Vec<u32>, Vec<TaskId>) {
     let mut counts = vec![0u32; n + 1];
     for (node, _) in pairs.clone() {
-        counts[node + 1] += 1;
+        counts[node as usize + 1] += 1;
     }
     for i in 0..n {
         counts[i + 1] += counts[i];
@@ -187,8 +202,8 @@ fn build_csr(
     let mut dat = vec![0 as TaskId; *counts.last().unwrap() as usize];
     let mut cursor = counts.clone();
     for (node, nb) in pairs {
-        dat[cursor[node] as usize] = nb;
-        cursor[node] += 1;
+        dat[cursor[node as usize] as usize] = nb as TaskId;
+        cursor[node as usize] += 1;
     }
     // Sort + dedup each node's range in place, compacting as we go.
     let mut write = 0usize;
@@ -214,6 +229,9 @@ fn build_csr(
 
 impl DepGraph {
     /// Builds the graph by exact replay of `trace` in program order.
+    ///
+    /// Prefer [`TaskTrace::dep_graph`] when the trace is shared (sweeps,
+    /// repeated validation): it memoizes one `Arc<DepGraph>` per trace.
     pub fn from_trace(trace: &TaskTrace) -> Self {
         let n = trace.len();
         // Rough upper-bound reservation: one RaW per read plus ordering
@@ -243,7 +261,11 @@ impl DepGraph {
                     // RaW from the in-flight producer, if any.
                     if let Some(w) = st.last_writer {
                         if w != tid {
-                            edges.push(DepEdge { from: w, to: tid, kind: DepKind::RaW });
+                            edges.push(DepEdge {
+                                from: w as u32,
+                                to: tid as u32,
+                                kind: DepKind::RaW,
+                            });
                         }
                     }
                 }
@@ -253,14 +275,18 @@ impl DepGraph {
                     for r in st.readers() {
                         if r != tid {
                             let kind = if inout { DepKind::InoutAnti } else { DepKind::WaR };
-                            edges.push(DepEdge { from: r, to: tid, kind });
+                            edges.push(DepEdge { from: r as u32, to: tid as u32, kind });
                         }
                     }
                     // Ordering against the previous writer.
                     if let Some(w) = st.last_writer {
                         if w != tid && !inout {
                             // (for inout the RaW edge above already covers it)
-                            edges.push(DepEdge { from: w, to: tid, kind: DepKind::WaW });
+                            edges.push(DepEdge {
+                                from: w as u32,
+                                to: tid as u32,
+                                kind: DepKind::WaW,
+                            });
                         }
                     }
                     st.last_writer = Some(tid);
@@ -273,9 +299,10 @@ impl DepGraph {
         }
 
         let removed = edges.iter().filter(|e| !e.kind.enforced()).count();
-        let enforced = edges.iter().filter(|e| e.kind.enforced());
-        let (pred_off, pred_dat) = build_csr(n, enforced.clone().map(|e| (e.to, e.from)));
-        let (succ_off, succ_dat) = build_csr(n, enforced.map(|e| (e.from, e.to)));
+        let enforced: Vec<(u32, u32)> =
+            edges.iter().filter(|e| e.kind.enforced()).map(|e| (e.from, e.to)).collect();
+        let (pred_off, pred_dat) = build_csr(n, enforced.iter().map(|&(f, t)| (t, f)));
+        let (succ_off, succ_dat) = build_csr(n, enforced.iter().copied());
 
         DepGraph { n, edges, pred_off, pred_dat, succ_off, succ_dat, removed_by_renaming: removed }
     }

@@ -160,12 +160,21 @@ pub struct TaskTrace {
     name: String,
     kernel_names: Vec<String>,
     tasks: Vec<TaskDesc>,
+    /// Memoized dependency oracle (ISSUE 5): sweeps and repeated
+    /// validations over one shared trace build the graph once. Cloning
+    /// a trace shares the cached `Arc`; pushing a task invalidates it.
+    graph_cache: std::sync::OnceLock<std::sync::Arc<crate::graph::DepGraph>>,
 }
 
 impl TaskTrace {
     /// An empty trace with a benchmark name.
     pub fn new(name: impl Into<String>) -> Self {
-        TaskTrace { name: name.into(), kernel_names: Vec::new(), tasks: Vec::new() }
+        TaskTrace {
+            name: name.into(),
+            kernel_names: Vec::new(),
+            tasks: Vec::new(),
+            graph_cache: std::sync::OnceLock::new(),
+        }
     }
 
     /// The benchmark name.
@@ -196,8 +205,18 @@ impl TaskTrace {
 
     /// Appends a task (program order) and returns its id.
     pub fn push(&mut self, task: TaskDesc) -> TaskId {
+        self.graph_cache.take(); // deps changed: drop the memoized graph
         self.tasks.push(task);
         self.tasks.len() - 1
+    }
+
+    /// The memoized dependency oracle of this trace (built on first use
+    /// by [`crate::graph::DepGraph::from_trace`]; shared by clones,
+    /// invalidated by [`TaskTrace::push`]).
+    pub fn dep_graph(&self) -> std::sync::Arc<crate::graph::DepGraph> {
+        self.graph_cache
+            .get_or_init(|| std::sync::Arc::new(crate::graph::DepGraph::from_trace(self)))
+            .clone()
     }
 
     /// Convenience: create and append a task.

@@ -26,7 +26,7 @@ fn main() {
         &["TRS capacity", "speedup", "peak window (tasks)"],
     );
     let caps: Vec<u64> = [256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 6 << 20].to_vec();
-    for pt in trs_capacity_sweep(&trace, &caps, 256) {
+    for pt in trs_capacity_sweep(&trace, &caps, 256, 1) {
         table.row(vec![
             format!("{} KB", pt.capacity_bytes >> 10),
             format!("{:.1}x", pt.speedup),

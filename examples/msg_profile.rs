@@ -1,0 +1,152 @@
+//! Per-message-type cost profile of a hardware-pipeline run — a worked
+//! example of wrapping the monomorphized `SystemStore` in a delegating
+//! [`ComponentStore`] (ISSUE 5): the engine is store-generic, so
+//! instrumentation composes without touching the event loop.
+//!
+//! Usage: `cargo run --release --example msg_profile [bench] [scale]`
+//! (defaults: H264, paper).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use task_superscalar::backend::{cmp_backend, BackendConfig};
+use task_superscalar::core::SystemStore;
+use task_superscalar::pipeline::assembly::build_frontend;
+use task_superscalar::pipeline::{FrontendConfig, Msg};
+use task_superscalar::sim::{ComponentId, ComponentStore, Context, Extract, Insert, Simulation};
+use task_superscalar::workloads::{Benchmark, Scale};
+
+const KINDS: usize = 20;
+
+fn kind_of(msg: &Msg) -> usize {
+    match msg {
+        Msg::SubmitTask { .. } => 0,
+        Msg::GatewayCredit { .. } => 1,
+        Msg::GeneratorTick => 2,
+        Msg::GatewayWork => 3,
+        Msg::AllocTask { .. } => 4,
+        Msg::AllocReply { .. } => 5,
+        Msg::TrsHasSpace { .. } => 6,
+        Msg::DecodeOperand { .. } => 7,
+        Msg::OrtWork => 8,
+        Msg::OrtStalled { .. } => 9,
+        Msg::OrtResumed { .. } => 10,
+        Msg::ScalarOperand { .. } => 11,
+        Msg::OperandInfo { .. } => 12,
+        Msg::DataReady { .. } => 13,
+        Msg::RegisterConsumer { .. } => 14,
+        Msg::ReleaseUse { .. } => 15,
+        Msg::TaskReady { .. } => 16,
+        Msg::TaskFinished { .. } => 17,
+        Msg::CoreDone { .. } => 18,
+        _ => 19,
+    }
+}
+
+const NAMES: [&str; KINDS] = [
+    "SubmitTask",
+    "GatewayCredit",
+    "GeneratorTick",
+    "GatewayWork",
+    "AllocTask",
+    "AllocReply",
+    "TrsHasSpace",
+    "DecodeOperand",
+    "OrtWork",
+    "OrtStalled",
+    "OrtResumed",
+    "ScalarOperand",
+    "OperandInfo",
+    "DataReady",
+    "RegisterConsumer",
+    "ReleaseUse",
+    "TaskReady",
+    "TaskFinished",
+    "CoreDone",
+    "other",
+];
+
+/// `SystemStore` plus per-kind delivery counters and handler spans.
+#[derive(Default)]
+struct ProfilingStore {
+    inner: SystemStore,
+    count: [u64; KINDS],
+    nanos: [u64; KINDS],
+}
+
+impl ComponentStore<Msg> for ProfilingStore {
+    fn deliver(&mut self, dst: ComponentId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        let k = kind_of(&msg);
+        let t0 = Instant::now();
+        self.inner.deliver(dst, msg, ctx);
+        self.nanos[k] += t0.elapsed().as_nanos() as u64;
+        self.count[k] += 1;
+    }
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+impl<T> Insert<T> for ProfilingStore
+where
+    SystemStore: Insert<T>,
+{
+    fn insert(&mut self, c: T) -> usize {
+        self.inner.insert(c)
+    }
+}
+
+impl<T> Extract<T> for ProfilingStore
+where
+    SystemStore: Extract<T>,
+{
+    fn get(&self, index: usize) -> Option<&T> {
+        self.inner.get(index)
+    }
+    fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        self.inner.get_mut(index)
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args
+        .next()
+        .map(|b| Benchmark::parse(&b).unwrap_or_else(|| panic!("unknown benchmark '{b}'")))
+        .unwrap_or(Benchmark::H264);
+    let scale = args
+        .next()
+        .map(|s| Scale::parse(&s).unwrap_or_else(|| panic!("unknown scale '{s}'")))
+        .unwrap_or(Scale::Paper);
+    let trace = Arc::new(bench.trace(scale, 42));
+    let mut sim = Simulation::<Msg, ProfilingStore>::with_store(ProfilingStore::default());
+    let cfg = FrontendConfig::default();
+    build_frontend(&mut sim, trace, &cfg, cmp_backend(BackendConfig::for_cores(256)));
+    let t0 = Instant::now();
+    sim.run();
+    let wall = t0.elapsed();
+
+    // Rank by total handler span (timer overhead is charged to every
+    // row equally; the table ranks, it does not gate).
+    println!(
+        "{bench} @ {scale:?}: {} events in {:.1} ms",
+        sim.events_processed(),
+        wall.as_secs_f64() * 1e3
+    );
+    println!("{:<18} {:>10} {:>10} {:>8}", "message", "count", "total ms", "ns/msg");
+    let store = sim.store();
+    let mut rows: Vec<usize> = (0..KINDS).collect();
+    rows.sort_by_key(|&k| std::cmp::Reverse(store.nanos[k]));
+    for k in rows {
+        if store.count[k] == 0 {
+            continue;
+        }
+        println!(
+            "{:<18} {:>10} {:>10.1} {:>8.0}",
+            NAMES[k],
+            store.count[k],
+            store.nanos[k] as f64 / 1e6,
+            store.nanos[k] as f64 / store.count[k] as f64
+        );
+    }
+}
