@@ -14,6 +14,8 @@
 //! baseline (`SoftDecoded` from the decoder, with completion reported
 //! back to it).
 
+#![forbid(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::sync::Arc;
 

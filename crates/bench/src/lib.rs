@@ -14,6 +14,8 @@
 //! See `DESIGN.md` §4 for the experiment-to-binary index and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
 
+#![forbid(unsafe_code)]
+
 use tss_workloads::Scale;
 
 /// Parsed common command-line options.

@@ -14,6 +14,8 @@
 //! assert!(hw.makespan > 0 && sw.makespan > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod fabric;
 pub mod report;

@@ -63,8 +63,8 @@
 //! double-claim it. Only index `top` itself is CAS-arbitrated, so only
 //! one-index claims are sound.
 
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU32, Ordering};
-use std::sync::Mutex;
+use crate::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU32, Ordering};
+use crate::sync::Mutex;
 
 use tss_sim::CachePadded;
 
@@ -72,6 +72,16 @@ use tss_sim::CachePadded;
 /// staging buffer's size). Victims longer than `2 * BATCH_MAX` are
 /// relieved of `BATCH_MAX` tasks per steal.
 pub const BATCH_MAX: usize = 32;
+
+/// Ordering of the grown-buffer publish in [`ChaseLev::push`]'s grow
+/// path (DESIGN.md §10.3). The seeded-bug build weakens it to Relaxed —
+/// CI's negative gate compiles with `--cfg tss_bug_publish_relaxed` and
+/// expects `model_steal_batch_vs_grow` to fail with a replayable trace,
+/// proving the model checker actually discriminates the ordering.
+#[cfg(not(tss_bug_publish_relaxed))]
+const BUF_PUBLISH: Ordering = Ordering::Release;
+#[cfg(tss_bug_publish_relaxed)]
+const BUF_PUBLISH: Ordering = Ordering::Relaxed;
 
 /// The growable circular cell array. Capacity is always a power of two;
 /// logical index `i` lives in cell `i & mask`. Cells are atomics so a
@@ -312,8 +322,9 @@ impl ChaseLev {
         for i in t..b {
             new.write(i, old.read(i));
         }
-        // Release: a thief acquiring the new pointer sees the copies.
-        self.buf.store(new_ptr, Ordering::Release);
+        // Release: a thief acquiring the new pointer sees the copies
+        // (weakened by the seeded-bug cfg; see `BUF_PUBLISH`).
+        self.buf.store(new_ptr, BUF_PUBLISH);
         self.graveyard.lock().expect("deque graveyard poisoned").push(old_ptr);
         new
     }
@@ -344,9 +355,9 @@ impl std::fmt::Debug for ChaseLev {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::atomic::AtomicUsize;
     use proptest::prelude::*;
     use std::collections::VecDeque;
-    use std::sync::atomic::AtomicUsize;
 
     /// PR 3's mutexed ring, demoted to differential-test oracle: under
     /// a lock, owner-LIFO/thief-FIFO semantics are trivially correct,
@@ -618,5 +629,167 @@ mod tests {
         ) {
             stress(seed as u64, thieves, 1_500, batch == 1);
         }
+    }
+}
+
+/// Model-checked interleaving tests (DESIGN.md §10.3). Compiled only
+/// under `RUSTFLAGS="--cfg tss_model_check"`, where the sync facade
+/// swaps every atomic for shuttle's scheduler-instrumented double; CI's
+/// `verify` job runs them with bounded budgets.
+#[cfg(all(test, tss_model_check))]
+mod model_tests {
+    use super::*;
+    use shuttle::thread;
+    use std::sync::Arc;
+
+    /// Owner pop racing one thief on the single last element: every
+    /// interleaving (exhaustively enumerated — ~80k schedules including
+    /// all stale-read choices) hands the element to exactly one side —
+    /// the `top` CAS arbitration at `t == b`.
+    #[test]
+    fn model_pop_vs_steal_last_element() {
+        let report = shuttle::check_exhaustive(150_000, || {
+            let q = Arc::new(ChaseLev::with_capacity(8));
+            q.push(7);
+            let q2 = q.clone();
+            let thief = thread::spawn(move || q2.steal());
+            let mine = q.pop();
+            let stolen = thief.join().unwrap();
+            match (mine, stolen) {
+                (Some(7), None) | (None, Some(7)) => {}
+                other => panic!("last element claimed {other:?}"),
+            }
+        });
+        assert!(report.complete, "budget too small: {} schedules", report.schedules);
+    }
+
+    /// Two elements, owner pops both while a thief steals: the three
+    /// claims always partition the set exactly (nothing lost, nothing
+    /// doubled) — exercises both the guarded (t == b) and unguarded
+    /// (t < b) owner paths against a concurrent CAS. The full tree is
+    /// millions of schedules, so this one is searched by seeded PCT and
+    /// uniform-random policies instead of enumerated.
+    #[test]
+    fn model_pop_vs_steal_two_elements() {
+        let scenario = || {
+            let q = Arc::new(ChaseLev::with_capacity(8));
+            q.push(1);
+            q.push(2);
+            let q2 = q.clone();
+            let thief = thread::spawn(move || q2.steal());
+            let a = q.pop();
+            let b = q.pop();
+            let s = thief.join().unwrap();
+            let mut got: Vec<u32> = [a, b, s].iter().flatten().copied().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2], "claims {a:?}/{b:?} vs steal {s:?}");
+        };
+        shuttle::check_pct(0x7EA1_5AFE, 600, 3, scenario);
+        shuttle::check_random(0x7EA1_5AFE, 600, scenario);
+    }
+
+    /// `steal_batch_into` racing the owner's grow: every task claimed
+    /// exactly once, and no thief ever observes an unpublished cell.
+    /// This is the seeded-bug catcher: under
+    /// `--cfg tss_bug_publish_relaxed` (grow's buffer publish weakened
+    /// Release→Relaxed) a schedule exists where the thief reads the new
+    /// buffer pointer without the copies being visible, steals a stale
+    /// `0`, and this assertion fails with a replayable trace.
+    #[test]
+    fn model_steal_batch_vs_grow() {
+        shuttle::check_pct(0x5EED_CAFE, 400, 3, || {
+            let q = Arc::new(ChaseLev::with_capacity(8));
+            for v in 1..=8 {
+                q.push(v);
+            }
+            let q2 = q.clone();
+            let thief = thread::spawn(move || {
+                let dest = ChaseLev::with_capacity(8);
+                let mut got = Vec::new();
+                got.extend(q2.steal_batch_into(&dest, 4));
+                while let Some(v) = dest.pop() {
+                    got.push(v);
+                }
+                got
+            });
+            q.push(9); // b - t == cap here unless the thief got in first: grow
+            q.push(10);
+            let mut all = thief.join().unwrap();
+            while let Some(v) = q.pop() {
+                all.push(v);
+            }
+            all.sort_unstable();
+            assert_eq!(all, (1..=10).collect::<Vec<u32>>(), "lost, duplicated, or stale value");
+        });
+    }
+
+    /// Buffer retire/reclaim: the owner grows (at least once — twice
+    /// when the thief is slow) while a thief works the old buffers.
+    /// Retired buffers park in the graveyard (never freed mid-run), so
+    /// late steals through a stale buffer pointer still read valid
+    /// cells; teardown then reclaims everything (the drop at the end of
+    /// each schedule runs the `Box::from_raw` loop).
+    #[test]
+    fn model_grow_retires_buffers_safely() {
+        shuttle::check_random(0xBADC_0FFE, 300, || {
+            let q = Arc::new(ChaseLev::with_capacity(8));
+            for v in 1..=8 {
+                q.push(v);
+            }
+            let q2 = q.clone();
+            let thief = thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..3 {
+                    got.extend(q2.steal());
+                }
+                got
+            });
+            for v in 9..=17 {
+                q.push(v); // 17 live at most: crosses cap 8, often 16
+            }
+            let mut all = thief.join().unwrap();
+            // The thief can take at most 3, so ≥ 14 were live at push
+            // time and the 8→16 grow is unavoidable in every schedule.
+            assert!(q.buffer(Ordering::Relaxed).cap() >= 16, "expected at least one grow");
+            while let Some(v) = q.pop() {
+                all.push(v);
+            }
+            all.sort_unstable();
+            assert_eq!(all, (1..=17).collect::<Vec<u32>>(), "retired buffer corrupted a claim");
+        });
+    }
+
+    /// PR 6 regression pin (ISSUE 6 satellite): the contested
+    /// last-element schedule — the thief wins the `top` CAS while the
+    /// owner has already reserved `bottom` — found by a fixed seed and
+    /// then replayed by trace. A probe panic marks the interleaving;
+    /// the replay must reproduce it identically across runs, guarding
+    /// both the deque protocol and the replay machinery against drift.
+    #[test]
+    fn model_regression_contested_last_element_replays() {
+        let scenario = || {
+            let q = Arc::new(ChaseLev::with_capacity(8));
+            q.push(7);
+            let q2 = q.clone();
+            let thief = thread::spawn(move || q2.steal());
+            let mine = q.pop();
+            let stolen = thief.join().unwrap();
+            match (mine, stolen) {
+                (None, Some(7)) => panic!("contested: thief won the last element"),
+                (Some(7), None) => {}
+                other => panic!("last element claimed {other:?}"),
+            }
+        };
+        let found = shuttle::explore_random(0xD00D_FEED, 500, scenario)
+            .expect_err("seed no longer reaches the contested schedule");
+        assert!(
+            found.message.contains("contested: thief won"),
+            "found a different schedule: {}",
+            found.message
+        );
+        let r1 = shuttle::replay(&found.trace, scenario).expect("replay lost the schedule");
+        let r2 = shuttle::replay(&found.trace, scenario).expect("replay lost the schedule");
+        assert_eq!(r1.message, r2.message, "replay is not deterministic");
+        assert!(r1.message.contains("contested: thief won"));
     }
 }

@@ -52,8 +52,8 @@
 //! a producer's pending list is the decode-vs-execution race itself
 //! (`tests/streaming.rs` pins that contract).
 
-use std::sync::atomic::{AtomicI32, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use crate::sync::atomic::{AtomicI32, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::deque::{ChaseLev, BATCH_MAX};
@@ -1095,5 +1095,74 @@ mod tests {
         assert!(report.utilization(0) >= 0.0);
         assert!((0.0..=100.0).contains(&report.decode_overlap_pct));
         assert_eq!(report.total_steals(), report.workers.iter().map(|w| w.steals).sum::<u64>());
+    }
+}
+
+/// Model-checked interleaving tests for the parker (DESIGN.md §10.3).
+/// Compiled only under `RUSTFLAGS="--cfg tss_model_check"`.
+#[cfg(all(test, tss_model_check))]
+mod model_tests {
+    use super::*;
+    use shuttle::thread;
+    use std::sync::Arc;
+
+    /// The park/wake handoff: a worker that sees no work parks against
+    /// an epoch snapshot; a producer publishes work and bumps the
+    /// epoch. In every interleaving (exhaustive) the worker terminates
+    /// having observed the work — the epoch protocol closes the classic
+    /// lost-wakeup window (wake landing between the worker's scan and
+    /// its sleep). A lost wakeup here shows up as a model-detected
+    /// deadlock, not a hang.
+    #[test]
+    fn model_parker_handoff_never_loses_the_wake() {
+        let report = shuttle::check_exhaustive(300_000, || {
+            let parker = Arc::new(Parker::new());
+            let work = Arc::new(AtomicU32::new(0));
+            let (p2, w2) = (parker.clone(), work.clone());
+            let worker = thread::spawn(move || {
+                // The real worker loop shape: snapshot epoch, scan,
+                // park only if the scan came up empty.
+                loop {
+                    let seen = p2.current_epoch();
+                    if w2.load(Ordering::SeqCst) == 1 {
+                        break;
+                    }
+                    p2.park(seen, || false);
+                }
+            });
+            work.store(1, Ordering::SeqCst);
+            parker.wake_one();
+            worker.join().unwrap();
+            assert_eq!(work.load(Ordering::SeqCst), 1);
+        });
+        assert!(report.complete, "budget too small: {} schedules", report.schedules);
+    }
+
+    /// `wake_all` reaches both parked workers (the window-commit path):
+    /// no schedule leaves a worker asleep once the producer has bumped
+    /// the epoch.
+    #[test]
+    fn model_parker_wake_all_reaches_every_worker() {
+        shuttle::check_pct(0xAB5E_1200, 400, 3, || {
+            let parker = Arc::new(Parker::new());
+            let work = Arc::new(AtomicU32::new(0));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let (p2, w2) = (parker.clone(), work.clone());
+                    thread::spawn(move || loop {
+                        let seen = p2.current_epoch();
+                        if w2.load(Ordering::SeqCst) == 1 {
+                            break;
+                        }
+                        p2.park(seen, || false);
+                    })
+                })
+                .collect();
+            work.store(1, Ordering::SeqCst);
+            parker.wake_all();
+            for w in workers {
+                w.join().unwrap();
+            }
+        });
     }
 }

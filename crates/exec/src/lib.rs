@@ -42,10 +42,16 @@
 //! assert!(report.validated);
 //! ```
 
+// The unsafe surface of this crate (raw deque buffers) is audited by
+// `tss-lint`; inside unsafe fns every unsafe op still needs its own
+// block + SAFETY comment.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod deque;
 pub mod executor;
 pub mod payload;
 pub mod renamer;
+pub mod sync;
 
 pub use deque::ChaseLev;
 pub use executor::{run_trace, ExecConfig, ExecReport, Executor, WorkerStats};

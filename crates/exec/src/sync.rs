@@ -1,0 +1,26 @@
+//! The sync facade (DESIGN.md §10.1): the single import point for every
+//! atomic, mutex, and condvar in the concurrency core (`deque`,
+//! `executor`, and `tss-core::fabric`).
+//!
+//! Under a normal build these are re-exports of the real `std::sync`
+//! types — zero cost, zero behavior change. Under
+//! `RUSTFLAGS="--cfg tss_model_check"` they swap to the vendored
+//! `shuttle` doubles, whose every operation is a controlled yield point
+//! of a deterministic model-checking scheduler (see `vendor/shuttle`).
+//! The repo lint (`cargo run --bin tss-lint`) rejects direct
+//! `std::sync::atomic` imports in the facaded files, so the model
+//! checker always sees every synchronization op.
+//!
+//! `shuttle` is an unconditional (tiny) dependency because cargo cannot
+//! toggle dependencies on a RUSTFLAGS cfg; outside a model run its
+//! types degrade to raw `std` operations.
+
+#[cfg(not(tss_model_check))]
+pub use std::sync::atomic;
+#[cfg(not(tss_model_check))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(tss_model_check)]
+pub use shuttle::sync::atomic;
+#[cfg(tss_model_check)]
+pub use shuttle::sync::{Condvar, Mutex, MutexGuard};

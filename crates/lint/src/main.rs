@@ -1,0 +1,900 @@
+//! `tss-lint` — the static side of the tss-verify layer (DESIGN.md §10).
+//!
+//! The model checker (`vendor/shuttle`) explores what the code *does*
+//! under weak memory; this binary pins down what the code *says*:
+//!
+//! 1. **SAFETY discipline** — every `unsafe` token must be preceded by
+//!    a `// SAFETY:` comment (same line, or the comment/attribute block
+//!    directly above; chained `unsafe impl` lines may share one).
+//! 2. **Relaxed allowlist** — every `Ordering::Relaxed` in first-party
+//!    code must appear in `ci/relaxed_allowlist.txt` with a rationale;
+//!    stale entries (pointing at lines that no longer say `Relaxed`)
+//!    are errors too, so the list cannot rot. `--print-relaxed`
+//!    regenerates it after line numbers shift.
+//! 3. **Facade rule** — inside the execution core (`crates/exec/src/*`
+//!    except the facade itself, plus `crates/core/src/fabric.rs`),
+//!    atomics/Mutex/Condvar must come from `crate::sync` /
+//!    `tss_exec::sync`, never `std::sync` directly — otherwise the
+//!    model checker silently loses sight of them (DESIGN.md §10.1).
+//! 4. **Citation integrity** — every `DESIGN.md §N[.M]` reference in a
+//!    source comment must resolve to a real heading in DESIGN.md.
+//! 5. **Crate hygiene** — every crate root carries
+//!    `#![forbid(unsafe_code)]`, or (for the one crate with an audited
+//!    unsafe surface) `#![deny(unsafe_op_in_unsafe_fn)]`.
+//!
+//! All checks run on a comment/string-stripped view of the source where
+//! that matters (so `"unsafe"` in a string or `Relaxed` in a doc
+//! comment never trips a check), while SAFETY/citation scanning reads
+//! the raw text (that is where the comments live). Exit status is
+//! nonzero iff any violation is found — CI's `verify` job gates on it.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint finding, pointing at `file:line` (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Violation {
+    file: String,
+    line: usize,
+    msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.msg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Source stripping
+// ---------------------------------------------------------------------
+
+/// Replaces the *contents* of comments, string literals, and char
+/// literals with spaces, preserving every newline so line numbers in
+/// the stripped text match the raw text. Handles nested block
+/// comments, escapes, raw strings (`r"..."`, `r#"..."#`, `br"..."`),
+/// byte strings, and tells lifetimes (`'a`) apart from char literals.
+fn strip_code(src: &str) -> String {
+    strip_code_opts(src, false)
+}
+
+/// Like [`strip_code`], but keeps comment text (the citation check
+/// reads comments while still ignoring string literals, so a bogus
+/// section token inside a test-fixture string is not a citation).
+fn strip_strings(src: &str) -> String {
+    strip_code_opts(src, true)
+}
+
+fn strip_code_opts(src: &str, keep_comments: bool) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    // Pushes a char as-is if it's a newline, else a space.
+    fn blank(out: &mut String, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                if keep_comments {
+                    out.push(b[i]);
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nesting).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 0;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    if keep_comments {
+                        out.push('/');
+                        out.push('*');
+                    } else {
+                        out.push(' ');
+                        out.push(' ');
+                    }
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    if keep_comments {
+                        out.push('*');
+                        out.push('/');
+                    } else {
+                        out.push(' ');
+                        out.push(' ');
+                    }
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if keep_comments {
+                        out.push(b[i]);
+                    } else {
+                        blank(&mut out, b[i]);
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte string starts, unless `r`/`b` is part of an identifier.
+        let prev_ident = i > 0 && ident(b[i - 1]);
+        if !prev_ident && (c == 'r' || c == 'b') {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 1;
+            }
+            let mut k = j + 1;
+            let mut hashes = 0;
+            while b[j] == 'r' && k < n && b[k] == '#' {
+                hashes += 1;
+                k += 1;
+            }
+            if k < n && b[k] == '"' {
+                // Emit the prefix + opening quote literally.
+                for &p in &b[i..=k] {
+                    out.push(p);
+                }
+                i = k + 1;
+                // Raw strings have no escapes; plain `b"` does.
+                let raw = b[j] == 'r';
+                while i < n {
+                    if b[i] == '"' {
+                        if raw {
+                            let close = (1..=hashes).all(|h| i + h < n && b[i + h] == '#');
+                            if close {
+                                out.push('"');
+                                for _ in 0..hashes {
+                                    out.push('#');
+                                }
+                                i += 1 + hashes;
+                                break;
+                            }
+                            blank(&mut out, b[i]);
+                            i += 1;
+                        } else {
+                            out.push('"');
+                            i += 1;
+                            break;
+                        }
+                    } else if !raw && b[i] == '\\' && i + 1 < n {
+                        blank(&mut out, b[i]);
+                        blank(&mut out, b[i + 1]);
+                        i += 2;
+                    } else {
+                        blank(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        // Plain string literal.
+        if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    blank(&mut out, b[i]);
+                    blank(&mut out, b[i + 1]);
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let escaped = i + 1 < n && b[i + 1] == '\\';
+            let closed = i + 2 < n && b[i + 2] == '\'';
+            if escaped {
+                out.push('\'');
+                i += 1;
+                while i < n && b[i] != '\'' {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+                if i < n {
+                    out.push('\'');
+                    i += 1;
+                }
+                continue;
+            }
+            if closed {
+                out.push('\'');
+                blank(&mut out, b[i + 1]);
+                out.push('\'');
+                i += 3;
+                continue;
+            }
+            // Lifetime — leave as-is.
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Whether `line` contains `word` bounded by non-identifier chars.
+fn has_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !ident(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !ident(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Check 1: SAFETY comments on unsafe
+// ---------------------------------------------------------------------
+
+/// Every line whose *stripped* text contains the `unsafe` keyword must
+/// carry a `SAFETY:` justification: on the same raw line, or in the
+/// comment/attribute block directly above (walking over chained
+/// `unsafe impl` lines so a pair of Send/Sync impls can share one).
+fn check_unsafe_documented(file: &str, raw: &[&str], stripped: &[&str]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, s) in stripped.iter().enumerate() {
+        if !has_word(s, "unsafe") {
+            continue;
+        }
+        if raw[i].contains("SAFETY:") {
+            continue;
+        }
+        let mut ok = false;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let t = raw[j].trim_start();
+            let comment =
+                t.starts_with("//") || t.starts_with("/*") || t.starts_with('*') || t == "*/";
+            if comment {
+                if t.contains("SAFETY:") {
+                    ok = true;
+                    break;
+                }
+                continue;
+            }
+            if t.starts_with("#[") || t.starts_with("#![") {
+                continue;
+            }
+            if has_word(stripped[j], "unsafe") {
+                // A chained unsafe line (e.g. paired Send/Sync impls);
+                // keep walking to the shared comment above it.
+                continue;
+            }
+            break;
+        }
+        if !ok {
+            out.push(Violation {
+                file: file.to_string(),
+                line: i + 1,
+                msg: "`unsafe` without a preceding `// SAFETY:` comment".into(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Check 2: Ordering::Relaxed allowlist
+// ---------------------------------------------------------------------
+
+/// A parsed `ci/relaxed_allowlist.txt` entry: `path:line  rationale`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AllowEntry {
+    file: String,
+    line: usize,
+    rationale: String,
+    /// Line *within the allowlist file* (for error reporting).
+    at: usize,
+}
+
+/// Parses the allowlist; `#`-lines and blank lines are comments.
+/// Malformed entries come back as violations against the list itself.
+fn parse_allowlist(list_path: &str, text: &str) -> (Vec<AllowEntry>, Vec<Violation>) {
+    let mut entries = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.splitn(2, char::is_whitespace);
+        let locator = parts.next().unwrap_or("");
+        let rationale = parts.next().unwrap_or("").trim();
+        let parsed = locator
+            .rsplit_once(':')
+            .and_then(|(f, l)| l.parse::<usize>().ok().map(|l| (f.to_string(), l)));
+        match parsed {
+            Some((file, line)) if !rationale.is_empty() => {
+                entries.push(AllowEntry {
+                    file,
+                    line,
+                    rationale: rationale.to_string(),
+                    at: idx + 1,
+                });
+            }
+            Some(_) => bad.push(Violation {
+                file: list_path.to_string(),
+                line: idx + 1,
+                msg: "allowlist entry has no rationale".into(),
+            }),
+            None => bad.push(Violation {
+                file: list_path.to_string(),
+                line: idx + 1,
+                msg: "malformed allowlist entry (expected `path:line  rationale`)".into(),
+            }),
+        }
+    }
+    (entries, bad)
+}
+
+/// An `Ordering::Relaxed` occurrence in stripped source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RelaxedSite {
+    file: String,
+    line: usize,
+}
+
+fn find_relaxed(file: &str, stripped: &[&str]) -> Vec<RelaxedSite> {
+    stripped
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.contains("Ordering::Relaxed"))
+        .map(|(i, _)| RelaxedSite { file: file.to_string(), line: i + 1 })
+        .collect()
+}
+
+/// Cross-checks sites against the allowlist both ways: unallowlisted
+/// sites are violations at the source, stale entries are violations at
+/// the list.
+fn check_relaxed(list_path: &str, sites: &[RelaxedSite], entries: &[AllowEntry]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let allowed: BTreeSet<(&str, usize)> =
+        entries.iter().map(|e| (e.file.as_str(), e.line)).collect();
+    let actual: BTreeSet<(&str, usize)> = sites.iter().map(|s| (s.file.as_str(), s.line)).collect();
+    for s in sites {
+        if !allowed.contains(&(s.file.as_str(), s.line)) {
+            out.push(Violation {
+                file: s.file.clone(),
+                line: s.line,
+                msg: "`Ordering::Relaxed` not in ci/relaxed_allowlist.txt \
+                      (add it with a rationale, or strengthen the ordering; \
+                      `tss-lint --print-relaxed` regenerates the list)"
+                    .into(),
+            });
+        }
+    }
+    for e in entries {
+        if !actual.contains(&(e.file.as_str(), e.line)) {
+            out.push(Violation {
+                file: list_path.to_string(),
+                line: e.at,
+                msg: format!(
+                    "stale allowlist entry: {}:{} has no `Ordering::Relaxed`",
+                    e.file, e.line
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Check 3: sync facade
+// ---------------------------------------------------------------------
+
+/// Whether `file` (repo-relative, `/`-separated) is inside the facade
+/// boundary: all of `crates/exec/src/` except the facade itself, plus
+/// the fabric (which shares the model-checked claim protocol).
+fn facade_scoped(file: &str) -> bool {
+    (file.starts_with("crates/exec/src/") && file != "crates/exec/src/sync.rs")
+        || file == "crates/core/src/fabric.rs"
+}
+
+fn check_facade(file: &str, stripped: &[&str]) -> Vec<Violation> {
+    if !facade_scoped(file) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, s) in stripped.iter().enumerate() {
+        let direct = s.contains("std::sync::atomic")
+            || s.contains("std::sync::Mutex")
+            || s.contains("std::sync::Condvar");
+        let grouped = s.contains("std::sync::{")
+            && (s.contains("Mutex") || s.contains("Condvar") || s.contains("atomic"));
+        if direct || grouped {
+            out.push(Violation {
+                file: file.to_string(),
+                line: i + 1,
+                msg: "atomics/locks must be imported via the sync facade \
+                      (`crate::sync` / `tss_exec::sync`), not `std::sync` — \
+                      the model checker cannot see std primitives (DESIGN.md §10.1)"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Check 4: DESIGN.md § citations
+// ---------------------------------------------------------------------
+
+/// Extracts every `§N[.M[...]]` token from `text`, not consuming a
+/// trailing `.` that ends a sentence (`…DESIGN.md §4.` cites §4).
+fn section_tokens(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (li, line) in text.lines().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if chars[i] != '§' {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            let mut tok = String::new();
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                tok.push(chars[j]);
+                j += 1;
+            }
+            // Dotted components, only when a digit follows the dot.
+            while j + 1 < chars.len() && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                tok.push('.');
+                j += 1;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    tok.push(chars[j]);
+                    j += 1;
+                }
+            }
+            if !tok.is_empty() {
+                out.push((li + 1, tok));
+            }
+            i = j.max(i + 1);
+        }
+    }
+    out
+}
+
+/// Headings defined in DESIGN.md: every `§` token on a markdown
+/// heading line (`#`…).
+fn design_headings(design: &str) -> BTreeSet<String> {
+    design
+        .lines()
+        .filter(|l| l.starts_with('#'))
+        .flat_map(|l| section_tokens(l).into_iter().map(|(_, t)| t))
+        .collect()
+}
+
+fn check_citations(file: &str, raw_text: &str, headings: &BTreeSet<String>) -> Vec<Violation> {
+    section_tokens(raw_text)
+        .into_iter()
+        .filter(|(_, tok)| !headings.contains(tok))
+        .map(|(line, tok)| Violation {
+            file: file.to_string(),
+            line,
+            msg: format!("citation §{tok} does not match any DESIGN.md heading"),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Check 5: crate hygiene
+// ---------------------------------------------------------------------
+
+fn check_hygiene(file: &str, raw_text: &str) -> Vec<Violation> {
+    let ok = raw_text.contains("#![forbid(unsafe_code)]")
+        || raw_text.contains("#![deny(unsafe_op_in_unsafe_fn)]");
+    if ok {
+        Vec::new()
+    } else {
+        vec![Violation {
+            file: file.to_string(),
+            line: 1,
+            msg: "crate root lacks `#![forbid(unsafe_code)]` (or, for an audited \
+                  unsafe surface, `#![deny(unsafe_op_in_unsafe_fn)]`)"
+                .into(),
+        }]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = rd.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if p.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                walk_rs(&p, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/")
+}
+
+const ALLOWLIST: &str = "ci/relaxed_allowlist.txt";
+
+struct LoadedFile {
+    rel: String,
+    raw: String,
+    stripped: String,
+}
+
+fn load_files(root: &Path, dirs: &[&str]) -> Vec<LoadedFile> {
+    let mut paths = Vec::new();
+    for d in dirs {
+        walk_rs(&root.join(d), &mut paths);
+    }
+    paths
+        .into_iter()
+        .filter_map(|p| {
+            let raw = fs::read_to_string(&p).ok()?;
+            let stripped = strip_code(&raw);
+            Some(LoadedFile { rel: rel(root, &p), raw, stripped })
+        })
+        .collect()
+}
+
+fn run(root: &Path, print_relaxed: bool) -> ExitCode {
+    // First-party production + test code: checks 1–4.
+    let core = load_files(root, &["src", "crates"]);
+    // The vendored model checker is ours too: checks 1 and 4 (its own
+    // mirror-store Relaxed uses are instrumentation, not protocol, so
+    // the allowlist doesn't cover it).
+    let aux = load_files(root, &["vendor/shuttle/src"]);
+
+    let mut sites = Vec::new();
+    for f in &core {
+        let stripped: Vec<&str> = f.stripped.lines().collect();
+        sites.extend(find_relaxed(&f.rel, &stripped));
+    }
+
+    if print_relaxed {
+        // Regenerate the allowlist body, keeping rationales for entries
+        // whose file:line still matches.
+        let existing = fs::read_to_string(root.join(ALLOWLIST)).unwrap_or_default();
+        let (entries, _) = parse_allowlist(ALLOWLIST, &existing);
+        for s in &sites {
+            let rationale = entries
+                .iter()
+                .find(|e| e.file == s.file && e.line == s.line)
+                .map(|e| e.rationale.as_str())
+                .unwrap_or("FIXME: justify this Relaxed or strengthen it");
+            println!("{}:{}  {}", s.file, s.line, rationale);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut violations = Vec::new();
+
+    for f in core.iter().chain(aux.iter()) {
+        let raw: Vec<&str> = f.raw.lines().collect();
+        let stripped: Vec<&str> = f.stripped.lines().collect();
+        violations.extend(check_unsafe_documented(&f.rel, &raw, &stripped));
+    }
+
+    match fs::read_to_string(root.join(ALLOWLIST)) {
+        Ok(text) => {
+            let (entries, bad) = parse_allowlist(ALLOWLIST, &text);
+            violations.extend(bad);
+            violations.extend(check_relaxed(ALLOWLIST, &sites, &entries));
+        }
+        Err(_) => violations.push(Violation {
+            file: ALLOWLIST.to_string(),
+            line: 1,
+            msg: "missing (run `tss-lint --print-relaxed` to generate it)".into(),
+        }),
+    }
+
+    for f in &core {
+        let stripped: Vec<&str> = f.stripped.lines().collect();
+        violations.extend(check_facade(&f.rel, &stripped));
+    }
+
+    match fs::read_to_string(root.join("DESIGN.md")) {
+        Ok(design) => {
+            let headings = design_headings(&design);
+            for f in core.iter().chain(aux.iter()) {
+                violations.extend(check_citations(&f.rel, &strip_strings(&f.raw), &headings));
+            }
+        }
+        Err(_) => violations.push(Violation {
+            file: "DESIGN.md".into(),
+            line: 1,
+            msg: "missing — citation check cannot run".into(),
+        }),
+    }
+
+    let mut roots: Vec<PathBuf> =
+        vec![root.join("src/lib.rs"), root.join("vendor/shuttle/src/lib.rs")];
+    if let Ok(rd) = fs::read_dir(root.join("crates")) {
+        for e in rd.flatten() {
+            roots.push(e.path().join("src/lib.rs"));
+        }
+    }
+    roots.sort();
+    for p in roots {
+        if let Ok(text) = fs::read_to_string(&p) {
+            violations.extend(check_hygiene(&rel(root, &p), &text));
+        }
+    }
+
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    for v in &violations {
+        eprintln!("error: {v}");
+    }
+    if violations.is_empty() {
+        eprintln!(
+            "tss-lint: clean ({} files, {} Relaxed sites allowlisted)",
+            core.len() + aux.len(),
+            sites.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tss-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut print_relaxed = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--print-relaxed" => print_relaxed = true,
+            "--help" | "-h" => {
+                println!(
+                    "tss-lint [--root DIR] [--print-relaxed]\n\
+                     Static checks for the tss execution core (DESIGN.md §10):\n\
+                     SAFETY comments, the Ordering::Relaxed allowlist, the sync\n\
+                     facade boundary, DESIGN.md citation integrity, and crate\n\
+                     hygiene attributes. Exits nonzero on any violation."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    run(&root, print_relaxed)
+}
+
+// ---------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(s: &str) -> Vec<&str> {
+        s.lines().collect()
+    }
+
+    #[test]
+    fn strip_blanks_comments_and_strings_but_keeps_lines() {
+        let src = "let a = \"unsafe\"; // unsafe here\n/* unsafe\nstill */ let b = 'x';\n";
+        let out = strip_code(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(!out.contains("unsafe"));
+        assert!(out.contains("let a = "));
+        assert!(out.contains("let b = "));
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let s = r#\"Ordering::Relaxed \"quoted\"\"#; }";
+        let out = strip_code(src);
+        assert!(!out.contains("Relaxed"));
+        assert!(out.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn strip_handles_nested_block_comments_and_escapes() {
+        let src = "/* outer /* inner */ still comment */ let c = '\\n'; let s = \"a\\\"unsafe\";";
+        let out = strip_code(src);
+        assert!(!out.contains("unsafe"));
+        assert!(!out.contains("comment"));
+        assert!(out.contains("let c ="));
+    }
+
+    #[test]
+    fn word_boundaries_exclude_identifiers() {
+        assert!(has_word("unsafe {", "unsafe"));
+        assert!(has_word("x = unsafe;", "unsafe"));
+        assert!(!has_word("unsafe_op_in_unsafe_fn", "unsafe"));
+        assert!(!has_word("deny(unsafe_code)", "unsafe"));
+    }
+
+    #[test]
+    fn documented_unsafe_passes() {
+        let src = "\
+// SAFETY: ptr is valid, see grow().
+let x = unsafe { *p };
+";
+        let stripped = strip_code(src);
+        let v = check_unsafe_documented("f.rs", &lines(src), &lines(&stripped));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn chained_unsafe_impls_share_one_comment() {
+        let src = "\
+// SAFETY: cells are atomics; cross-thread reads are validated.
+unsafe impl Send for T {}
+unsafe impl Sync for T {}
+";
+        let stripped = strip_code(src);
+        let v = check_unsafe_documented("f.rs", &lines(src), &lines(&stripped));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn undocumented_unsafe_fails_even_behind_attr() {
+        let src = "\
+// just a comment, not the magic word
+#[inline]
+unsafe fn f() {}
+
+let y = unsafe { g() };
+";
+        let stripped = strip_code(src);
+        let v = check_unsafe_documented("f.rs", &lines(src), &lines(&stripped));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, 3);
+        assert_eq!(v[1].line, 5);
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_ignored() {
+        let src = "let m = \"unsafe soup\"; // unsafe? no.\n";
+        let stripped = strip_code(src);
+        let v = check_unsafe_documented("f.rs", &lines(src), &lines(&stripped));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allowlist_round_trip() {
+        let (entries, bad) = parse_allowlist(
+            "ci/relaxed_allowlist.txt",
+            "# comment\n\ncrates/exec/src/deque.rs:84  counter only\nbad-line\nf.rs:9\n",
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].file, "crates/exec/src/deque.rs");
+        assert_eq!(entries[0].line, 84);
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        assert!(bad[0].msg.contains("malformed"));
+        assert!(bad[1].msg.contains("no rationale"));
+    }
+
+    #[test]
+    fn relaxed_flags_both_directions() {
+        let sites = vec![
+            RelaxedSite { file: "a.rs".into(), line: 3 },
+            RelaxedSite { file: "a.rs".into(), line: 7 },
+        ];
+        let entries = vec![
+            AllowEntry { file: "a.rs".into(), line: 3, rationale: "ok".into(), at: 1 },
+            AllowEntry { file: "b.rs".into(), line: 1, rationale: "gone".into(), at: 2 },
+        ];
+        let v = check_relaxed("LIST", &sites, &entries);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|x| x.file == "a.rs" && x.line == 7));
+        assert!(v.iter().any(|x| x.file == "LIST" && x.msg.contains("stale")));
+    }
+
+    #[test]
+    fn relaxed_in_comments_does_not_count() {
+        let src = "// Ordering::Relaxed would be wrong here\nx.load(Ordering::Acquire);\n";
+        let stripped = strip_code(src);
+        assert!(find_relaxed("f.rs", &lines(&stripped)).is_empty());
+    }
+
+    #[test]
+    fn facade_scope_is_exact() {
+        assert!(facade_scoped("crates/exec/src/deque.rs"));
+        assert!(facade_scoped("crates/exec/src/executor.rs"));
+        assert!(facade_scoped("crates/core/src/fabric.rs"));
+        assert!(!facade_scoped("crates/exec/src/sync.rs"));
+        assert!(!facade_scoped("crates/core/src/lib.rs"));
+        assert!(!facade_scoped("vendor/shuttle/src/sync.rs"));
+    }
+
+    #[test]
+    fn facade_catches_std_sync_imports() {
+        let src = "\
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::sync::Arc;
+use crate::sync::atomic::AtomicU32;
+";
+        let stripped = strip_code(src);
+        let v = check_facade("crates/exec/src/deque.rs", &lines(&stripped));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!((v[0].line, v[1].line), (1, 2));
+    }
+
+    #[test]
+    fn citation_tokens_trim_sentence_periods() {
+        let toks = section_tokens("see DESIGN.md §4. Also §9.2. And §10.1, §3");
+        let vals: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(vals, vec!["4", "9.2", "10.1", "3"]);
+    }
+
+    #[test]
+    fn citations_resolve_against_headings() {
+        let design = "# DESIGN\n## §1 Intro\n### §1.1 Sub\n## §2 More\nbody §99 not a heading\n";
+        let headings = design_headings(design);
+        assert!(headings.contains("1.1") && !headings.contains("99"));
+        let v = check_citations("f.rs", "// §1.1 ok\n// §2 ok\n// §9.9 nope\n", &headings);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].msg.contains("§9.9"));
+    }
+
+    #[test]
+    fn citations_in_string_literals_are_not_citations() {
+        let src = "// real cite §1\nlet fixture = \"fake cite §99\";\n";
+        let kept = strip_strings(src);
+        let toks: Vec<String> = section_tokens(&kept).into_iter().map(|(_, t)| t).collect();
+        assert_eq!(toks, vec!["1"]);
+    }
+
+    #[test]
+    fn hygiene_accepts_either_attr_rejects_neither() {
+        assert!(check_hygiene("a.rs", "#![forbid(unsafe_code)]\n").is_empty());
+        assert!(check_hygiene("a.rs", "#![deny(unsafe_op_in_unsafe_fn)]\n").is_empty());
+        assert_eq!(check_hygiene("a.rs", "pub fn f() {}\n").len(), 1);
+    }
+}

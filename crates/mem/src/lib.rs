@@ -19,6 +19,8 @@
 //!    complete, tested MSI directory — the substrate the paper's CMP
 //!    assumes.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod coherence;
 pub mod dram;

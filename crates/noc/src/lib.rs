@@ -22,6 +22,8 @@
 //! and distance-proportional latency, which are the properties the
 //! evaluation is sensitive to (DESIGN.md §3.3).
 
+#![forbid(unsafe_code)]
+
 use tss_sim::{Cycle, LaneServer};
 
 /// Endpoints attachable to the network.

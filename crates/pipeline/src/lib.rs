@@ -43,6 +43,8 @@
 //! assert_eq!(stats.tasks_decoded, 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod assembly;
 pub mod blocks;
 pub mod config;

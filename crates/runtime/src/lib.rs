@@ -14,6 +14,8 @@
 //! oracle, as the real runtime computes exact dependencies), and feeds
 //! the same `tss-backend` core pool the hardware pipeline uses.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use tss_backend::{BackendConfig, CompletionSink, CorePool};

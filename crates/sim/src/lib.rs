@@ -37,6 +37,8 @@
 //! concrete component types) via [`Simulation::with_store`] so every
 //! delivery is a direct match arm instead of a virtual call.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod rng;
 pub mod server;

@@ -15,6 +15,8 @@
 //! [`analytics`] provides graph analytics (critical path, parallelism
 //! profile, the Section-II decode-rate rule `R = T/P`).
 
+#![forbid(unsafe_code)]
+
 pub mod analytics;
 pub mod graph;
 pub mod io;

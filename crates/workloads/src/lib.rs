@@ -14,6 +14,8 @@
 //!
 //! All generators are deterministic per seed.
 
+#![forbid(unsafe_code)]
+
 pub mod cholesky;
 pub mod common;
 pub mod fft;

@@ -36,6 +36,8 @@
 //! assert!(report.speedup() > 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use tss_backend as backend;
 pub use tss_core as core;
 pub use tss_exec as exec;

@@ -1,0 +1,873 @@
+//! The execution core: one model run = one deterministic schedule.
+//!
+//! Model threads are real OS threads, but exactly one holds the "run
+//! token" (`ExecState::current`) at any instant; every atomic, mutex,
+//! condvar, spawn, and join operation is a *yield point* where the
+//! scheduling policy picks the next thread to run. All shared-memory
+//! semantics are interpreted under the state lock, so the model run is
+//! free of real data races by construction and fully determined by the
+//! policy's choice sequence.
+//!
+//! The memory model (DESIGN.md §10.2) is a vector-clock interpretation
+//! of C11 release/acquire:
+//!
+//! - every atomic location keeps its full modification order (a list of
+//!   [`StoreRec`]s);
+//! - a load may read any store not *hidden* — a store is hidden if a
+//!   newer store to the same location happens-before the reader, or the
+//!   reader has already read past it (coherence);
+//! - release stores carry the writer's clock; acquire loads that read
+//!   them join it. Relaxed stores carry nothing, so stale reads remain
+//!   possible — which is exactly the bug class being explored;
+//! - `SeqCst` operations and fences additionally join a global SC
+//!   clock both ways, approximating the single total order S by the
+//!   execution's own interleaving order (stronger than C11; §10.4
+//!   records the soundness consequences).
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to tear threads down after a failure was already
+/// recorded; never reported as a failure itself.
+pub(crate) struct Abort;
+
+/// A vector clock: `vc[t]` = how far of thread `t`'s timeline the owner
+/// has synchronized with.
+pub(crate) type VClock = Vec<u32>;
+
+fn vc_join(a: &mut VClock, b: &[u32]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        if *x < y {
+            *x = y;
+        }
+    }
+}
+
+/// Memory orderings, mirrored from `std` (the facade re-exports std's
+/// enum; the sync layer maps it onto these two predicates).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct OrdBits {
+    pub acquire: bool,
+    pub release: bool,
+    pub seq_cst: bool,
+}
+
+impl OrdBits {
+    pub(crate) fn of(o: std::sync::atomic::Ordering) -> OrdBits {
+        use std::sync::atomic::Ordering::*;
+        match o {
+            Relaxed => OrdBits { acquire: false, release: false, seq_cst: false },
+            Acquire => OrdBits { acquire: true, release: false, seq_cst: false },
+            Release => OrdBits { acquire: false, release: true, seq_cst: false },
+            AcqRel => OrdBits { acquire: true, release: true, seq_cst: false },
+            SeqCst => OrdBits { acquire: true, release: true, seq_cst: true },
+            _ => OrdBits { acquire: true, release: true, seq_cst: true },
+        }
+    }
+}
+
+/// One store in a location's modification order.
+struct StoreRec {
+    val: u64,
+    /// Writing thread; `usize::MAX` marks the initial value, which is
+    /// treated as happening-before every reader (an atomic cannot be
+    /// shared in safe Rust without an edge from its creation).
+    writer: usize,
+    /// The writer's own clock component at store time (for the
+    /// hidden-store test).
+    stamp: u32,
+    /// The writer's full clock if this store releases (directly, or as
+    /// an RMW continuing a release sequence); acquire readers join it.
+    rel: Option<VClock>,
+}
+
+struct Location {
+    history: Vec<StoreRec>,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCv(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadInfo {
+    status: Status,
+    vc: VClock,
+    /// Per-location coherence floor: the largest modification-order
+    /// index this thread has read or written (it may never read older).
+    read_idx: Vec<usize>,
+}
+
+struct MutexState {
+    owner: Option<usize>,
+    /// Accumulated release clock: every unlock joins into it, every
+    /// lock joins from it (the lock's happens-before edge).
+    rel: VClock,
+}
+
+struct CvState {
+    waiters: Vec<usize>,
+}
+
+/// What kind of decision a choice point is (PCT treats them
+/// differently; DFS and replay do not).
+pub(crate) enum Choice<'a> {
+    /// Pick which runnable thread executes the next operation.
+    Thread(&'a [usize]),
+    /// Pick among `n` data alternatives (which store a load reads,
+    /// which condvar waiter a notify wakes).
+    Data(usize),
+}
+
+/// A scheduling policy: maps each choice point to one option index.
+pub(crate) enum Policy {
+    /// Depth-first enumeration of the whole choice tree.
+    Dfs { stack: Vec<(usize, usize)>, depth: usize },
+    /// Uniform-random choices from a split-mix stream.
+    Random { rng: u64 },
+    /// PCT-style: random thread priorities, highest-priority runnable
+    /// thread runs, with `depth` priority-change points; data choices
+    /// are uniform-random.
+    Pct { rng: u64, prios: Vec<u64>, change: Vec<usize>, step: usize, next_low: u64 },
+    /// Replays a recorded choice sequence exactly.
+    Replay { trace: Vec<usize>, pos: usize },
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Policy {
+    pub(crate) fn pct(seed: u64, depth: usize, horizon: usize) -> Policy {
+        let mut rng = seed ^ 0xD1B5_4A32_D192_ED03;
+        let change = (0..depth).map(|_| (splitmix(&mut rng) as usize) % horizon.max(1)).collect();
+        Policy::Pct { rng, prios: Vec::new(), change, step: 0, next_low: 0 }
+    }
+
+    fn choose(&mut self, c: &Choice<'_>) -> usize {
+        let n = match c {
+            Choice::Thread(tids) => tids.len(),
+            Choice::Data(n) => *n,
+        };
+        debug_assert!(n >= 1);
+        match self {
+            Policy::Dfs { stack, depth } => {
+                let d = *depth;
+                *depth += 1;
+                if d < stack.len() {
+                    stack[d].1 = n;
+                    stack[d].0.min(n - 1)
+                } else {
+                    stack.push((0, n));
+                    0
+                }
+            }
+            Policy::Random { rng } => (splitmix(rng) as usize) % n,
+            Policy::Pct { rng, prios, change, step, next_low } => {
+                match c {
+                    Choice::Thread(tids) => {
+                        while prios.len() <= *tids.iter().max().unwrap() {
+                            let p = splitmix(rng) | (1 << 32);
+                            prios.push(p);
+                        }
+                        *step += 1;
+                        let best = |prios: &[u64]| {
+                            tids.iter()
+                                .enumerate()
+                                .max_by_key(|(_, &t)| prios[t])
+                                .map(|(i, _)| i)
+                                .unwrap()
+                        };
+                        if change.contains(step) {
+                            // Demote the thread that would have run:
+                            // the PCT priority-change point.
+                            let i = best(prios);
+                            *next_low += 1;
+                            prios[tids[i]] = *next_low;
+                        }
+                        best(prios)
+                    }
+                    Choice::Data(n) => (splitmix(rng) as usize) % n,
+                }
+            }
+            Policy::Replay { trace, pos } => {
+                let i = *pos;
+                *pos += 1;
+                let c = trace.get(i).copied().unwrap_or_else(|| {
+                    panic!("shuttle replay diverged: trace ended at choice {i}")
+                });
+                assert!(c < n, "shuttle replay diverged: choice {i} is {c} of {n} options");
+                c
+            }
+        }
+    }
+}
+
+struct ExecState {
+    threads: Vec<ThreadInfo>,
+    current: usize,
+    locs: Vec<Location>,
+    mutexes: Vec<MutexState>,
+    cvs: Vec<CvState>,
+    /// The global SC clock (approximates C11's total order S).
+    sc: VClock,
+    policy: Policy,
+    /// Every choice made this run, in order (the replayable schedule).
+    trace: Vec<usize>,
+    steps: usize,
+    failure: Option<Failure>,
+    aborted: bool,
+    real: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// A recorded failure: the panic message plus the choice trace that
+/// reached it.
+#[derive(Clone, Debug)]
+pub(crate) struct Failure {
+    pub msg: String,
+    pub trace: Vec<usize>,
+}
+
+pub(crate) struct ExecInner {
+    pub(crate) epoch: u32,
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    max_steps: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<ExecInner>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling thread's model context, if it is a model thread.
+pub(crate) fn ctx() -> Option<(Arc<ExecInner>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(v: Option<(Arc<ExecInner>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = v);
+}
+
+/// Binds the calling OS thread to a model thread id (used by the spawn
+/// wrapper on the child side).
+pub(crate) fn adopt(exec: Arc<ExecInner>, tid: usize) {
+    set_ctx(Some((exec, tid)));
+}
+
+static EPOCHS: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(1);
+
+pub(crate) fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+impl ExecInner {
+    fn new(policy: Policy, max_steps: usize) -> ExecInner {
+        ExecInner {
+            epoch: EPOCHS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            state: Mutex::new(ExecState {
+                threads: vec![ThreadInfo {
+                    status: Status::Runnable,
+                    vc: vec![1],
+                    read_idx: Vec::new(),
+                }],
+                current: 0,
+                locs: Vec::new(),
+                mutexes: Vec::new(),
+                cvs: Vec::new(),
+                sc: Vec::new(),
+                policy,
+                trace: Vec::new(),
+                steps: 0,
+                failure: None,
+                aborted: false,
+                real: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            max_steps,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.lock().aborted
+    }
+
+    /// Records the first failure (later ones lose) and tears the run
+    /// down: every parked model thread unblocks into an `Abort` panic.
+    pub(crate) fn record_failure(&self, msg: String) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            let trace = st.trace.clone();
+            st.failure = Some(Failure { msg, trace });
+        }
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+
+    fn fail_locked(&self, st: &mut ExecState, msg: String) {
+        if st.failure.is_none() {
+            let trace = st.trace.clone();
+            st.failure = Some(Failure { msg, trace });
+        }
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+
+    /// One choice: which thread runs the next operation. Blocks until
+    /// the policy hands the token back to `me`.
+    pub(crate) fn schedule(&self, me: usize) {
+        let mut st = self.lock();
+        if st.aborted {
+            drop(st);
+            panic::panic_any(Abort);
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            let max = self.max_steps;
+            self.fail_locked(
+                &mut st,
+                format!("schedule exceeded {max} steps — livelock or unbounded retry loop"),
+            );
+            drop(st);
+            panic::panic_any(Abort);
+        }
+        let runnable: Vec<usize> =
+            (0..st.threads.len()).filter(|&t| st.threads[t].status == Status::Runnable).collect();
+        debug_assert!(runnable.contains(&me), "scheduling a non-runnable thread");
+        // Single-option choices are not recorded: they add no branching,
+        // and skipping them keeps DFS depth equal to real decisions.
+        if runnable.len() == 1 {
+            st.current = runnable[0];
+        } else {
+            let i = st.policy.choose(&Choice::Thread(&runnable));
+            st.trace.push(i);
+            st.current = runnable[i];
+        }
+        if st.current != me {
+            self.cv.notify_all();
+            self.wait_for_turn(st, me);
+        }
+    }
+
+    /// Waits until `me` is both runnable and holds the token; panics
+    /// `Abort` if the run was torn down meanwhile.
+    fn wait_for_turn(&self, mut st: MutexGuard<'_, ExecState>, me: usize) {
+        loop {
+            if st.aborted {
+                drop(st);
+                panic::panic_any(Abort);
+            }
+            if st.current == me && st.threads[me].status == Status::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks `me` with `status` and hands the token to someone else;
+    /// returns (re-locked) once `me` is runnable and scheduled again.
+    fn block_on(
+        &self,
+        mut st: MutexGuard<'_, ExecState>,
+        me: usize,
+        status: Status,
+    ) -> MutexGuard<'_, ExecState> {
+        st.threads[me].status = status;
+        self.pick_next(&mut st);
+        self.cv.notify_all();
+        self.wait_for_turn(st, me);
+        self.lock()
+    }
+
+    /// Hands the token to some runnable thread; detects deadlock and
+    /// run completion when there is none.
+    fn pick_next(&self, st: &mut ExecState) {
+        let runnable: Vec<usize> =
+            (0..st.threads.len()).filter(|&t| st.threads[t].status == Status::Runnable).collect();
+        if runnable.is_empty() {
+            if st.threads.iter().any(|t| t.status != Status::Finished) {
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status != Status::Finished)
+                    .map(|(i, t)| format!("thread {i}: {:?}", t.status))
+                    .collect();
+                self.fail_locked(st, format!("deadlock: {}", blocked.join(", ")));
+            }
+            // All finished: nothing to schedule; the controller's
+            // completion wait observes it via the notify below.
+            return;
+        }
+        if runnable.len() == 1 {
+            st.current = runnable[0];
+        } else {
+            let i = st.policy.choose(&Choice::Thread(&runnable));
+            st.trace.push(i);
+            st.current = runnable[i];
+        }
+    }
+
+    // -- locations ----------------------------------------------------
+
+    pub(crate) fn register_loc(&self, init: u64) -> usize {
+        let mut st = self.lock();
+        st.locs.push(Location {
+            history: vec![StoreRec { val: init, writer: usize::MAX, stamp: 0, rel: None }],
+        });
+        st.locs.len() - 1
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutexes.push(MutexState { owner: None, rel: Vec::new() });
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_cv(&self) -> usize {
+        let mut st = self.lock();
+        st.cvs.push(CvState { waiters: Vec::new() });
+        st.cvs.len() - 1
+    }
+
+    // -- the memory model ---------------------------------------------
+
+    /// Coherence floor for `me` at `loc`: the newest store it must not
+    /// read behind (already-read stores and stores that happen-before).
+    fn floor(st: &ExecState, me: usize, loc: usize) -> usize {
+        let h = &st.locs[loc].history;
+        let mut lo = st.threads[me].read_idx.get(loc).copied().unwrap_or(0);
+        let vc = &st.threads[me].vc;
+        for (k, rec) in h.iter().enumerate().skip(lo + 1) {
+            let hb =
+                rec.writer == usize::MAX || vc.get(rec.writer).copied().unwrap_or(0) >= rec.stamp;
+            if hb {
+                lo = k;
+            }
+        }
+        lo
+    }
+
+    fn note_read(st: &mut ExecState, me: usize, loc: usize, idx: usize) {
+        let ri = &mut st.threads[me].read_idx;
+        if ri.len() <= loc {
+            ri.resize(loc + 1, 0);
+        }
+        ri[loc] = idx;
+    }
+
+    /// An atomic load: a schedule point, then a (possibly stale) read
+    /// chosen by the policy among the non-hidden stores.
+    pub(crate) fn atomic_load(&self, me: usize, loc: usize, o: OrdBits) -> u64 {
+        self.schedule(me);
+        let mut st = self.lock();
+        if o.seq_cst {
+            let sc = st.sc.clone();
+            vc_join(&mut st.threads[me].vc, &sc);
+        }
+        let lo = Self::floor(&st, me, loc);
+        let n = st.locs[loc].history.len() - lo;
+        let j = if n > 1 {
+            let c = st.policy.choose(&Choice::Data(n));
+            st.trace.push(c);
+            lo + c
+        } else {
+            lo
+        };
+        Self::note_read(&mut st, me, loc, j);
+        let (val, rel) = {
+            let rec = &st.locs[loc].history[j];
+            (rec.val, rec.rel.clone())
+        };
+        if o.acquire {
+            if let Some(rel) = rel {
+                vc_join(&mut st.threads[me].vc, &rel);
+            }
+        }
+        val
+    }
+
+    /// An atomic store: appends to the modification order; a release
+    /// store carries the writer's clock.
+    pub(crate) fn atomic_store(&self, me: usize, loc: usize, val: u64, o: OrdBits) {
+        self.schedule(me);
+        let mut st = self.lock();
+        if o.seq_cst {
+            let sc = st.sc.clone();
+            vc_join(&mut st.threads[me].vc, &sc);
+        }
+        st.threads[me].vc[me] += 1;
+        let stamp = st.threads[me].vc[me];
+        let rel = o.release.then(|| st.threads[me].vc.clone());
+        st.locs[loc].history.push(StoreRec { val, writer: me, stamp, rel });
+        let idx = st.locs[loc].history.len() - 1;
+        Self::note_read(&mut st, me, loc, idx);
+        if o.seq_cst {
+            let vc = st.threads[me].vc.clone();
+            vc_join(&mut st.sc, &vc);
+        }
+    }
+
+    /// An atomic read-modify-write: always operates on the newest store
+    /// (RMW atomicity), continues release sequences through itself.
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        loc: usize,
+        f: impl FnOnce(u64) -> u64,
+        o: OrdBits,
+    ) -> u64 {
+        self.schedule(me);
+        let mut st = self.lock();
+        if o.seq_cst {
+            let sc = st.sc.clone();
+            vc_join(&mut st.threads[me].vc, &sc);
+        }
+        let (old, prev_rel) = {
+            let rec = st.locs[loc].history.last().expect("location has an initial store");
+            (rec.val, rec.rel.clone())
+        };
+        if o.acquire {
+            if let Some(rel) = prev_rel.clone() {
+                vc_join(&mut st.threads[me].vc, &rel);
+            }
+        }
+        st.threads[me].vc[me] += 1;
+        let stamp = st.threads[me].vc[me];
+        // Release-sequence continuation: a reader that acquires this
+        // RMW's store synchronizes with the head release store too.
+        let rel = match (o.release.then(|| st.threads[me].vc.clone()), prev_rel) {
+            (Some(mut mine), Some(prev)) => {
+                vc_join(&mut mine, &prev);
+                Some(mine)
+            }
+            (Some(mine), None) => Some(mine),
+            (None, prev) => prev,
+        };
+        let val = f(old);
+        st.locs[loc].history.push(StoreRec { val, writer: me, stamp, rel });
+        let idx = st.locs[loc].history.len() - 1;
+        Self::note_read(&mut st, me, loc, idx);
+        if o.seq_cst {
+            let vc = st.threads[me].vc.clone();
+            vc_join(&mut st.sc, &vc);
+        }
+        old
+    }
+
+    /// Compare-exchange: success is an RMW on the newest store; failure
+    /// is modeled as a read of the newest store with the failure
+    /// ordering's acquire side (stronger than C11, which lets a failed
+    /// CAS read stale values — recorded in DESIGN.md §10.4).
+    pub(crate) fn atomic_cas(
+        &self,
+        me: usize,
+        loc: usize,
+        expected: u64,
+        new: u64,
+        ok: OrdBits,
+        err: OrdBits,
+    ) -> Result<u64, u64> {
+        self.schedule(me);
+        let mut st = self.lock();
+        let latest = st.locs[loc].history.last().expect("location has an initial store").val;
+        if latest == expected {
+            drop(st);
+            // Re-uses the RMW path (without an extra schedule point).
+            return Ok(self.rmw_locked(me, loc, |_| new, ok));
+        }
+        if err.seq_cst {
+            let sc = st.sc.clone();
+            vc_join(&mut st.threads[me].vc, &sc);
+        }
+        let idx = st.locs[loc].history.len() - 1;
+        Self::note_read(&mut st, me, loc, idx);
+        if err.acquire {
+            let rel = st.locs[loc].history[idx].rel.clone();
+            if let Some(rel) = rel {
+                vc_join(&mut st.threads[me].vc, &rel);
+            }
+        }
+        Err(latest)
+    }
+
+    /// The RMW body without the leading schedule point (the CAS already
+    /// scheduled).
+    fn rmw_locked(&self, me: usize, loc: usize, f: impl FnOnce(u64) -> u64, o: OrdBits) -> u64 {
+        let mut st = self.lock();
+        if o.seq_cst {
+            let sc = st.sc.clone();
+            vc_join(&mut st.threads[me].vc, &sc);
+        }
+        let (old, prev_rel) = {
+            let rec = st.locs[loc].history.last().expect("location has an initial store");
+            (rec.val, rec.rel.clone())
+        };
+        if o.acquire {
+            if let Some(rel) = prev_rel.clone() {
+                vc_join(&mut st.threads[me].vc, &rel);
+            }
+        }
+        st.threads[me].vc[me] += 1;
+        let stamp = st.threads[me].vc[me];
+        let rel = match (o.release.then(|| st.threads[me].vc.clone()), prev_rel) {
+            (Some(mut mine), Some(prev)) => {
+                vc_join(&mut mine, &prev);
+                Some(mine)
+            }
+            (Some(mine), None) => Some(mine),
+            (None, prev) => prev,
+        };
+        let val = f(old);
+        st.locs[loc].history.push(StoreRec { val, writer: me, stamp, rel });
+        let idx = st.locs[loc].history.len() - 1;
+        Self::note_read(&mut st, me, loc, idx);
+        if o.seq_cst {
+            let vc = st.threads[me].vc.clone();
+            vc_join(&mut st.sc, &vc);
+        }
+        old
+    }
+
+    /// A fence. Only `SeqCst` fences are modeled (the only kind the
+    /// workspace uses): join the SC clock both ways, which makes a
+    /// fence-fence pair transfer visibility in execution order.
+    pub(crate) fn fence(&self, me: usize, o: OrdBits) {
+        assert!(o.seq_cst, "the shuttle stand-in models only fence(SeqCst)");
+        self.schedule(me);
+        let mut st = self.lock();
+        let sc = st.sc.clone();
+        vc_join(&mut st.threads[me].vc, &sc);
+        st.threads[me].vc[me] += 1;
+        let vc = st.threads[me].vc.clone();
+        vc_join(&mut st.sc, &vc);
+    }
+
+    // -- mutexes and condvars -----------------------------------------
+
+    pub(crate) fn mutex_lock(&self, me: usize, m: usize) {
+        self.schedule(me);
+        let mut st = self.lock();
+        loop {
+            if st.mutexes[m].owner.is_none() {
+                st.mutexes[m].owner = Some(me);
+                let rel = st.mutexes[m].rel.clone();
+                vc_join(&mut st.threads[me].vc, &rel);
+                st.threads[me].vc[me] += 1;
+                return;
+            }
+            st = self.block_on(st, me, Status::BlockedMutex(m));
+        }
+    }
+
+    /// Unlock is not a schedule point: it runs inside guard drops,
+    /// which may execute while unwinding (a panic there would abort the
+    /// process). The released state is still explored — every waiter
+    /// wakes into ordinary schedule points.
+    pub(crate) fn mutex_unlock(&self, me: usize, m: usize) {
+        let mut st = self.lock();
+        if st.aborted {
+            return;
+        }
+        debug_assert_eq!(st.mutexes[m].owner, Some(me), "unlock by non-owner");
+        st.mutexes[m].owner = None;
+        st.threads[me].vc[me] += 1;
+        let vc = st.threads[me].vc.clone();
+        vc_join(&mut st.mutexes[m].rel, &vc);
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedMutex(m) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Condvar wait: atomically releases the mutex and parks; once
+    /// notified, re-acquires through the ordinary lock path.
+    pub(crate) fn cv_wait(&self, me: usize, cv: usize, m: usize) {
+        self.schedule(me);
+        let mut st = self.lock();
+        st.cvs[cv].waiters.push(me);
+        // Release the mutex exactly as mutex_unlock does.
+        debug_assert_eq!(st.mutexes[m].owner, Some(me));
+        st.mutexes[m].owner = None;
+        st.threads[me].vc[me] += 1;
+        let vc = st.threads[me].vc.clone();
+        vc_join(&mut st.mutexes[m].rel, &vc);
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedMutex(m) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        let st = self.block_on(st, me, Status::BlockedCv(cv));
+        drop(st);
+        self.mutex_lock_relocked(me, m);
+    }
+
+    /// The lock path without the leading schedule point (wait resumes
+    /// holding a fresh schedule slot already).
+    fn mutex_lock_relocked(&self, me: usize, m: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.mutexes[m].owner.is_none() {
+                st.mutexes[m].owner = Some(me);
+                let rel = st.mutexes[m].rel.clone();
+                vc_join(&mut st.threads[me].vc, &rel);
+                st.threads[me].vc[me] += 1;
+                return;
+            }
+            st = self.block_on(st, me, Status::BlockedMutex(m));
+        }
+    }
+
+    pub(crate) fn cv_notify(&self, me: usize, cv: usize, all: bool) {
+        self.schedule(me);
+        let mut st = self.lock();
+        if st.cvs[cv].waiters.is_empty() {
+            return;
+        }
+        if all {
+            let waiters = std::mem::take(&mut st.cvs[cv].waiters);
+            for t in waiters {
+                st.threads[t].status = Status::Runnable;
+            }
+        } else {
+            let n = st.cvs[cv].waiters.len();
+            let i = if n > 1 {
+                let c = st.policy.choose(&Choice::Data(n));
+                st.trace.push(c);
+                c
+            } else {
+                0
+            };
+            let t = st.cvs[cv].waiters.remove(i);
+            st.threads[t].status = Status::Runnable;
+        }
+        self.cv.notify_all();
+    }
+
+    // -- threads ------------------------------------------------------
+
+    /// Registers a child thread (clock seeded from the parent: spawn is
+    /// a happens-before edge) and returns its tid.
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.lock();
+        st.threads[parent].vc[parent] += 1;
+        let tid = st.threads.len();
+        let mut vc = st.threads[parent].vc.clone();
+        if vc.len() <= tid {
+            vc.resize(tid + 1, 0);
+        }
+        vc[tid] = 1;
+        st.threads.push(ThreadInfo { status: Status::Runnable, vc, read_idx: Vec::new() });
+        tid
+    }
+
+    pub(crate) fn add_real_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.lock().real.push(h);
+    }
+
+    /// Parks a fresh child thread until it is scheduled for the first
+    /// time.
+    pub(crate) fn wait_first_schedule(&self, me: usize) {
+        let st = self.lock();
+        self.wait_for_turn(st, me);
+    }
+
+    /// Marks `me` finished, wakes joiners, and hands the token on.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me].status = Status::Finished;
+        st.threads[me].vc[me] += 1;
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedJoin(me) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        if !st.aborted {
+            self.pick_next(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Joins `target`: blocks until it finishes, then joins its final
+    /// clock (join is a happens-before edge).
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        self.schedule(me);
+        let mut st = self.lock();
+        while st.threads[target].status != Status::Finished {
+            st = self.block_on(st, me, Status::BlockedJoin(target));
+        }
+        let vc = st.threads[target].vc.clone();
+        vc_join(&mut st.threads[me].vc, &vc);
+        st.threads[me].vc[me] += 1;
+    }
+
+    /// Controller-side: waits for every model thread to finish (or the
+    /// run to abort with stragglers parked), then reaps the OS threads.
+    fn drain(&self) -> Option<Failure> {
+        let mut st = self.lock();
+        // On abort, every parked thread wakes into an `Abort` panic and
+        // reaches `finish_thread` through its wrapper, so this loop
+        // terminates in both the clean and the torn-down case.
+        while st.threads.iter().any(|t| t.status != Status::Finished) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let real = std::mem::take(&mut st.real);
+        let failure = st.failure.clone();
+        drop(st);
+        for h in real {
+            let _ = h.join();
+        }
+        failure
+    }
+}
+
+/// Outcome of one schedule (a failure carries its own choice trace).
+pub(crate) struct RunOutcome {
+    pub failure: Option<Failure>,
+    /// The policy, returned for cross-run state (the DFS stack).
+    pub policy: Policy,
+}
+
+/// Runs `f` once under `policy` and returns what happened.
+pub(crate) fn run_once(policy: Policy, max_steps: usize, f: &(impl Fn() + ?Sized)) -> RunOutcome {
+    assert!(ctx().is_none(), "nested shuttle executions are not supported");
+    let exec = Arc::new(ExecInner::new(policy, max_steps));
+    set_ctx(Some((exec.clone(), 0)));
+    let r = panic::catch_unwind(AssertUnwindSafe(f));
+    if let Err(p) = r {
+        if p.downcast_ref::<Abort>().is_none() {
+            exec.record_failure(panic_msg(p.as_ref()));
+        }
+    }
+    exec.finish_thread(0);
+    let failure = exec.drain();
+    set_ctx(None);
+    let policy = {
+        let mut st = exec.lock();
+        std::mem::replace(&mut st.policy, Policy::Random { rng: 0 })
+    };
+    RunOutcome { failure, policy }
+}

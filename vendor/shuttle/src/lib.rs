@@ -1,0 +1,385 @@
+//! Offline stand-in for the `shuttle` model checker (vendor policy:
+//! vendor/README.md). One `check_*` call explores many *schedules* of a
+//! closure that spawns threads via [`thread::spawn`] and shares state
+//! through the [`sync`] primitives. Every sync operation is a
+//! controlled yield point; a deterministic policy picks which thread
+//! runs next and which value each (possibly stale) atomic load
+//! observes, so the whole interleaving — including weak-memory
+//! outcomes — is a pure function of the recorded choice trace.
+//!
+//! A failing schedule panics with its choice trace; [`replay`] re-runs
+//! that exact schedule, which is what the pinned regression tests in
+//! `tss-exec` do. Soundness limits are documented in DESIGN.md §10.4.
+
+#![forbid(unsafe_code)]
+
+pub mod sync;
+pub mod thread;
+
+mod exec;
+
+use exec::{run_once, Policy};
+
+/// Default per-schedule step budget; exceeding it fails the schedule as
+/// a livelock (an unbounded retry loop under an adversarial policy).
+const MAX_STEPS: usize = 100_000;
+
+/// A schedule failure surfaced by one of the `explore_*` variants.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The panic/assertion message of the failing schedule.
+    pub message: String,
+    /// The choice trace: pass to [`replay`] to re-run it exactly.
+    pub trace: Vec<usize>,
+}
+
+/// Exploration statistics from a passing `check_*`/`explore_*` call.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Schedules actually run.
+    pub schedules: usize,
+    /// Whether the choice tree was fully enumerated (exhaustive mode
+    /// within budget; random/PCT modes never claim completeness).
+    pub complete: bool,
+}
+
+fn fmt_trace(trace: &[usize]) -> String {
+    let items: Vec<String> = trace.iter().map(|c| c.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn fail(kind: &str, f: &Failure) -> ! {
+    panic!(
+        "shuttle({kind}): schedule failed: {}\n  replay trace: {}\n  \
+         re-run with shuttle::replay(&{}, ..)",
+        f.message,
+        fmt_trace(&f.trace),
+        fmt_trace(&f.trace),
+    )
+}
+
+/// Bounded-exhaustive DFS over the whole choice tree, up to
+/// `max_schedules`. Returns the first failure, if any.
+pub fn explore_exhaustive(max_schedules: usize, f: impl Fn()) -> Result<Report, Failure> {
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let mut schedules = 0;
+    loop {
+        let out = run_once(Policy::Dfs { stack, depth: 0 }, MAX_STEPS, &f);
+        schedules += 1;
+        if let Some(fail) = out.failure {
+            return Err(Failure { message: fail.msg, trace: fail.trace });
+        }
+        stack = match out.policy {
+            Policy::Dfs { stack, .. } => stack,
+            _ => unreachable!("DFS run returned a different policy"),
+        };
+        // Advance to the next leaf: bump the deepest choice that still
+        // has unexplored options, discarding everything below it.
+        while let Some(&(chosen, n)) = stack.last() {
+            if chosen + 1 < n {
+                break;
+            }
+            stack.pop();
+        }
+        match stack.last_mut() {
+            None => return Ok(Report { schedules, complete: true }),
+            Some(last) => last.0 += 1,
+        }
+        if schedules >= max_schedules {
+            return Ok(Report { schedules, complete: false });
+        }
+    }
+}
+
+/// Uniform-random schedules, `iters` of them, seeded and replayable.
+pub fn explore_random(seed: u64, iters: usize, f: impl Fn()) -> Result<Report, Failure> {
+    for i in 0..iters {
+        let rng = seed.wrapping_add(i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        let out = run_once(Policy::Random { rng }, MAX_STEPS, &f);
+        if let Some(fail) = out.failure {
+            return Err(Failure {
+                message: format!("{} (seed {seed}, iteration {i})", fail.msg),
+                trace: fail.trace,
+            });
+        }
+    }
+    Ok(Report { schedules: iters, complete: false })
+}
+
+/// PCT-style schedules: random priorities with `depth` priority-change
+/// points — good at surfacing low-probability orderings that uniform
+/// random misses.
+pub fn explore_pct(seed: u64, iters: usize, depth: usize, f: impl Fn()) -> Result<Report, Failure> {
+    for i in 0..iters {
+        let s = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let out = run_once(Policy::pct(s, depth, 256), MAX_STEPS, &f);
+        if let Some(fail) = out.failure {
+            return Err(Failure {
+                message: format!("{} (seed {seed}, iteration {i})", fail.msg),
+                trace: fail.trace,
+            });
+        }
+    }
+    Ok(Report { schedules: iters, complete: false })
+}
+
+/// Like [`explore_exhaustive`] but panics (test-friendly) on failure.
+pub fn check_exhaustive(max_schedules: usize, f: impl Fn()) -> Report {
+    match explore_exhaustive(max_schedules, f) {
+        Ok(r) => r,
+        Err(e) => fail("exhaustive", &e),
+    }
+}
+
+/// Like [`explore_random`] but panics on failure.
+pub fn check_random(seed: u64, iters: usize, f: impl Fn()) -> Report {
+    match explore_random(seed, iters, f) {
+        Ok(r) => r,
+        Err(e) => fail("random", &e),
+    }
+}
+
+/// Like [`explore_pct`] but panics on failure.
+pub fn check_pct(seed: u64, iters: usize, depth: usize, f: impl Fn()) -> Report {
+    match explore_pct(seed, iters, depth, f) {
+        Ok(r) => r,
+        Err(e) => fail("pct", &e),
+    }
+}
+
+/// Replays one exact choice trace (from a failure report). Returns the
+/// failure it reproduces, or `None` if the schedule now passes.
+pub fn replay(trace: &[usize], f: impl Fn()) -> Option<Failure> {
+    let out = run_once(Policy::Replay { trace: trace.to_vec(), pos: 0 }, MAX_STEPS, &f);
+    out.failure.map(|fl| Failure { message: fl.msg, trace: fl.trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU32, Ordering};
+    use super::sync::{Condvar, Mutex};
+    use super::*;
+    use std::sync::Arc;
+
+    /// Store buffering (Dekker): both-zero is reachable under Relaxed…
+    #[test]
+    fn store_buffering_relaxed_found() {
+        let err = explore_exhaustive(10_000, || {
+            let x = Arc::new(AtomicU32::new(0));
+            let y = Arc::new(AtomicU32::new(0));
+            let (x2, y2) = (x.clone(), y.clone());
+            let t = thread::spawn(move || {
+                x2.store(1, Ordering::Relaxed);
+                y2.load(Ordering::Relaxed)
+            });
+            y.store(1, Ordering::Relaxed);
+            let r2 = x.load(Ordering::Relaxed);
+            let r1 = t.join().unwrap();
+            assert!(!(r1 == 0 && r2 == 0), "store buffering observed");
+        })
+        .unwrap_err();
+        assert!(err.message.contains("store buffering"), "wrong failure: {}", err.message);
+    }
+
+    /// …and unreachable under SeqCst (the SC-clock approximation must
+    /// not allow it either).
+    #[test]
+    fn store_buffering_seqcst_excluded() {
+        let report = check_exhaustive(100_000, || {
+            let x = Arc::new(AtomicU32::new(0));
+            let y = Arc::new(AtomicU32::new(0));
+            let (x2, y2) = (x.clone(), y.clone());
+            let t = thread::spawn(move || {
+                x2.store(1, Ordering::SeqCst);
+                y2.load(Ordering::SeqCst)
+            });
+            y.store(1, Ordering::SeqCst);
+            let r2 = x.load(Ordering::SeqCst);
+            let r1 = t.join().unwrap();
+            assert!(!(r1 == 0 && r2 == 0), "store buffering under SeqCst");
+        });
+        assert!(report.complete, "budget too small to enumerate");
+    }
+
+    /// Message passing: a Relaxed flag publish lets the reader see the
+    /// flag but stale data — exactly the seeded-bug class in tss-exec.
+    #[test]
+    fn message_passing_relaxed_flag_found() {
+        let err = explore_exhaustive(10_000, || {
+            let data = Arc::new(AtomicU32::new(0));
+            let flag = Arc::new(AtomicU32::new(0));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Relaxed); // bug: should be Release
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "stale data behind flag");
+            }
+            t.join().unwrap();
+        })
+        .unwrap_err();
+        assert!(err.message.contains("stale data"), "wrong failure: {}", err.message);
+    }
+
+    /// The same program with a Release publish has no failing schedule.
+    #[test]
+    fn message_passing_release_acquire_excluded() {
+        let report = check_exhaustive(100_000, || {
+            let data = Arc::new(AtomicU32::new(0));
+            let flag = Arc::new(AtomicU32::new(0));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join().unwrap();
+        });
+        assert!(report.complete, "budget too small to enumerate");
+    }
+
+    /// Dekker with SeqCst fences between store and load also excludes
+    /// the both-zero outcome (validates the fence model).
+    #[test]
+    fn fence_pair_excluded() {
+        let report = check_exhaustive(100_000, || {
+            let x = Arc::new(AtomicU32::new(0));
+            let y = Arc::new(AtomicU32::new(0));
+            let (x2, y2) = (x.clone(), y.clone());
+            let t = thread::spawn(move || {
+                x2.store(1, Ordering::Relaxed);
+                sync::atomic::fence(Ordering::SeqCst);
+                y2.load(Ordering::Relaxed)
+            });
+            y.store(1, Ordering::Relaxed);
+            sync::atomic::fence(Ordering::SeqCst);
+            let r2 = x.load(Ordering::Relaxed);
+            let r1 = t.join().unwrap();
+            assert!(!(r1 == 0 && r2 == 0), "store buffering through fences");
+        });
+        assert!(report.complete);
+    }
+
+    /// Mutexes give mutual exclusion and happens-before: a non-atomic
+    /// read-modify-write under the lock never loses an update.
+    #[test]
+    fn mutex_no_lost_update() {
+        check_exhaustive(100_000, || {
+            let c = Arc::new(Mutex::new(0u32));
+            let c2 = c.clone();
+            let t = thread::spawn(move || {
+                let mut g = c2.lock().unwrap();
+                let v = *g;
+                thread::yield_now();
+                *g = v + 1;
+            });
+            {
+                let mut g = c.lock().unwrap();
+                let v = *g;
+                thread::yield_now();
+                *g = v + 1;
+            }
+            t.join().unwrap();
+            assert_eq!(*c.lock().unwrap(), 2, "lost update");
+        });
+    }
+
+    /// Lock-order inversion is reported as a deadlock, not a hang.
+    #[test]
+    fn deadlock_detected() {
+        let err = explore_exhaustive(10_000, || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (a.clone(), b.clone());
+            let t = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+            drop((_ga, _gb));
+            t.join().unwrap();
+        })
+        .unwrap_err();
+        assert!(err.message.contains("deadlock"), "wrong failure: {}", err.message);
+    }
+
+    /// Condvar handoff: the waiter always observes the flag after a
+    /// notify; no schedule deadlocks or loses the wakeup.
+    #[test]
+    fn condvar_handoff() {
+        check_exhaustive(100_000, || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = pair.clone();
+            let t = thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                let mut g = m.lock().unwrap();
+                while !*g {
+                    g = cv.wait(g).unwrap();
+                }
+            });
+            let (m, cv) = &*pair;
+            {
+                let mut g = m.lock().unwrap();
+                *g = true;
+                cv.notify_one();
+            }
+            t.join().unwrap();
+        });
+    }
+
+    /// Spawn and join are happens-before edges even for Relaxed data.
+    #[test]
+    fn join_is_release() {
+        check_exhaustive(100_000, || {
+            let d = Arc::new(AtomicU32::new(0));
+            let d2 = d.clone();
+            let t = thread::spawn(move || d2.store(7, Ordering::Relaxed));
+            t.join().unwrap();
+            assert_eq!(d.load(Ordering::Relaxed), 7, "join edge missing");
+        });
+    }
+
+    /// A failure trace replays to the same failure, and schedules are
+    /// deterministic across repeated exploration.
+    #[test]
+    fn replay_reproduces_failure() {
+        let buggy = || {
+            let data = Arc::new(AtomicU32::new(0));
+            let flag = Arc::new(AtomicU32::new(0));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "stale data behind flag");
+            }
+            t.join().unwrap();
+        };
+        let e1 = explore_random(0xC0FFEE, 500, buggy).unwrap_err();
+        let e2 = explore_random(0xC0FFEE, 500, buggy).unwrap_err();
+        assert_eq!(e1.trace, e2.trace, "exploration is not deterministic");
+        let r = replay(&e1.trace, buggy).expect("replay did not reproduce the failure");
+        assert!(r.message.contains("stale data"), "replayed a different failure: {}", r.message);
+    }
+
+    /// CAS success is an RMW on the newest value: two racing CASes on
+    /// the same expected value cannot both succeed.
+    #[test]
+    fn cas_is_atomic() {
+        check_exhaustive(100_000, || {
+            let x = Arc::new(AtomicU32::new(0));
+            let x2 = x.clone();
+            let t = thread::spawn(move || {
+                x2.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).is_ok()
+            });
+            let mine = x.compare_exchange(0, 2, Ordering::AcqRel, Ordering::Acquire).is_ok();
+            let theirs = t.join().unwrap();
+            assert!(mine ^ theirs, "both CASes succeeded (or both failed)");
+        });
+    }
+}

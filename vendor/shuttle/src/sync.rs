@@ -1,0 +1,460 @@
+//! Model-aware `sync` primitives, API-compatible with the `std::sync`
+//! subset the workspace uses.
+//!
+//! Every type is **dual-mode**: outside a model run (no scheduler on
+//! this thread) each operation delegates straight to the real `std`
+//! primitive with the caller's ordering, so a crate compiled against
+//! these types behaves identically to one compiled against `std` —
+//! existing stress/proptest suites keep running. Inside a model run the
+//! operation becomes a schedule point interpreted by the weak-memory
+//! model in [`crate::exec`].
+//!
+//! Model stores are mirrored into the raw `std` atomic so that code
+//! running after an abort tear-down (drop paths degrading to raw mode)
+//! observes the newest modification-order value.
+
+use crate::exec::{ctx, ExecInner, OrdBits};
+use std::sync::Arc;
+
+pub use std::sync::atomic::Ordering;
+
+/// Lazily-registered model location id, cached per execution epoch.
+/// Packed as `epoch << 32 | (loc + 1)`; 0 = unregistered.
+struct LocCache(std::sync::atomic::AtomicU64);
+
+impl LocCache {
+    const fn new() -> LocCache {
+        LocCache(std::sync::atomic::AtomicU64::new(0))
+    }
+
+    /// The table index under `exec`, calling `register` on first touch
+    /// within the current epoch (atomic location, mutex, or cv slot).
+    fn get(&self, exec: &Arc<ExecInner>, register: impl FnOnce() -> usize) -> usize {
+        let cached = self.0.load(Ordering::Relaxed);
+        if (cached >> 32) as u32 == exec.epoch {
+            return (cached as u32 - 1) as usize;
+        }
+        let loc = register();
+        self.0.store(((exec.epoch as u64) << 32) | (loc as u64 + 1), Ordering::Relaxed);
+        loc
+    }
+}
+
+pub mod atomic {
+    use super::*;
+
+    pub use std::sync::atomic::Ordering;
+
+    /// A fence: real outside a model run; a SeqCst SC-clock join inside
+    /// one (the only fence kind this workspace uses).
+    pub fn fence(order: Ordering) {
+        match ctx() {
+            None => std::sync::atomic::fence(order),
+            Some((exec, me)) => {
+                if exec.is_aborted() {
+                    return;
+                }
+                exec.fence(me, OrdBits::of(order));
+            }
+        }
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $raw:ty, $prim:ty) => {
+            /// Model-aware drop-in for the matching `std::sync::atomic`
+            /// type (see the module docs for the dual-mode contract).
+            pub struct $name {
+                raw: $raw,
+                loc: LocCache,
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> Self {
+                    Self { raw: <$raw>::new(v), loc: LocCache::new() }
+                }
+
+                #[inline]
+                fn enter(&self) -> Option<(Arc<ExecInner>, usize, usize)> {
+                    let (exec, me) = ctx()?;
+                    if exec.is_aborted() {
+                        return None;
+                    }
+                    let loc = self
+                        .loc
+                        .get(&exec, || exec.register_loc(self.raw.load(Ordering::Relaxed) as u64));
+                    Some((exec, me, loc))
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    match self.enter() {
+                        None => self.raw.load(order),
+                        Some((exec, me, loc)) => {
+                            exec.atomic_load(me, loc, OrdBits::of(order)) as $prim
+                        }
+                    }
+                }
+
+                pub fn store(&self, val: $prim, order: Ordering) {
+                    match self.enter() {
+                        None => self.raw.store(val, order),
+                        Some((exec, me, loc)) => {
+                            exec.atomic_store(me, loc, val as u64, OrdBits::of(order));
+                            self.raw.store(val, Ordering::Relaxed);
+                        }
+                    }
+                }
+
+                pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                    match self.enter() {
+                        None => self.raw.swap(val, order),
+                        Some((exec, me, loc)) => {
+                            let old = exec.atomic_rmw(me, loc, |_| val as u64, OrdBits::of(order));
+                            self.raw.store(val, Ordering::Relaxed);
+                            old as $prim
+                        }
+                    }
+                }
+
+                pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                    match self.enter() {
+                        None => self.raw.fetch_add(val, order),
+                        Some((exec, me, loc)) => {
+                            let old = exec.atomic_rmw(
+                                me,
+                                loc,
+                                |o| (o as $prim).wrapping_add(val) as u64,
+                                OrdBits::of(order),
+                            ) as $prim;
+                            self.raw.store(old.wrapping_add(val), Ordering::Relaxed);
+                            old
+                        }
+                    }
+                }
+
+                pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                    match self.enter() {
+                        None => self.raw.fetch_sub(val, order),
+                        Some((exec, me, loc)) => {
+                            let old = exec.atomic_rmw(
+                                me,
+                                loc,
+                                |o| (o as $prim).wrapping_sub(val) as u64,
+                                OrdBits::of(order),
+                            ) as $prim;
+                            self.raw.store(old.wrapping_sub(val), Ordering::Relaxed);
+                            old
+                        }
+                    }
+                }
+
+                pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
+                    match self.enter() {
+                        None => self.raw.fetch_max(val, order),
+                        Some((exec, me, loc)) => {
+                            let old = exec.atomic_rmw(
+                                me,
+                                loc,
+                                |o| (o as $prim).max(val) as u64,
+                                OrdBits::of(order),
+                            ) as $prim;
+                            self.raw.store(old.max(val), Ordering::Relaxed);
+                            old
+                        }
+                    }
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    match self.enter() {
+                        None => self.raw.compare_exchange(current, new, success, failure),
+                        Some((exec, me, loc)) => {
+                            let r = exec.atomic_cas(
+                                me,
+                                loc,
+                                current as u64,
+                                new as u64,
+                                OrdBits::of(success),
+                                OrdBits::of(failure),
+                            );
+                            match r {
+                                Ok(old) => {
+                                    self.raw.store(new, Ordering::Relaxed);
+                                    Ok(old as $prim)
+                                }
+                                Err(seen) => Err(seen as $prim),
+                            }
+                        }
+                    }
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.debug_tuple(stringify!($name)).field(&self.load(Ordering::Relaxed)).finish()
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    model_atomic!(AtomicI32, std::sync::atomic::AtomicI32, i32);
+    model_atomic!(AtomicIsize, std::sync::atomic::AtomicIsize, isize);
+
+    /// Model-aware `AtomicPtr`: the model stores the address as `u64`.
+    pub struct AtomicPtr<T> {
+        raw: std::sync::atomic::AtomicPtr<T>,
+        loc: LocCache,
+    }
+
+    impl<T> AtomicPtr<T> {
+        pub const fn new(p: *mut T) -> Self {
+            AtomicPtr { raw: std::sync::atomic::AtomicPtr::new(p), loc: LocCache::new() }
+        }
+
+        #[inline]
+        fn enter(&self) -> Option<(Arc<ExecInner>, usize, usize)> {
+            let (exec, me) = ctx()?;
+            if exec.is_aborted() {
+                return None;
+            }
+            let loc =
+                self.loc.get(&exec, || exec.register_loc(self.raw.load(Ordering::Relaxed) as u64));
+            Some((exec, me, loc))
+        }
+
+        pub fn load(&self, order: Ordering) -> *mut T {
+            match self.enter() {
+                None => self.raw.load(order),
+                Some((exec, me, loc)) => exec.atomic_load(me, loc, OrdBits::of(order)) as *mut T,
+            }
+        }
+
+        pub fn store(&self, p: *mut T, order: Ordering) {
+            match self.enter() {
+                None => self.raw.store(p, order),
+                Some((exec, me, loc)) => {
+                    exec.atomic_store(me, loc, p as u64, OrdBits::of(order));
+                    self.raw.store(p, Ordering::Relaxed);
+                }
+            }
+        }
+
+        pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+            match self.enter() {
+                None => self.raw.swap(p, order),
+                Some((exec, me, loc)) => {
+                    let old = exec.atomic_rmw(me, loc, |_| p as u64, OrdBits::of(order));
+                    self.raw.store(p, Ordering::Relaxed);
+                    old as *mut T
+                }
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for AtomicPtr<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_tuple("AtomicPtr").field(&self.load(Ordering::Relaxed)).finish()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex / Condvar
+// ---------------------------------------------------------------------
+
+pub use std::sync::{LockResult, PoisonError};
+
+/// Model-aware mutex. The payload lives in a real `std::sync::Mutex`;
+/// under a model run, mutual exclusion is enforced by the scheduler
+/// (lock is a schedule point, contended lock parks the thread), so the
+/// inner `try_lock` never contends.
+pub struct Mutex<T: ?Sized> {
+    loc: LocCache,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex { loc: LocCache::new(), inner: std::sync::Mutex::new(t) }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn model(&self) -> Option<(Arc<ExecInner>, usize, usize)> {
+        let (exec, me) = ctx()?;
+        if exec.is_aborted() {
+            return None;
+        }
+        let m = self.loc.get(&exec, || exec.register_mutex());
+        Some((exec, me, m))
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match self.model() {
+            None => {
+                let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard { lock: None, owner: self, inner: Some(g) })
+            }
+            Some((exec, me, m)) => {
+                exec.mutex_lock(me, m);
+                let g = self
+                    .inner
+                    .try_lock()
+                    .unwrap_or_else(|_| panic!("model mutex invariant broken: inner contended"));
+                Ok(MutexGuard { lock: Some((exec, me, m)), owner: self, inner: Some(g) })
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard for [`Mutex`]; releases the model lock (if any) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `Some` when the lock was taken under a model run.
+    lock: Option<(Arc<ExecInner>, usize, usize)>,
+    /// The mutex this guard came from (condvar wait re-locks through
+    /// it; std offers no stable guard-to-mutex accessor).
+    owner: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Real guard first (the payload), model state second; the model
+        // unlock is not a schedule point (it may run while unwinding).
+        self.inner = None;
+        if let Some((exec, me, m)) = self.lock.take() {
+            exec.mutex_unlock(me, m);
+        }
+    }
+}
+
+/// Model-aware condvar: under a model run, waiters park in the
+/// scheduler and notifies are explicit wake choices (no spurious
+/// wakeups are modeled — DESIGN.md §10.4).
+pub struct Condvar {
+    loc: LocCache,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar { loc: LocCache::new(), inner: std::sync::Condvar::new() }
+    }
+
+    fn model(&self) -> Option<(Arc<ExecInner>, usize, usize)> {
+        let (exec, me) = ctx()?;
+        if exec.is_aborted() {
+            return None;
+        }
+        let cv = self.loc.get(&exec, || exec.register_cv());
+        Some((exec, me, cv))
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match self.model() {
+            None => {
+                let inner = guard.inner.take().expect("guard already released");
+                let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+                guard.inner = Some(inner);
+                Ok(guard)
+            }
+            Some((exec, me, cv)) => {
+                let (_, _, m) = guard.lock.take().expect("model condvar with raw-mode guard");
+                let owner = guard.owner;
+                // Release the real payload guard (the model-side unlock
+                // happens inside cv_wait; `lock` was taken above so the
+                // guard's drop releases nothing twice).
+                guard.inner = None;
+                drop(guard);
+                exec.cv_wait(me, cv, m);
+                let inner = owner
+                    .inner
+                    .try_lock()
+                    .unwrap_or_else(|_| panic!("model mutex invariant broken: inner contended"));
+                Ok(MutexGuard { lock: Some((exec, me, m)), owner, inner: Some(inner) })
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match self.model() {
+            None => self.inner.notify_one(),
+            Some((exec, me, cv)) => exec.cv_notify(me, cv, false),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match self.model() {
+            None => self.inner.notify_all(),
+            Some((exec, me, cv)) => exec.cv_notify(me, cv, true),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

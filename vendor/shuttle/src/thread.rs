@@ -1,0 +1,94 @@
+//! Model-aware threads. Outside a model run these are plain
+//! `std::thread` spawns; inside one, each spawned thread registers with
+//! the scheduler (spawn and join are happens-before edges) and parks
+//! until it is first scheduled, so the interleaving is fully policy-
+//! controlled from the first instruction.
+
+use crate::exec::{ctx, panic_msg, Abort};
+use std::panic::{self, AssertUnwindSafe};
+
+/// Handle to a spawned model (or raw) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Raw(std::thread::JoinHandle<T>),
+    /// Model thread: its tid plus the result slot it fills on the way
+    /// out (the real OS handle is reaped by the run's drain).
+    Model {
+        tid: usize,
+        slot: std::sync::Arc<std::sync::Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Joins the thread; propagates its panic like `std` does.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Raw(h) => h.join(),
+            Inner::Model { tid, slot } => {
+                let (exec, me) = ctx().expect("model JoinHandle joined outside its run");
+                exec.join_thread(me, tid);
+                let r = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                r.expect("joined model thread left no result")
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Under a model run the child becomes a model thread:
+/// it blocks until the policy first schedules it, and every sync op it
+/// performs is a controlled yield point.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match ctx() {
+        None => JoinHandle { inner: Inner::Raw(std::thread::spawn(f)) },
+        Some((exec, me)) => {
+            let tid = exec.register_thread(me);
+            let slot = std::sync::Arc::new(std::sync::Mutex::new(None));
+            let slot2 = slot.clone();
+            let exec2 = exec.clone();
+            let real = std::thread::spawn(move || {
+                crate::exec::adopt(exec2.clone(), tid);
+                exec2.wait_first_schedule(tid);
+                let r = panic::catch_unwind(AssertUnwindSafe(f));
+                match r {
+                    Ok(v) => {
+                        *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                    }
+                    Err(p) => {
+                        if p.downcast_ref::<Abort>().is_none() {
+                            exec2.record_failure(format!(
+                                "model thread {tid} panicked: {}",
+                                panic_msg(p.as_ref())
+                            ));
+                        }
+                        *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(p));
+                    }
+                }
+                exec2.finish_thread(tid);
+            });
+            exec.add_real_handle(real);
+            // Spawn is a yield point: the child may run before the
+            // parent's next op.
+            exec.schedule(me);
+            JoinHandle { inner: Inner::Model { tid, slot } }
+        }
+    }
+}
+
+/// A bare yield point: lets the policy hand the token elsewhere without
+/// any memory effect. No-op outside a model run.
+pub fn yield_now() {
+    if let Some((exec, me)) = ctx() {
+        if !exec.is_aborted() {
+            exec.schedule(me);
+        }
+    } else {
+        std::thread::yield_now();
+    }
+}
