@@ -37,10 +37,14 @@ fn replay_throughput(c: &mut Criterion) {
         // the timed loop (ISSUE 3 caught a per-run arena build here;
         // ISSUE 4 also hoists the decode).
         g.bench_function(format!("threads_{threads}"), |b| {
-            b.iter(|| exec.replay(&trace, &graph, std::time::Duration::ZERO))
+            b.iter(|| {
+                exec.replay(&trace, &graph, std::time::Duration::ZERO).expect("replay failed")
+            })
         });
         // Pipelined end-to-end: streaming decode inside the measurement.
-        g.bench_function(format!("streamed_threads_{threads}"), |b| b.iter(|| exec.run(&trace)));
+        g.bench_function(format!("streamed_threads_{threads}"), |b| {
+            b.iter(|| exec.run(&trace).expect("run failed"))
+        });
     }
     g.finish();
 }

@@ -37,13 +37,29 @@
 //! [--min-ms F]`. Exit codes: 0 ok, 1 regression/mismatch, 2 usage or
 //! I/O error.
 
-const EXACT_FIELDS: [&str; 4] = ["tasks", "events", "enforced_edges", "makespan_cycles"];
+/// Exact-match row fields. All presence-gated (only checked when both
+/// artifacts carry them, so old baselines keep working). The failure
+/// accounting (`failed`, `poisoned`, `retried_ok`, `workers_lost` —
+/// DESIGN.md §11) is exact because injection is a pure function of
+/// `(fault seed, task, attempt)`: at a fixed seed/rate/scale the
+/// failure sets are identical across hosts and thread counts.
+const EXACT_FIELDS: [&str; 8] = [
+    "tasks",
+    "events",
+    "enforced_edges",
+    "makespan_cycles",
+    "failed",
+    "poisoned",
+    "retried_ok",
+    "workers_lost",
+];
 const WALL_FIELDS: [&str; 3] = ["wall_ms", "exec_wall_ms", "stream_wall_ms"];
 const LABEL_FIELDS: [&str; 2] = ["benchmark", "engine"];
 /// Totals-object checks: exact, wall-tolerance, and must-exist-if-the-
 /// baseline-has-it (host-dependent values like `jobs` are only gated
 /// for presence).
-const TOTAL_EXACT_FIELDS: [&str; 1] = ["events"];
+const TOTAL_EXACT_FIELDS: [&str; 5] =
+    ["events", "failed", "poisoned", "retried_ok", "workers_lost"];
 const TOTAL_WALL_FIELDS: [&str; 2] = ["wall_ms", "suite_wall_ms"];
 const TOTAL_PRESENT_FIELDS: [&str; 2] = ["suite_wall_ms", "jobs"];
 

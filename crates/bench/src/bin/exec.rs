@@ -21,17 +21,26 @@
 //!
 //! Every replay's completion log is checked against the `DepGraph`
 //! oracle; any violation exits nonzero (CI gates on this, not timing).
+//! Chaos runs (DESIGN.md §11) additionally gate on the accounting
+//! identity `completed + failed + poisoned = tasks` and on the replay
+//! and streamed runs agreeing on the (seed-deterministic) failure sets.
 //!
 //! Flags: `--scale small|paper|large`, `--threads N`, `--payload
-//! noop|spin|memcpy`, `--spin-scale F`, `--seed N`, `--window N`,
-//! `--decode-shards N`, `--no-renaming`, `--json`, `--out PATH`.
-//! Bad flag values print a clear error and exit 2 (they never panic).
+//! noop|spin|memcpy|faulty`, `--spin-scale F`, `--seed N`, `--window N`,
+//! `--decode-shards N`, `--no-renaming`, `--json`, `--out PATH`, plus
+//! the failure domain: `--fault-rate F` (0..=1), `--fault-seed N`,
+//! `--failure-policy fail-fast|retry|quarantine`, `--retry-max N`,
+//! `--retry-backoff-ms F`, `--task-deadline-ms N`, `--run-deadline-ms
+//! N`, `--kill-worker W`. Bad flag values *and* bad flag combinations
+//! print a clear error naming the flags and exit 2 (they never panic);
+//! a structured run failure ([`ExecError`]) also exits 2.
 
 use std::time::{Duration, Instant};
 
-use tss_core::report::fmt_f;
+use tss_core::report::{fmt_count_pct, fmt_f};
 use tss_core::Table;
-use tss_exec::{ExecConfig, ExecReport, Executor, PayloadMode, Renamer};
+use tss_exec::fault::install_quiet_hook;
+use tss_exec::{ExecConfig, ExecError, ExecReport, Executor, FailurePolicy, PayloadMode, Renamer};
 use tss_trace::DepGraph;
 use tss_workloads::{Benchmark, Scale};
 
@@ -52,6 +61,13 @@ struct Args {
     renaming: bool,
     json: bool,
     out: String,
+    // --- failure domain (DESIGN.md §11) ---
+    policy: FailurePolicy,
+    fault_rate_ppm: u32,
+    fault_seed: u64,
+    task_deadline: Option<Duration>,
+    run_deadline: Option<Duration>,
+    kill_worker: Option<usize>,
 }
 
 /// CLI contract: bad input is a user error, not a bug — report it
@@ -80,9 +96,19 @@ fn parse_args() -> Args {
         renaming: true,
         json: false,
         out: "BENCH_exec.json".into(),
+        policy: FailurePolicy::FailFast,
+        fault_rate_ppm: 0,
+        fault_seed: 7,
+        task_deadline: None,
+        run_deadline: None,
+        kill_worker: None,
     };
     let mut spin_scale = 1.0f64;
     let mut payload_name = String::from("noop");
+    let mut fault_rate: Option<f64> = None;
+    let mut policy_name: Option<String> = None;
+    let mut retry_max: Option<u32> = None;
+    let mut retry_backoff_ms = 1.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -118,19 +144,111 @@ fn parse_args() -> Args {
             "--no-renaming" => out.renaming = false,
             "--json" => out.json = true,
             "--out" => out.out = want(args.next(), "--out"),
+            "--fault-rate" => {
+                let f: f64 = parse_num(&want(args.next(), "--fault-rate"), "--fault-rate");
+                if !(0.0..=1.0).contains(&f) {
+                    fail("--fault-rate must be a probability in 0..=1");
+                }
+                fault_rate = Some(f);
+            }
+            "--fault-seed" => {
+                out.fault_seed = parse_num(&want(args.next(), "--fault-seed"), "--fault-seed");
+            }
+            "--failure-policy" => policy_name = Some(want(args.next(), "--failure-policy")),
+            "--retry-max" => {
+                let n: u32 = parse_num(&want(args.next(), "--retry-max"), "--retry-max");
+                if n == 0 {
+                    fail("--retry-max must be at least 1 attempt");
+                }
+                retry_max = Some(n);
+            }
+            "--retry-backoff-ms" => {
+                retry_backoff_ms =
+                    parse_num(&want(args.next(), "--retry-backoff-ms"), "--retry-backoff-ms");
+                if retry_backoff_ms < 0.0 {
+                    fail("--retry-backoff-ms must be non-negative");
+                }
+            }
+            "--task-deadline-ms" => {
+                let ms: u64 =
+                    parse_num(&want(args.next(), "--task-deadline-ms"), "--task-deadline-ms");
+                if ms == 0 {
+                    fail("--task-deadline-ms must be at least 1 ms (0 would fail every task)");
+                }
+                out.task_deadline = Some(Duration::from_millis(ms));
+            }
+            "--run-deadline-ms" => {
+                let ms: u64 =
+                    parse_num(&want(args.next(), "--run-deadline-ms"), "--run-deadline-ms");
+                if ms == 0 {
+                    fail("--run-deadline-ms must be at least 1 ms (0 would fail every run)");
+                }
+                out.run_deadline = Some(Duration::from_millis(ms));
+            }
+            "--kill-worker" => {
+                out.kill_worker =
+                    Some(parse_num(&want(args.next(), "--kill-worker"), "--kill-worker"));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: exec [--scale small|paper|large] [--threads N] \
-                     [--payload noop|spin|memcpy] [--spin-scale F] [--seed N] \
-                     [--window N] [--decode-shards N] [--no-renaming] [--json] [--out PATH]"
+                     [--payload noop|spin|memcpy|faulty] [--spin-scale F] [--seed N] \
+                     [--window N] [--decode-shards N] [--no-renaming] [--json] [--out PATH] \
+                     [--fault-rate F --failure-policy fail-fast|retry|quarantine] \
+                     [--fault-seed N] [--retry-max N] [--retry-backoff-ms F] \
+                     [--task-deadline-ms N] [--run-deadline-ms N] [--kill-worker W]"
                 );
                 std::process::exit(0);
             }
             other => fail(format!("unknown flag '{other}'")),
         }
     }
-    out.payload = PayloadMode::parse(&payload_name, spin_scale)
-        .unwrap_or_else(|| fail(format!("unknown payload '{payload_name}' (noop|spin|memcpy)")));
+    out.payload = PayloadMode::parse(&payload_name, spin_scale).unwrap_or_else(|| {
+        fail(format!("unknown payload '{payload_name}' (noop|spin|memcpy|faulty)"))
+    });
+
+    // Flag-combination validation (all errors name the flags involved;
+    // the CLI tests pin these). Injection must be paired with an
+    // explicit policy: silently defaulting to fail-fast would turn a
+    // chaos run into a guaranteed exit-2.
+    let injecting =
+        fault_rate.is_some_and(|f| f > 0.0) || matches!(out.payload, PayloadMode::Faulty { .. });
+    if fault_rate.is_some()
+        && !matches!(out.payload, PayloadMode::Noop | PayloadMode::Faulty { .. })
+    {
+        fail(format!("--fault-rate needs --payload noop or faulty, not {}", out.payload.name()));
+    }
+    if injecting && policy_name.is_none() {
+        fail("--fault-rate / --payload faulty needs --failure-policy fail-fast|retry|quarantine");
+    }
+    if let Some(name) = &policy_name {
+        let backoff = Duration::from_secs_f64(retry_backoff_ms / 1e3);
+        out.policy =
+            FailurePolicy::parse(name, retry_max.unwrap_or(3), backoff).unwrap_or_else(|| {
+                fail(format!("unknown --failure-policy '{name}' (fail-fast|retry|quarantine)"))
+            });
+        if retry_max.is_some() && !matches!(out.policy, FailurePolicy::Retry { .. }) {
+            fail(format!("--retry-max only applies to --failure-policy retry, not {name}"));
+        }
+    } else if retry_max.is_some() {
+        fail("--retry-max needs --failure-policy retry");
+    }
+    if let Some(k) = out.kill_worker {
+        if out.threads < 2 {
+            fail("--kill-worker needs --threads of at least 2 (a lone dead worker cannot finish)");
+        }
+        if k >= out.threads {
+            fail(format!("--kill-worker {k} is out of range for --threads {}", out.threads));
+        }
+    }
+    if let Some(rate) = fault_rate {
+        out.fault_rate_ppm = (rate * 1e6).round() as u32;
+    } else if let PayloadMode::Faulty { rate_ppm, .. } = out.payload {
+        out.fault_rate_ppm = rate_ppm;
+    }
+    if out.fault_rate_ppm > 0 {
+        out.payload = PayloadMode::Faulty { rate_ppm: out.fault_rate_ppm, seed: out.fault_seed };
+    }
     out
 }
 
@@ -193,7 +311,7 @@ fn aggregate_rate(points: &[Point], wall: impl Fn(&Point) -> f64) -> f64 {
 fn to_json(args: &Args, points: &[Point]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"tss-bench-exec/v2\",\n");
+    s.push_str("  \"schema\": \"tss-bench-exec/v3\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", args.scale.name()));
     s.push_str(&format!("  \"threads\": {},\n", args.threads));
     s.push_str(&format!("  \"payload\": \"{}\",\n", args.payload.name()));
@@ -201,6 +319,9 @@ fn to_json(args: &Args, points: &[Point]) -> String {
     s.push_str(&format!("  \"window\": {},\n", args.window));
     s.push_str(&format!("  \"decode_shards\": {},\n", args.decode_shards));
     s.push_str(&format!("  \"renaming\": {},\n", args.renaming));
+    s.push_str(&format!("  \"failure_policy\": \"{}\",\n", args.policy.name()));
+    s.push_str(&format!("  \"fault_rate_ppm\": {},\n", args.fault_rate_ppm));
+    s.push_str(&format!("  \"fault_seed\": {},\n", args.fault_seed));
     s.push_str(&format!("  \"paper_software_decoder_ns_per_task\": {PAPER_SOFTWARE_DECODE_NS},\n"));
     s.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
@@ -221,6 +342,7 @@ fn to_json(args: &Args, points: &[Point]) -> String {
              \"exec_wall_ms\": {:.3}, \"exec_tasks_per_sec\": {:.0}, \"steals\": {}, \
              \"stream_wall_ms\": {:.3}, \"stream_tasks_per_sec\": {:.0}, \
              \"decode_overlap_pct\": {:.1}, \
+             \"failed\": {}, \"poisoned\": {}, \"retried_ok\": {}, \"workers_lost\": {}, \
              \"validated\": {}, \"workers\": [{}]}}{}\n",
             json_escape(&r.benchmark),
             r.tasks,
@@ -233,6 +355,10 @@ fn to_json(args: &Args, points: &[Point]) -> String {
             p.stream.exec_wall.as_secs_f64() * 1e3,
             p.stream.tasks_per_sec(),
             p.stream.decode_overlap_pct,
+            r.fault.failed.len(),
+            r.fault.poisoned.len(),
+            r.fault.retried_ok,
+            r.fault.workers_lost + p.stream.fault.workers_lost,
             r.validated && p.stream.validated,
             workers.join(", "),
             if i + 1 == points.len() { "" } else { "," }
@@ -247,28 +373,76 @@ fn to_json(args: &Args, points: &[Point]) -> String {
     } else {
         points.iter().map(|p| p.stream.decode_overlap_pct).sum::<f64>() / points.len() as f64
     };
+    let failed: usize = points.iter().map(|p| p.replay.fault.failed.len()).sum();
+    let poisoned: usize = points.iter().map(|p| p.replay.fault.poisoned.len()).sum();
+    let retried_ok: usize = points.iter().map(|p| p.replay.fault.retried_ok).sum();
+    let workers_lost: usize =
+        points.iter().map(|p| p.replay.fault.workers_lost + p.stream.fault.workers_lost).sum();
     s.push_str(&format!(
         "  \"totals\": {{\"tasks\": {tasks}, \"decode_ns_per_task\": {agg_ns:.1}, \
          \"decode_tasks_per_sec\": {per_sec:.0}, \"decode_headroom_vs_paper\": {headroom:.1}, \
          \"exec_tasks_per_sec\": {exec_rate:.0}, \"stream_tasks_per_sec\": {stream_rate:.0}, \
-         \"decode_overlap_pct_mean\": {overlap:.1}}}\n",
+         \"decode_overlap_pct_mean\": {overlap:.1}, \
+         \"failed\": {failed}, \"poisoned\": {poisoned}, \"retried_ok\": {retried_ok}, \
+         \"workers_lost\": {workers_lost}}}\n",
     ));
     s.push_str("}\n");
     s
 }
 
-fn validated(bench: Benchmark, report: ExecReport, oracle: &DepGraph) -> ExecReport {
+/// The failure identity of a run: which tasks finally failed and which
+/// were cone-poisoned. Injection is a pure function of `(fault seed,
+/// task, attempt)` (DESIGN.md §11), so with `--fault-rate` armed the
+/// replay and streamed runs must agree on this exactly.
+fn failure_sets(r: &ExecReport) -> (Vec<u32>, Vec<u32>) {
+    (r.fault.failed.iter().map(|f| f.task).collect(), r.fault.poisoned.clone())
+}
+
+/// Unwraps one run's result and applies the post-run gates, in severity
+/// order: a structured run failure ([`ExecError`]) is a user-visible
+/// outcome and exits 2; an oracle violation or a non-reconciling
+/// accounting identity is an executor bug and exits 1.
+fn run_checked(
+    bench: Benchmark,
+    result: Result<ExecReport, ExecError>,
+    oracle: &DepGraph,
+) -> ExecReport {
+    let mut report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            // A structured run failure, not a flag error: no --help hint.
+            eprintln!("error: {bench}: {e}");
+            std::process::exit(2);
+        }
+    };
     if let Err(v) = oracle.validate_order(&report.order) {
         eprintln!("[exec] {bench}: ORACLE VIOLATION: {v}");
         std::process::exit(1);
     }
-    let mut report = report;
+    if !report.accounting_reconciles() {
+        eprintln!(
+            "[exec] {bench}: ACCOUNTING MISMATCH: completed {} + failed {} + poisoned {} \
+             != tasks {} (retried_ok {})",
+            report.completed(),
+            report.fault.failed.len(),
+            report.fault.poisoned.len(),
+            report.tasks,
+            report.fault.retried_ok,
+        );
+        std::process::exit(1);
+    }
     report.validated = true;
     report
 }
 
 fn main() {
     let args = parse_args();
+    let chaos = args.fault_rate_ppm > 0 || args.kill_worker.is_some();
+    if chaos {
+        // Injected panics are expected traffic at a 5% rate; keep the
+        // default hook's backtraces for *real* panics only.
+        install_quiet_hook();
+    }
     let mut points = Vec::with_capacity(9);
     for bench in Benchmark::all() {
         let trace = bench.trace(args.scale, args.seed);
@@ -295,12 +469,25 @@ fn main() {
             window: args.window,
             decode_shards: args.decode_shards,
             validate: false,
+            policy: args.policy,
+            task_deadline: args.task_deadline,
+            run_deadline: args.run_deadline,
+            kill_worker: args.kill_worker,
         };
         let exec = Executor::new(cfg);
         // Two-phase replay: the scheduler-only, PR-comparable number.
-        let replay = validated(bench, exec.run_oneshot(&trace), &oracle);
+        let replay = run_checked(bench, exec.run_oneshot(&trace), &oracle);
         // Pipelined streaming run: decode overlapped with execution.
-        let stream = validated(bench, exec.run(&trace), &oracle);
+        let stream = run_checked(bench, exec.run(&trace), &oracle);
+        if args.fault_rate_ppm > 0 && failure_sets(&replay) != failure_sets(&stream) {
+            eprintln!(
+                "[exec] {bench}: DETERMINISM VIOLATION: replay and streamed runs disagree \
+                 on the failure sets (replay {:?}, stream {:?}) for the same fault seed",
+                failure_sets(&replay),
+                failure_sets(&stream),
+            );
+            std::process::exit(1);
+        }
         eprintln!(
             "  [exec] {bench}: {} tasks, decode {:.0} ns/task, replay {:.2} ms ({} steals), \
              stream {:.2} ms ({:.0}% decode overlap) — ok",
@@ -311,6 +498,16 @@ fn main() {
             stream.exec_wall.as_secs_f64() * 1e3,
             stream.decode_overlap_pct,
         );
+        if replay.fault.any() || stream.fault.any() {
+            eprintln!(
+                "  [exec] {bench}: chaos: failed {}, poisoned {}, retried-ok {}, \
+                 workers lost {} (replay run)",
+                fmt_count_pct(replay.fault.failed.len(), replay.tasks),
+                fmt_count_pct(replay.fault.poisoned.len(), replay.tasks),
+                replay.fault.retried_ok,
+                replay.fault.workers_lost + stream.fault.workers_lost,
+            );
+        }
         points.push(Point { replay, stream, decode_best });
     }
 
@@ -342,6 +539,8 @@ fn main() {
                 "stream ms",
                 "stream t/s",
                 "overlap %",
+                "failed",
+                "poisoned",
                 "valid",
             ],
         );
@@ -358,6 +557,8 @@ fn main() {
                 fmt_f(p.stream.exec_wall.as_secs_f64() * 1e3, 2),
                 fmt_f(p.stream.tasks_per_sec(), 0),
                 fmt_f(p.stream.decode_overlap_pct, 0),
+                r.fault.failed.len().to_string(),
+                r.fault.poisoned.len().to_string(),
                 if r.validated && p.stream.validated { "ok".into() } else { "FAIL".into() },
             ]);
         }
@@ -373,6 +574,22 @@ fn main() {
             aggregate_rate(&points, |p| p.replay.exec_wall.as_secs_f64()) / 1e6,
             aggregate_rate(&points, |p| p.stream.exec_wall.as_secs_f64()) / 1e6,
         );
+        if chaos {
+            let total: usize = points.iter().map(|p| p.replay.tasks).sum();
+            let failed: usize = points.iter().map(|p| p.replay.fault.failed.len()).sum();
+            let poisoned: usize = points.iter().map(|p| p.replay.fault.poisoned.len()).sum();
+            let retried: usize = points.iter().map(|p| p.replay.fault.retried_ok).sum();
+            println!(
+                "Chaos ({} @ {} ppm, fault seed {}): failed {}, poisoned {}, \
+                 retried-ok {} — accounting reconciled, replay/stream failure sets agree.",
+                args.policy.name(),
+                args.fault_rate_ppm,
+                args.fault_seed,
+                fmt_count_pct(failed, total),
+                fmt_count_pct(poisoned, total),
+                retried,
+            );
+        }
         println!("(wrote {})", args.out);
     }
 }

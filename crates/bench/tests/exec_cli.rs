@@ -51,4 +51,72 @@ fn help_exits_zero() {
     let (code, err) = run(&["--help"]);
     assert_eq!(code, 0);
     assert!(err.contains("usage: exec"));
+    assert!(err.contains("--failure-policy"), "help must document the chaos flags: {err}");
+}
+
+// --- failure-domain flag combinations (DESIGN.md §11 satellite) ---
+
+#[test]
+fn fault_rate_without_a_policy_names_both_flags() {
+    let (code, err) = run(&["--fault-rate", "0.05"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--fault-rate"), "stderr: {err}");
+    assert!(err.contains("--failure-policy"), "stderr: {err}");
+    assert!(!err.contains("panicked"), "panicked instead of failing cleanly: {err}");
+}
+
+#[test]
+fn fault_rate_out_of_range_is_a_clean_error() {
+    let (code, err) = run(&["--fault-rate", "1.5", "--failure-policy", "retry"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--fault-rate must be a probability in 0..=1"), "stderr: {err}");
+}
+
+#[test]
+fn fault_rate_rejects_timed_payloads() {
+    let (code, err) =
+        run(&["--fault-rate", "0.05", "--failure-policy", "retry", "--payload", "spin"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--fault-rate needs --payload noop or faulty"), "stderr: {err}");
+}
+
+#[test]
+fn zero_deadlines_are_clean_errors() {
+    for flag in ["--task-deadline-ms", "--run-deadline-ms"] {
+        let (code, err) = run(&[flag, "0"]);
+        assert_eq!(code, 2, "{flag}: {err}");
+        assert!(err.contains(flag), "{flag}: {err}");
+        assert!(err.contains("at least 1 ms"), "{flag}: {err}");
+    }
+}
+
+#[test]
+fn kill_worker_bounds_are_validated_against_threads() {
+    let (code, err) = run(&["--kill-worker", "0", "--threads", "1"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--kill-worker needs --threads of at least 2"), "stderr: {err}");
+
+    let (code, err) = run(&["--kill-worker", "5", "--threads", "4"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--kill-worker 5 is out of range for --threads 4"), "stderr: {err}");
+}
+
+#[test]
+fn retry_flags_require_the_retry_policy() {
+    let (code, err) = run(&["--retry-max", "5"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--retry-max needs --failure-policy retry"), "stderr: {err}");
+
+    let (code, err) =
+        run(&["--retry-max", "5", "--failure-policy", "quarantine", "--fault-rate", "0.01"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--retry-max only applies to --failure-policy retry"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_policy_suggests_the_menu() {
+    let (code, err) = run(&["--failure-policy", "ignore"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("unknown --failure-policy 'ignore'"), "stderr: {err}");
+    assert!(err.contains("fail-fast|retry|quarantine"), "stderr: {err}");
 }

@@ -85,6 +85,16 @@ pub fn fmt_f(v: f64, digits: usize) -> String {
     format!("{v:.digits$}")
 }
 
+/// One-line `k/n (pct%)` summary for failure accounting columns (the
+/// chaos harness prints `failed`, `poisoned`, … through this so the
+/// table and the human-readable run log agree on formatting).
+pub fn fmt_count_pct(count: usize, total: usize) -> String {
+    if total == 0 {
+        return "0/0".to_string();
+    }
+    format!("{count}/{total} ({:.1}%)", 100.0 * count as f64 / total as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +130,11 @@ mod tests {
     fn fmt_f_rounds() {
         assert_eq!(fmt_f(1.23456, 2), "1.23");
         assert_eq!(fmt_f(183.0, 0), "183");
+    }
+
+    #[test]
+    fn fmt_count_pct_handles_zero_total() {
+        assert_eq!(fmt_count_pct(0, 0), "0/0");
+        assert_eq!(fmt_count_pct(3, 60), "3/60 (5.0%)");
     }
 }

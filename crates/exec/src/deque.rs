@@ -792,4 +792,42 @@ mod model_tests {
         assert_eq!(r1.message, r2.message, "replay is not deterministic");
         assert!(r1.message.contains("contested: thief won"));
     }
+
+    /// The §11 worker-loss adoption path: an owner dies mid-run (its
+    /// thread simply stops popping, exactly like the executor's
+    /// injected kill between tasks) with work still in its deque. The
+    /// Chase-Lev top end needs no owner cooperation, so in every
+    /// interleaving the survivor's batch steals drain the abandoned
+    /// deque completely — nothing is lost with the owner gone, whether
+    /// it died before, during, or after the survivor's first steal.
+    #[test]
+    fn model_worker_loss_deque_adoption() {
+        shuttle::check_pct(0xDEAD_BEEF, 400, 3, || {
+            let q = Arc::new(ChaseLev::with_capacity(8));
+            q.push(1);
+            q.push(2);
+            let q2 = q.clone();
+            // The dying owner: completes one task (one pop), then the
+            // injected kill returns it without draining the rest.
+            let owner = thread::spawn(move || q2.pop());
+            // The survivor adopts whatever the owner abandoned: rescan
+            // until the deque is observably drained (the worker loop's
+            // steal-retry shape).
+            let dest = ChaseLev::with_capacity(8);
+            let mut got: Vec<u32> = Vec::new();
+            loop {
+                got.extend(q.steal_batch_into(&dest, 4));
+                while let Some(v) = dest.pop() {
+                    got.push(v);
+                }
+                if q.is_empty() {
+                    break;
+                }
+            }
+            let owned = owner.join().unwrap();
+            got.extend(owned);
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2], "abandoned deque lost work (owner took {owned:?})");
+        });
+    }
 }

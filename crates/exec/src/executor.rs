@@ -52,11 +52,16 @@
 //! a producer's pending list is the decode-vs-execution race itself
 //! (`tests/streaming.rs` pins that contract).
 
-use crate::sync::atomic::{AtomicI32, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicI32, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use crate::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use crate::deque::{ChaseLev, BATCH_MAX};
+use crate::fault::{
+    backoff_for, panic_message, ExecError, FailedTask, FailurePolicy, FaultPlan, FaultReport,
+    InjectedFault, TaskFailure, INJECTED_PANIC_MARKER,
+};
 use crate::payload::{build_arena, PayloadMode, PayloadScratch};
 use crate::renamer::{merge_window, RenameStats, Renamer, ShardState, TaskGraph};
 use tss_sim::{CachePadded, Cycle};
@@ -85,6 +90,18 @@ pub struct ExecConfig {
     /// is hash-partitioned this many ways and each shard renames its
     /// partition on its own thread (the distributed-ORT analogy).
     pub decode_shards: usize,
+    /// What the run does when a task fails (DESIGN.md §11).
+    pub policy: FailurePolicy,
+    /// Per-task wall-clock budget: an attempt exceeding it is cancelled
+    /// by the watchdog and counts as a [`TaskFailure::Deadline`].
+    pub task_deadline: Option<Duration>,
+    /// Whole-run wall-clock budget: expiry aborts the run with
+    /// [`ExecError::RunDeadline`].
+    pub run_deadline: Option<Duration>,
+    /// Chaos: kill this worker's thread after its first completed task
+    /// (the survivors adopt its deque via the thief protocol). Requires
+    /// `threads >= 2`.
+    pub kill_worker: Option<usize>,
 }
 
 impl Default for ExecConfig {
@@ -97,6 +114,10 @@ impl Default for ExecConfig {
             validate: true,
             window: 1024,
             decode_shards: 1,
+            policy: FailurePolicy::FailFast,
+            task_deadline: None,
+            run_deadline: None,
+            kill_worker: None,
         }
     }
 }
@@ -156,6 +177,8 @@ pub struct ExecReport {
     pub rename: RenameStats,
     /// Whether the completion log was checked against the oracle.
     pub validated: bool,
+    /// Failure accounting (all-zero for a clean run).
+    pub fault: FaultReport,
 }
 
 impl ExecReport {
@@ -195,6 +218,29 @@ impl ExecReport {
         } else {
             0.0
         }
+    }
+
+    /// Tasks that completed (payload ran to success), from the workers'
+    /// own counters — independent of the status-array scan that feeds
+    /// [`ExecReport::fault`], which is what makes reconciliation a real
+    /// cross-check.
+    pub fn completed(&self) -> usize {
+        self.workers.iter().map(|w| w.executed as usize).sum()
+    }
+
+    /// Tasks that completed without ever failing an attempt.
+    pub fn completed_clean(&self) -> usize {
+        self.completed() - self.fault.retried_ok
+    }
+
+    /// The §11 accounting identity: `clean + retried-into-success +
+    /// failed + poisoned = tasks`, with `clean + retried` counted by
+    /// the workers and `failed + poisoned` by the final status scan. A
+    /// report that does not reconcile is an executor bug; the harness
+    /// gates on this.
+    pub fn accounting_reconciles(&self) -> bool {
+        self.completed() + self.fault.failed.len() + self.fault.poisoned.len() == self.tasks
+            && self.fault.retried_ok <= self.completed()
     }
 }
 
@@ -272,6 +318,39 @@ impl Parker {
 }
 
 // ---------------------------------------------------------------------
+// Task status (the POISONED readiness sentinel, DESIGN.md §11)
+// ---------------------------------------------------------------------
+
+/// Task ran (or will run) normally.
+const HEALTHY: u8 = 0;
+/// A producer in the task's ancestry failed: skip the payload, count it
+/// quarantined, propagate.
+const POISONED: u8 = 1;
+/// The task itself failed every attempt.
+const FAILED: u8 = 2;
+
+/// Ordering of the *fail-path* pending-list close (the `swap` to
+/// `PENDING_CLOSED` in `poison_release`). The release half is what
+/// publishes the producer's FAILED/POISONED status byte to a window
+/// committer that observes `PENDING_CLOSED` with its `Acquire` head
+/// load: weaken it and the committer can read a stale HEALTHY status
+/// and wrongly count the edge healthy-satisfied, executing a task whose
+/// producer failed. `--cfg tss_bug_poison_relaxed` seeds exactly that
+/// bug so CI can prove the model suite still catches it (§10.3).
+#[cfg(not(tss_bug_poison_relaxed))]
+const POISON_PUBLISH: Ordering = Ordering::AcqRel;
+#[cfg(tss_bug_poison_relaxed)]
+const POISON_PUBLISH: Ordering = Ordering::Relaxed;
+
+/// Marks a task poisoned. Plain store: the countdown RMW chain (or the
+/// pending-close publish) that makes the task *ready* is what carries
+/// the byte to whoever pops it.
+#[inline]
+fn mark_poisoned(status: &AtomicU8) {
+    status.store(POISONED, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
 // Release modes (how a completion finds its successors)
 // ---------------------------------------------------------------------
 
@@ -282,6 +361,13 @@ trait ReleaseSuccs: Sync {
     /// Called exactly once per completed task `t`; appends every task
     /// made ready by this completion to `ready`.
     fn release(&self, t: u32, ready: &mut Vec<u32>);
+
+    /// [`ReleaseSuccs::release`] for a FAILED or POISONED task `t`:
+    /// marks every successor POISONED in `status` *before* counting it
+    /// down, so a successor that becomes ready is observed poisoned by
+    /// whichever worker pops it (the countdown's AcqRel chain plus the
+    /// deque's push/steal protocol carry the byte).
+    fn poison_release(&self, t: u32, status: &[AtomicU8], ready: &mut Vec<u32>);
 }
 
 /// One-shot mode: the successor CSR is fully decoded up front and the
@@ -305,6 +391,15 @@ impl ReleaseSuccs for PrebuiltRelease<'_> {
         for &s in self.graph.succs(t as TaskId) {
             // AcqRel: release our payload writes to the successor's
             // executor, acquire the other producers' on the 1 → 0 edge.
+            if self.unready[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                ready.push(s);
+            }
+        }
+    }
+
+    fn poison_release(&self, t: u32, status: &[AtomicU8], ready: &mut Vec<u32>) {
+        for &s in self.graph.succs(t as TaskId) {
+            mark_poisoned(&status[s as usize]);
             if self.unready[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                 ready.push(s);
             }
@@ -351,6 +446,51 @@ impl StreamRelease {
             ready.push(s);
         }
     }
+
+    /// Registers edge `p → s` (committer thread, under the commit
+    /// lock), storing the list node at `node_idx`. Returns how the edge
+    /// resolved; on either `Satisfied*` fate the node slot is unused.
+    fn register_edge(&self, node_idx: u32, p: u32, s: u32, status: &[AtomicU8]) -> EdgeFate {
+        loop {
+            let head = self.pending[p as usize].load(Ordering::Acquire);
+            if head == PENDING_CLOSED {
+                // `p` completed and drained before this edge existed:
+                // the committer owns the satisfaction (§8). The Acquire
+                // head load synchronizes with the closing swap, so `p`'s
+                // status byte (stored before the close) is visible —
+                // unless the seeded §10.3 bug weakened the close.
+                return if status[p as usize].load(Ordering::Relaxed) == HEALTHY {
+                    EdgeFate::SatisfiedHealthy
+                } else {
+                    EdgeFate::SatisfiedPoisoned
+                };
+            }
+            self.nodes[node_idx as usize]
+                .store(((head as u64) << 32) | s as u64, Ordering::Relaxed);
+            if self.pending[p as usize]
+                .compare_exchange(head, node_idx, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return EdgeFate::Registered;
+            }
+            // Lost to the drain swap (or another commit — impossible
+            // under the commit lock): retry against the new head.
+        }
+    }
+}
+
+/// How a window-commit edge registration resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeFate {
+    /// Pushed onto the producer's pending list; the producer's drain
+    /// will count it down.
+    Registered,
+    /// The producer already completed healthy: the committer counts the
+    /// edge satisfied.
+    SatisfiedHealthy,
+    /// The producer already completed FAILED/POISONED: the committer
+    /// counts the edge satisfied *and* poisons the successor.
+    SatisfiedPoisoned,
 }
 
 impl ReleaseSuccs for StreamRelease {
@@ -366,11 +506,46 @@ impl ReleaseSuccs for StreamRelease {
             head = (node >> 32) as u32;
         }
     }
+
+    fn poison_release(&self, t: u32, status: &[AtomicU8], ready: &mut Vec<u32>) {
+        // Same close as `release`, but the swap's ordering is the
+        // POISON_PUBLISH constant: its release half is what hands `t`'s
+        // FAILED/POISONED status byte to a committer that sees CLOSED
+        // (the §10.3 seeded bug weakens exactly this edge).
+        let mut head = self.pending[t as usize].swap(PENDING_CLOSED, POISON_PUBLISH);
+        while head != PENDING_NIL {
+            let node = self.nodes[head as usize].load(Ordering::Relaxed);
+            let s = node as u32;
+            mark_poisoned(&status[s as usize]);
+            self.countdown(s, ready);
+            head = (node >> 32) as u32;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
 // Shared replay state
 // ---------------------------------------------------------------------
+
+/// One worker's deadline-watchdog slot. The worker arms it around each
+/// payload attempt; the watchdog thread polls armed slots and raises
+/// `cancel` past the deadline. A worker that observes `cancel` verifies
+/// the deadline really expired before failing the attempt (the arm ↔
+/// poll race can, rarely, cancel a *fresh* attempt; the verification
+/// turns that into a silent payload restart instead of a wrong
+/// failure).
+struct WatchSlot {
+    /// Absolute attempt deadline, ns since `Shared::t0` (0 = unarmed).
+    deadline_ns: CachePadded<AtomicU64>,
+    /// Nonzero = stop the current payload.
+    cancel: AtomicU32,
+}
+
+impl WatchSlot {
+    fn new() -> Self {
+        WatchSlot { deadline_ns: CachePadded::new(AtomicU64::new(0)), cancel: AtomicU32::new(0) }
+    }
+}
 
 /// Shared replay state (borrowed by every worker via a scoped spawn).
 struct Shared<'a, R: ReleaseSuccs> {
@@ -391,16 +566,73 @@ struct Shared<'a, R: ReleaseSuccs> {
     injector: ChaseLev,
     parker: Parker,
     payload: PayloadMode,
+
+    // --- failure domain (DESIGN.md §11) ---
+    /// Per-task status byte (HEALTHY / POISONED / FAILED).
+    status: Vec<AtomicU8>,
+    /// Nonzero = stop the run (fail-fast failure, run deadline, or an
+    /// infrastructure panic). Checked on the idle path and the park
+    /// predicate only — never per task.
+    abort: CachePadded<AtomicU32>,
+    /// Nonzero once any attempt has failed: diverts subsequent tasks
+    /// from the fast path onto the guarded path even when no chaos is
+    /// armed (a real payload panic under Quarantine must still poison).
+    tainted: CachePadded<AtomicU32>,
+    /// Resolved fault-injection plan (all-zero when disarmed).
+    plan: FaultPlan,
+    policy: FailurePolicy,
+    max_attempts: u32,
+    backoff_base: Duration,
+    /// Per-task deadline (None = unarmed).
+    task_deadline: Option<Duration>,
+    /// Absolute run deadline, ns since `t0` (0 = unarmed).
+    run_deadline_ns: u64,
+    /// Wall anchor for every deadline computation.
+    t0: Instant,
+    /// True when any per-task machinery (injection, task deadline, or
+    /// payload cancellation for the run deadline) must run: decided
+    /// once, so a fault-free run's per-task path is unchanged.
+    guarded: bool,
+    /// Per-worker watchdog slots (empty when no deadline is armed).
+    watch: Vec<WatchSlot>,
+    /// Set by the watchdog when the run deadline expired.
+    run_deadline_hit: AtomicU32,
+    /// Final failure records, in completion order.
+    failures: Mutex<Vec<FailedTask>>,
+    /// First infrastructure (non-payload) panic message.
+    infra_panic: Mutex<Option<String>>,
+    /// `retry_hist[k]`: outcomes that consumed k+1 attempts (only
+    /// maintained under a Retry policy).
+    retry_hist: Vec<AtomicU64>,
+    /// Tasks that failed an attempt but eventually completed.
+    retried_ok: CachePadded<AtomicUsize>,
 }
 
 impl<R: ReleaseSuccs> Shared<'_, R> {
-    fn new_for(trace: &TaskTrace, mode: R, threads: usize, payload: PayloadMode) -> Shared<'_, R> {
+    fn new_for<'t>(trace: &'t TaskTrace, mode: R, cfg: &ExecConfig) -> Shared<'t, R> {
         let n = trace.len();
+        let threads = cfg.threads;
+        let payload = cfg.payload;
         let runtimes = if matches!(payload, PayloadMode::Spin { .. }) {
             trace.iter().map(|t| t.runtime).collect()
         } else {
             Vec::new()
         };
+        let plan = match payload {
+            PayloadMode::Faulty { rate_ppm, seed } => {
+                FaultPlan { rate_ppm, seed, kill_worker: cfg.kill_worker }
+            }
+            _ => FaultPlan { rate_ppm: 0, seed: 0, kill_worker: cfg.kill_worker },
+        };
+        let deadline_armed = cfg.task_deadline.is_some() || cfg.run_deadline.is_some();
+        let guarded = plan.enabled() || deadline_armed;
+        let max_attempts = cfg.policy.max_attempts();
+        let backoff_base = match cfg.policy {
+            FailurePolicy::Retry { backoff, .. } => backoff,
+            _ => Duration::ZERO,
+        };
+        let t0 = Instant::now();
+        let run_deadline_ns = cfg.run_deadline.map_or(0, |d| (d.as_nanos() as u64).max(1));
         Shared {
             mode,
             trace,
@@ -412,12 +644,66 @@ impl<R: ReleaseSuccs> Shared<'_, R> {
             injector: ChaseLev::with_capacity(1024),
             parker: Parker::new(),
             payload,
+            status: (0..n).map(|_| AtomicU8::new(HEALTHY)).collect(),
+            abort: CachePadded::new(AtomicU32::new(0)),
+            tainted: CachePadded::new(AtomicU32::new(0)),
+            plan,
+            policy: cfg.policy,
+            max_attempts,
+            backoff_base,
+            task_deadline: cfg.task_deadline,
+            run_deadline_ns,
+            t0,
+            guarded,
+            watch: if deadline_armed {
+                (0..threads).map(|_| WatchSlot::new()).collect()
+            } else {
+                Vec::new()
+            },
+            run_deadline_hit: AtomicU32::new(0),
+            failures: Mutex::new(Vec::new()),
+            infra_panic: Mutex::new(None),
+            retry_hist: (0..max_attempts as usize).map(|_| AtomicU64::new(0)).collect(),
+            retried_ok: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 
     #[inline]
     fn done(&self) -> bool {
         self.next_ticket.load(Ordering::Acquire) >= self.n
+    }
+
+    #[inline]
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire) != 0
+    }
+
+    /// Workers exit on this: normal termination *or* an abort.
+    #[inline]
+    fn stopping(&self) -> bool {
+        self.done() || self.aborted()
+    }
+
+    /// Raises the abort flag and flushes every parked worker into its
+    /// `stopping()` check.
+    fn request_abort(&self) {
+        self.abort.store(1, Ordering::Release);
+        self.parker.wake_all();
+    }
+
+    /// Records a non-payload panic (an executor bug, caught at the
+    /// thread boundary so the run still joins cleanly) and aborts.
+    fn note_infra_panic(&self, message: String) {
+        let mut slot = self.infra_panic.lock().expect("infra panic slot poisoned");
+        slot.get_or_insert(message);
+        drop(slot);
+        self.request_abort();
+    }
+
+    /// Whether the watchdog thread is needed.
+    #[inline]
+    fn watchdog_armed(&self) -> bool {
+        !self.watch.is_empty()
     }
 }
 
@@ -430,28 +716,19 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn run_task<R: ReleaseSuccs>(
+/// Takes the completion ticket for `t` and releases its successors —
+/// healthily or (for a FAILED/POISONED `t`) with cone poisoning. Every
+/// task, whatever its fate, takes a ticket: the ticket counter is the
+/// termination count, and because a failed/poisoned task still only
+/// completes after its producers, the *full* log (completed + failed +
+/// poisoned) stays a valid `DepGraph` linearization.
+fn complete<R: ReleaseSuccs>(
     t: u32,
     w: usize,
     shared: &Shared<'_, R>,
-    scratch: &mut PayloadScratch<'_>,
-    stats: &mut WorkerStats,
     ready: &mut Vec<u32>,
+    poisoned: bool,
 ) {
-    match shared.payload {
-        // No per-task clock reads on any path: busy time is accumulated
-        // per burst by `worker_loop`, so noop runs still measure pure
-        // decode + scheduling throughput.
-        PayloadMode::Noop => {}
-        PayloadMode::Spin { time_scale } => {
-            scratch.run_spin(shared.runtimes[t as usize], time_scale);
-        }
-        PayloadMode::Memcpy => {
-            scratch.run_memcpy(shared.trace.task(t as TaskId));
-        }
-    }
-    stats.executed += 1;
-
     // Ticket first, successor release second: any successor's ticket is
     // therefore strictly after every producer's (valid linearization).
     // Relaxed suffices: tickets on one counter are totally ordered, and
@@ -461,7 +738,11 @@ fn run_task<R: ReleaseSuccs>(
     shared.order[ticket].store(t, Ordering::Relaxed);
 
     ready.clear();
-    shared.mode.release(t, ready);
+    if poisoned {
+        shared.mode.poison_release(t, &shared.status, ready);
+    } else {
+        shared.mode.release(t, ready);
+    }
     for &s in ready.iter() {
         shared.deques[w].push(s);
     }
@@ -477,18 +758,276 @@ fn run_task<R: ReleaseSuccs>(
     }
 }
 
+fn run_task<R: ReleaseSuccs>(
+    t: u32,
+    w: usize,
+    shared: &Shared<'_, R>,
+    scratch: &mut PayloadScratch<'_>,
+    stats: &mut WorkerStats,
+    ready: &mut Vec<u32>,
+) {
+    if shared.guarded || shared.tainted.load(Ordering::Relaxed) != 0 {
+        // Chaos, deadlines, or an earlier failure: the guarded lane
+        // owns poison checks and the containment state machine.
+        return run_task_guarded(t, w, shared, scratch, stats, ready);
+    }
+    let outcome: Result<(), Box<dyn std::any::Any + Send>> = match shared.payload {
+        // No per-task clock reads on any path: busy time is accumulated
+        // per burst by `worker_loop`, so noop runs still measure pure
+        // decode + scheduling throughput. Nothing in the noop arm can
+        // panic, so the fault-free noop lane is byte-identical to the
+        // pre-§11 core.
+        PayloadMode::Noop | PayloadMode::Faulty { .. } => Ok(()),
+        // Real payloads run inside the containment boundary even on the
+        // fast lane: a panicking payload becomes a TaskFailure, never a
+        // dead worker. catch_unwind's happy path is a few instructions
+        // against payloads that busy-work for microseconds.
+        PayloadMode::Spin { time_scale } => catch_unwind(AssertUnwindSafe(|| {
+            scratch.run_spin(shared.runtimes[t as usize], time_scale);
+        })),
+        PayloadMode::Memcpy => catch_unwind(AssertUnwindSafe(|| {
+            scratch.run_memcpy(shared.trace.task(t as TaskId));
+        })),
+    };
+    match outcome {
+        Ok(()) => {
+            stats.executed += 1;
+            complete(t, w, shared, ready, false);
+        }
+        Err(payload) => {
+            // First failure of the run: taint (diverting everyone to
+            // the guarded lane) and hand this task to the policy.
+            shared.tainted.store(1, Ordering::Relaxed);
+            let failure = TaskFailure::Panicked { message: panic_message(&*payload) };
+            resolve_failure(t, w, shared, scratch, stats, ready, 1, failure);
+        }
+    }
+}
+
+/// The guarded lane: poison check, fault injection, deadline watch, and
+/// the attempt loop. Split from [`run_task`] so the fault-free fast
+/// lane never pays for any of it.
+fn run_task_guarded<R: ReleaseSuccs>(
+    t: u32,
+    w: usize,
+    shared: &Shared<'_, R>,
+    scratch: &mut PayloadScratch<'_>,
+    stats: &mut WorkerStats,
+    ready: &mut Vec<u32>,
+) {
+    // The status byte was stored before the countdown/publish that made
+    // `t` ready, and the deque transfer carries it here (§11).
+    if shared.status[t as usize].load(Ordering::Acquire) != HEALTHY {
+        complete(t, w, shared, ready, true);
+        return;
+    }
+    match attempt_payload(t, 1, w, shared, scratch) {
+        Ok(()) => {
+            stats.executed += 1;
+            if !shared.retry_hist.is_empty() {
+                shared.retry_hist[0].fetch_add(1, Ordering::Relaxed);
+            }
+            complete(t, w, shared, ready, false);
+        }
+        Err(AttemptError::Failed(failure)) => {
+            shared.tainted.store(1, Ordering::Relaxed);
+            resolve_failure(t, w, shared, scratch, stats, ready, 1, failure);
+        }
+        Err(AttemptError::Aborted) => {}
+    }
+}
+
+/// A task attempt's failure modes.
+enum AttemptError {
+    /// The attempt failed (panic or deadline): the policy decides next.
+    Failed(TaskFailure),
+    /// The run is aborting (run deadline / fail-fast elsewhere): drop
+    /// the attempt without completing the task; the worker loop exits
+    /// on its next `stopping()` check.
+    Aborted,
+}
+
+/// Runs one payload attempt inside the containment boundary, with
+/// injection and deadline watching. `attempt` is 1-based.
+fn attempt_payload<R: ReleaseSuccs>(
+    t: u32,
+    attempt: u32,
+    w: usize,
+    shared: &Shared<'_, R>,
+    scratch: &mut PayloadScratch<'_>,
+) -> Result<(), AttemptError> {
+    let injected = shared.plan.effective(t, attempt, shared.task_deadline.is_some());
+    if let Some(InjectedFault::Panic) = injected {
+        // Containment-boundary exercise: a real panic, caught exactly
+        // where a payload panic would be. The marker keeps the process
+        // panic hook quiet for expected chaos (fault::install_quiet_hook).
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            panic!("{INJECTED_PANIC_MARKER} task {t} attempt {attempt}");
+        }));
+        debug_assert!(caught.is_err());
+        return match caught {
+            Err(payload) => Err(AttemptError::Failed(TaskFailure::Panicked {
+                message: panic_message(&*payload),
+            })),
+            Ok(()) => Ok(()),
+        };
+    }
+    if shared.watch.is_empty() {
+        // No deadline armed: plain payload under the boundary.
+        // (`effective` already downgraded any Delay to a Panic.)
+        let res = catch_unwind(AssertUnwindSafe(|| match shared.payload {
+            PayloadMode::Noop | PayloadMode::Faulty { .. } => {}
+            PayloadMode::Spin { time_scale } => {
+                scratch.run_spin(shared.runtimes[t as usize], time_scale);
+            }
+            PayloadMode::Memcpy => {
+                scratch.run_memcpy(shared.trace.task(t as TaskId));
+            }
+        }));
+        return res.map_err(|p| {
+            AttemptError::Failed(TaskFailure::Panicked { message: panic_message(&*p) })
+        });
+    }
+    // Watched attempt: arm this worker's slot, run the cancellable
+    // payload, verify any cancellation against the clock (see
+    // `WatchSlot` for the race this closes).
+    let slot = &shared.watch[w];
+    loop {
+        if shared.aborted() {
+            return Err(AttemptError::Aborted);
+        }
+        let started = Instant::now();
+        slot.cancel.store(0, Ordering::Relaxed);
+        if let Some(dl) = shared.task_deadline {
+            let abs = shared.t0.elapsed() + dl;
+            slot.deadline_ns.store((abs.as_nanos() as u64).max(1), Ordering::Release);
+        }
+        let outcome = match injected {
+            Some(InjectedFault::Delay) => {
+                // Stall until the watchdog cancels (only reachable with
+                // a task deadline armed — `effective` guarantees it).
+                scratch.stall_until_cancelled(&slot.cancel);
+                Ok(true)
+            }
+            _ => catch_unwind(AssertUnwindSafe(|| {
+                let task = shared.trace.task(t as TaskId);
+                let (_, cancelled) = scratch.run_watched(shared.payload, task, &slot.cancel);
+                cancelled
+            })),
+        };
+        slot.deadline_ns.store(0, Ordering::Release);
+        match outcome {
+            Ok(false) => return Ok(()),
+            Ok(true) => {
+                if shared.run_deadline_hit.load(Ordering::Acquire) != 0 || shared.aborted() {
+                    return Err(AttemptError::Aborted);
+                }
+                if shared.task_deadline.is_some_and(|dl| started.elapsed() >= dl) {
+                    return Err(AttemptError::Failed(TaskFailure::Deadline));
+                }
+                // Stale cancel from the previous task's expiry racing
+                // the re-arm: restart the attempt (payloads are
+                // idempotent on private scratch).
+            }
+            Err(p) => {
+                return Err(AttemptError::Failed(TaskFailure::Panicked {
+                    message: panic_message(&*p),
+                }))
+            }
+        }
+    }
+}
+
+/// Applies the failure policy after attempt `attempt` of task `t`
+/// failed with `failure`: retries (with seeded backoff) while attempts
+/// remain, then fail-fasts or quarantines.
+#[allow(clippy::too_many_arguments)]
+fn resolve_failure<R: ReleaseSuccs>(
+    t: u32,
+    w: usize,
+    shared: &Shared<'_, R>,
+    scratch: &mut PayloadScratch<'_>,
+    stats: &mut WorkerStats,
+    ready: &mut Vec<u32>,
+    mut attempt: u32,
+    mut failure: TaskFailure,
+) {
+    while attempt < shared.max_attempts && !shared.aborted() {
+        let wait = backoff_for(shared.plan.seed, t, attempt, shared.backoff_base);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        attempt += 1;
+        match attempt_payload(t, attempt, w, shared, scratch) {
+            Ok(()) => {
+                stats.executed += 1;
+                shared.retried_ok.fetch_add(1, Ordering::Relaxed);
+                if !shared.retry_hist.is_empty() {
+                    shared.retry_hist[(attempt - 1) as usize].fetch_add(1, Ordering::Relaxed);
+                }
+                complete(t, w, shared, ready, false);
+                return;
+            }
+            Err(AttemptError::Failed(f)) => failure = f,
+            Err(AttemptError::Aborted) => return,
+        }
+    }
+    if shared.aborted() {
+        return;
+    }
+    // Attempts exhausted: record, then fail-fast or quarantine.
+    {
+        let mut failures = shared.failures.lock().expect("failure log poisoned");
+        failures.push(FailedTask { task: t, attempts: attempt, failure });
+    }
+    if !shared.retry_hist.is_empty() {
+        shared.retry_hist[(attempt - 1) as usize].fetch_add(1, Ordering::Relaxed);
+    }
+    match shared.policy {
+        FailurePolicy::FailFast => {
+            // No ticket, no release: successors starve by design; the
+            // abort flag (not the ticket count) ends the run.
+            shared.request_abort();
+        }
+        FailurePolicy::Retry { .. } | FailurePolicy::Quarantine => {
+            // FAILED is stored before `complete`'s poison_release
+            // closes the pending list, so the §11 publish hands the
+            // byte to any later window commit.
+            shared.status[t as usize].store(FAILED, Ordering::Relaxed);
+            complete(t, w, shared, ready, true);
+        }
+    }
+}
+
+/// How a worker thread left the run.
+enum WorkerExit {
+    /// Normal exit: ran until termination (or abort).
+    Finished(WorkerStats),
+    /// Injected worker kill: the thread left mid-run with work possibly
+    /// still in its deque — the survivors adopt it via the thief
+    /// protocol (the Chase-Lev top end needs no owner).
+    Killed(WorkerStats),
+}
+
 fn worker_loop<R: ReleaseSuccs>(
     w: usize,
     shared: &Shared<'_, R>,
     arena: &[u8],
     seed: u64,
-) -> WorkerStats {
+) -> WorkerExit {
     let mut stats = WorkerStats::default();
     let mut scratch = PayloadScratch::new(arena);
     let mut ready: Vec<u32> = Vec::with_capacity(64);
     let mut rng = seed ^ (w as u64).wrapping_mul(0xA076_1D64_78BD_642F);
     let me = &shared.deques[w];
     let others: Vec<usize> = (0..shared.deques.len()).filter(|&v| v != w).collect();
+    // Injected worker loss: die *between* tasks after the first
+    // completion — a clean kill (ticket taken, successors released), so
+    // the run still terminates; only the parallelism degrades.
+    let kill_after: u64 = match shared.plan.kill_worker {
+        Some(k) if k == w => 1,
+        _ => u64::MAX,
+    };
 
     loop {
         // Fast path: drain the own deque depth-first. No epoch or done
@@ -497,12 +1036,21 @@ fn worker_loop<R: ReleaseSuccs>(
         if let Some(t) = me.pop() {
             let burst = Instant::now();
             run_task(t, w, shared, &mut scratch, &mut stats, &mut ready);
-            while let Some(t) = me.pop() {
-                run_task(t, w, shared, &mut scratch, &mut stats, &mut ready);
+            while stats.executed < kill_after {
+                match me.pop() {
+                    Some(t) => run_task(t, w, shared, &mut scratch, &mut stats, &mut ready),
+                    None => break,
+                }
             }
             stats.busy += burst.elapsed();
+            if stats.executed >= kill_after {
+                // Leave abandoned work visible: wake everyone so the
+                // survivors rescan and adopt this deque.
+                shared.parker.wake_all();
+                return WorkerExit::Killed(stats);
+            }
         }
-        if shared.done() {
+        if shared.stopping() {
             break;
         }
         // Epoch before the scans: any push after a failed scan moves
@@ -532,16 +1080,51 @@ fn worker_loop<R: ReleaseSuccs>(
                 let burst = Instant::now();
                 run_task(t, w, shared, &mut scratch, &mut stats, &mut ready);
                 stats.busy += burst.elapsed();
+                if stats.executed >= kill_after {
+                    shared.parker.wake_all();
+                    return WorkerExit::Killed(stats);
+                }
             }
             None => {
-                if shared.done() {
+                if shared.stopping() {
                     break;
                 }
-                shared.parker.park(epoch, || shared.done());
+                shared.parker.park(epoch, || shared.stopping());
             }
         }
     }
-    stats
+    WorkerExit::Finished(stats)
+}
+
+/// The deadline watchdog: a polling thread (the facade condvar has no
+/// `wait_timeout`, and 200 µs polls are noise against ms-scale
+/// deadlines) that cancels expired attempts and aborts the run past its
+/// deadline. Spawned only when a deadline is armed; exits as soon as
+/// the run stops.
+fn watchdog_loop<R: ReleaseSuccs>(shared: &Shared<'_, R>) {
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+        let now = shared.t0.elapsed().as_nanos() as u64;
+        for slot in &shared.watch {
+            let dl = slot.deadline_ns.load(Ordering::Acquire);
+            if dl != 0 && now >= dl {
+                slot.cancel.store(1, Ordering::Release);
+            }
+        }
+        if shared.run_deadline_ns != 0 && now >= shared.run_deadline_ns {
+            shared.run_deadline_hit.store(1, Ordering::Release);
+            // Cancel every in-flight payload, then abort: workers
+            // observe `Aborted` attempts and exit without completing.
+            for slot in &shared.watch {
+                slot.cancel.store(1, Ordering::Release);
+            }
+            shared.request_abort();
+            return;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -610,29 +1193,6 @@ impl<'a> DecodeShared<'a> {
         }
     }
 
-    /// Registers edge `p → s` (committer thread, under the commit
-    /// lock). Returns `true` if `p` already completed — the edge is
-    /// born satisfied.
-    fn register_edge(&self, rel: &StreamRelease, node_idx: u32, p: u32, s: u32) -> bool {
-        loop {
-            let head = rel.pending[p as usize].load(Ordering::Acquire);
-            if head == PENDING_CLOSED {
-                // `p` completed and drained before this edge existed:
-                // the committer owns the satisfaction (§8).
-                return true;
-            }
-            rel.nodes[node_idx as usize].store(((head as u64) << 32) | s as u64, Ordering::Relaxed);
-            if rel.pending[p as usize]
-                .compare_exchange(head, node_idx, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                return false;
-            }
-            // Lost to the drain swap (or another commit — impossible
-            // under the commit lock): retry against the new head.
-        }
-    }
-
     /// Commits every consecutively-ready window starting at the commit
     /// cursor. Called by whichever shard thread finished a window last;
     /// the commit mutex makes the committer role migrate safely (the
@@ -660,9 +1220,21 @@ impl<'a> DecodeShared<'a> {
                 for &p in preds {
                     let idx = node_cursor as u32;
                     node_cursor += 1;
-                    if self.register_edge(&shared.mode, idx, p, s) {
-                        satisfied += 1;
-                        node_cursor -= 1; // node unused: reuse the slot
+                    match shared.mode.register_edge(idx, p, s, &shared.status) {
+                        EdgeFate::Registered => {}
+                        EdgeFate::SatisfiedHealthy => {
+                            satisfied += 1;
+                            node_cursor -= 1; // node unused: reuse the slot
+                        }
+                        EdgeFate::SatisfiedPoisoned => {
+                            // The producer failed (or was poisoned)
+                            // before this edge existed: the committer
+                            // owns both the satisfaction *and* the
+                            // poison propagation (§11).
+                            mark_poisoned(&shared.status[s as usize]);
+                            satisfied += 1;
+                            node_cursor -= 1;
+                        }
                     }
                 }
                 edges += preds.len();
@@ -729,7 +1301,9 @@ fn decode_loop(
 /// use tss_workloads::{Benchmark, Scale};
 ///
 /// let trace = Benchmark::Cholesky.trace(Scale::Small, 1);
-/// let report = Executor::new(ExecConfig { threads: 2, ..ExecConfig::default() }).run(&trace);
+/// let report = Executor::new(ExecConfig { threads: 2, ..ExecConfig::default() })
+///     .run(&trace)
+///     .expect("replay failed");
 /// assert_eq!(report.tasks, trace.len());
 /// assert!(report.validated);
 /// assert!(report.streaming);
@@ -745,9 +1319,15 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Panics if `config.threads` is zero.
+    /// Panics if `config.threads` is zero, or if `kill_worker` is set
+    /// with fewer than two workers / an out-of-range index (a lone
+    /// killed worker could never finish the run).
     pub fn new(mut config: ExecConfig) -> Self {
         assert!(config.threads >= 1, "the executor needs at least one worker");
+        if let Some(k) = config.kill_worker {
+            assert!(config.threads >= 2, "kill_worker needs at least two workers");
+            assert!(k < config.threads, "kill_worker index out of range");
+        }
         config.window = config.window.max(1);
         config.decode_shards = config.decode_shards.max(1);
         Executor { config }
@@ -762,12 +1342,14 @@ impl Executor {
     /// rename window by window while workers already execute committed
     /// windows.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the replay deadlocks (cyclic trace — impossible for
-    /// program-order decode), loses tasks, or (with validation on)
-    /// emits a completion log violating the `DepGraph` oracle.
-    pub fn run(&self, trace: &TaskTrace) -> ExecReport {
+    /// [`ExecError::TaskFailed`] under `FailFast`, `RunDeadline` past
+    /// the run budget, `WorkerPanic` for a non-payload thread death,
+    /// and `OracleViolation` if validation rejects the completion log.
+    /// Task failures under `Retry`/`Quarantine` are *not* errors: they
+    /// come back inside [`ExecReport::fault`].
+    pub fn run(&self, trace: &TaskTrace) -> Result<ExecReport, ExecError> {
         let n = trace.len();
         let threads = self.config.threads;
         let shards = self.config.decode_shards;
@@ -775,8 +1357,7 @@ impl Executor {
         // Pre-dedup pair bound: ≤ 1 RaW per read + 1 WaW per write +
         // readers cleared per write (≤ total reads) — see renamer.rs.
         let edge_cap = 3 * total_ops + 8;
-        let shared =
-            Shared::new_for(trace, StreamRelease::new(n, edge_cap), threads, self.config.payload);
+        let shared = Shared::new_for(trace, StreamRelease::new(n, edge_cap), &self.config);
         let arena = self.arena();
         // Constructed last: `dec.started` anchors the decode span, so
         // nothing non-decode (notably the memcpy arena build) may sit
@@ -786,14 +1367,31 @@ impl Executor {
         let t0 = dec.started;
         let mut workers = vec![WorkerStats::default(); threads];
         let mut rename = RenameStats::default();
+        let mut workers_lost = 0usize;
         if n > 0 {
             std::thread::scope(|scope| {
+                if shared.watchdog_armed() {
+                    let shared = &shared;
+                    scope.spawn(move || watchdog_loop(shared));
+                }
                 let decoders: Vec<_> = (0..shards)
                     .map(|sh| {
                         let dec = &dec;
                         let shared = &shared;
                         let renaming = self.config.renaming;
-                        scope.spawn(move || decode_loop(sh, renaming, dec, shared))
+                        scope.spawn(move || {
+                            // Thread-boundary containment: a decoder
+                            // panic (an executor bug) aborts the run
+                            // with a structured error instead of a
+                            // process abort at join time.
+                            catch_unwind(AssertUnwindSafe(|| {
+                                decode_loop(sh, renaming, dec, shared)
+                            }))
+                            .unwrap_or_else(|p| {
+                                shared.note_infra_panic(panic_message(&*p));
+                                RenameStats::default()
+                            })
+                        })
                     })
                     .collect();
                 let handles: Vec<_> = (0..threads)
@@ -801,17 +1399,30 @@ impl Executor {
                         let shared = &shared;
                         let arena = &arena[..];
                         let seed = self.config.seed;
-                        scope.spawn(move || worker_loop(w, shared, arena, seed))
+                        scope.spawn(move || {
+                            catch_unwind(AssertUnwindSafe(|| worker_loop(w, shared, arena, seed)))
+                                .map_err(|p| shared.note_infra_panic(panic_message(&*p)))
+                        })
                     })
                     .collect();
                 for d in decoders {
-                    let stats = d.join().expect("decoder panicked");
-                    rename.objects += stats.objects;
-                    rename.tracked_operands += stats.tracked_operands;
-                    rename.removed_by_renaming += stats.removed_by_renaming;
+                    if let Ok(stats) = d.join() {
+                        rename.objects += stats.objects;
+                        rename.tracked_operands += stats.tracked_operands;
+                        rename.removed_by_renaming += stats.removed_by_renaming;
+                    }
                 }
                 for (w, h) in handles.into_iter().enumerate() {
-                    workers[w] = h.join().expect("worker panicked");
+                    match h.join() {
+                        Ok(Ok(WorkerExit::Finished(stats))) => workers[w] = stats,
+                        Ok(Ok(WorkerExit::Killed(stats))) => {
+                            workers[w] = stats;
+                            workers_lost += 1;
+                        }
+                        // The closure caught the panic already (and
+                        // noted it); a dead worker is a lost worker.
+                        Ok(Err(())) | Err(_) => workers_lost += 1,
+                    }
                 }
             });
         }
@@ -823,7 +1434,9 @@ impl Executor {
         } else {
             0.0
         };
-        self.finish(trace, shared, decode_wall, exec_wall, overlap, true, workers, rename)
+        let extras =
+            FinishExtras { decode_wall, exec_wall, overlap, streaming: true, workers_lost };
+        self.finish(trace, shared, extras, workers, rename)
     }
 
     /// PR 3's two-phase shape: decode the whole trace first (timed as a
@@ -832,10 +1445,10 @@ impl Executor {
     /// excluded from `exec_wall` — and the fixed-graph shape the
     /// microbenches need.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As [`Executor::run`].
-    pub fn run_oneshot(&self, trace: &TaskTrace) -> ExecReport {
+    pub fn run_oneshot(&self, trace: &TaskTrace) -> Result<ExecReport, ExecError> {
         let t0 = Instant::now();
         let graph = Renamer::new().renaming(self.config.renaming).decode(trace);
         let decode_wall = t0.elapsed();
@@ -845,7 +1458,7 @@ impl Executor {
     /// Replays an already-decoded graph (one-shot mode without paying
     /// the decode: benchmark loops hoist it).
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As [`Executor::run`].
     pub fn replay(
@@ -853,11 +1466,10 @@ impl Executor {
         trace: &TaskTrace,
         graph: &TaskGraph,
         decode_wall: Duration,
-    ) -> ExecReport {
+    ) -> Result<ExecReport, ExecError> {
         assert_eq!(graph.len(), trace.len(), "graph decoded from a different trace");
         let threads = self.config.threads;
-        let shared =
-            Shared::new_for(trace, PrebuiltRelease::new(graph), threads, self.config.payload);
+        let shared = Shared::new_for(trace, PrebuiltRelease::new(graph), &self.config);
         for r in graph.roots() {
             shared.injector.push(r as u32);
         }
@@ -865,24 +1477,41 @@ impl Executor {
 
         let t0 = Instant::now();
         let mut workers = vec![WorkerStats::default(); threads];
+        let mut workers_lost = 0usize;
         if !graph.is_empty() {
             std::thread::scope(|scope| {
+                if shared.watchdog_armed() {
+                    let shared = &shared;
+                    scope.spawn(move || watchdog_loop(shared));
+                }
                 let handles: Vec<_> = (0..threads)
                     .map(|w| {
                         let shared = &shared;
                         let arena = &arena[..];
                         let seed = self.config.seed;
-                        scope.spawn(move || worker_loop(w, shared, arena, seed))
+                        scope.spawn(move || {
+                            catch_unwind(AssertUnwindSafe(|| worker_loop(w, shared, arena, seed)))
+                                .map_err(|p| shared.note_infra_panic(panic_message(&*p)))
+                        })
                     })
                     .collect();
                 for (w, h) in handles.into_iter().enumerate() {
-                    workers[w] = h.join().expect("worker panicked");
+                    match h.join() {
+                        Ok(Ok(WorkerExit::Finished(stats))) => workers[w] = stats,
+                        Ok(Ok(WorkerExit::Killed(stats))) => {
+                            workers[w] = stats;
+                            workers_lost += 1;
+                        }
+                        Ok(Err(())) | Err(_) => workers_lost += 1,
+                    }
                 }
             });
         }
         let exec_wall = t0.elapsed();
         let rename = *graph.stats();
-        self.finish(trace, shared, decode_wall, exec_wall, 0.0, false, workers, rename)
+        let extras =
+            FinishExtras { decode_wall, exec_wall, overlap: 0.0, streaming: false, workers_lost };
+        self.finish(trace, shared, extras, workers, rename)
     }
 
     /// Only memcpy reads the source arena; noop/spin runs get a minimal
@@ -895,52 +1524,101 @@ impl Executor {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn finish<R: ReleaseSuccs>(
         &self,
         trace: &TaskTrace,
         shared: Shared<'_, R>,
-        decode_wall: Duration,
-        exec_wall: Duration,
-        decode_overlap_pct: f64,
-        streaming: bool,
+        extras: FinishExtras,
         workers: Vec<WorkerStats>,
         rename: RenameStats,
-    ) -> ExecReport {
+    ) -> Result<ExecReport, ExecError> {
+        // Error resolution order: infrastructure death first (nothing
+        // else is trustworthy after an executor-bug panic), then the
+        // run deadline, then a fail-fast task failure.
+        let infra = shared.infra_panic.lock().expect("infra panic slot poisoned").take();
+        if let Some(message) = infra {
+            return Err(ExecError::WorkerPanic { message });
+        }
+        let completed = shared.next_ticket.load(Ordering::Acquire).min(shared.n);
+        if shared.run_deadline_hit.load(Ordering::Acquire) != 0 {
+            return Err(ExecError::RunDeadline {
+                deadline: self.config.run_deadline.unwrap_or_default(),
+                completed,
+                tasks: shared.n,
+            });
+        }
+        let mut failed =
+            std::mem::take(&mut *shared.failures.lock().expect("failure log poisoned"));
+        failed.sort_by_key(|f| f.task);
+        if matches!(self.config.policy, FailurePolicy::FailFast) && !failed.is_empty() {
+            return Err(ExecError::TaskFailed(failed.remove(0)));
+        }
+        if shared.aborted() {
+            // Aborted without an infra panic, deadline, or fail-fast
+            // failure: cannot happen by construction; surface it rather
+            // than fabricating a report.
+            return Err(ExecError::WorkerPanic { message: "run aborted without a cause".into() });
+        }
         let order: Vec<TaskId> =
             shared.order.iter().map(|s| s.load(Ordering::Relaxed) as TaskId).collect();
         assert_eq!(order.len(), trace.len(), "executor lost tasks");
         let validated = self.config.validate;
         if validated {
+            // The *full* log — failed and poisoned tasks included — must
+            // linearize the dependency order: every task, whatever its
+            // fate, took its ticket only after its producers took
+            // theirs.
             let oracle = trace.dep_graph();
             if let Err(v) = oracle.validate_order(&order) {
-                panic!("native replay violates the dependency oracle: {v}");
+                return Err(ExecError::OracleViolation { detail: v.to_string() });
             }
         }
-        ExecReport {
+        let poisoned: Vec<u32> = (0..shared.n as u32)
+            .filter(|&t| shared.status[t as usize].load(Ordering::Relaxed) == POISONED)
+            .collect();
+        let retry_hist: Vec<u64> =
+            shared.retry_hist.iter().map(|h| h.load(Ordering::Relaxed)).collect();
+        let fault = FaultReport {
+            failed,
+            poisoned,
+            retried_ok: shared.retried_ok.load(Ordering::Relaxed),
+            retry_hist: if retry_hist.len() > 1 { retry_hist } else { Vec::new() },
+            workers_lost: extras.workers_lost,
+        };
+        Ok(ExecReport {
             benchmark: trace.name().to_string(),
             tasks: trace.len(),
             threads: self.config.threads,
             payload: self.config.payload,
-            decode_wall,
-            exec_wall,
-            decode_overlap_pct,
-            streaming,
-            decode_shards: if streaming { self.config.decode_shards } else { 1 },
+            decode_wall: extras.decode_wall,
+            exec_wall: extras.exec_wall,
+            decode_overlap_pct: extras.overlap,
+            streaming: extras.streaming,
+            decode_shards: if extras.streaming { self.config.decode_shards } else { 1 },
             order,
             workers,
             rename,
             validated,
-        }
+            fault,
+        })
     }
+}
+
+/// Mode-specific run measurements handed to `finish`.
+struct FinishExtras {
+    decode_wall: Duration,
+    exec_wall: Duration,
+    overlap: f64,
+    streaming: bool,
+    workers_lost: usize,
 }
 
 /// Convenience: stream with defaults, returning the report.
 ///
-/// # Panics
+/// # Errors
 ///
 /// As [`Executor::run`].
-pub fn run_trace(trace: &TaskTrace, threads: usize) -> ExecReport {
+pub fn run_trace(trace: &TaskTrace, threads: usize) -> Result<ExecReport, ExecError> {
     Executor::new(ExecConfig { threads, ..ExecConfig::default() }).run(trace)
 }
 
@@ -969,7 +1647,7 @@ mod tests {
     #[test]
     fn replays_a_diamond_in_dependency_order() {
         for threads in [1, 2, 4] {
-            let report = run_trace(&diamond(), threads);
+            let report = run_trace(&diamond(), threads).expect("diamond replay failed");
             assert_eq!(report.tasks, 4);
             assert_eq!(report.order[0], 0);
             assert_eq!(report.order[3], 3);
@@ -983,11 +1661,13 @@ mod tests {
     #[test]
     fn oneshot_replays_the_diamond_too() {
         let cfg = ExecConfig { threads: 2, ..ExecConfig::default() };
-        let report = Executor::new(cfg).run_oneshot(&diamond());
+        let report = Executor::new(cfg).run_oneshot(&diamond()).expect("oneshot failed");
         assert_eq!(report.tasks, 4);
         assert_eq!(report.order[0], 0);
         assert!(!report.streaming);
         assert_eq!(report.decode_overlap_pct, 0.0);
+        assert!(!report.fault.any(), "clean run reported failure activity");
+        assert!(report.accounting_reconciles());
     }
 
     #[test]
@@ -995,9 +1675,9 @@ mod tests {
         for streaming in [true, false] {
             let exec = Executor::new(ExecConfig { threads: 2, ..ExecConfig::default() });
             let report = if streaming {
-                exec.run(&TaskTrace::new("empty"))
+                exec.run(&TaskTrace::new("empty")).expect("empty run failed")
             } else {
-                exec.run_oneshot(&TaskTrace::new("empty"))
+                exec.run_oneshot(&TaskTrace::new("empty")).expect("empty oneshot failed")
             };
             assert_eq!(report.tasks, 0);
             assert!(report.order.is_empty());
@@ -1018,7 +1698,7 @@ mod tests {
         for i in 0..200u64 {
             tr.push_task(k, 10, vec![OperandDesc::output(0x1000 + i * 64, 64)]);
         }
-        let report = run_trace(&tr, 4);
+        let report = run_trace(&tr, 4).expect("independent replay failed");
         assert_eq!(report.tasks, 200);
         let mut seen = report.order.clone();
         seen.sort_unstable();
@@ -1033,7 +1713,7 @@ mod tests {
             tr.push_task(k, 10, vec![OperandDesc::output(0xA, 64)]);
         }
         let cfg = ExecConfig { threads: 4, renaming: false, ..ExecConfig::default() };
-        let report = Executor::new(cfg).run(&tr);
+        let report = Executor::new(cfg).run(&tr).expect("waw replay failed");
         // WaW enforced: completion order must be program order.
         assert_eq!(report.order, (0..8).collect::<Vec<_>>());
         assert_eq!(report.rename.removed_by_renaming, 0);
@@ -1044,7 +1724,7 @@ mod tests {
         // Window 1 with multiple shards maximizes cross-window edges
         // and pending-release traffic.
         let cfg = ExecConfig { threads: 3, window: 1, decode_shards: 3, ..ExecConfig::default() };
-        let report = Executor::new(cfg).run(&diamond());
+        let report = Executor::new(cfg).run(&diamond()).expect("tiny-window replay failed");
         assert!(report.validated);
         assert_eq!(report.order[0], 0);
         assert_eq!(report.order[3], 3);
@@ -1055,7 +1735,7 @@ mod tests {
         let tr = diamond();
         let oneshot = Renamer::new().decode(&tr);
         let cfg = ExecConfig { threads: 2, window: 2, decode_shards: 2, ..ExecConfig::default() };
-        let report = Executor::new(cfg).run(&tr);
+        let report = Executor::new(cfg).run(&tr).expect("streaming replay failed");
         assert_eq!(&report.rename, oneshot.stats());
     }
 
@@ -1073,7 +1753,7 @@ mod tests {
         }
         for threads in [1, 2] {
             let exec = Executor::new(ExecConfig { threads, ..ExecConfig::default() });
-            let report = exec.run_oneshot(&tr);
+            let report = exec.run_oneshot(&tr).expect("busy replay failed");
             assert!(report.workers.iter().any(|w| w.executed > 0));
             for (w, ws) in report.workers.iter().enumerate() {
                 if ws.executed > 0 {
@@ -1090,11 +1770,225 @@ mod tests {
 
     #[test]
     fn report_rates_are_sane() {
-        let report = run_trace(&diamond(), 2);
+        let report = run_trace(&diamond(), 2).expect("diamond replay failed");
         assert!(report.tasks_per_sec() > 0.0);
         assert!(report.utilization(0) >= 0.0);
         assert!((0.0..=100.0).contains(&report.decode_overlap_pct));
         assert_eq!(report.total_steals(), report.workers.iter().map(|w| w.steals).sum::<u64>());
+    }
+
+    // -----------------------------------------------------------------
+    // Failure domain (DESIGN.md §11)
+    // -----------------------------------------------------------------
+
+    use crate::fault::{fault_decision, install_quiet_hook};
+
+    /// The diamond plus an independent task 4 (survives any quarantine
+    /// of the diamond).
+    fn diamond_plus_loner() -> TaskTrace {
+        let mut tr = diamond();
+        let k = tr.add_kernel("loner");
+        tr.push_task(k, 10, vec![OperandDesc::output(0xD, 64)]);
+        tr
+    }
+
+    /// A seed where, at `rate` ppm, task 0 faults on attempt 1, is clean
+    /// on attempt 2, and tasks `1..n` are clean on attempt 1 — found by
+    /// scanning the pure `fault_decision` hash, so it is deterministic
+    /// and survives any trace change.
+    fn seed_failing_only_task0(rate: u32, n: u32) -> u64 {
+        (0..10_000u64)
+            .find(|&s| {
+                fault_decision(s, 0, 1, rate).is_some()
+                    && fault_decision(s, 0, 2, rate).is_none()
+                    && (1..n).all(|t| fault_decision(s, t, 1, rate).is_none())
+            })
+            .expect("no qualifying seed in 10k")
+    }
+
+    fn chaos_cfg(rate_ppm: u32, seed: u64, policy: FailurePolicy) -> ExecConfig {
+        ExecConfig {
+            threads: 2,
+            payload: PayloadMode::Faulty { rate_ppm, seed },
+            policy,
+            ..ExecConfig::default()
+        }
+    }
+
+    #[test]
+    fn fail_fast_surfaces_the_injected_panic_as_an_error() {
+        install_quiet_hook();
+        let cfg = chaos_cfg(1_000_000, 7, FailurePolicy::FailFast);
+        match Executor::new(cfg).run(&diamond()) {
+            Err(ExecError::TaskFailed(f)) => {
+                assert_eq!(f.task, 0, "only the root was ever ready");
+                assert_eq!(f.attempts, 1);
+                match f.failure {
+                    TaskFailure::Panicked { ref message } => {
+                        assert!(message.contains(INJECTED_PANIC_MARKER), "message: {message}")
+                    }
+                    ref other => panic!("expected an injected panic, got {other}"),
+                }
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_poisons_exactly_the_successor_cone() {
+        install_quiet_hook();
+        let rate = 500_000;
+        let seed = seed_failing_only_task0(rate, 5);
+        let tr = diamond_plus_loner();
+        for threads in [1, 2, 4] {
+            for streaming in [true, false] {
+                let cfg =
+                    ExecConfig { threads, ..chaos_cfg(rate, seed, FailurePolicy::Quarantine) };
+                let exec = Executor::new(cfg);
+                let report = if streaming { exec.run(&tr) } else { exec.run_oneshot(&tr) }
+                    .expect("quarantine run aborted");
+                assert_eq!(report.fault.failed.len(), 1);
+                assert_eq!(report.fault.failed[0].task, 0);
+                assert_eq!(report.fault.poisoned, vec![1, 2, 3], "cone mismatch");
+                assert_eq!(report.completed(), 1, "the loner still runs");
+                assert!(report.fault.retry_hist.is_empty());
+                assert!(report.accounting_reconciles());
+                assert!(report.validated, "full log (incl. poisoned) passed the oracle");
+            }
+        }
+    }
+
+    #[test]
+    fn retry_turns_a_transient_fault_into_success() {
+        install_quiet_hook();
+        let rate = 500_000;
+        let seed = seed_failing_only_task0(rate, 5);
+        let policy = FailurePolicy::Retry { max_attempts: 3, backoff: Duration::ZERO };
+        let report = Executor::new(chaos_cfg(rate, seed, policy))
+            .run(&diamond_plus_loner())
+            .expect("retry run aborted");
+        assert!(report.fault.failed.is_empty());
+        assert!(report.fault.poisoned.is_empty());
+        assert_eq!(report.fault.retried_ok, 1);
+        assert_eq!(report.completed(), 5);
+        assert_eq!(report.completed_clean(), 4);
+        assert_eq!(report.fault.retry_hist, vec![4, 1, 0]);
+        assert!(report.accounting_reconciles());
+    }
+
+    #[test]
+    fn retry_exhaustion_fails_the_task_and_poisons_its_cone() {
+        install_quiet_hook();
+        let policy = FailurePolicy::Retry { max_attempts: 2, backoff: Duration::ZERO };
+        let report = Executor::new(chaos_cfg(1_000_000, 3, policy))
+            .run(&diamond())
+            .expect("retry run aborted");
+        assert_eq!(report.fault.failed.len(), 1, "poisoned tasks consume no attempts");
+        assert_eq!(report.fault.failed[0].task, 0);
+        assert_eq!(report.fault.failed[0].attempts, 2);
+        assert_eq!(report.fault.poisoned, vec![1, 2, 3]);
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.fault.retry_hist, vec![0, 1]);
+        assert!(report.accounting_reconciles());
+    }
+
+    #[test]
+    fn killed_worker_deque_is_adopted_and_the_run_completes() {
+        let mut tr = TaskTrace::new("kill");
+        let k = tr.add_kernel("k");
+        for i in 0..400u64 {
+            tr.push_task(k, 3200, vec![OperandDesc::output(0x1000 + i * 64, 64)]);
+            // 1 µs
+        }
+        for streaming in [true, false] {
+            // The kill fires after the victim's first *completed* task;
+            // on a fast host the other workers can occasionally drain
+            // everything before worker 1 ever runs one, so retry the
+            // run until the kill landed (the spin payload makes the
+            // first try overwhelmingly likely).
+            let mut fired = false;
+            for _ in 0..16 {
+                let cfg = ExecConfig {
+                    threads: 2,
+                    kill_worker: Some(1),
+                    payload: PayloadMode::Spin { time_scale: 1.0 },
+                    ..ExecConfig::default()
+                };
+                let exec = Executor::new(cfg);
+                let report = if streaming { exec.run(&tr) } else { exec.run_oneshot(&tr) }
+                    .expect("degraded run failed");
+                assert_eq!(report.completed(), 400, "run lost tasks");
+                assert!(report.accounting_reconciles());
+                if report.fault.workers_lost == 1 {
+                    fired = true;
+                    break;
+                }
+            }
+            assert!(fired, "injected kill never fired in 16 runs (streaming={streaming})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kill_worker")]
+    fn kill_worker_requires_a_second_worker() {
+        let _ =
+            Executor::new(ExecConfig { threads: 1, kill_worker: Some(0), ..ExecConfig::default() });
+    }
+
+    #[test]
+    fn task_deadline_cancels_a_stuck_payload() {
+        let mut tr = TaskTrace::new("stuck");
+        let k = tr.add_kernel("k");
+        tr.push_task(k, 32_000_000_000, vec![]); // 10 s at 3.2 GHz
+        let cfg = ExecConfig {
+            threads: 2,
+            payload: PayloadMode::Spin { time_scale: 1.0 },
+            policy: FailurePolicy::Quarantine,
+            task_deadline: Some(Duration::from_millis(20)),
+            ..ExecConfig::default()
+        };
+        let report = Executor::new(cfg).run(&tr).expect("deadline run aborted");
+        assert_eq!(report.fault.failed.len(), 1);
+        assert_eq!(report.fault.failed[0].failure, TaskFailure::Deadline);
+        assert_eq!(report.completed(), 0);
+        assert!(report.accounting_reconciles());
+    }
+
+    #[test]
+    fn run_deadline_aborts_a_long_run() {
+        let mut tr = TaskTrace::new("slow");
+        let k = tr.add_kernel("k");
+        for _ in 0..64 {
+            tr.push_task(k, 3_200_000_000, vec![]); // 1 s each at 3.2 GHz
+        }
+        let cfg = ExecConfig {
+            threads: 2,
+            payload: PayloadMode::Spin { time_scale: 1.0 },
+            run_deadline: Some(Duration::from_millis(30)),
+            ..ExecConfig::default()
+        };
+        match Executor::new(cfg).run(&tr) {
+            Err(ExecError::RunDeadline { tasks, completed, .. }) => {
+                assert_eq!(tasks, 64);
+                assert!(completed < 64);
+            }
+            other => panic!("expected RunDeadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulty_single_worker_failure_sets_are_seed_deterministic() {
+        install_quiet_hook();
+        let tr = diamond_plus_loner();
+        let collect = |seed: u64| {
+            let cfg =
+                ExecConfig { threads: 1, ..chaos_cfg(250_000, seed, FailurePolicy::Quarantine) };
+            let r = Executor::new(cfg).run(&tr).expect("chaos run aborted");
+            (r.fault.failed.clone(), r.fault.poisoned.clone())
+        };
+        for seed in 0..32u64 {
+            assert_eq!(collect(seed), collect(seed), "seed {seed} not reproducible");
+        }
     }
 }
 
@@ -1164,5 +2058,54 @@ mod model_tests {
                 w.join().unwrap();
             }
         });
+    }
+
+    /// The §11 poison-publish handshake: a failing producer stores its
+    /// FAILED status byte and closes its pending list
+    /// (`poison_release`) while a window committer races to register an
+    /// edge from it (`register_edge`). In every interleaving the
+    /// successor ends up POISONED — either the producer's drain marks
+    /// it (edge registered in time) or the committer observes the
+    /// CLOSED head *and* the FAILED byte behind it
+    /// (`EdgeFate::SatisfiedPoisoned`). The release half of the
+    /// `POISON_PUBLISH` swap is what carries the byte across the second
+    /// path: `--cfg tss_bug_poison_relaxed` weakens exactly that swap
+    /// and this test fails — without the release edge the committer's
+    /// `Acquire` head loads are never forced past the stale head (the
+    /// model flags the retry loop as a livelock), and a schedule that
+    /// does observe CLOSED may still read a stale HEALTHY byte behind
+    /// it. The CI negative gate proves the model keeps catching it.
+    #[test]
+    fn model_poison_publish_reaches_the_committer() {
+        let report = shuttle::check_exhaustive(300_000, || {
+            let sr = Arc::new(StreamRelease::new(2, 4));
+            let status: Arc<Vec<AtomicU8>> =
+                Arc::new((0..2).map(|_| AtomicU8::new(HEALTHY)).collect());
+            let (sr2, st2) = (sr.clone(), status.clone());
+            let producer = thread::spawn(move || {
+                // The resolve_failure shape: FAILED first, close second.
+                st2[0].store(FAILED, Ordering::Relaxed);
+                let mut ready = Vec::new();
+                sr2.poison_release(0, &st2, &mut ready);
+            });
+            let fate = sr.register_edge(0, 0, 1, &status);
+            producer.join().unwrap();
+            match fate {
+                EdgeFate::Registered => {
+                    // The drain owned the edge: it must have poisoned
+                    // the successor on its way through.
+                    assert_eq!(
+                        status[1].load(Ordering::Relaxed),
+                        POISONED,
+                        "drain missed a registered edge"
+                    );
+                }
+                EdgeFate::SatisfiedPoisoned => {} // committer poisons s
+                EdgeFate::SatisfiedHealthy => {
+                    panic!("committer read a stale HEALTHY byte for a failed producer")
+                }
+            }
+        });
+        assert!(report.complete, "budget too small: {} schedules", report.schedules);
     }
 }

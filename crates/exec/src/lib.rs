@@ -22,6 +22,12 @@
 //!    is checked against the `tss-trace::DepGraph` oracle (a violating
 //!    order fails the run), plus tasks/sec, per-worker utilization,
 //!    and steal counts in the [`ExecReport`].
+//! 4. **A failure domain** ([`fault`], DESIGN.md §11) — every payload
+//!    runs inside a `catch_unwind` containment boundary; a panicking or
+//!    deadline-blown task becomes a structured [`TaskFailure`] handled
+//!    by the configured [`FailurePolicy`] (fail fast / seeded retry /
+//!    quarantine-and-continue), and [`Executor::run`] returns
+//!    `Result<ExecReport, ExecError>` instead of panicking.
 //!
 //! ```
 //! use tss_exec::{ExecConfig, Executor, TaskGraphBuilder};
@@ -37,7 +43,8 @@
 //! }
 //! // ...and replay it on two real threads, oracle-checked.
 //! let report = Executor::new(ExecConfig { threads: 2, ..Default::default() })
-//!     .run(&b.build());
+//!     .run(&b.build())
+//!     .expect("replay failed");
 //! assert_eq!(report.tasks, 8);
 //! assert!(report.validated);
 //! ```
@@ -49,12 +56,14 @@
 
 pub mod deque;
 pub mod executor;
+pub mod fault;
 pub mod payload;
 pub mod renamer;
 pub mod sync;
 
 pub use deque::ChaseLev;
 pub use executor::{run_trace, ExecConfig, ExecReport, Executor, WorkerStats};
+pub use fault::{ExecError, FailedTask, FailurePolicy, FaultReport, InjectedFault, TaskFailure};
 pub use payload::PayloadMode;
 pub use renamer::{RenameStats, Renamer, StreamingRenamer, TaskGraph};
 
@@ -187,7 +196,7 @@ mod tests {
         for _ in 0..16 {
             b.task(k).input(0x1, 64).spawn();
         }
-        let report = run_trace(&b.build(), 3);
+        let report = run_trace(&b.build(), 3).expect("replay failed");
         assert_eq!(report.tasks, 17);
         assert_eq!(report.order[0], 0, "the producer must complete first");
     }

@@ -27,6 +27,12 @@ use tss_sim::cycles_to_ns;
 use tss_trace::TaskDesc;
 use tss_workloads::payload::{operand_chunks, CHUNK_CAP};
 
+use crate::sync::atomic::{AtomicU32, Ordering};
+
+/// Default injection rate for the bare `faulty` payload name: 5% in
+/// parts-per-million, matching the chaos smoke configuration.
+pub const DEFAULT_FAULT_RATE_PPM: u32 = 50_000;
+
 /// What each task execution does.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PayloadMode {
@@ -40,15 +46,30 @@ pub enum PayloadMode {
     },
     /// Copy the capped operand footprint through worker-local memory.
     Memcpy,
+    /// Noop work plus seeded fault injection: each `(task, attempt)`
+    /// rolls a deterministic hash (`tss_workloads::payload::fault_decision`)
+    /// and may panic or stall instead of completing. The injection
+    /// itself happens at the executor's containment boundary, not here
+    /// — as a payload the task does nothing, so chaos runs measure the
+    /// failure machinery, not payload cost.
+    Faulty {
+        /// Injection probability in parts-per-million.
+        rate_ppm: u32,
+        /// Seed for the per-(task, attempt) fault rolls.
+        seed: u64,
+    },
 }
 
 impl PayloadMode {
-    /// CLI name → mode (`noop`, `spin`, `memcpy`).
+    /// CLI name → mode (`noop`, `spin`, `memcpy`, `faulty`). The bare
+    /// `faulty` name uses [`DEFAULT_FAULT_RATE_PPM`] and seed 0; the
+    /// harness overrides both via `--fault-rate` / `--fault-seed`.
     pub fn parse(name: &str, time_scale: f64) -> Option<PayloadMode> {
         match name {
             "noop" => Some(PayloadMode::Noop),
             "spin" => Some(PayloadMode::Spin { time_scale }),
             "memcpy" => Some(PayloadMode::Memcpy),
+            "faulty" => Some(PayloadMode::Faulty { rate_ppm: DEFAULT_FAULT_RATE_PPM, seed: 0 }),
             _ => None,
         }
     }
@@ -59,6 +80,7 @@ impl PayloadMode {
             PayloadMode::Noop => "noop",
             PayloadMode::Spin { .. } => "spin",
             PayloadMode::Memcpy => "memcpy",
+            PayloadMode::Faulty { .. } => "faulty",
         }
     }
 }
@@ -90,10 +112,63 @@ impl<'a> PayloadScratch<'a> {
     /// Runs one task's payload; returns the busy wall time.
     pub fn run(&mut self, mode: PayloadMode, task: &TaskDesc) -> Duration {
         match mode {
-            PayloadMode::Noop => Duration::ZERO,
+            PayloadMode::Noop | PayloadMode::Faulty { .. } => Duration::ZERO,
             PayloadMode::Spin { time_scale } => self.run_spin(task.runtime, time_scale),
             PayloadMode::Memcpy => self.run_memcpy(task),
         }
+    }
+
+    /// [`PayloadScratch::run`] under a deadline watchdog: polls `cancel`
+    /// (a watchdog-owned flag, nonzero = stop) and returns
+    /// `(busy, cancelled)`. Spin payloads poll every iteration; memcpy
+    /// polls between operand chunks (a single chunk is ≤ 64 KB, so
+    /// cancellation latency stays in the microseconds).
+    pub fn run_watched(
+        &mut self,
+        mode: PayloadMode,
+        task: &TaskDesc,
+        cancel: &AtomicU32,
+    ) -> (Duration, bool) {
+        match mode {
+            PayloadMode::Noop | PayloadMode::Faulty { .. } => (Duration::ZERO, false),
+            PayloadMode::Spin { time_scale } => {
+                let t0 = Instant::now();
+                let target = cycles_to_ns(task.runtime) * time_scale;
+                let budget = Duration::from_nanos(target as u64);
+                let mut cancelled = false;
+                while t0.elapsed() < budget {
+                    if cancel.load(Ordering::Acquire) != 0 {
+                        cancelled = true;
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                (t0.elapsed(), cancelled)
+            }
+            PayloadMode::Memcpy => {
+                let t0 = Instant::now();
+                for c in operand_chunks(task) {
+                    if cancel.load(Ordering::Acquire) != 0 {
+                        return (t0.elapsed(), true);
+                    }
+                    self.copy_chunk(c);
+                }
+                std::hint::black_box(self.sink);
+                (t0.elapsed(), false)
+            }
+        }
+    }
+
+    /// An injected [`tss_workloads::payload::InjectedFault::Delay`]:
+    /// stall until the watchdog cancels us. Only called with a per-task
+    /// deadline armed (see `FaultPlan::effective`), so the stall always
+    /// terminates; returns the stalled wall time.
+    pub fn stall_until_cancelled(&mut self, cancel: &AtomicU32) -> Duration {
+        let t0 = Instant::now();
+        while cancel.load(Ordering::Acquire) == 0 {
+            std::hint::spin_loop();
+        }
+        t0.elapsed()
     }
 
     /// Busy-waits the traced `runtime` (in simulated cycles) scaled by
@@ -115,22 +190,27 @@ impl<'a> PayloadScratch<'a> {
     pub fn run_memcpy(&mut self, task: &TaskDesc) -> Duration {
         let t0 = Instant::now();
         for c in operand_chunks(task) {
-            // Map the object's base address into the arena; the
-            // multiplicative hash spreads distinct objects.
-            let off = (c.addr.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                % (self.src.len() - c.len).max(1) as u64) as usize;
-            if c.reads {
-                self.dst[..c.len].copy_from_slice(&self.src[off..off + c.len]);
-                self.sink = self.sink.wrapping_add(self.dst[c.len / 2] as u64);
-            }
-            if c.writes {
-                let fill = (c.addr as u8).wrapping_add(self.sink as u8);
-                self.dst[..c.len].fill(fill);
-                self.sink = self.sink.wrapping_add(self.dst[0] as u64);
-            }
+            self.copy_chunk(c);
         }
         std::hint::black_box(self.sink);
         t0.elapsed()
+    }
+
+    /// Moves one operand chunk through the scratch pair.
+    fn copy_chunk(&mut self, c: tss_workloads::payload::OperandChunk) {
+        // Map the object's base address into the arena; the
+        // multiplicative hash spreads distinct objects.
+        let off = (c.addr.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            % (self.src.len() - c.len).max(1) as u64) as usize;
+        if c.reads {
+            self.dst[..c.len].copy_from_slice(&self.src[off..off + c.len]);
+            self.sink = self.sink.wrapping_add(self.dst[c.len / 2] as u64);
+        }
+        if c.writes {
+            let fill = (c.addr as u8).wrapping_add(self.sink as u8);
+            self.dst[..c.len].fill(fill);
+            self.sink = self.sink.wrapping_add(self.dst[0] as u64);
+        }
     }
 }
 
@@ -149,10 +229,43 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        for name in ["noop", "spin", "memcpy"] {
+        for name in ["noop", "spin", "memcpy", "faulty"] {
             assert_eq!(PayloadMode::parse(name, 1.0).unwrap().name(), name);
         }
         assert_eq!(PayloadMode::parse("fft", 1.0), None);
+    }
+
+    #[test]
+    fn watched_spin_stops_on_cancel() {
+        let arena = build_arena();
+        let mut s = PayloadScratch::new(&arena);
+        let cancel = AtomicU32::new(1); // pre-cancelled
+        let long = TaskDesc::new(KernelId(0), 32_000_000_000, vec![]); // 10 s at 3.2 GHz
+        let (busy, cancelled) =
+            s.run_watched(PayloadMode::Spin { time_scale: 1.0 }, &long, &cancel);
+        assert!(cancelled);
+        assert!(busy < Duration::from_secs(1), "cancelled spin still ran {busy:?}");
+    }
+
+    #[test]
+    fn watched_memcpy_matches_unwatched_when_uncancelled() {
+        let arena = build_arena();
+        let cancel = AtomicU32::new(0);
+        let mut a = PayloadScratch::new(&arena);
+        let mut b = PayloadScratch::new(&arena);
+        a.run(PayloadMode::Memcpy, &task());
+        let (_, cancelled) = b.run_watched(PayloadMode::Memcpy, &task(), &cancel);
+        assert!(!cancelled);
+        assert_eq!(a.sink, b.sink, "watched memcpy must do identical work");
+    }
+
+    #[test]
+    fn stall_returns_once_cancelled() {
+        let arena = build_arena();
+        let mut s = PayloadScratch::new(&arena);
+        let cancel = AtomicU32::new(1);
+        let stalled = s.stall_until_cancelled(&cancel);
+        assert!(stalled < Duration::from_secs(1));
     }
 
     #[test]

@@ -97,6 +97,27 @@ impl TaskGraph {
     pub fn stats(&self) -> &RenameStats {
         &self.stats
     }
+
+    /// The quarantine cone (DESIGN.md §11): `cone[t]` is true iff `t`
+    /// is a *strict* transitive successor of some task with `failed[t]`
+    /// set (the failed tasks themselves are not in the cone — they are
+    /// accounted as failed, not poisoned). Forward scan suffices: succ
+    /// edges always point to later tasks, so by the time `t` is
+    /// visited every producer's cone membership is final. This is the
+    /// chaos suite's reachability oracle for the executor's poison
+    /// propagation.
+    pub fn poison_cone(&self, failed: &[bool]) -> Vec<bool> {
+        assert_eq!(failed.len(), self.n, "failed mask length mismatch");
+        let mut cone = vec![false; self.n];
+        for t in 0..self.n {
+            if failed[t] || cone[t] {
+                for &s in self.succs(t) {
+                    cone[s as usize] = true;
+                }
+            }
+        }
+        cone
+    }
 }
 
 /// One in-flight version of a memory object, as the ORTs track it.
@@ -538,6 +559,32 @@ mod tests {
         let without = Renamer::new().renaming(false).decode(&tr);
         assert_eq!(without.pred_count(2), 2);
         assert_eq!(without.stats().removed_by_renaming, 0);
+    }
+
+    #[test]
+    fn poison_cone_is_the_strict_successor_closure() {
+        // diamond 0 → {1, 2} → 3 plus an independent task 4
+        let mut tr = TaskTrace::new("diamond");
+        let k = tr.add_kernel("k");
+        tr.push_task(k, 10, vec![OperandDesc::output(0xA, 64)]);
+        tr.push_task(k, 10, vec![OperandDesc::input(0xA, 64), OperandDesc::output(0xB, 64)]);
+        tr.push_task(k, 10, vec![OperandDesc::input(0xA, 64), OperandDesc::output(0xC, 64)]);
+        tr.push_task(k, 10, vec![OperandDesc::input(0xB, 64), OperandDesc::input(0xC, 64)]);
+        tr.push_task(k, 10, vec![OperandDesc::output(0xD, 64)]);
+        let g = Renamer::new().decode(&tr);
+        // Root fails: everything downstream is in the cone, the failed
+        // task and the independent task are not.
+        let mut failed = vec![false; 5];
+        failed[0] = true;
+        assert_eq!(g.poison_cone(&failed), vec![false, true, true, true, false]);
+        // A mid-graph failure only reaches the join.
+        let mut failed = vec![false; 5];
+        failed[1] = true;
+        assert_eq!(g.poison_cone(&failed), vec![false, false, false, true, false]);
+        // A sink failure poisons nothing.
+        let mut failed = vec![false; 5];
+        failed[3] = true;
+        assert_eq!(g.poison_cone(&failed), vec![false; 5]);
     }
 
     #[test]

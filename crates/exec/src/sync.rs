@@ -14,6 +14,13 @@
 //! `shuttle` is an unconditional (tiny) dependency because cargo cannot
 //! toggle dependencies on a RUSTFLAGS cfg; outside a model run its
 //! types degrade to raw `std` operations.
+//!
+//! The failure domain (DESIGN.md §11) routes its handshake state
+//! through this facade too: per-task status bytes (`AtomicU8` — added
+//! to the shuttle doubles for exactly this) and payload cancel flags
+//! all come from `crate::sync::atomic`, so the POISONED-sentinel
+//! publish/observe protocol is model-checked with the same fidelity as
+//! the deque and parker.
 
 #[cfg(not(tss_model_check))]
 pub use std::sync::atomic;

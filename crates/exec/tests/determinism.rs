@@ -29,6 +29,7 @@ fn single_thread_replay_is_bit_deterministic() {
         let run = |seed| {
             Executor::new(ExecConfig { threads: 1, seed, ..ExecConfig::default() })
                 .run_oneshot(&trace)
+                .expect("replay failed")
         };
         let first = run(1);
         let second = run(1);
@@ -65,7 +66,9 @@ fn every_benchmark_replays_validated_at_two_four_and_eight_threads() {
     for b in Benchmark::all() {
         for threads in [2usize, 4, 8] {
             let trace = b.trace(Scale::Small, 11);
-            let report = Executor::new(ExecConfig { threads, ..ExecConfig::default() }).run(&trace);
+            let report = Executor::new(ExecConfig { threads, ..ExecConfig::default() })
+                .run(&trace)
+                .expect("replay failed");
             assert!(report.validated, "{b} at {threads} threads");
             assert_eq!(report.tasks, trace.len(), "{b} at {threads} threads");
             let executed: u64 = report.workers.iter().map(|w| w.executed).sum();
@@ -93,7 +96,7 @@ proptest! {
             validate: false, // validated explicitly below for a prop_assert
             ..ExecConfig::default()
         };
-        let report = Executor::new(cfg).run(&trace);
+        let report = Executor::new(cfg).run(&trace).expect("replay failed");
         let oracle = DepGraph::from_trace(&trace);
         prop_assert!(
             oracle.validate_order(&report.order).is_ok(),

@@ -89,7 +89,7 @@ proptest! {
             validate: false, // validated explicitly below for a prop_assert
             ..ExecConfig::default()
         };
-        let report = Executor::new(cfg).run(&trace);
+        let report = Executor::new(cfg).run(&trace).expect("replay failed");
         let oracle = DepGraph::from_trace(&trace);
         prop_assert!(
             oracle.validate_order(&report.order).is_ok(),
@@ -124,7 +124,8 @@ fn one_worker_streaming_is_oracle_deterministic() {
                 validate: false,
                 ..ExecConfig::default()
             })
-            .run(&trace);
+            .run(&trace)
+            .expect("replay failed");
             assert!(
                 oracle.validate_order(&report.order).is_ok(),
                 "{b}: 1-worker streamed order violates the oracle (seed {seed}, {shards} shards)"
@@ -143,7 +144,7 @@ fn streaming_overlap_is_reported() {
     let trace = Benchmark::Cholesky.trace(Scale::Small, 3);
     let oneshot = Renamer::new().decode(&trace);
     let cfg = ExecConfig { threads: 2, window: 64, decode_shards: 2, ..ExecConfig::default() };
-    let report = Executor::new(cfg).run(&trace);
+    let report = Executor::new(cfg).run(&trace).expect("replay failed");
     assert!(report.streaming);
     assert_eq!(report.decode_shards, 2);
     assert!((0.0..=100.0).contains(&report.decode_overlap_pct));

@@ -21,6 +21,13 @@
 //! 5. **Crate hygiene** — every crate root carries
 //!    `#![forbid(unsafe_code)]`, or (for the one crate with an audited
 //!    unsafe surface) `#![deny(unsafe_op_in_unsafe_fn)]`.
+//! 6. **Join discipline** — production code must not `.unwrap()` /
+//!    `.expect(` a `JoinHandle` result (`.join().unwrap()` et al.): a
+//!    panicking worker must surface as a structured failure
+//!    (`TaskFailure` / `ExecError::WorkerPanic`, DESIGN.md §11), never
+//!    re-panic in the joiner. Test code (`/tests/`, `/benches/`, and
+//!    `#[cfg(test)]`-gated regions) is exempt — there a panic *is* the
+//!    failure report.
 //!
 //! All checks run on a comment/string-stripped view of the source where
 //! that matters (so `"unsafe"` in a string or `Relaxed` in a doc
@@ -530,6 +537,88 @@ fn check_hygiene(file: &str, raw_text: &str) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------
+// Check 6: JoinHandle results must not be unwrapped in production code
+// ---------------------------------------------------------------------
+
+/// Marks the lines covered by a `#[cfg(...test...)]` attribute: the
+/// attribute itself, any stacked attributes/comments, and the gated
+/// item's whole brace block (tracked by depth). A brace-less gated item
+/// (e.g. `#[cfg(test)] use ...;`) ends at its semicolon.
+fn test_region_mask(stripped: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; stripped.len()];
+    let mut i = 0;
+    while i < stripped.len() {
+        let t = stripped[i].trim_start();
+        if t.starts_with("#[cfg(") && has_word(t, "test") {
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut j = i;
+            while j < stripped.len() {
+                mask[j] = true;
+                let mut ended = false;
+                for c in stripped[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if opened && depth == 0 {
+                                ended = true;
+                            }
+                        }
+                        ';' if !opened && depth == 0 => ended = true,
+                        _ => {}
+                    }
+                }
+                if ended {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whether `file` (repo-relative) is test-only by location.
+fn test_scoped_path(file: &str) -> bool {
+    file.split('/').any(|seg| seg == "tests" || seg == "benches")
+}
+
+/// Flags `.join().unwrap()` / `.join().expect(` outside test regions.
+/// Line-based on stripped source: the ban is on the *idiom* of joining
+/// and re-panicking in one breath — a split chain that stashes the
+/// `Result` first is exactly the structured handling we want.
+fn check_join_discipline(file: &str, stripped: &[&str]) -> Vec<Violation> {
+    if test_scoped_path(file) {
+        return Vec::new();
+    }
+    let mask = test_region_mask(stripped);
+    let mut out = Vec::new();
+    for (i, s) in stripped.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        if s.contains(".join().unwrap()") || s.contains(".join().expect(") {
+            out.push(Violation {
+                file: file.to_string(),
+                line: i + 1,
+                msg: "JoinHandle result unwrapped in production code — a dead worker \
+                      must become a structured failure (TaskFailure / \
+                      ExecError::WorkerPanic, DESIGN.md §11), not a joiner panic"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
@@ -630,6 +719,7 @@ fn run(root: &Path, print_relaxed: bool) -> ExitCode {
     for f in &core {
         let stripped: Vec<&str> = f.stripped.lines().collect();
         violations.extend(check_facade(&f.rel, &stripped));
+        violations.extend(check_join_discipline(&f.rel, &stripped));
     }
 
     match fs::read_to_string(root.join("DESIGN.md")) {
@@ -696,8 +786,9 @@ fn main() -> ExitCode {
                     "tss-lint [--root DIR] [--print-relaxed]\n\
                      Static checks for the tss execution core (DESIGN.md §10):\n\
                      SAFETY comments, the Ordering::Relaxed allowlist, the sync\n\
-                     facade boundary, DESIGN.md citation integrity, and crate\n\
-                     hygiene attributes. Exits nonzero on any violation."
+                     facade boundary, DESIGN.md citation integrity, crate\n\
+                     hygiene attributes, and the JoinHandle unwrap ban\n\
+                     (DESIGN.md §11). Exits nonzero on any violation."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -889,6 +980,74 @@ use crate::sync::atomic::AtomicU32;
         let kept = strip_strings(src);
         let toks: Vec<String> = section_tokens(&kept).into_iter().map(|(_, t)| t).collect();
         assert_eq!(toks, vec!["1"]);
+    }
+
+    #[test]
+    fn join_unwrap_outside_tests_is_flagged() {
+        let src = "\
+fn joiner(h: std::thread::JoinHandle<()>) {
+    h.join().unwrap();
+}
+fn expecter(h: std::thread::JoinHandle<()>) {
+    h.join().expect(\"worker died\");
+}
+fn structured(h: std::thread::JoinHandle<()>) -> bool {
+    h.join().is_err()
+}
+";
+        let stripped = strip_code(src);
+        let v = check_join_discipline("crates/exec/src/executor.rs", &lines(&stripped));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!((v[0].line, v[1].line), (2, 5));
+        assert!(v[0].msg.contains("WorkerPanic"));
+    }
+
+    #[test]
+    fn join_unwrap_inside_cfg_test_regions_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn f(h: std::thread::JoinHandle<()>) {
+        h.join().unwrap();
+    }
+}
+fn prod(h: std::thread::JoinHandle<()>) {
+    h.join().unwrap();
+}
+";
+        let stripped = strip_code(src);
+        let v = check_join_discipline("crates/exec/src/deque.rs", &lines(&stripped));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 8);
+    }
+
+    #[test]
+    fn join_unwrap_in_test_paths_and_unwrap_or_else_are_exempt() {
+        let src = "h.join().unwrap();\n";
+        let stripped = strip_code(src);
+        assert!(check_join_discipline("crates/exec/tests/chaos.rs", &lines(&stripped)).is_empty());
+        assert!(check_join_discipline("crates/bench/benches/x.rs", &lines(&stripped)).is_empty());
+        // The structured fallback is the idiom we *want*; it must not match.
+        let ok = "let r = h.join().unwrap_or_else(|p| handle(p));\n";
+        let stripped = strip_code(ok);
+        assert!(check_join_discipline("crates/exec/src/executor.rs", &lines(&stripped)).is_empty());
+    }
+
+    #[test]
+    fn test_region_mask_handles_braceless_items_and_cfg_attrs() {
+        let src = "\
+#[cfg(test)]
+use std::thread;
+fn prod() {}
+#[cfg(all(test, feature = \"x\"))]
+fn gated() {
+    inner();
+}
+fn after() {}
+";
+        let stripped = strip_code(src);
+        let mask = test_region_mask(&lines(&stripped));
+        assert_eq!(mask, vec![true, true, false, true, true, true, true, false]);
     }
 
     #[test]

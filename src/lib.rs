@@ -53,7 +53,8 @@ pub use tss_workloads as workloads;
 pub mod prelude {
     pub use tss_core::{ExperimentConfig, RunReport, SystemBuilder};
     pub use tss_exec::{
-        ExecConfig, ExecReport, Executor, PayloadMode, StreamingRenamer, TaskGraphBuilder,
+        ExecConfig, ExecError, ExecReport, Executor, FailurePolicy, PayloadMode, StreamingRenamer,
+        TaskGraphBuilder,
     };
     pub use tss_sim::{cycles_to_ns, cycles_to_us, ns_to_cycles, us_to_cycles, Cycle};
     pub use tss_trace::{

@@ -217,6 +217,7 @@ pub mod atomic {
         };
     }
 
+    model_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
     model_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
     model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
     model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
