@@ -27,6 +27,13 @@
 //!   dev box, and sub-millisecond small-scale walls are pure jitter;
 //!   the gate catches order-of-magnitude regressions, not noise).
 //!   Faster-than-baseline is always fine.
+//! - **Latency** (ISSUE 8): the sampled-quantile fields an obs build
+//!   emits (`latency_p50/p99/p999_ns`, `queue_p50/p99/p999_ns`) are
+//!   *presence-gated* — if the baseline carries one and the fresh
+//!   artifact doesn't, the obs feature was dropped from the gated run
+//!   and the gate fails. Values get their own generous tolerance
+//!   (quantiles of a sampled distribution are far noisier than suite
+//!   walls): `fresh <= max(baseline * 10, baseline + 500 µs)`.
 //!
 //! The parser is a minimal depth-aware scanner, not a JSON library: the
 //! workspace is offline (vendor/README.md) and both artifacts are
@@ -54,6 +61,23 @@ const EXACT_FIELDS: [&str; 8] = [
     "workers_lost",
 ];
 const WALL_FIELDS: [&str; 3] = ["wall_ms", "exec_wall_ms", "stream_wall_ms"];
+/// Sampled latency quantiles (ns) from obs builds — presence-gated with
+/// their own tolerance (see the module docs). Checked on rows *and* on
+/// `totals`.
+const LATENCY_FIELDS: [&str; 6] = [
+    "latency_p50_ns",
+    "latency_p99_ns",
+    "latency_p999_ns",
+    "queue_p50_ns",
+    "queue_p99_ns",
+    "queue_p999_ns",
+];
+/// Latency ratio tolerance: p999 of ~30 samples per small-scale row
+/// jumps an order of magnitude on a noisy host without meaning anything.
+const LAT_TOLERANCE: f64 = 10.0;
+/// Latency absolute floor: 500 µs. Sub-floor quantiles are scheduler
+/// jitter; the gate exists to catch a latency path going seconds-slow.
+const LAT_FLOOR_NS: f64 = 500_000.0;
 const LABEL_FIELDS: [&str; 2] = ["benchmark", "engine"];
 /// Totals-object checks: exact, wall-tolerance, and must-exist-if-the-
 /// baseline-has-it (host-dependent values like `jobs` are only gated
@@ -155,6 +179,33 @@ fn label(obj: &str) -> String {
     LABEL_FIELDS.iter().filter_map(|k| field(obj, k)).collect::<Vec<_>>().join("/")
 }
 
+/// The latency layer for one object pair (a results row or `totals`):
+/// presence-gated, then value-checked under the latency tolerance.
+fn check_latency(who: &str, b: &str, f: &str, problems: &mut Vec<String>, checked: &mut usize) {
+    for key in LATENCY_FIELDS {
+        match (field(b, key), field(f, key)) {
+            (Some(bv), Some(fv)) => {
+                let (bv, fv): (f64, f64) = (
+                    bv.parse().unwrap_or_else(|_| fail(format!("{who}: bad {key} '{bv}'"))),
+                    fv.parse().unwrap_or_else(|_| fail(format!("{who}: bad {key} '{fv}'"))),
+                );
+                *checked += 1;
+                if fv > (bv * LAT_TOLERANCE).max(bv + LAT_FLOOR_NS) {
+                    problems.push(format!(
+                        "{who}: {key} regressed {bv:.0} -> {fv:.0} ns \
+                         (> {LAT_TOLERANCE}x tolerance, +{LAT_FLOOR_NS:.0} ns floor)"
+                    ));
+                }
+            }
+            (Some(_), None) => problems.push(format!(
+                "{who}: latency field '{key}' present in baseline but missing in fresh \
+                 (was the obs feature dropped from the gated run?)"
+            )),
+            _ => {}
+        }
+    }
+}
+
 fn main() {
     let mut baseline_path = None;
     let mut fresh_path = None;
@@ -204,6 +255,7 @@ fn main() {
         ));
     }
     let mut walls_checked = 0usize;
+    let mut lats_checked = 0usize;
     for (b, f) in base_rows.iter().zip(fresh_rows.iter()) {
         let who = label(b);
         if label(f) != who {
@@ -236,6 +288,7 @@ fn main() {
                 }
             }
         }
+        check_latency(&who, b, f, &mut problems, &mut lats_checked);
     }
     if walls_checked == 0 {
         problems.push("no wall-time fields found to compare (wrong artifact?)".to_string());
@@ -279,10 +332,12 @@ fn main() {
                 ));
             }
         }
+        check_latency("totals", bt, ft, &mut problems, &mut lats_checked);
     }
     if problems.is_empty() {
         println!(
-            "bench_check: {} rows ok vs {} ({} wall fields within {tolerance}x)",
+            "bench_check: {} rows ok vs {} ({} wall fields within {tolerance}x, \
+             {lats_checked} latency fields within {LAT_TOLERANCE}x)",
             fresh_rows.len(),
             baseline_path,
             walls_checked,

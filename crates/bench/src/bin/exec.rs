@@ -34,6 +34,14 @@
 //! N`, `--kill-worker W`. Bad flag values *and* bad flag combinations
 //! print a clear error naming the flags and exit 2 (they never panic);
 //! a structured run failure ([`ExecError`]) also exits 2.
+//!
+//! Observability (DESIGN.md §12, needs a `--features obs` build —
+//! rejected up front otherwise): `--trace-out PATH` writes the
+//! streaming runs as Chrome `trace_event` JSON (one process per
+//! benchmark, one track per worker + decode shard); `--histogram`
+//! prints the sampled per-task latency quantiles. An obs build also
+//! adds `latency_p50/p99/p999_ns` and `queue_p50/p99/p999_ns` (from
+//! the replay runs) to every JSON row and to `totals`.
 
 use std::time::{Duration, Instant};
 
@@ -68,6 +76,9 @@ struct Args {
     task_deadline: Option<Duration>,
     run_deadline: Option<Duration>,
     kill_worker: Option<usize>,
+    // --- observability (DESIGN.md §12) ---
+    trace_out: Option<String>,
+    histogram: bool,
 }
 
 /// CLI contract: bad input is a user error, not a bug — report it
@@ -102,6 +113,8 @@ fn parse_args() -> Args {
         task_deadline: None,
         run_deadline: None,
         kill_worker: None,
+        trace_out: None,
+        histogram: false,
     };
     let mut spin_scale = 1.0f64;
     let mut payload_name = String::from("noop");
@@ -189,6 +202,8 @@ fn parse_args() -> Args {
                 out.kill_worker =
                     Some(parse_num(&want(args.next(), "--kill-worker"), "--kill-worker"));
             }
+            "--trace-out" => out.trace_out = Some(want(args.next(), "--trace-out")),
+            "--histogram" => out.histogram = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: exec [--scale small|paper|large] [--threads N] \
@@ -196,7 +211,8 @@ fn parse_args() -> Args {
                      [--window N] [--decode-shards N] [--no-renaming] [--json] [--out PATH] \
                      [--fault-rate F --failure-policy fail-fast|retry|quarantine] \
                      [--fault-seed N] [--retry-max N] [--retry-backoff-ms F] \
-                     [--task-deadline-ms N] [--run-deadline-ms N] [--kill-worker W]"
+                     [--task-deadline-ms N] [--run-deadline-ms N] [--kill-worker W] \
+                     [--trace-out PATH] [--histogram]"
                 );
                 std::process::exit(0);
             }
@@ -249,6 +265,17 @@ fn parse_args() -> Args {
     if out.fault_rate_ppm > 0 {
         out.payload = PayloadMode::Faulty { rate_ppm: out.fault_rate_ppm, seed: out.fault_seed };
     }
+    // Observability flags need a recording build: in the default
+    // NoopSink build there is nothing to export, so failing up front
+    // beats writing an empty trace file (the CLI tests pin exit 2).
+    if !tss_exec::obs_enabled() {
+        if out.trace_out.is_some() {
+            fail("--trace-out needs a build with the obs feature (cargo ... --features obs)");
+        }
+        if out.histogram {
+            fail("--histogram needs a build with the obs feature (cargo ... --features obs)");
+        }
+    }
     out
 }
 
@@ -282,6 +309,50 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The six latency fields for one report's obs data, ready to splice
+/// into a JSON object — empty in a NoopSink build (`bench_check`'s
+/// latency layer is presence-gated on exactly this).
+fn latency_json(obs: Option<&tss_exec::obs::ObsReport>) -> String {
+    match obs {
+        Some(o) => format!(
+            "\"latency_p50_ns\": {}, \"latency_p99_ns\": {}, \"latency_p999_ns\": {}, \
+             \"queue_p50_ns\": {}, \"queue_p99_ns\": {}, \"queue_p999_ns\": {}, ",
+            o.exec_latency.p50(),
+            o.exec_latency.p99(),
+            o.exec_latency.p999(),
+            o.queue_wait.p50(),
+            o.queue_wait.p99(),
+            o.queue_wait.p999(),
+        ),
+        None => String::new(),
+    }
+}
+
+/// Merges every replay run's sampled histograms for the totals row.
+/// `None` in a NoopSink build.
+fn merged_obs(points: &[Point]) -> Option<tss_exec::obs::ObsReport> {
+    let mut merged: Option<tss_exec::obs::ObsReport> = None;
+    for p in points {
+        let Some(o) = &p.replay.obs else { continue };
+        match &mut merged {
+            Some(m) => {
+                m.exec_latency.merge(&o.exec_latency);
+                m.queue_wait.merge(&o.queue_wait);
+            }
+            None => {
+                merged = Some(tss_exec::obs::ObsReport {
+                    exec_latency: o.exec_latency.clone(),
+                    queue_wait: o.queue_wait.clone(),
+                    tracks: Vec::new(),
+                    gauges: o.gauges,
+                    sample_every: o.sample_every,
+                });
+            }
+        }
+    }
+    merged
+}
+
 /// Aggregate decode stats over all benchmarks: `(total tasks, ns/task,
 /// tasks/sec, headroom vs the paper's software decoder)`. One helper so
 /// the JSON artifact and the printed summary can never disagree.
@@ -311,7 +382,7 @@ fn aggregate_rate(points: &[Point], wall: impl Fn(&Point) -> f64) -> f64 {
 fn to_json(args: &Args, points: &[Point]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"tss-bench-exec/v3\",\n");
+    s.push_str("  \"schema\": \"tss-bench-exec/v4\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", args.scale.name()));
     s.push_str(&format!("  \"threads\": {},\n", args.threads));
     s.push_str(&format!("  \"payload\": \"{}\",\n", args.payload.name()));
@@ -341,7 +412,7 @@ fn to_json(args: &Args, points: &[Point]) -> String {
              \"decode_ns_per_task\": {:.1}, \"decode_tasks_per_sec\": {:.0}, \
              \"exec_wall_ms\": {:.3}, \"exec_tasks_per_sec\": {:.0}, \"steals\": {}, \
              \"stream_wall_ms\": {:.3}, \"stream_tasks_per_sec\": {:.0}, \
-             \"decode_overlap_pct\": {:.1}, \
+             \"decode_overlap_pct\": {:.1}, {}\
              \"failed\": {}, \"poisoned\": {}, \"retried_ok\": {}, \"workers_lost\": {}, \
              \"validated\": {}, \"workers\": [{}]}}{}\n",
             json_escape(&r.benchmark),
@@ -355,6 +426,7 @@ fn to_json(args: &Args, points: &[Point]) -> String {
             p.stream.exec_wall.as_secs_f64() * 1e3,
             p.stream.tasks_per_sec(),
             p.stream.decode_overlap_pct,
+            latency_json(r.obs.as_ref()),
             r.fault.failed.len(),
             r.fault.poisoned.len(),
             r.fault.retried_ok,
@@ -378,16 +450,57 @@ fn to_json(args: &Args, points: &[Point]) -> String {
     let retried_ok: usize = points.iter().map(|p| p.replay.fault.retried_ok).sum();
     let workers_lost: usize =
         points.iter().map(|p| p.replay.fault.workers_lost + p.stream.fault.workers_lost).sum();
+    let merged = merged_obs(points);
     s.push_str(&format!(
         "  \"totals\": {{\"tasks\": {tasks}, \"decode_ns_per_task\": {agg_ns:.1}, \
          \"decode_tasks_per_sec\": {per_sec:.0}, \"decode_headroom_vs_paper\": {headroom:.1}, \
          \"exec_tasks_per_sec\": {exec_rate:.0}, \"stream_tasks_per_sec\": {stream_rate:.0}, \
-         \"decode_overlap_pct_mean\": {overlap:.1}, \
+         \"decode_overlap_pct_mean\": {overlap:.1}, {}\
          \"failed\": {failed}, \"poisoned\": {poisoned}, \"retried_ok\": {retried_ok}, \
          \"workers_lost\": {workers_lost}}}\n",
+        latency_json(merged.as_ref()),
     ));
     s.push_str("}\n");
     s
+}
+
+/// Renders the sampled latency quantiles as a table (`--histogram`;
+/// only reachable in an obs build, so the replay reports carry obs).
+fn histogram_table(points: &[Point]) -> String {
+    let mut table = Table::new(
+        format!("Sampled task latency (1 in {} tasks, ns)", tss_exec::obs::SAMPLE_EVERY),
+        &[
+            "Benchmark",
+            "samples",
+            "exec p50",
+            "exec p99",
+            "exec p999",
+            "queue p50",
+            "queue p99",
+            "queue p999",
+        ],
+    );
+    let row = |table: &mut Table, name: String, o: &tss_exec::obs::ObsReport| {
+        table.row(vec![
+            name,
+            o.exec_latency.count().to_string(),
+            o.exec_latency.p50().to_string(),
+            o.exec_latency.p99().to_string(),
+            o.exec_latency.p999().to_string(),
+            o.queue_wait.p50().to_string(),
+            o.queue_wait.p99().to_string(),
+            o.queue_wait.p999().to_string(),
+        ]);
+    };
+    for p in points {
+        if let Some(o) = &p.replay.obs {
+            row(&mut table, p.replay.benchmark.clone(), o);
+        }
+    }
+    if let Some(m) = merged_obs(points) {
+        row(&mut table, "TOTAL".into(), &m);
+    }
+    table.render()
 }
 
 /// The failure identity of a run: which tasks finally failed and which
@@ -515,8 +628,25 @@ fn main() {
     std::fs::write(&args.out, &json)
         .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", args.out)));
 
+    // Timeline export (DESIGN.md §12.4): the streaming runs, which have
+    // both worker and decode-shard tracks. Only reachable in an obs
+    // build (parse_args rejects the flag otherwise).
+    if let Some(path) = &args.trace_out {
+        let runs: Vec<(String, &tss_exec::obs::ObsReport)> = points
+            .iter()
+            .filter_map(|p| p.stream.obs.as_ref().map(|o| (p.stream.benchmark.clone(), o)))
+            .collect();
+        std::fs::write(path, tss_exec::obs::chrome_trace(&runs))
+            .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+        eprintln!("  [exec] wrote Chrome trace of {} runs to {path}", runs.len());
+    }
+
     if args.json {
         print!("{json}");
+        if args.histogram {
+            // Keep stdout parseable: the human table goes to stderr.
+            eprintln!("{}", histogram_table(&points));
+        }
     } else {
         let mut table = Table::new(
             format!(
@@ -563,6 +693,9 @@ fn main() {
             ]);
         }
         println!("{}", table.render());
+        if args.histogram {
+            println!("{}", histogram_table(&points));
+        }
         let (_, agg_ns, per_sec, headroom) = aggregate_decode(&points);
         println!(
             "Aggregate native decode: {agg_ns:.0} ns/task ({:.2}M tasks/s) vs the paper's \

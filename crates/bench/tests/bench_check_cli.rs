@@ -1,0 +1,101 @@
+//! CLI contract of the `bench_check` baseline gate, focused on the
+//! ISSUE 8 latency layer: presence-gating (a baseline with latency
+//! fields fails a fresh artifact without them), tolerance checking
+//! (a huge quantile regression fails, noise passes), all on synthetic
+//! fixtures so the tests are instant and deterministic.
+
+use std::process::Command;
+
+/// A minimal exec-style artifact: one row + totals, with optional
+/// latency fields spliced in.
+fn artifact(exec_wall_ms: f64, latency: Option<(u64, u64)>) -> String {
+    let lat = match latency {
+        Some((p50, p999)) => format!(
+            "\"latency_p50_ns\": {p50}, \"latency_p99_ns\": {p999}, \
+             \"latency_p999_ns\": {p999}, \"queue_p50_ns\": {p50}, \
+             \"queue_p99_ns\": {p999}, \"queue_p999_ns\": {p999}, "
+        ),
+        None => String::new(),
+    };
+    format!(
+        "{{\n\"schema\": \"tss-bench-exec/v4\",\n\"results\": [\n\
+         {{\"benchmark\": \"Cholesky\", \"tasks\": 220, \
+         \"exec_wall_ms\": {exec_wall_ms:.3}, {lat}\"validated\": true}}\n\
+         ],\n\
+         \"totals\": {{\"tasks\": 220, {lat}\"failed\": 0}}\n}}\n"
+    )
+}
+
+fn check(baseline: &str, fresh: &str) -> (i32, String) {
+    let dir = std::env::temp_dir().join(format!(
+        "tss-bench-check-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("mk tempdir");
+    let bp = dir.join("baseline.json");
+    let fp = dir.join("fresh.json");
+    std::fs::write(&bp, baseline).unwrap();
+    std::fs::write(&fp, fresh).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_check"))
+        .args(["--baseline", bp.to_str().unwrap(), "--fresh", fp.to_str().unwrap()])
+        .output()
+        .expect("spawn bench_check");
+    std::fs::remove_dir_all(&dir).ok();
+    let text =
+        format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
+    (out.status.code().unwrap_or(-1), text)
+}
+
+#[test]
+fn matching_latency_fields_pass() {
+    let base = artifact(1.0, Some((150, 5_000)));
+    let fresh = artifact(1.2, Some((180, 9_000)));
+    let (code, text) = check(&base, &fresh);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("latency fields"), "ok line should count them: {text}");
+}
+
+#[test]
+fn missing_latency_field_fails_naming_it() {
+    // Baseline from an obs build, fresh from a NoopSink build: the
+    // gated run silently lost its feature flag — exactly what the
+    // presence gate exists to catch.
+    let base = artifact(1.0, Some((150, 5_000)));
+    let fresh = artifact(1.0, None);
+    let (code, text) = check(&base, &fresh);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("latency_p50_ns"), "must name the missing field: {text}");
+    assert!(text.contains("obs feature"), "must hint at the cause: {text}");
+}
+
+#[test]
+fn latency_regression_beyond_tolerance_fails() {
+    // 100x above a baseline that clears the 500 µs floor.
+    let base = artifact(1.0, Some((1_000_000, 2_000_000)));
+    let fresh = artifact(1.0, Some((100_000_000, 200_000_000)));
+    let (code, text) = check(&base, &fresh);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("regressed"), "{text}");
+    assert!(text.contains("latency_p50_ns"), "{text}");
+}
+
+#[test]
+fn latency_noise_within_the_floor_passes() {
+    // 50x ratio but under the 500 µs absolute floor: sampled-quantile
+    // jitter, not a regression.
+    let base = artifact(1.0, Some((100, 2_000)));
+    let fresh = artifact(1.0, Some((5_000, 100_000)));
+    let (code, text) = check(&base, &fresh);
+    assert_eq!(code, 0, "{text}");
+}
+
+#[test]
+fn extra_latency_fields_in_fresh_are_fine() {
+    // Old baseline (pre-obs) gated against a new obs-build artifact:
+    // presence-gating is one-directional by design.
+    let base = artifact(1.0, None);
+    let fresh = artifact(1.0, Some((150, 5_000)));
+    let (code, text) = check(&base, &fresh);
+    assert_eq!(code, 0, "{text}");
+}

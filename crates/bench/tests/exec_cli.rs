@@ -120,3 +120,72 @@ fn unknown_policy_suggests_the_menu() {
     assert!(err.contains("unknown --failure-policy 'ignore'"), "stderr: {err}");
     assert!(err.contains("fail-fast|retry|quarantine"), "stderr: {err}");
 }
+
+// --- observability flags (ISSUE 8 satellite, DESIGN.md §12) ---
+
+#[cfg(not(feature = "obs"))]
+#[test]
+fn trace_out_without_the_obs_feature_is_rejected_up_front() {
+    let (code, err) = run(&["--scale", "small", "--trace-out", "/tmp/never-written.json"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--trace-out"), "must name the flag: {err}");
+    assert!(err.contains("obs"), "must name the missing feature: {err}");
+    assert!(!err.contains("panicked"), "panicked instead of failing cleanly: {err}");
+}
+
+#[cfg(not(feature = "obs"))]
+#[test]
+fn histogram_without_the_obs_feature_is_rejected_up_front() {
+    let (code, err) = run(&["--histogram"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--histogram"), "must name the flag: {err}");
+    assert!(err.contains("obs"), "must name the missing feature: {err}");
+}
+
+#[test]
+fn trace_out_needs_a_path() {
+    let (code, err) = run(&["--trace-out"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--trace-out needs a value"), "stderr: {err}");
+}
+
+/// End-to-end in an obs build: a small run must write a Chrome trace
+/// with per-worker tracks, and the JSON artifact must carry the
+/// latency quantiles (the ISSUE 8 acceptance gate, as a test).
+#[cfg(feature = "obs")]
+#[test]
+fn obs_build_writes_a_chrome_trace_and_latency_fields() {
+    let dir = std::env::temp_dir().join(format!("tss-obs-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk tempdir");
+    let trace = dir.join("trace.json");
+    let bench = dir.join("bench.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_exec"))
+        .args([
+            "--scale",
+            "small",
+            "--threads",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--out",
+            bench.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn exec harness");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "exec failed: {err}");
+
+    let tj = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(tj.contains("\"traceEvents\""), "not a Chrome trace: {tj:.200}");
+    for track in ["worker-0", "worker-1", "decode-0"] {
+        assert!(tj.contains(track), "missing track {track}");
+    }
+    assert!(tj.contains("\"ph\":\"X\""), "no slices recorded");
+
+    let bj = std::fs::read_to_string(&bench).expect("bench json written");
+    assert!(bj.contains("\"schema\": \"tss-bench-exec/v4\""));
+    for key in ["latency_p50_ns", "latency_p99_ns", "latency_p999_ns", "queue_p999_ns"] {
+        assert!(bj.contains(key), "missing {key} in BENCH json");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -55,7 +55,12 @@
 use crate::sync::atomic::{AtomicI32, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use crate::sync::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+// All wall-clock reads go through the tss-obs timestamp facade (tss-lint
+// bans raw Instant::now() in this crate, DESIGN.md §12.1); the sinks
+// are zero-sized no-ops unless the `obs` feature is on.
+use tss_obs::clock::Stamp;
+use tss_obs::{ObsReport, SharedObs, SpanStamp, WorkerObs};
 
 use crate::deque::{ChaseLev, BATCH_MAX};
 use crate::fault::{
@@ -179,6 +184,11 @@ pub struct ExecReport {
     pub validated: bool,
     /// Failure accounting (all-zero for a clean run).
     pub fault: FaultReport,
+    /// RingSink observability data (latency histograms, per-worker
+    /// event tracks, gauges) — `Some` exactly when the crate was built
+    /// with the `obs` feature (DESIGN.md §12), `None` in the NoopSink
+    /// default build.
+    pub obs: Option<ObsReport>,
 }
 
 impl ExecReport {
@@ -359,8 +369,9 @@ fn mark_poisoned(status: &AtomicU8) {
 /// mode, never dynamically dispatched.
 trait ReleaseSuccs: Sync {
     /// Called exactly once per completed task `t`; appends every task
-    /// made ready by this completion to `ready`.
-    fn release(&self, t: u32, ready: &mut Vec<u32>);
+    /// made ready by this completion to `ready`. `obs` carries the
+    /// sampled pending-drain gauge (a no-op in NoopSink builds).
+    fn release(&self, t: u32, ready: &mut Vec<u32>, obs: &SharedObs);
 
     /// [`ReleaseSuccs::release`] for a FAILED or POISONED task `t`:
     /// marks every successor POISONED in `status` *before* counting it
@@ -387,7 +398,7 @@ impl<'a> PrebuiltRelease<'a> {
 
 impl ReleaseSuccs for PrebuiltRelease<'_> {
     #[inline]
-    fn release(&self, t: u32, ready: &mut Vec<u32>) {
+    fn release(&self, t: u32, ready: &mut Vec<u32>, _obs: &SharedObs) {
         for &s in self.graph.succs(t as TaskId) {
             // AcqRel: release our payload writes to the successor's
             // executor, acquire the other producers' on the 1 → 0 edge.
@@ -495,15 +506,23 @@ enum EdgeFate {
 
 impl ReleaseSuccs for StreamRelease {
     #[inline]
-    fn release(&self, t: u32, ready: &mut Vec<u32>) {
+    fn release(&self, t: u32, ready: &mut Vec<u32>, obs: &SharedObs) {
         // Close the list: every edge registered up to now is drained
         // here; every edge registered after sees CLOSED and counts
         // itself satisfied at the commit (§8 exactly-once handshake).
         let mut head = self.pending[t as usize].swap(PENDING_CLOSED, Ordering::AcqRel);
+        let mut drained = 0u64;
         while head != PENDING_NIL {
             let node = self.nodes[head as usize].load(Ordering::Relaxed);
             self.countdown(node as u32, ready);
+            drained += 1;
             head = (node >> 32) as u32;
+        }
+        // Sampled pending-drain gauge: folds away in NoopSink builds
+        // (`sampled` is const false), and on RingSink builds only 1-in-
+        // SAMPLE_EVERY completions touch the shared gauge line.
+        if tss_obs::sampled(t) {
+            obs.note_pending_drain(drained as usize);
         }
     }
 
@@ -588,7 +607,10 @@ struct Shared<'a, R: ReleaseSuccs> {
     /// Absolute run deadline, ns since `t0` (0 = unarmed).
     run_deadline_ns: u64,
     /// Wall anchor for every deadline computation.
-    t0: Instant,
+    t0: Stamp,
+    /// Shared observability state (ready-time table + gauges); a ZST
+    /// no-op unless the `obs` feature is on (DESIGN.md §12).
+    obs: SharedObs,
     /// True when any per-task machinery (injection, task deadline, or
     /// payload cancellation for the run deadline) must run: decided
     /// once, so a fault-free run's per-task path is unchanged.
@@ -631,7 +653,7 @@ impl<R: ReleaseSuccs> Shared<'_, R> {
             FailurePolicy::Retry { backoff, .. } => backoff,
             _ => Duration::ZERO,
         };
-        let t0 = Instant::now();
+        let t0 = Stamp::now();
         let run_deadline_ns = cfg.run_deadline.map_or(0, |d| (d.as_nanos() as u64).max(1));
         Shared {
             mode,
@@ -654,6 +676,7 @@ impl<R: ReleaseSuccs> Shared<'_, R> {
             task_deadline: cfg.task_deadline,
             run_deadline_ns,
             t0,
+            obs: SharedObs::new(),
             guarded,
             watch: if deadline_armed {
                 (0..threads).map(|_| WatchSlot::new()).collect()
@@ -727,6 +750,7 @@ fn complete<R: ReleaseSuccs>(
     w: usize,
     shared: &Shared<'_, R>,
     ready: &mut Vec<u32>,
+    wobs: &mut WorkerObs,
     poisoned: bool,
 ) {
     // Ticket first, successor release second: any successor's ticket is
@@ -741,20 +765,31 @@ fn complete<R: ReleaseSuccs>(
     if poisoned {
         shared.mode.poison_release(t, &shared.status, ready);
     } else {
-        shared.mode.release(t, ready);
+        shared.mode.release(t, ready, &shared.obs);
     }
     for &s in ready.iter() {
         shared.deques[w].push(s);
+        // Sampled spawn instrumentation: a Spawn ring event (the
+        // queue-wait anchor, paired with the Task slice at drain) and
+        // the deque-depth gauge — one clock read for both. `sampled`
+        // is const false in NoopSink builds, so the whole block (the
+        // `len()` call included) folds away (DESIGN.md §12.3).
+        if tss_obs::sampled(s) {
+            wobs.spawn(s, &shared.obs);
+            shared.obs.note_deque_depth(shared.deques[w].len());
+        }
     }
     if ticket + 1 == shared.n {
         // Final completion: unconditionally flush every parked worker
         // into their done() check.
         shared.parker.wake_all();
+        wobs.wake(&shared.obs);
     } else if ready.len() >= 2 && shared.parker.has_idle() {
         // Surplus banked beyond what this worker immediately runs: one
         // thief's worth of news, one wake — not PR 3's per-completion
         // notify_all storm.
         shared.parker.wake_one();
+        wobs.wake(&shared.obs);
     }
 }
 
@@ -765,12 +800,17 @@ fn run_task<R: ReleaseSuccs>(
     scratch: &mut PayloadScratch<'_>,
     stats: &mut WorkerStats,
     ready: &mut Vec<u32>,
+    wobs: &mut WorkerObs,
 ) {
     if shared.guarded || shared.tainted.load(Ordering::Relaxed) != 0 {
         // Chaos, deadlines, or an earlier failure: the guarded lane
         // owns poison checks and the containment state machine.
-        return run_task_guarded(t, w, shared, scratch, stats, ready);
+        return run_task_guarded(t, w, shared, scratch, stats, ready, wobs);
     }
+    // Sampled execution-latency span: a clock read only for 1-in-
+    // SAMPLE_EVERY tasks on RingSink builds, nothing at all on NoopSink
+    // builds (TaskStamp is zero-sized there).
+    let tb = wobs.task_begin(t);
     let outcome: Result<(), Box<dyn std::any::Any + Send>> = match shared.payload {
         // No per-task clock reads on any path: busy time is accumulated
         // per burst by `worker_loop`, so noop runs still measure pure
@@ -792,14 +832,17 @@ fn run_task<R: ReleaseSuccs>(
     match outcome {
         Ok(()) => {
             stats.executed += 1;
-            complete(t, w, shared, ready, false);
+            complete(t, w, shared, ready, wobs, false);
+            // After `complete`: the span covers payload + successor
+            // release, the full service time a waiter observes.
+            wobs.task_end(t, tb, &shared.obs);
         }
         Err(payload) => {
             // First failure of the run: taint (diverting everyone to
             // the guarded lane) and hand this task to the policy.
             shared.tainted.store(1, Ordering::Relaxed);
             let failure = TaskFailure::Panicked { message: panic_message(&*payload) };
-            resolve_failure(t, w, shared, scratch, stats, ready, 1, failure);
+            resolve_failure(t, w, shared, scratch, stats, ready, wobs, 1, failure);
         }
     }
 }
@@ -814,24 +857,28 @@ fn run_task_guarded<R: ReleaseSuccs>(
     scratch: &mut PayloadScratch<'_>,
     stats: &mut WorkerStats,
     ready: &mut Vec<u32>,
+    wobs: &mut WorkerObs,
 ) {
     // The status byte was stored before the countdown/publish that made
     // `t` ready, and the deque transfer carries it here (§11).
     if shared.status[t as usize].load(Ordering::Acquire) != HEALTHY {
-        complete(t, w, shared, ready, true);
+        complete(t, w, shared, ready, wobs, true);
+        wobs.task_poisoned(t, &shared.obs);
         return;
     }
+    let tb = wobs.task_begin(t);
     match attempt_payload(t, 1, w, shared, scratch) {
         Ok(()) => {
             stats.executed += 1;
             if !shared.retry_hist.is_empty() {
                 shared.retry_hist[0].fetch_add(1, Ordering::Relaxed);
             }
-            complete(t, w, shared, ready, false);
+            complete(t, w, shared, ready, wobs, false);
+            wobs.task_end(t, tb, &shared.obs);
         }
         Err(AttemptError::Failed(failure)) => {
             shared.tainted.store(1, Ordering::Relaxed);
-            resolve_failure(t, w, shared, scratch, stats, ready, 1, failure);
+            resolve_failure(t, w, shared, scratch, stats, ready, wobs, 1, failure);
         }
         Err(AttemptError::Aborted) => {}
     }
@@ -896,7 +943,7 @@ fn attempt_payload<R: ReleaseSuccs>(
         if shared.aborted() {
             return Err(AttemptError::Aborted);
         }
-        let started = Instant::now();
+        let started = Stamp::now();
         slot.cancel.store(0, Ordering::Relaxed);
         if let Some(dl) = shared.task_deadline {
             let abs = shared.t0.elapsed() + dl;
@@ -949,6 +996,7 @@ fn resolve_failure<R: ReleaseSuccs>(
     scratch: &mut PayloadScratch<'_>,
     stats: &mut WorkerStats,
     ready: &mut Vec<u32>,
+    wobs: &mut WorkerObs,
     mut attempt: u32,
     mut failure: TaskFailure,
 ) {
@@ -958,6 +1006,7 @@ fn resolve_failure<R: ReleaseSuccs>(
             std::thread::sleep(wait);
         }
         attempt += 1;
+        wobs.retry(t, &shared.obs);
         match attempt_payload(t, attempt, w, shared, scratch) {
             Ok(()) => {
                 stats.executed += 1;
@@ -965,7 +1014,7 @@ fn resolve_failure<R: ReleaseSuccs>(
                 if !shared.retry_hist.is_empty() {
                     shared.retry_hist[(attempt - 1) as usize].fetch_add(1, Ordering::Relaxed);
                 }
-                complete(t, w, shared, ready, false);
+                complete(t, w, shared, ready, wobs, false);
                 return;
             }
             Err(AttemptError::Failed(f)) => failure = f,
@@ -994,19 +1043,21 @@ fn resolve_failure<R: ReleaseSuccs>(
             // closes the pending list, so the §11 publish hands the
             // byte to any later window commit.
             shared.status[t as usize].store(FAILED, Ordering::Relaxed);
-            complete(t, w, shared, ready, true);
+            complete(t, w, shared, ready, wobs, true);
+            wobs.task_poisoned(t, &shared.obs);
         }
     }
 }
 
-/// How a worker thread left the run.
+/// How a worker thread left the run. Either way it hands back its
+/// counters and its observability sink (drained after the join).
 enum WorkerExit {
     /// Normal exit: ran until termination (or abort).
-    Finished(WorkerStats),
+    Finished(WorkerStats, WorkerObs),
     /// Injected worker kill: the thread left mid-run with work possibly
     /// still in its deque — the survivors adopt it via the thief
     /// protocol (the Chase-Lev top end needs no owner).
-    Killed(WorkerStats),
+    Killed(WorkerStats, WorkerObs),
 }
 
 fn worker_loop<R: ReleaseSuccs>(
@@ -1016,6 +1067,10 @@ fn worker_loop<R: ReleaseSuccs>(
     seed: u64,
 ) -> WorkerExit {
     let mut stats = WorkerStats::default();
+    let mut wobs = WorkerObs::new();
+    // The whole-worker span guarantees every worker track carries at
+    // least one event, even for a worker that never won a task.
+    let span = SpanStamp::begin();
     let mut scratch = PayloadScratch::new(arena);
     let mut ready: Vec<u32> = Vec::with_capacity(64);
     let mut rng = seed ^ (w as u64).wrapping_mul(0xA076_1D64_78BD_642F);
@@ -1032,22 +1087,30 @@ fn worker_loop<R: ReleaseSuccs>(
     loop {
         // Fast path: drain the own deque depth-first. No epoch or done
         // loads per task — those belong to the idle path. The burst is
-        // clocked as one span: two clock reads however many tasks drain.
+        // clocked as one span: two clock reads however many tasks
+        // drain, and the Burst ring event reuses exactly those two
+        // stamps (zero extra reads, DESIGN.md §12.3).
         if let Some(t) = me.pop() {
-            let burst = Instant::now();
-            run_task(t, w, shared, &mut scratch, &mut stats, &mut ready);
+            let burst = Stamp::now();
+            let before = stats.executed;
+            run_task(t, w, shared, &mut scratch, &mut stats, &mut ready, &mut wobs);
             while stats.executed < kill_after {
                 match me.pop() {
-                    Some(t) => run_task(t, w, shared, &mut scratch, &mut stats, &mut ready),
+                    Some(t) => {
+                        run_task(t, w, shared, &mut scratch, &mut stats, &mut ready, &mut wobs)
+                    }
                     None => break,
                 }
             }
-            stats.busy += burst.elapsed();
+            let end = Stamp::now();
+            stats.busy += end.since(burst);
+            wobs.burst(burst, end, stats.executed - before, &shared.obs);
             if stats.executed >= kill_after {
                 // Leave abandoned work visible: wake everyone so the
                 // survivors rescan and adopt this deque.
                 shared.parker.wake_all();
-                return WorkerExit::Killed(stats);
+                wobs.worker_span(w as u32, span, &shared.obs);
+                return WorkerExit::Killed(stats, wobs);
             }
         }
         if shared.stopping() {
@@ -1066,6 +1129,7 @@ fn worker_loop<R: ReleaseSuccs>(
                 let t = shared.deques[victim].steal_batch_into(me, BATCH_MAX);
                 if t.is_some() {
                     stats.steals += 1;
+                    wobs.steal(victim as u32, &shared.obs);
                 }
                 t
             })
@@ -1076,24 +1140,32 @@ fn worker_loop<R: ReleaseSuccs>(
                 // wake so other idle workers can re-balance too.
                 if !me.is_empty() && shared.parker.has_idle() {
                     shared.parker.wake_one();
+                    wobs.wake(&shared.obs);
                 }
-                let burst = Instant::now();
-                run_task(t, w, shared, &mut scratch, &mut stats, &mut ready);
-                stats.busy += burst.elapsed();
+                let burst = Stamp::now();
+                let before = stats.executed;
+                run_task(t, w, shared, &mut scratch, &mut stats, &mut ready, &mut wobs);
+                let end = Stamp::now();
+                stats.busy += end.since(burst);
+                wobs.burst(burst, end, stats.executed - before, &shared.obs);
                 if stats.executed >= kill_after {
                     shared.parker.wake_all();
-                    return WorkerExit::Killed(stats);
+                    wobs.worker_span(w as u32, span, &shared.obs);
+                    return WorkerExit::Killed(stats, wobs);
                 }
             }
             None => {
                 if shared.stopping() {
                     break;
                 }
+                let parked = wobs.park_begin();
                 shared.parker.park(epoch, || shared.stopping());
+                wobs.park(parked, &shared.obs);
             }
         }
     }
-    WorkerExit::Finished(stats)
+    wobs.worker_span(w as u32, span, &shared.obs);
+    WorkerExit::Finished(stats, wobs)
 }
 
 /// The deadline watchdog: a polling thread (the facade condvar has no
@@ -1152,7 +1224,7 @@ struct DecodeShared<'a> {
     /// Serializes window commits and owns the committer-side cursors.
     commit: Mutex<CommitState>,
     /// Wall-clock anchor for [`ExecReport::decode_wall`].
-    started: Instant,
+    started: Stamp,
     /// Nanoseconds from `started` to the last commit.
     decode_span_ns: AtomicU64,
 }
@@ -1188,7 +1260,7 @@ impl<'a> DecodeShared<'a> {
                 edges: 0,
                 scratch: Vec::new(),
             }),
-            started: Instant::now(),
+            started: Stamp::now(),
             decode_span_ns: AtomicU64::new(0),
         }
     }
@@ -1197,7 +1269,7 @@ impl<'a> DecodeShared<'a> {
     /// cursor. Called by whichever shard thread finished a window last;
     /// the commit mutex makes the committer role migrate safely (the
     /// injector's owner contract rides the same lock).
-    fn commit_ready(&self, shared: &Shared<'_, StreamRelease>) {
+    fn commit_ready(&self, shared: &Shared<'_, StreamRelease>, dobs: &mut WorkerObs) {
         let mut st = self.commit.lock().expect("commit state poisoned");
         let mut pushed_roots = false;
         while st.next_window < self.windows {
@@ -1245,12 +1317,27 @@ impl<'a> DecodeShared<'a> {
                 if old + delta == 0 {
                     shared.injector.push(s);
                     pushed_roots = true;
+                    // Injector-path Spawn event for sampled roots (the
+                    // deque-path event lives in `complete`); the
+                    // drain-time pairing in `SharedObs::finish` turns
+                    // it into the task's queue-wait anchor.
+                    if tss_obs::sampled(s) {
+                        dobs.spawn(s, &shared.obs);
+                    }
                 }
             });
             st.scratch = scratch;
             st.node_cursor = node_cursor;
             st.edges += edges;
             st.next_window = w + 1;
+            // Per-window commit event + commit-lag gauge (how far the
+            // committed frontier runs ahead of completions). The whole
+            // block folds away in NoopSink builds.
+            if tss_obs::ENABLED {
+                dobs.commit(w as u32, &shared.obs);
+                let lag = hi.saturating_sub(shared.next_ticket.load(Ordering::Relaxed));
+                shared.obs.note_commit_lag(lag as u64);
+            }
         }
         let finished = st.next_window == self.windows;
         drop(st);
@@ -1274,20 +1361,23 @@ fn decode_loop(
     renaming: bool,
     dec: &DecodeShared<'_>,
     shared: &Shared<'_, StreamRelease>,
-) -> RenameStats {
+) -> (RenameStats, WorkerObs) {
+    let mut dobs = WorkerObs::new();
     let mut state = ShardState::new(renaming, shard as u32, dec.shards as u32);
     for w in 0..dec.windows {
         let lo = w * dec.window;
         let hi = ((w + 1) * dec.window).min(dec.trace.len());
+        let sp = SpanStamp::begin();
         {
             let mut buf = dec.bufs[w][shard].lock().expect("window buffer poisoned");
             state.scan(dec.trace, lo, hi, &mut buf);
         }
+        dobs.scan(w as u32, sp, &shared.obs);
         if dec.scan_done[w].fetch_add(1, Ordering::AcqRel) + 1 == dec.shards {
-            dec.commit_ready(shared);
+            dec.commit_ready(shared, &mut dobs);
         }
     }
-    *state.stats()
+    (*state.stats(), dobs)
 }
 
 // ---------------------------------------------------------------------
@@ -1366,6 +1456,8 @@ impl Executor {
 
         let t0 = dec.started;
         let mut workers = vec![WorkerStats::default(); threads];
+        let mut worker_obs: Vec<WorkerObs> = (0..threads).map(|_| WorkerObs::new()).collect();
+        let mut decode_obs: Vec<WorkerObs> = Vec::with_capacity(shards);
         let mut rename = RenameStats::default();
         let mut workers_lost = 0usize;
         if n > 0 {
@@ -1389,7 +1481,7 @@ impl Executor {
                             }))
                             .unwrap_or_else(|p| {
                                 shared.note_infra_panic(panic_message(&*p));
-                                RenameStats::default()
+                                (RenameStats::default(), WorkerObs::new())
                             })
                         })
                     })
@@ -1406,17 +1498,22 @@ impl Executor {
                     })
                     .collect();
                 for d in decoders {
-                    if let Ok(stats) = d.join() {
+                    if let Ok((stats, dobs)) = d.join() {
                         rename.objects += stats.objects;
                         rename.tracked_operands += stats.tracked_operands;
                         rename.removed_by_renaming += stats.removed_by_renaming;
+                        decode_obs.push(dobs);
                     }
                 }
                 for (w, h) in handles.into_iter().enumerate() {
                     match h.join() {
-                        Ok(Ok(WorkerExit::Finished(stats))) => workers[w] = stats,
-                        Ok(Ok(WorkerExit::Killed(stats))) => {
+                        Ok(Ok(WorkerExit::Finished(stats, wobs))) => {
                             workers[w] = stats;
+                            worker_obs[w] = wobs;
+                        }
+                        Ok(Ok(WorkerExit::Killed(stats, wobs))) => {
+                            workers[w] = stats;
+                            worker_obs[w] = wobs;
                             workers_lost += 1;
                         }
                         // The closure caught the panic already (and
@@ -1434,8 +1531,15 @@ impl Executor {
         } else {
             0.0
         };
-        let extras =
-            FinishExtras { decode_wall, exec_wall, overlap, streaming: true, workers_lost };
+        let extras = FinishExtras {
+            decode_wall,
+            exec_wall,
+            overlap,
+            streaming: true,
+            workers_lost,
+            worker_obs,
+            decode_obs,
+        };
         self.finish(trace, shared, extras, workers, rename)
     }
 
@@ -1449,7 +1553,7 @@ impl Executor {
     ///
     /// As [`Executor::run`].
     pub fn run_oneshot(&self, trace: &TaskTrace) -> Result<ExecReport, ExecError> {
-        let t0 = Instant::now();
+        let t0 = Stamp::now();
         let graph = Renamer::new().renaming(self.config.renaming).decode(trace);
         let decode_wall = t0.elapsed();
         self.replay(trace, &graph, decode_wall)
@@ -1472,11 +1576,16 @@ impl Executor {
         let shared = Shared::new_for(trace, PrebuiltRelease::new(graph), &self.config);
         for r in graph.roots() {
             shared.injector.push(r as u32);
+            // No Spawn events for roots: they are pushed from the main
+            // thread before any worker (and its ring) exists, so their
+            // queue wait goes unmeasured — sampling loss, not bias
+            // (DESIGN.md §12.3).
         }
         let arena = self.arena();
 
-        let t0 = Instant::now();
+        let t0 = Stamp::now();
         let mut workers = vec![WorkerStats::default(); threads];
+        let mut worker_obs: Vec<WorkerObs> = (0..threads).map(|_| WorkerObs::new()).collect();
         let mut workers_lost = 0usize;
         if !graph.is_empty() {
             std::thread::scope(|scope| {
@@ -1497,9 +1606,13 @@ impl Executor {
                     .collect();
                 for (w, h) in handles.into_iter().enumerate() {
                     match h.join() {
-                        Ok(Ok(WorkerExit::Finished(stats))) => workers[w] = stats,
-                        Ok(Ok(WorkerExit::Killed(stats))) => {
+                        Ok(Ok(WorkerExit::Finished(stats, wobs))) => {
                             workers[w] = stats;
+                            worker_obs[w] = wobs;
+                        }
+                        Ok(Ok(WorkerExit::Killed(stats, wobs))) => {
+                            workers[w] = stats;
+                            worker_obs[w] = wobs;
                             workers_lost += 1;
                         }
                         Ok(Err(())) | Err(_) => workers_lost += 1,
@@ -1509,8 +1622,15 @@ impl Executor {
         }
         let exec_wall = t0.elapsed();
         let rename = *graph.stats();
-        let extras =
-            FinishExtras { decode_wall, exec_wall, overlap: 0.0, streaming: false, workers_lost };
+        let extras = FinishExtras {
+            decode_wall,
+            exec_wall,
+            overlap: 0.0,
+            streaming: false,
+            workers_lost,
+            worker_obs,
+            decode_obs: Vec::new(),
+        };
         self.finish(trace, shared, extras, workers, rename)
     }
 
@@ -1532,6 +1652,15 @@ impl Executor {
         workers: Vec<WorkerStats>,
         rename: RenameStats,
     ) -> Result<ExecReport, ExecError> {
+        let FinishExtras {
+            decode_wall,
+            exec_wall,
+            overlap,
+            streaming,
+            workers_lost,
+            worker_obs,
+            decode_obs,
+        } = extras;
         // Error resolution order: infrastructure death first (nothing
         // else is trustworthy after an executor-bug panic), then the
         // run deadline, then a fail-fast task failure.
@@ -1583,23 +1712,28 @@ impl Executor {
             poisoned,
             retried_ok: shared.retried_ok.load(Ordering::Relaxed),
             retry_hist: if retry_hist.len() > 1 { retry_hist } else { Vec::new() },
-            workers_lost: extras.workers_lost,
+            workers_lost,
         };
+        // Drain the per-worker sinks into the report (None in NoopSink
+        // builds): histograms merge across workers, rings become
+        // per-worker/per-shard tracks.
+        let obs = shared.obs.finish(worker_obs, decode_obs);
         Ok(ExecReport {
             benchmark: trace.name().to_string(),
             tasks: trace.len(),
             threads: self.config.threads,
             payload: self.config.payload,
-            decode_wall: extras.decode_wall,
-            exec_wall: extras.exec_wall,
-            decode_overlap_pct: extras.overlap,
-            streaming: extras.streaming,
-            decode_shards: if extras.streaming { self.config.decode_shards } else { 1 },
+            decode_wall,
+            exec_wall,
+            decode_overlap_pct: overlap,
+            streaming,
+            decode_shards: if streaming { self.config.decode_shards } else { 1 },
             order,
             workers,
             rename,
             validated,
             fault,
+            obs,
         })
     }
 }
@@ -1611,6 +1745,10 @@ struct FinishExtras {
     overlap: f64,
     streaming: bool,
     workers_lost: usize,
+    /// Per-worker observability sinks, in worker order.
+    worker_obs: Vec<WorkerObs>,
+    /// Per-decode-shard sinks (empty for one-shot replays).
+    decode_obs: Vec<WorkerObs>,
 }
 
 /// Convenience: stream with defaults, returning the report.

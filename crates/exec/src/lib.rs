@@ -67,6 +67,19 @@ pub use fault::{ExecError, FailedTask, FailurePolicy, FaultReport, InjectedFault
 pub use payload::PayloadMode;
 pub use renamer::{RenameStats, Renamer, StreamingRenamer, TaskGraph};
 
+/// The observability layer (DESIGN.md §12), re-exported so harnesses
+/// can consume [`ExecReport::obs`] (`tss_obs::ObsReport`, Chrome trace
+/// export, histograms) without naming the crate themselves.
+pub use tss_obs as obs;
+
+/// Whether this build records observability data (`obs` feature →
+/// `tss-obs/ring`). `false` means [`ExecReport::obs`] is always `None`
+/// and the sinks compile to nothing — harnesses use this to reject
+/// `--trace-out`/`--histogram` up front instead of writing empty files.
+pub const fn obs_enabled() -> bool {
+    tss_obs::ENABLED
+}
+
 use tss_sim::us_to_cycles;
 use tss_trace::{KernelId, OperandDesc, TaskDesc, TaskId, TaskTrace};
 

@@ -21,8 +21,9 @@
 //! arena, private destination buffer): the traffic is real, the
 //! aliasing is private, and the executor stays safe Rust.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use tss_obs::clock::Stamp;
 use tss_sim::cycles_to_ns;
 use tss_trace::TaskDesc;
 use tss_workloads::payload::{operand_chunks, CHUNK_CAP};
@@ -132,7 +133,7 @@ impl<'a> PayloadScratch<'a> {
         match mode {
             PayloadMode::Noop | PayloadMode::Faulty { .. } => (Duration::ZERO, false),
             PayloadMode::Spin { time_scale } => {
-                let t0 = Instant::now();
+                let t0 = Stamp::now();
                 let target = cycles_to_ns(task.runtime) * time_scale;
                 let budget = Duration::from_nanos(target as u64);
                 let mut cancelled = false;
@@ -146,7 +147,7 @@ impl<'a> PayloadScratch<'a> {
                 (t0.elapsed(), cancelled)
             }
             PayloadMode::Memcpy => {
-                let t0 = Instant::now();
+                let t0 = Stamp::now();
                 for c in operand_chunks(task) {
                     if cancel.load(Ordering::Acquire) != 0 {
                         return (t0.elapsed(), true);
@@ -164,7 +165,7 @@ impl<'a> PayloadScratch<'a> {
     /// deadline armed (see `FaultPlan::effective`), so the stall always
     /// terminates; returns the stalled wall time.
     pub fn stall_until_cancelled(&mut self, cancel: &AtomicU32) -> Duration {
-        let t0 = Instant::now();
+        let t0 = Stamp::now();
         while cancel.load(Ordering::Acquire) == 0 {
             std::hint::spin_loop();
         }
@@ -176,7 +177,7 @@ impl<'a> PayloadScratch<'a> {
     /// executor's hot path can feed it from a dense runtime column
     /// instead of dereferencing the whole `TaskDesc`.
     pub fn run_spin(&mut self, runtime: tss_sim::Cycle, time_scale: f64) -> Duration {
-        let t0 = Instant::now();
+        let t0 = Stamp::now();
         let target = cycles_to_ns(runtime) * time_scale;
         let budget = Duration::from_nanos(target as u64);
         while t0.elapsed() < budget {
@@ -188,7 +189,7 @@ impl<'a> PayloadScratch<'a> {
     /// Moves the task's (capped) operand footprint through the worker's
     /// scratch pair; returns the busy wall time.
     pub fn run_memcpy(&mut self, task: &TaskDesc) -> Duration {
-        let t0 = Instant::now();
+        let t0 = Stamp::now();
         for c in operand_chunks(task) {
             self.copy_chunk(c);
         }

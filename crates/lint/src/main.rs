@@ -28,6 +28,12 @@
 //!    re-panic in the joiner. Test code (`/tests/`, `/benches/`, and
 //!    `#[cfg(test)]`-gated regions) is exempt — there a panic *is* the
 //!    failure report.
+//! 7. **Timing facade** — production code in `crates/exec/src/` must
+//!    not call `std::time::Instant::now()` directly: all wall-clock
+//!    reads go through `tss_obs::clock::Stamp` (DESIGN.md §12.1), so
+//!    the observability layer sees every timestamp source and the
+//!    noop/ring builds cannot drift in timing semantics. Test regions
+//!    are exempt, as in check 6.
 //!
 //! All checks run on a comment/string-stripped view of the source where
 //! that matters (so `"unsafe"` in a string or `Relaxed` in a doc
@@ -619,6 +625,40 @@ fn check_join_discipline(file: &str, stripped: &[&str]) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------
+// Check 7: wall-clock reads go through the timing facade
+// ---------------------------------------------------------------------
+
+/// Flags `Instant::now` in execution-core production code. The obs
+/// sink selection (DESIGN.md §12.1) hinges on every executor timestamp
+/// flowing through `tss_obs::clock::Stamp`; a stray raw read would
+/// give the noop and ring builds different timing sources. Matches the
+/// bare token, so `std::time::Instant::now()` and an imported
+/// `Instant::now()` are both caught.
+fn check_instant_discipline(file: &str, stripped: &[&str]) -> Vec<Violation> {
+    if !file.starts_with("crates/exec/src/") || test_scoped_path(file) {
+        return Vec::new();
+    }
+    let mask = test_region_mask(stripped);
+    let mut out = Vec::new();
+    for (i, s) in stripped.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        if s.contains("Instant::now") {
+            out.push(Violation {
+                file: file.to_string(),
+                line: i + 1,
+                msg: "raw `Instant::now()` in the execution core — route the read \
+                      through `tss_obs::clock::Stamp` (DESIGN.md §12.1) so both \
+                      sink builds share one timing facade"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
@@ -720,6 +760,7 @@ fn run(root: &Path, print_relaxed: bool) -> ExitCode {
         let stripped: Vec<&str> = f.stripped.lines().collect();
         violations.extend(check_facade(&f.rel, &stripped));
         violations.extend(check_join_discipline(&f.rel, &stripped));
+        violations.extend(check_instant_discipline(&f.rel, &stripped));
     }
 
     match fs::read_to_string(root.join("DESIGN.md")) {
@@ -787,8 +828,9 @@ fn main() -> ExitCode {
                      Static checks for the tss execution core (DESIGN.md §10):\n\
                      SAFETY comments, the Ordering::Relaxed allowlist, the sync\n\
                      facade boundary, DESIGN.md citation integrity, crate\n\
-                     hygiene attributes, and the JoinHandle unwrap ban\n\
-                     (DESIGN.md §11). Exits nonzero on any violation."
+                     hygiene attributes, the JoinHandle unwrap ban (DESIGN.md\n\
+                     §11), and the Instant::now timing-facade ban (DESIGN.md\n\
+                     §12.1). Exits nonzero on any violation."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -1031,6 +1073,51 @@ fn prod(h: std::thread::JoinHandle<()>) {
         let ok = "let r = h.join().unwrap_or_else(|p| handle(p));\n";
         let stripped = strip_code(ok);
         assert!(check_join_discipline("crates/exec/src/executor.rs", &lines(&stripped)).is_empty());
+    }
+
+    #[test]
+    fn instant_now_in_exec_production_code_is_flagged() {
+        let src = "\
+fn timer() {
+    let t0 = std::time::Instant::now();
+    let t1 = Instant::now();
+    let s = tss_obs::clock::Stamp::now();
+}
+";
+        let stripped = strip_code(src);
+        let v = check_instant_discipline("crates/exec/src/executor.rs", &lines(&stripped));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!((v[0].line, v[1].line), (2, 3));
+        assert!(v[0].msg.contains("Stamp"), "must point at the facade: {}", v[0].msg);
+        // The facade's own `Stamp::now()` never matches.
+        assert!(!v.iter().any(|x| x.line == 4), "{v:?}");
+    }
+
+    #[test]
+    fn instant_now_outside_the_exec_core_or_in_tests_is_exempt() {
+        let src = "let t0 = Instant::now();\n";
+        let stripped = strip_code(src);
+        // Other crates keep their own timing (harnesses time whole runs).
+        assert!(
+            check_instant_discipline("crates/bench/src/bin/exec.rs", &lines(&stripped)).is_empty()
+        );
+        assert!(check_instant_discipline("crates/obs/src/clock.rs", &lines(&stripped)).is_empty());
+        // Integration tests of the exec crate are exempt by path.
+        assert!(
+            check_instant_discipline("crates/exec/tests/chaos.rs", &lines(&stripped)).is_empty()
+        );
+        // #[cfg(test)] regions inside the core are exempt by mask.
+        let gated = "#[cfg(test)]\nmod tests {\n    fn f() { Instant::now(); }\n}\n";
+        let stripped = strip_code(gated);
+        assert!(
+            check_instant_discipline("crates/exec/src/executor.rs", &lines(&stripped)).is_empty()
+        );
+        // Comments and strings never count.
+        let doc = "// Instant::now() is banned here\nlet s = \"Instant::now\";\n";
+        let stripped = strip_code(doc);
+        assert!(
+            check_instant_discipline("crates/exec/src/payload.rs", &lines(&stripped)).is_empty()
+        );
     }
 
     #[test]

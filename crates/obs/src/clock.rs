@@ -1,0 +1,58 @@
+//! The monotonic timestamp facade (DESIGN.md §12.1).
+//!
+//! [`Stamp`] is the *only* wall-clock entry point the execution core is
+//! allowed to use — tss-lint check 7 bans raw `std::time::Instant::now()`
+//! in `crates/exec/src`. Routing every read through one newtype keeps
+//! the noop and ring builds timing-identical (the facade is compiled in
+//! both) and gives instrumentation a single place to convert stamps to
+//! nanoseconds of a run origin for the event rings.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic timestamp; a transparent wrapper over [`Instant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Stamp(Instant);
+
+impl Stamp {
+    /// Reads the monotonic clock.
+    #[inline]
+    pub fn now() -> Stamp {
+        Stamp(Instant::now())
+    }
+
+    /// Time elapsed since this stamp was taken.
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// `self - earlier`, saturating to zero (stamps from different
+    /// threads may be observed out of order by a few nanoseconds).
+    #[inline]
+    pub fn since(&self, earlier: Stamp) -> Duration {
+        self.0.saturating_duration_since(earlier.0)
+    }
+
+    /// Nanoseconds since `origin`, saturating at zero and `u64::MAX`
+    /// (ring events store origin-relative u64 nanoseconds).
+    #[inline]
+    pub fn ns_since(&self, origin: Stamp) -> u64 {
+        let d = self.since(origin);
+        u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_are_monotonic_and_saturating() {
+        let a = Stamp::now();
+        let b = Stamp::now();
+        assert_eq!(a.since(b).max(Duration::ZERO), a.since(b), "saturating");
+        assert_eq!(a.ns_since(b), 0, "earlier-minus-later saturates to 0");
+        assert!(b.ns_since(a) < 1_000_000_000, "two reads within a second");
+        assert!(a.elapsed() >= Duration::ZERO);
+    }
+}

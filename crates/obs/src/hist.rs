@@ -1,0 +1,213 @@
+//! Fixed-bucket log-scale latency histogram (DESIGN.md §12.2).
+//!
+//! HDR-histogram-style bucketing with no dependencies: values below
+//! `2^SUB_BITS` get exact unit buckets; above that, each power-of-two
+//! octave is split into `2^SUB_BITS` linear sub-buckets, so the
+//! relative quantization error is bounded by `1/2^SUB_BITS` (≈3.1 % at
+//! `SUB_BITS = 5`) across the full `u64` range in 1920 buckets.
+//! Buckets are plain counts, which makes merge a per-bucket add —
+//! order-invariant and associative (property-tested in
+//! `tests/hist.rs` against a sorted-vec quantile oracle).
+
+/// Sub-bucket resolution: each octave holds `2^SUB_BITS` buckets.
+pub const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Bucket count covering all of `u64`: `SUB` unit buckets plus one
+/// `SUB`-wide row per octave for octaves `SUB_BITS..=63` (the top
+/// index, `bucket(u64::MAX)`, is `(58 + 1)·32 + 31 = 1919`).
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// Index of the bucket containing `v`.
+#[inline]
+fn bucket(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        (shift as usize + 1) * SUB + ((v >> shift) as usize & (SUB - 1))
+    }
+}
+
+/// Lowest value mapping to bucket `idx` (the quantile estimate).
+#[inline]
+fn low_edge(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let shift = (idx / SUB - 1) as u32;
+        ((SUB + idx % SUB) as u64) << shift
+    }
+}
+
+/// A mergeable log-scale histogram of `u64` samples (nanoseconds, in
+/// this crate's usage — the math is unit-agnostic).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (one fixed ~15 KiB allocation, nothing after).
+    pub fn new() -> Histogram {
+        Histogram { counts: vec![0; BUCKETS], total: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample. O(1), allocation-free.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds every sample of `other` into `self`. Per-bucket count
+    /// addition, so merging is order-invariant and associative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of the exact recorded samples (the sum is kept exactly;
+    /// only quantiles are bucket-quantized). 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the low edge of the bucket
+    /// holding the ⌈q·n⌉-th smallest sample, clamped into `[min, max]`.
+    /// Underestimates by at most one bucket width — a relative error of
+    /// `1/2^SUB_BITS` (≈3.1 %). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return low_edge(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_contiguous_and_cover_u64() {
+        // Unit region, first octave boundary, and octave steps: the
+        // bucket of a low edge's value is the bucket itself.
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 127, 128, 1 << 20, u64::MAX] {
+            let idx = bucket(v);
+            assert!(idx < BUCKETS, "bucket({v}) = {idx} out of range");
+            assert!(low_edge(idx) <= v, "low_edge({idx}) > {v}");
+            assert_eq!(bucket(low_edge(idx)), idx, "low edge of {v}'s bucket maps elsewhere");
+        }
+        assert_eq!(bucket(31), 31);
+        assert_eq!(bucket(32), 32);
+        assert_eq!(bucket(63), 63);
+        assert_eq!(bucket(64), 64, "octave 6 starts a fresh row");
+        assert_eq!(bucket(u64::MAX), BUCKETS - 1, "top bucket is the last");
+        // Monotone across every boundary in the first few octaves.
+        for v in 1..10_000u64 {
+            assert!(bucket(v) >= bucket(v - 1), "bucket not monotone at {v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 999, 12_345, 7_777_777, u64::MAX / 3] {
+            let e = low_edge(bucket(v));
+            assert!(e <= v && v - e <= v / SUB as u64, "error at {v}: edge {e}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!((h.count(), h.max(), h.p50(), h.p999()), (0, 0, 0, 0));
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn exact_small_values_give_exact_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=31u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 31);
+        assert_eq!(h.p50(), 16);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.mean(), 16.0);
+    }
+
+    #[test]
+    fn quantile_clamps_into_observed_range() {
+        let mut h = Histogram::new();
+        h.record(1000); // bucket low edge is 992, min clamp pulls it up
+        assert_eq!(h.p50(), 1000);
+        assert_eq!(h.p999(), 1000);
+    }
+}

@@ -1,0 +1,517 @@
+//! The compile-time-selected sink pair (DESIGN.md §12.1).
+//!
+//! One API, two bodies: with the `ring` feature off every type here is
+//! zero-sized and every method is an empty `#[inline]` body — the
+//! *NoopSink*, which the optimizer deletes entirely (the fig16 sha gate
+//! proves the default build byte-identical). With `ring` on, the
+//! *RingSink* records into single-owner [`Ring`]s and [`Histogram`]s
+//! plus a few Relaxed shared gauges.
+//!
+//! The executor threads a `&mut WorkerObs` down its worker loop and a
+//! `&SharedObs` through `Shared`, so the same call sites compile in
+//! both configurations — no `#[cfg]` in the executor itself beyond
+//! what the call sites fold away.
+
+#[cfg(feature = "ring")]
+use crate::clock::Stamp;
+#[cfg(feature = "ring")]
+use crate::hist::Histogram;
+#[cfg(feature = "ring")]
+use crate::ring::{Event, EventKind, Ring};
+#[cfg(feature = "ring")]
+use crate::{Gauges, ObsReport, Track};
+#[cfg(feature = "ring")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(not(feature = "ring"))]
+use crate::{clock::Stamp, ObsReport};
+
+/// Run-wide observability state, shared read-only across workers (the
+/// gauges are atomic). Deliberately holds no per-task table: an eager
+/// `n_tasks`-sized ready-time array streamed hundreds of KiB of writes
+/// through the cache right before the timed region and cost several
+/// percent of replay wall by itself (EXPERIMENTS.md) — queue wait is
+/// instead reconstructed at drain time by pairing each sampled task's
+/// Spawn and Task ring events ([`SharedObs::finish`]).
+#[cfg(feature = "ring")]
+#[derive(Debug)]
+pub struct SharedObs {
+    /// All event timestamps are ns since this stamp.
+    origin: Stamp,
+    deque_depth_max: AtomicU64,
+    pending_drain_max: AtomicU64,
+    commit_lag_max: AtomicU64,
+}
+
+/// NoopSink build: zero-sized, every method folds to nothing.
+#[cfg(not(feature = "ring"))]
+#[derive(Debug, Default)]
+pub struct SharedObs;
+
+#[cfg(feature = "ring")]
+impl Default for SharedObs {
+    fn default() -> SharedObs {
+        SharedObs::new()
+    }
+}
+
+#[cfg(feature = "ring")]
+impl SharedObs {
+    /// Observability state for one run, starting now.
+    pub fn new() -> SharedObs {
+        SharedObs {
+            origin: Stamp::now(),
+            deque_depth_max: AtomicU64::new(0),
+            pending_drain_max: AtomicU64::new(0),
+            commit_lag_max: AtomicU64::new(0),
+        }
+    }
+
+    /// Current time as ns since the run origin.
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        Stamp::now().ns_since(self.origin)
+    }
+
+    /// Deque-depth high-water mark, sampled when pushing a ready task.
+    #[inline]
+    pub fn note_deque_depth(&self, depth: usize) {
+        self.deque_depth_max.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Pending-release drain-length high-water mark.
+    #[inline]
+    pub fn note_pending_drain(&self, len: usize) {
+        self.pending_drain_max.fetch_max(len as u64, Ordering::Relaxed);
+    }
+
+    /// Window-commit lag (committed high task id minus completion
+    /// tickets issued) high-water mark.
+    #[inline]
+    pub fn note_commit_lag(&self, lag: u64) {
+        self.commit_lag_max.fetch_max(lag, Ordering::Relaxed);
+    }
+
+    /// Builds the run's [`ObsReport`] from the joined workers' sinks.
+    /// Called after every worker and decode thread has joined, so the
+    /// Relaxed gauge loads race nothing.
+    ///
+    /// Queue wait is reconstructed here, off the hot path: the Spawn
+    /// event a completer recorded when a sampled task became ready is
+    /// paired (by task id, across all tracks) with the Task slice the
+    /// executing worker recorded. A task whose Spawn was overwritten by
+    /// ring wrap just goes unmeasured, and root tasks pushed before the
+    /// workers exist have no Spawn at all — both are sampling loss, not
+    /// bias against any particular worker.
+    pub fn finish(&self, workers: Vec<WorkerObs>, decoders: Vec<WorkerObs>) -> Option<ObsReport> {
+        let mut exec_latency = Histogram::new();
+        let mut tracks = Vec::with_capacity(workers.len() + decoders.len());
+        let mut add = |name: String, w: WorkerObs| {
+            exec_latency.merge(&w.exec);
+            let (events, dropped) = w.ring.drain();
+            tracks.push(Track { name, events, dropped });
+        };
+        for (i, w) in workers.into_iter().enumerate() {
+            add(format!("worker-{i}"), w);
+        }
+        for (i, d) in decoders.into_iter().enumerate() {
+            add(format!("decode-{i}"), d);
+        }
+        let mut ready = std::collections::HashMap::new();
+        for tr in &tracks {
+            for ev in &tr.events {
+                if ev.kind == EventKind::Spawn {
+                    ready.insert(ev.arg, ev.start_ns);
+                }
+            }
+        }
+        let mut queue_wait = Histogram::new();
+        for tr in &tracks {
+            for ev in &tr.events {
+                if ev.kind == EventKind::Task {
+                    if let Some(&r) = ready.get(&ev.arg) {
+                        if ev.start_ns >= r {
+                            queue_wait.record(ev.start_ns - r);
+                        }
+                    }
+                }
+            }
+        }
+        Some(ObsReport {
+            exec_latency,
+            queue_wait,
+            tracks,
+            gauges: Gauges {
+                deque_depth_max: self.deque_depth_max.load(Ordering::Relaxed),
+                pending_drain_max: self.pending_drain_max.load(Ordering::Relaxed),
+                commit_lag_max: self.commit_lag_max.load(Ordering::Relaxed),
+            },
+            sample_every: crate::SAMPLE_EVERY,
+        })
+    }
+}
+
+#[cfg(not(feature = "ring"))]
+impl SharedObs {
+    /// NoopSink: holds nothing.
+    #[inline]
+    pub fn new() -> SharedObs {
+        SharedObs
+    }
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn note_deque_depth(&self, _depth: usize) {}
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn note_pending_drain(&self, _len: usize) {}
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn note_commit_lag(&self, _lag: u64) {}
+
+    /// NoopSink: there is nothing to report.
+    #[inline]
+    pub fn finish(&self, _workers: Vec<WorkerObs>, _decoders: Vec<WorkerObs>) -> Option<ObsReport> {
+        None
+    }
+}
+
+/// The opening stamp of a *sampled* span — a task execution
+/// ([`WorkerObs::task_begin`] → [`WorkerObs::task_end`]) or a park
+/// ([`WorkerObs::park_begin`] → [`WorkerObs::park`]). `None` means the
+/// span was not sampled and the close is a no-op. Zero-sized in the
+/// NoopSink build.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskStamp(#[cfg(feature = "ring")] Option<Stamp>);
+
+/// An opaque span start for park/scan/worker spans. Zero-sized in the
+/// NoopSink build.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStamp(#[cfg(feature = "ring")] Stamp);
+
+impl SpanStamp {
+    /// Opens a span (one clock read when recording; nothing when off).
+    #[cfg(feature = "ring")]
+    #[inline]
+    pub fn begin() -> SpanStamp {
+        SpanStamp(Stamp::now())
+    }
+
+    /// NoopSink: no clock read.
+    #[cfg(not(feature = "ring"))]
+    #[inline]
+    pub fn begin() -> SpanStamp {
+        SpanStamp()
+    }
+}
+
+/// Per-worker sink: one event ring plus the execution-latency
+/// histogram and the edge-decimation counters. Owned exclusively by
+/// its worker thread; returned at join and merged by
+/// [`SharedObs::finish`]. Zero-sized in the NoopSink build.
+#[cfg(feature = "ring")]
+#[derive(Debug, Default)]
+pub struct WorkerObs {
+    ring: Ring,
+    exec: Histogram,
+    /// Parks/wakes/bursts seen so far; every [`crate::EDGE_EVERY`]-th
+    /// records (and only then reads the clock).
+    parks: u32,
+    wakes: u32,
+    bursts: u32,
+}
+
+/// NoopSink build: zero-sized, every method folds to nothing.
+#[cfg(not(feature = "ring"))]
+#[derive(Debug, Default)]
+pub struct WorkerObs;
+
+#[cfg(feature = "ring")]
+impl WorkerObs {
+    /// A fresh sink (allocates its fixed ring + histograms, once).
+    pub fn new() -> WorkerObs {
+        WorkerObs::default()
+    }
+
+    #[inline]
+    fn instant(&mut self, kind: EventKind, arg: u32, start_ns: u64) {
+        self.ring.push(Event { kind, arg, start_ns, dur_ns: 0 });
+    }
+
+    /// Opens a task execution span if `t` is sampled (one clock read).
+    #[inline]
+    pub fn task_begin(&mut self, t: u32) -> TaskStamp {
+        TaskStamp(if crate::sampled(t) { Some(Stamp::now()) } else { None })
+    }
+
+    /// Closes a sampled task span: records the Task slice and the
+    /// execution latency. Queue wait is derived later, at drain, by
+    /// pairing this slice with the task's Spawn event
+    /// ([`SharedObs::finish`]) — nothing shared is touched here.
+    #[inline]
+    pub fn task_end(&mut self, t: u32, begin: TaskStamp, shared: &SharedObs) {
+        let Some(b) = begin.0 else { return };
+        let start_ns = b.ns_since(shared.origin);
+        let dur_ns = Stamp::now().ns_since(shared.origin).saturating_sub(start_ns);
+        self.exec.record(dur_ns);
+        self.ring.push(Event { kind: EventKind::Task, arg: t, start_ns, dur_ns });
+    }
+
+    /// A task was poisoned or finally failed on this worker.
+    #[inline]
+    pub fn task_poisoned(&mut self, t: u32, shared: &SharedObs) {
+        let now = shared.now_ns();
+        self.instant(EventKind::Poison, t, now);
+    }
+
+    /// A retry attempt is about to run.
+    #[inline]
+    pub fn retry(&mut self, t: u32, shared: &SharedObs) {
+        let now = shared.now_ns();
+        self.instant(EventKind::Retry, t, now);
+    }
+
+    /// A successful steal from `victim`.
+    #[inline]
+    pub fn steal(&mut self, victim: u32, shared: &SharedObs) {
+        let now = shared.now_ns();
+        self.instant(EventKind::Steal, victim, now);
+    }
+
+    /// This worker woke sleepers after publishing work. Wakes happen on
+    /// nearly every completion in chain-limited graphs, so only every
+    /// [`crate::EDGE_EVERY`]-th reads the clock and records (`arg` =
+    /// total wakes so far, so the decimated trace still shows the
+    /// running count).
+    #[inline]
+    pub fn wake(&mut self, shared: &SharedObs) {
+        self.wakes = self.wakes.wrapping_add(1);
+        if self.wakes % crate::EDGE_EVERY == 0 {
+            let now = shared.now_ns();
+            self.instant(EventKind::Wake, self.wakes, now);
+        }
+    }
+
+    /// Sampled task `t` became ready on this worker (one clock read —
+    /// the timestamp is the queue-wait anchor [`SharedObs::finish`]
+    /// pairs with the Task slice).
+    #[inline]
+    pub fn spawn(&mut self, t: u32, shared: &SharedObs) {
+        let now = shared.now_ns();
+        self.instant(EventKind::Spawn, t, now);
+    }
+
+    /// Window `window` committed on this decode shard.
+    #[inline]
+    pub fn commit(&mut self, window: u32, shared: &SharedObs) {
+        let now = shared.now_ns();
+        self.instant(EventKind::Commit, window, now);
+    }
+
+    /// Opens a park span if this is one of the 1-in-
+    /// [`crate::EDGE_EVERY`] parks this worker records (chain-limited
+    /// graphs park on nearly every task; the decision is made *before*
+    /// the pre-sleep clock read so skipped parks cost nothing).
+    #[inline]
+    pub fn park_begin(&mut self) -> TaskStamp {
+        self.parks = self.parks.wrapping_add(1);
+        TaskStamp(if self.parks % crate::EDGE_EVERY == 0 { Some(Stamp::now()) } else { None })
+    }
+
+    /// Closes a sampled park span (no-op for skipped parks).
+    #[inline]
+    pub fn park(&mut self, begin: TaskStamp, shared: &SharedObs) {
+        if let Some(b) = begin.0 {
+            self.slice(EventKind::Park, 0, b, Stamp::now(), shared);
+        }
+    }
+
+    /// Closes a decode window-scan span.
+    #[inline]
+    pub fn scan(&mut self, window: u32, begin: SpanStamp, shared: &SharedObs) {
+        self.slice(EventKind::Scan, window, begin.0, Stamp::now(), shared);
+    }
+
+    /// Closes the whole-worker span (guarantees ≥1 event per track).
+    #[inline]
+    pub fn worker_span(&mut self, w: u32, begin: SpanStamp, shared: &SharedObs) {
+        self.slice(EventKind::Worker, w, begin.0, Stamp::now(), shared);
+    }
+
+    /// Records one execution burst, reusing the two stamps the worker
+    /// loop already takes for `WorkerStats::busy` — zero extra clock
+    /// reads on the burst path. Bursts shrink to a single task in
+    /// chain-limited graphs, so only every [`crate::EDGE_EVERY`]-th
+    /// burst pushes (the stats stay exact; only the trace is thinned).
+    #[inline]
+    pub fn burst(&mut self, begin: Stamp, end: Stamp, tasks: u64, shared: &SharedObs) {
+        self.bursts = self.bursts.wrapping_add(1);
+        if self.bursts % crate::EDGE_EVERY == 0 {
+            self.slice(EventKind::Burst, tasks.min(u32::MAX as u64) as u32, begin, end, shared);
+        }
+    }
+
+    #[inline]
+    fn slice(&mut self, kind: EventKind, arg: u32, begin: Stamp, end: Stamp, shared: &SharedObs) {
+        let start_ns = begin.ns_since(shared.origin);
+        let dur_ns = end.ns_since(shared.origin).saturating_sub(start_ns);
+        self.ring.push(Event { kind, arg, start_ns, dur_ns });
+    }
+}
+
+#[cfg(not(feature = "ring"))]
+impl WorkerObs {
+    /// NoopSink: holds nothing.
+    #[inline]
+    pub fn new() -> WorkerObs {
+        WorkerObs
+    }
+
+    /// NoopSink: no clock read.
+    #[inline]
+    pub fn task_begin(&mut self, _t: u32) -> TaskStamp {
+        TaskStamp()
+    }
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn task_end(&mut self, _t: u32, _begin: TaskStamp, _shared: &SharedObs) {}
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn task_poisoned(&mut self, _t: u32, _shared: &SharedObs) {}
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn retry(&mut self, _t: u32, _shared: &SharedObs) {}
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn steal(&mut self, _victim: u32, _shared: &SharedObs) {}
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn wake(&mut self, _shared: &SharedObs) {}
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn spawn(&mut self, _t: u32, _shared: &SharedObs) {}
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn commit(&mut self, _window: u32, _shared: &SharedObs) {}
+
+    /// NoopSink: no clock read.
+    #[inline]
+    pub fn park_begin(&mut self) -> TaskStamp {
+        TaskStamp()
+    }
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn park(&mut self, _begin: TaskStamp, _shared: &SharedObs) {}
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn scan(&mut self, _window: u32, _begin: SpanStamp, _shared: &SharedObs) {}
+
+    /// NoopSink: no-op.
+    #[inline]
+    pub fn worker_span(&mut self, _w: u32, _begin: SpanStamp, _shared: &SharedObs) {}
+
+    /// NoopSink: no-op (the stamps were taken for `busy` regardless).
+    #[inline]
+    pub fn burst(&mut self, _begin: Stamp, _end: Stamp, _tasks: u64, _shared: &SharedObs) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_reflects_the_feature() {
+        let shared = SharedObs::new();
+        let report = shared.finish(vec![WorkerObs::new()], vec![]);
+        assert_eq!(report.is_some(), crate::ENABLED);
+    }
+
+    #[cfg(feature = "ring")]
+    #[test]
+    fn sampled_task_flows_into_histograms_and_ring() {
+        // Find a sampled id so the begin/end pair records.
+        let t = (0..1000u32).find(|&t| crate::sampled(t)).expect("no sampled id in 1000");
+        let shared = SharedObs::new();
+        let mut w = WorkerObs::new();
+        w.spawn(t, &shared);
+        let begin = w.task_begin(t);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        w.task_end(t, begin, &shared);
+        shared.note_deque_depth(3);
+        shared.note_pending_drain(7);
+        shared.note_commit_lag(11);
+        let report = shared.finish(vec![w], vec![]).expect("ring build reports");
+        assert_eq!(report.exec_latency.count(), 1);
+        assert!(report.exec_latency.max() >= 1_000_000, "slept a millisecond");
+        assert_eq!(report.queue_wait.count(), 1, "Spawn/Task paired at drain");
+        assert_eq!(report.tracks.len(), 1);
+        assert_eq!(report.tracks[0].name, "worker-0");
+        let kinds: Vec<_> = report.tracks[0].events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![EventKind::Spawn, EventKind::Task]);
+        assert_eq!(report.gauges.deque_depth_max, 3);
+        assert_eq!(report.gauges.pending_drain_max, 7);
+        assert_eq!(report.gauges.commit_lag_max, 11);
+    }
+
+    #[cfg(feature = "ring")]
+    #[test]
+    fn queue_wait_pairs_across_tracks() {
+        // Spawn recorded by the completing worker, Task slice by the
+        // stealing worker: the drain-time pairing must join them.
+        let t = (0..1000u32).find(|&t| crate::sampled(t)).expect("no sampled id in 1000");
+        let shared = SharedObs::new();
+        let mut a = WorkerObs::new();
+        let mut b = WorkerObs::new();
+        a.spawn(t, &shared);
+        let begin = b.task_begin(t);
+        b.task_end(t, begin, &shared);
+        let report = shared.finish(vec![a, b], vec![]).expect("ring build reports");
+        assert_eq!(report.queue_wait.count(), 1, "cross-track Spawn/Task pair");
+    }
+
+    #[cfg(feature = "ring")]
+    #[test]
+    fn unsampled_task_records_nothing() {
+        let t = (0..1000u32).find(|&t| !crate::sampled(t)).expect("unsampled id");
+        let shared = SharedObs::new();
+        let mut w = WorkerObs::new();
+        let begin = w.task_begin(t);
+        w.task_end(t, begin, &shared);
+        let report = shared.finish(vec![w], vec![]).expect("ring build reports");
+        assert!(report.exec_latency.is_empty());
+        assert!(report.tracks[0].events.is_empty());
+    }
+
+    #[cfg(feature = "ring")]
+    #[test]
+    fn edge_events_are_decimated() {
+        let shared = SharedObs::new();
+        let mut w = WorkerObs::new();
+        let mut armed = 0;
+        for _ in 0..(crate::EDGE_EVERY * 3) {
+            let p = w.park_begin();
+            if p.0.is_some() {
+                armed += 1;
+            }
+            w.park(p, &shared);
+            w.wake(&shared);
+        }
+        assert_eq!(armed, 3, "1-in-EDGE_EVERY parks are armed");
+        let report = shared.finish(vec![w], vec![]).expect("ring build reports");
+        let evs = &report.tracks[0].events;
+        let parks = evs.iter().filter(|e| e.kind == EventKind::Park).count();
+        let wakes = evs.iter().filter(|e| e.kind == EventKind::Wake).count();
+        assert_eq!((parks, wakes), (3, 3), "decimated edge event counts");
+    }
+}

@@ -1,0 +1,96 @@
+//! Histogram properties (ISSUE 8 satellite): merge is order-invariant,
+//! and quantiles match a sorted-vec oracle within bucket resolution
+//! (`1/2^SUB_BITS` relative error, DESIGN.md §12.2).
+
+use proptest::prelude::*;
+use tss_obs::Histogram;
+
+/// The documented quantile bound: the estimate is the low edge of the
+/// oracle's bucket, so it never exceeds the oracle and undershoots by
+/// less than one bucket width (≤ oracle/32, +1 for integer rounding).
+fn assert_within_resolution(est: u64, oracle: u64, q: f64) {
+    assert!(est <= oracle, "q={q}: estimate {est} above oracle {oracle}");
+    assert!(
+        oracle - est <= oracle / 32 + 1,
+        "q={q}: estimate {est} misses oracle {oracle} by more than a bucket"
+    );
+}
+
+/// Exact sorted-vec quantile: the ⌈q·n⌉-th smallest sample.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn merge_is_order_invariant_and_quantiles_match_the_oracle(
+        // Mixed magnitudes: unit-bucket values through multi-second ns
+        // (the vendored proptest has no u64 range strategy — shift a
+        // u32 sample up to 7 bits, reaching ~5.5e11).
+        values in prop::collection::vec(
+            (0u32..u32::MAX, 0usize..8).prop_map(|(v, s)| (v as u64) << s),
+            1..300,
+        ),
+        pieces in 1usize..8,
+    ) {
+        // One histogram recording everything in order...
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+
+        // ...versus per-chunk histograms merged in REVERSE order.
+        let chunk = values.len().div_ceil(pieces);
+        let mut parts: Vec<Histogram> = values
+            .chunks(chunk)
+            .map(|c| {
+                let mut h = Histogram::new();
+                for &v in c {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+        let mut merged = parts.pop().unwrap();
+        while let Some(p) = parts.pop() {
+            merged.merge(&p);
+        }
+
+        // Order invariance: every surfaced statistic agrees exactly.
+        prop_assert_eq!(whole.count(), merged.count());
+        prop_assert_eq!(whole.max(), merged.max());
+        prop_assert_eq!(whole.mean(), merged.mean());
+        for q in [0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(
+                whole.quantile(q),
+                merged.quantile(q),
+                "merge changed q={}", q
+            );
+        }
+
+        // Oracle agreement within bucket resolution.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(whole.count(), sorted.len() as u64);
+        prop_assert_eq!(whole.max(), *sorted.last().unwrap());
+        for q in [0.50, 0.99, 0.999] {
+            assert_within_resolution(whole.quantile(q), oracle_quantile(&sorted, q), q);
+        }
+    }
+
+    #[test]
+    fn mean_is_exact_not_bucketed(
+        values in prop::collection::vec((0u32..1_000_000).prop_map(|v| v as u64), 1..100),
+    ) {
+        let mut h = Histogram::new();
+        let mut sum = 0u128;
+        for &v in &values {
+            h.record(v);
+            sum += v as u128;
+        }
+        prop_assert_eq!(h.mean(), sum as f64 / values.len() as f64);
+    }
+}
