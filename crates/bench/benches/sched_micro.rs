@@ -1,0 +1,103 @@
+//! Microbenchmarks for the pluggable scheduling core (DESIGN.md §13):
+//! the per-idle-scan victim-selection cost of every policy, and the
+//! locality policy's class-routing dispatch/drain round trip — the two
+//! new hot-path seams the §13 refactor added to the worker loop. A
+//! regression here is a regression in *every* replay, so it should
+//! show up in `cargo bench` before it shows up in `BENCH_exec.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tss_exec::deque::rotate_victims;
+use tss_exec::{
+    ChaseLev, CostAwarePolicy, FifoPolicy, LifoPolicy, LocalityPolicy, PayloadMode, SchedPolicy,
+};
+use tss_trace::{TaskTrace, TraceGenerator};
+use tss_workloads::mixed::MixedGen;
+
+const THREADS: usize = 16;
+
+fn mixed_trace() -> TaskTrace {
+    MixedGen::new(32, 8).generate(42)
+}
+
+/// The raw rotation seam, then each policy's full victim scan at 16
+/// workers — what every idle worker pays before it can park.
+fn victim_selection(c: &mut Criterion) {
+    let trace = mixed_trace();
+    let payload = PayloadMode::Mixed { time_scale: 1.0 };
+    let mut g = c.benchmark_group("sched_victims");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("rotate_victims_16", |b| {
+        let mut buf = Vec::with_capacity(THREADS);
+        let mut r = 0u64;
+        b.iter(|| {
+            r = r.wrapping_add(0x9E37);
+            rotate_victims(3, THREADS, r, &mut buf);
+            std::hint::black_box(buf.last().copied())
+        })
+    });
+
+    macro_rules! policy_scan {
+        ($name:literal, $ty:ty) => {
+            g.bench_function($name, |b| {
+                let p = <$ty>::new(&trace, payload, THREADS, 2, 4);
+                let mut rng = 42u64;
+                let mut buf = Vec::with_capacity(THREADS);
+                b.iter(|| {
+                    p.victims(3, &mut rng, &mut buf);
+                    std::hint::black_box(buf.last().copied())
+                })
+            });
+        };
+    }
+    policy_scan!("lifo_scan_16", LifoPolicy);
+    policy_scan!("fifo_scan_16", FifoPolicy);
+    policy_scan!("cost_scan_16", CostAwarePolicy);
+    policy_scan!("locality_scan_16", LocalityPolicy);
+    g.finish();
+}
+
+/// Class routing: dispatch a batch of mixed-class ready tasks from one
+/// completing worker, then drain them back — own-deque pushes for
+/// same-class tasks, class-queue round trips for cross-class ones.
+fn class_routing(c: &mut Criterion) {
+    let trace = mixed_trace();
+    let payload = PayloadMode::Mixed { time_scale: 1.0 };
+    let batch: Vec<u32> = (0..256u32).collect();
+    let mut g = c.benchmark_group("sched_routing");
+    g.throughput(Throughput::Elements(batch.len() as u64));
+
+    g.bench_function("locality_dispatch_drain_256", |b| {
+        let p = LocalityPolicy::new(&trace, payload, THREADS, 2, 4);
+        let me = ChaseLev::with_capacity(512);
+        // Worker 0 is compute-class; the trace alternates stream
+        // (memory) and crunch (compute) tasks, so half the batch routes
+        // through the class queue and half lands on the own deque.
+        b.iter(|| {
+            let mut routed = 0usize;
+            for &t in &batch {
+                if !p.dispatch(0, t, &me) {
+                    routed += 1;
+                }
+            }
+            while p.take_routed(THREADS - 1).is_some() {}
+            while me.pop().is_some() {}
+            std::hint::black_box(routed)
+        })
+    });
+
+    g.bench_function("baseline_dispatch_drain_256", |b| {
+        let p = LifoPolicy::new(&trace, payload, THREADS, 2, 4);
+        let me = ChaseLev::with_capacity(512);
+        b.iter(|| {
+            for &t in &batch {
+                p.dispatch(0, t, &me);
+            }
+            while p.take_local(0, &me).is_some() {}
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, victim_selection, class_routing);
+criterion_main!(benches);

@@ -9,9 +9,10 @@
 //! The `totals` object (when the baseline has one) is gated too:
 //! `events` exactly, `wall_ms`/`suite_wall_ms` under the wall
 //! tolerance, and structural fields (`suite_wall_ms`, `jobs` — the
-//! ISSUE 5 sweep-fabric additions) must at least be *present* in the
-//! fresh artifact whenever the baseline carries them, so a regression
-//! that silently drops them fails the gate.
+//! ISSUE 5 sweep-fabric additions — and `hw_threads`, the ISSUE 9
+//! honest-scaling stamp) must at least be *present* in the fresh
+//! artifact whenever the baseline carries them, so a regression that
+//! silently drops them fails the gate.
 //!
 //! Two kinds of checks per result row (rows are matched positionally
 //! and must agree on `benchmark`/`engine`):
@@ -85,7 +86,7 @@ const LABEL_FIELDS: [&str; 2] = ["benchmark", "engine"];
 const TOTAL_EXACT_FIELDS: [&str; 5] =
     ["events", "failed", "poisoned", "retried_ok", "workers_lost"];
 const TOTAL_WALL_FIELDS: [&str; 2] = ["wall_ms", "suite_wall_ms"];
-const TOTAL_PRESENT_FIELDS: [&str; 2] = ["suite_wall_ms", "jobs"];
+const TOTAL_PRESENT_FIELDS: [&str; 3] = ["suite_wall_ms", "jobs", "hw_threads"];
 
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("bench_check: error: {msg}");

@@ -26,7 +26,10 @@
 //! and streamed runs agreeing on the (seed-deterministic) failure sets.
 //!
 //! Flags: `--scale small|paper|large`, `--threads N`, `--payload
-//! noop|spin|memcpy|faulty`, `--spin-scale F`, `--seed N`, `--window N`,
+//! noop|spin|memcpy|faulty|mixed`, `--policy lifo|fifo|cost|locality`
+//! (DESIGN.md §13; `--classes N`/`--domains N` shape the locality
+//! policy only — naming them with any other policy exits 2),
+//! `--spin-scale F`, `--seed N`, `--window N`,
 //! `--decode-shards N`, `--no-renaming`, `--json`, `--out PATH`, plus
 //! the failure domain: `--fault-rate F` (0..=1), `--fault-seed N`,
 //! `--failure-policy fail-fast|retry|quarantine`, `--retry-max N`,
@@ -48,7 +51,10 @@ use std::time::{Duration, Instant};
 use tss_core::report::{fmt_count_pct, fmt_f};
 use tss_core::Table;
 use tss_exec::fault::install_quiet_hook;
-use tss_exec::{ExecConfig, ExecError, ExecReport, Executor, FailurePolicy, PayloadMode, Renamer};
+use tss_exec::{
+    ExecConfig, ExecError, ExecReport, Executor, FailurePolicy, PayloadMode, Renamer, SchedKind,
+    SCHED_MENU,
+};
 use tss_trace::DepGraph;
 use tss_workloads::{Benchmark, Scale};
 
@@ -63,6 +69,9 @@ struct Args {
     scale: Scale,
     threads: usize,
     payload: PayloadMode,
+    sched: SchedKind,
+    classes: usize,
+    domains: usize,
     seed: u64,
     window: usize,
     decode_shards: usize,
@@ -101,6 +110,9 @@ fn parse_args() -> Args {
         scale: Scale::Small,
         threads: 4,
         payload: PayloadMode::Noop,
+        sched: SchedKind::Lifo,
+        classes: 2,
+        domains: 1,
         seed: 42,
         window: 1024,
         decode_shards: 1,
@@ -118,6 +130,8 @@ fn parse_args() -> Args {
     };
     let mut spin_scale = 1.0f64;
     let mut payload_name = String::from("noop");
+    let mut classes_flag: Option<usize> = None;
+    let mut domains_flag: Option<usize> = None;
     let mut fault_rate: Option<f64> = None;
     let mut policy_name: Option<String> = None;
     let mut retry_max: Option<u32> = None;
@@ -150,6 +164,25 @@ fn parse_args() -> Args {
                 }
             }
             "--payload" => payload_name = want(args.next(), "--payload"),
+            "--policy" => {
+                let v = want(args.next(), "--policy");
+                out.sched = SchedKind::parse(&v)
+                    .unwrap_or_else(|| fail(format!("unknown policy '{v}' ({SCHED_MENU})")));
+            }
+            "--classes" => {
+                let n: usize = parse_num(&want(args.next(), "--classes"), "--classes");
+                if n == 0 {
+                    fail("--classes must be at least 1");
+                }
+                classes_flag = Some(n);
+            }
+            "--domains" => {
+                let n: usize = parse_num(&want(args.next(), "--domains"), "--domains");
+                if n == 0 {
+                    fail("--domains must be at least 1");
+                }
+                domains_flag = Some(n);
+            }
             "--spin-scale" => {
                 spin_scale = parse_num(&want(args.next(), "--spin-scale"), "--spin-scale");
             }
@@ -207,7 +240,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: exec [--scale small|paper|large] [--threads N] \
-                     [--payload noop|spin|memcpy|faulty] [--spin-scale F] [--seed N] \
+                     [--payload noop|spin|memcpy|faulty|mixed] [--spin-scale F] [--seed N] \
+                     [--policy {SCHED_MENU}] [--classes N --domains N (locality only)] \
                      [--window N] [--decode-shards N] [--no-renaming] [--json] [--out PATH] \
                      [--fault-rate F --failure-policy fail-fast|retry|quarantine] \
                      [--fault-seed N] [--retry-max N] [--retry-backoff-ms F] \
@@ -220,8 +254,33 @@ fn parse_args() -> Args {
         }
     }
     out.payload = PayloadMode::parse(&payload_name, spin_scale).unwrap_or_else(|| {
-        fail(format!("unknown payload '{payload_name}' (noop|spin|memcpy|faulty)"))
+        fail(format!("unknown payload '{payload_name}' (noop|spin|memcpy|faulty|mixed)"))
     });
+
+    // Worker-class / affinity-domain shaping only means anything to the
+    // locality policy; silently ignoring the flags elsewhere would make
+    // an ablation sweep lie about what it ran.
+    if !matches!(out.sched, SchedKind::Locality) {
+        if let Some(n) = classes_flag {
+            fail(format!(
+                "--classes {n} only applies to --policy locality, not --policy {}",
+                out.sched.name()
+            ));
+        }
+        if let Some(n) = domains_flag {
+            fail(format!(
+                "--domains {n} only applies to --policy locality, not --policy {}",
+                out.sched.name()
+            ));
+        }
+    }
+    if let Some(n) = domains_flag {
+        if n > out.threads {
+            fail(format!("--domains {n} cannot exceed --threads {}", out.threads));
+        }
+    }
+    out.classes = classes_flag.unwrap_or(out.classes);
+    out.domains = domains_flag.unwrap_or(out.domains);
 
     // Flag-combination validation (all errors name the flags involved;
     // the CLI tests pin these). Injection must be paired with an
@@ -309,6 +368,14 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Hardware threads actually available to this process. Stamped into
+/// every artifact (top level *and* totals) so nobody reads a
+/// `--threads 32` sweep row from a 1-core CI container as a scaling
+/// result again (EXPERIMENTS.md carries the full mea culpa).
+fn hw_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// The six latency fields for one report's obs data, ready to splice
 /// into a JSON object — empty in a NoopSink build (`bench_check`'s
 /// latency layer is presence-gated on exactly this).
@@ -382,10 +449,14 @@ fn aggregate_rate(points: &[Point], wall: impl Fn(&Point) -> f64) -> f64 {
 fn to_json(args: &Args, points: &[Point]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"tss-bench-exec/v4\",\n");
+    s.push_str("  \"schema\": \"tss-bench-exec/v5\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", args.scale.name()));
     s.push_str(&format!("  \"threads\": {},\n", args.threads));
+    s.push_str(&format!("  \"hw_threads\": {},\n", hw_threads()));
     s.push_str(&format!("  \"payload\": \"{}\",\n", args.payload.name()));
+    s.push_str(&format!("  \"policy\": \"{}\",\n", args.sched.name()));
+    s.push_str(&format!("  \"classes\": {},\n", args.classes));
+    s.push_str(&format!("  \"domains\": {},\n", args.domains));
     s.push_str(&format!("  \"seed\": {},\n", args.seed));
     s.push_str(&format!("  \"window\": {},\n", args.window));
     s.push_str(&format!("  \"decode_shards\": {},\n", args.decode_shards));
@@ -411,6 +482,7 @@ fn to_json(args: &Args, points: &[Point]) -> String {
             "    {{\"benchmark\": \"{}\", \"tasks\": {}, \"enforced_edges\": {}, \
              \"decode_ns_per_task\": {:.1}, \"decode_tasks_per_sec\": {:.0}, \
              \"exec_wall_ms\": {:.3}, \"exec_tasks_per_sec\": {:.0}, \"steals\": {}, \
+             \"cross_steals\": {}, \
              \"stream_wall_ms\": {:.3}, \"stream_tasks_per_sec\": {:.0}, \
              \"decode_overlap_pct\": {:.1}, {}\
              \"failed\": {}, \"poisoned\": {}, \"retried_ok\": {}, \"workers_lost\": {}, \
@@ -423,6 +495,7 @@ fn to_json(args: &Args, points: &[Point]) -> String {
             r.exec_wall.as_secs_f64() * 1e3,
             r.tasks_per_sec(),
             r.total_steals(),
+            r.total_cross_steals(),
             p.stream.exec_wall.as_secs_f64() * 1e3,
             p.stream.tasks_per_sec(),
             p.stream.decode_overlap_pct,
@@ -452,12 +525,13 @@ fn to_json(args: &Args, points: &[Point]) -> String {
         points.iter().map(|p| p.replay.fault.workers_lost + p.stream.fault.workers_lost).sum();
     let merged = merged_obs(points);
     s.push_str(&format!(
-        "  \"totals\": {{\"tasks\": {tasks}, \"decode_ns_per_task\": {agg_ns:.1}, \
+        "  \"totals\": {{\"tasks\": {tasks}, \"hw_threads\": {}, \"decode_ns_per_task\": {agg_ns:.1}, \
          \"decode_tasks_per_sec\": {per_sec:.0}, \"decode_headroom_vs_paper\": {headroom:.1}, \
          \"exec_tasks_per_sec\": {exec_rate:.0}, \"stream_tasks_per_sec\": {stream_rate:.0}, \
          \"decode_overlap_pct_mean\": {overlap:.1}, {}\
          \"failed\": {failed}, \"poisoned\": {poisoned}, \"retried_ok\": {retried_ok}, \
          \"workers_lost\": {workers_lost}}}\n",
+        hw_threads(),
         latency_json(merged.as_ref()),
     ));
     s.push_str("}\n");
@@ -577,6 +651,9 @@ fn main() {
         let cfg = ExecConfig {
             threads: args.threads,
             payload: args.payload,
+            sched: args.sched,
+            classes: args.classes,
+            domains: args.domains,
             renaming: args.renaming,
             seed: args.seed,
             window: args.window,
@@ -650,10 +727,11 @@ fn main() {
     } else {
         let mut table = Table::new(
             format!(
-                "Native executor ({} scale, {} threads, {} payload, seed {}, window {}, {} decode shards)",
+                "Native executor ({} scale, {} threads, {} payload, {} policy, seed {}, window {}, {} decode shards)",
                 args.scale.name(),
                 args.threads,
                 args.payload.name(),
+                args.sched.name(),
                 args.seed,
                 args.window,
                 args.decode_shards,

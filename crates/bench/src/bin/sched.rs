@@ -1,0 +1,383 @@
+//! Scheduling-policy ablation harness (DESIGN.md §13): replay all nine
+//! Table-I benchmarks under every [`SchedKind`] across a worker-count
+//! grid, with the *mixed* payload (memcpy for memory-class tasks, spin
+//! for compute-class — the workload shape heterogeneous dispatch
+//! exists for), and record the policy-by-policy numbers in
+//! `BENCH_sched.json`.
+//!
+//! Every replay is validated against the `DepGraph` oracle — a
+//! violating completion order exits 1 (CI gates on this, not timing):
+//! a scheduling policy is free to reorder *ready* tasks, never to
+//! break dependences.
+//!
+//! Every JSON row (and the top level) is stamped with `hw_threads` —
+//! the parallelism actually available to the process — because a
+//! `--workers 64` row produced on a 1-core container measures
+//! scheduler overhead, not scaling (EXPERIMENTS.md §PR 4/5 erratum).
+//!
+//! Flags: `--scale small|paper|large`, `--policy all|lifo|fifo|cost|
+//! locality` (default all), `--workers N,N,...` (default
+//! `2,4,8,16,32,64`), `--classes N` / `--domains N` (locality shaping;
+//! rejected when the selected policy set is a single non-locality
+//! policy), `--spin-scale F`, `--seed N`, `--jobs N` (sweep fan-out),
+//! `--json`, `--out PATH`. Bad values and bad combinations exit 2 with
+//! a message naming the flags; an oracle violation exits 1.
+
+use std::time::Instant;
+
+use tss_core::fabric;
+use tss_core::report::fmt_f;
+use tss_core::Table;
+use tss_exec::{ExecConfig, ExecReport, Executor, PayloadMode, SchedKind, SCHED_MENU};
+use tss_trace::{DepGraph, TaskTrace};
+use tss_workloads::{Benchmark, Scale};
+
+struct Args {
+    scale: Scale,
+    policies: Vec<SchedKind>,
+    workers: Vec<usize>,
+    classes: usize,
+    domains: usize,
+    spin_scale: f64,
+    seed: u64,
+    jobs: usize,
+    json: bool,
+    out: String,
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+fn want(value: Option<String>, flag: &str) -> String {
+    value.unwrap_or_else(|| fail(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, what: &str) -> T {
+    raw.parse().unwrap_or_else(|_| fail(format!("{what} must be a number, got '{raw}'")))
+}
+
+fn hw_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        scale: Scale::Small,
+        policies: SchedKind::all().to_vec(),
+        workers: vec![2, 4, 8, 16, 32, 64],
+        classes: 2,
+        domains: 2,
+        spin_scale: 1.0,
+        seed: 42,
+        jobs: fabric::default_jobs(),
+        json: false,
+        out: "BENCH_sched.json".into(),
+    };
+    let mut policy_name = String::from("all");
+    let mut classes_flag: Option<usize> = None;
+    let mut domains_flag: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = want(args.next(), "--scale");
+                out.scale = Scale::parse(&v)
+                    .unwrap_or_else(|| fail(format!("unknown scale '{v}' (small|paper|large)")));
+            }
+            "--policy" => policy_name = want(args.next(), "--policy"),
+            "--workers" => {
+                let v = want(args.next(), "--workers");
+                out.workers = v
+                    .split(',')
+                    .map(|w| {
+                        let n: usize = parse_num(w.trim(), "--workers entries");
+                        if n == 0 {
+                            fail("--workers entries must be at least 1");
+                        }
+                        n
+                    })
+                    .collect();
+                if out.workers.is_empty() {
+                    fail("--workers needs at least one worker count");
+                }
+            }
+            "--classes" => {
+                let n: usize = parse_num(&want(args.next(), "--classes"), "--classes");
+                if n == 0 {
+                    fail("--classes must be at least 1");
+                }
+                classes_flag = Some(n);
+            }
+            "--domains" => {
+                let n: usize = parse_num(&want(args.next(), "--domains"), "--domains");
+                if n == 0 {
+                    fail("--domains must be at least 1");
+                }
+                domains_flag = Some(n);
+            }
+            "--spin-scale" => {
+                out.spin_scale = parse_num(&want(args.next(), "--spin-scale"), "--spin-scale");
+            }
+            "--seed" => out.seed = parse_num(&want(args.next(), "--seed"), "--seed"),
+            "--jobs" => {
+                out.jobs = parse_num(&want(args.next(), "--jobs"), "--jobs");
+                if out.jobs == 0 {
+                    fail("--jobs must be at least 1");
+                }
+            }
+            "--json" => out.json = true,
+            "--out" => out.out = want(args.next(), "--out"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: sched [--scale small|paper|large] [--policy all|{SCHED_MENU}] \
+                     [--workers N,N,...] [--classes N] [--domains N] [--spin-scale F] \
+                     [--seed N] [--jobs N] [--json] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => fail(format!("unknown flag '{other}'")),
+        }
+    }
+    if policy_name != "all" {
+        let kind = SchedKind::parse(&policy_name)
+            .unwrap_or_else(|| fail(format!("unknown policy '{policy_name}' (all|{SCHED_MENU})")));
+        out.policies = vec![kind];
+        // Same contract as the exec harness: class/domain shaping only
+        // means anything to locality, and an ablation artifact must not
+        // pretend otherwise.
+        if !matches!(kind, SchedKind::Locality) {
+            if let Some(n) = classes_flag {
+                fail(format!(
+                    "--classes {n} only applies to --policy locality, not --policy {policy_name}"
+                ));
+            }
+            if let Some(n) = domains_flag {
+                fail(format!(
+                    "--domains {n} only applies to --policy locality, not --policy {policy_name}"
+                ));
+            }
+        }
+    }
+    out.classes = classes_flag.unwrap_or(out.classes);
+    out.domains = domains_flag.unwrap_or(out.domains);
+    if let Some(d) = domains_flag {
+        if let Some(&w) = out.workers.iter().find(|&&w| w < d) {
+            fail(format!("--domains {d} cannot exceed the smallest --workers entry {w}"));
+        }
+    }
+    out
+}
+
+/// One grid point: `(benchmark index, policy, worker count)`.
+type Point = (usize, SchedKind, usize);
+
+struct Row {
+    benchmark: String,
+    policy: SchedKind,
+    workers: usize,
+    report: ExecReport,
+}
+
+/// Replays one grid point and oracle-checks the completion order.
+fn run_point(args: &Args, trace: &TaskTrace, oracle: &DepGraph, p: Point) -> Row {
+    let (_, policy, workers) = p;
+    let cfg = ExecConfig {
+        threads: workers,
+        payload: PayloadMode::Mixed { time_scale: args.spin_scale },
+        sched: policy,
+        // Executor::new clamps domains to the thread count, so the
+        // locality rows at 2 workers run 2 domains even if more were
+        // asked for.
+        classes: args.classes,
+        domains: args.domains,
+        seed: args.seed,
+        validate: false,
+        ..Default::default()
+    };
+    let report = match Executor::new(cfg).run_oneshot(trace) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {} [{} x{workers}]: {e}", trace.name(), policy.name());
+            std::process::exit(2);
+        }
+    };
+    if let Err(v) = oracle.validate_order(&report.order) {
+        eprintln!("[sched] {} [{} x{workers}]: ORACLE VIOLATION: {v}", trace.name(), policy.name());
+        std::process::exit(1);
+    }
+    let mut report = report;
+    report.validated = true;
+    Row { benchmark: trace.name().to_string(), policy, workers, report }
+}
+
+/// Per-policy aggregate over every `(benchmark, workers)` cell:
+/// `(tasks, tasks/s, steals, cross-domain steals)`.
+fn policy_totals(rows: &[Row], policy: SchedKind) -> (usize, f64, u64, u64) {
+    let mine: Vec<&Row> = rows.iter().filter(|r| r.policy == policy).collect();
+    let tasks: usize = mine.iter().map(|r| r.report.tasks).sum();
+    let wall: f64 = mine.iter().map(|r| r.report.exec_wall.as_secs_f64()).sum();
+    let steals: u64 = mine.iter().map(|r| r.report.total_steals()).sum();
+    let cross: u64 = mine.iter().map(|r| r.report.total_cross_steals()).sum();
+    (tasks, if wall > 0.0 { tasks as f64 / wall } else { 0.0 }, steals, cross)
+}
+
+fn latency_json(obs: Option<&tss_exec::obs::ObsReport>) -> String {
+    match obs {
+        Some(o) => format!(
+            "\"latency_p50_ns\": {}, \"latency_p99_ns\": {}, ",
+            o.exec_latency.p50(),
+            o.exec_latency.p99(),
+        ),
+        None => String::new(),
+    }
+}
+
+fn to_json(args: &Args, rows: &[Row], suite_wall_ms: f64) -> String {
+    let hw = hw_threads();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tss-bench-sched/v1\",\n");
+    s.push_str(&format!("  \"scale\": \"{}\",\n", args.scale.name()));
+    s.push_str("  \"payload\": \"mixed\",\n");
+    s.push_str(&format!("  \"seed\": {},\n", args.seed));
+    s.push_str(&format!("  \"hw_threads\": {hw},\n"));
+    s.push_str(&format!("  \"classes\": {},\n", args.classes));
+    s.push_str(&format!("  \"domains\": {},\n", args.domains));
+    s.push_str(&format!(
+        "  \"workers\": [{}],\n",
+        args.workers.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    s.push_str(&format!(
+        "  \"policies\": [{}],\n",
+        args.policies.iter().map(|p| format!("\"{}\"", p.name())).collect::<Vec<_>>().join(", ")
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let r = &row.report;
+        s.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"policy\": \"{}\", \"workers\": {}, \
+             \"hw_threads\": {hw}, \"tasks\": {}, \"exec_wall_ms\": {:.3}, \
+             \"exec_tasks_per_sec\": {:.0}, \"steals\": {}, \"cross_steals\": {}, {}\
+             \"validated\": {}}}{}\n",
+            row.benchmark,
+            row.policy.name(),
+            row.workers,
+            r.tasks,
+            r.exec_wall.as_secs_f64() * 1e3,
+            r.tasks_per_sec(),
+            r.total_steals(),
+            r.total_cross_steals(),
+            latency_json(r.obs.as_ref()),
+            r.validated,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"totals\": {\n");
+    s.push_str(&format!("    \"hw_threads\": {hw},\n"));
+    s.push_str(&format!("    \"jobs\": {},\n", args.jobs));
+    s.push_str(&format!("    \"suite_wall_ms\": {suite_wall_ms:.1},\n"));
+    s.push_str("    \"per_policy\": [\n");
+    for (i, &policy) in args.policies.iter().enumerate() {
+        let (tasks, rate, steals, cross) = policy_totals(rows, policy);
+        s.push_str(&format!(
+            "      {{\"policy\": \"{}\", \"tasks\": {tasks}, \"exec_tasks_per_sec\": {rate:.0}, \
+             \"steals\": {steals}, \"cross_steals\": {cross}}}{}\n",
+            policy.name(),
+            if i + 1 == args.policies.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("    ]\n");
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Generate each benchmark trace once and share it across the whole
+    // policy x workers grid (the grid re-runs the *executor*, not the
+    // generator).
+    let traces: Vec<(TaskTrace, DepGraph)> = Benchmark::all()
+        .into_iter()
+        .map(|b| {
+            let t = b.trace(args.scale, args.seed);
+            let g = DepGraph::from_trace(&t);
+            (t, g)
+        })
+        .collect();
+
+    let mut points: Vec<Point> = Vec::new();
+    for bi in 0..traces.len() {
+        for &policy in &args.policies {
+            for &workers in &args.workers {
+                points.push((bi, policy, workers));
+            }
+        }
+    }
+    eprintln!(
+        "[sched] {} grid points ({} benchmarks x {} policies x {} worker counts), \
+         {} hw threads, {} jobs",
+        points.len(),
+        traces.len(),
+        args.policies.len(),
+        args.workers.len(),
+        hw_threads(),
+        args.jobs,
+    );
+
+    let t0 = Instant::now();
+    let rows = fabric::sweep(args.jobs, points, |p| {
+        let (bi, _, _) = p;
+        run_point(&args, &traces[bi].0, &traces[bi].1, p)
+    });
+    let suite_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let json = to_json(&args, &rows, suite_wall_ms);
+    std::fs::write(&args.out, &json)
+        .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", args.out)));
+
+    if args.json {
+        print!("{json}");
+    } else {
+        let mut table = Table::new(
+            format!(
+                "Scheduling ablation ({} scale, mixed payload, seed {}, {} hw threads)",
+                args.scale.name(),
+                args.seed,
+                hw_threads(),
+            ),
+            &["Benchmark", "policy", "workers", "tasks", "wall ms", "tasks/s", "steals", "cross"],
+        );
+        for row in &rows {
+            let r = &row.report;
+            table.row(vec![
+                row.benchmark.clone(),
+                row.policy.name().into(),
+                row.workers.to_string(),
+                r.tasks.to_string(),
+                fmt_f(r.exec_wall.as_secs_f64() * 1e3, 2),
+                fmt_f(r.tasks_per_sec(), 0),
+                r.total_steals().to_string(),
+                r.total_cross_steals().to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+        let (_, base_rate, _, _) = policy_totals(&rows, args.policies[0]);
+        for &policy in &args.policies {
+            let (tasks, rate, steals, cross) = policy_totals(&rows, policy);
+            println!(
+                "{:>9}: {tasks} tasks, {} tasks/s aggregate ({:+.1}% vs {}), \
+                 {steals} steals ({cross} cross-domain)",
+                policy.name(),
+                fmt_f(rate, 0),
+                if base_rate > 0.0 { (rate / base_rate - 1.0) * 1e2 } else { 0.0 },
+                args.policies[0].name(),
+            );
+        }
+        println!("(wrote {})", args.out);
+    }
+}

@@ -121,6 +121,50 @@ fn unknown_policy_suggests_the_menu() {
     assert!(err.contains("fail-fast|retry|quarantine"), "stderr: {err}");
 }
 
+// --- scheduling-policy flags (ISSUE 9 satellite, DESIGN.md §13) ---
+
+#[test]
+fn unknown_sched_policy_suggests_the_menu() {
+    let (code, err) = run(&["--policy", "greedy"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("unknown policy 'greedy'"), "stderr: {err}");
+    assert!(err.contains("lifo|fifo|cost|locality"), "suggests the menu: {err}");
+    assert!(!err.contains("panicked"), "panicked instead of failing cleanly: {err}");
+}
+
+#[test]
+fn class_and_domain_flags_require_the_locality_policy() {
+    let (code, err) = run(&["--policy", "lifo", "--domains", "4"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--domains 4"), "names the offending flag: {err}");
+    assert!(err.contains("--policy locality"), "names the required policy: {err}");
+    assert!(err.contains("lifo"), "names what was actually selected: {err}");
+
+    // Default policy is lifo, so a bare --classes is equally wrong.
+    let (code, err) = run(&["--classes", "2"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--classes 2"), "stderr: {err}");
+    assert!(err.contains("--policy locality"), "stderr: {err}");
+}
+
+#[test]
+fn sched_shape_values_are_validated() {
+    let (code, err) = run(&["--policy", "locality", "--classes", "0"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--classes must be at least 1"), "stderr: {err}");
+
+    let (code, err) = run(&["--policy", "locality", "--domains", "8", "--threads", "4"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--domains 8 cannot exceed --threads 4"), "stderr: {err}");
+}
+
+#[test]
+fn mixed_payload_is_on_the_menu() {
+    let (code, err) = run(&["--payload", "fft"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("mixed"), "menu must include the mixed payload: {err}");
+}
+
 // --- observability flags (ISSUE 8 satellite, DESIGN.md §12) ---
 
 #[cfg(not(feature = "obs"))]
@@ -183,9 +227,10 @@ fn obs_build_writes_a_chrome_trace_and_latency_fields() {
     assert!(tj.contains("\"ph\":\"X\""), "no slices recorded");
 
     let bj = std::fs::read_to_string(&bench).expect("bench json written");
-    assert!(bj.contains("\"schema\": \"tss-bench-exec/v4\""));
+    assert!(bj.contains("\"schema\": \"tss-bench-exec/v5\""));
     for key in ["latency_p50_ns", "latency_p99_ns", "latency_p999_ns", "queue_p999_ns"] {
         assert!(bj.contains(key), "missing {key} in BENCH json");
     }
+    assert!(bj.contains("\"hw_threads\""), "artifact must stamp the real core count");
     std::fs::remove_dir_all(&dir).ok();
 }

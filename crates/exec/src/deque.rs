@@ -330,6 +330,28 @@ impl ChaseLev {
     }
 }
 
+/// The victim-selection seam (DESIGN.md §13.4): fills `buf` with every
+/// worker index except `me` (out of `n` workers), rotated so the scan
+/// starts at a rotation-offset derived from `r`. This is exactly the
+/// rotation the pre-§13 executor inlined — `others` ascending, scan
+/// from `r % (n-1)` — split out so scheduling policies can compose it
+/// (per-domain rotations, load-ordered scans) without re-deriving the
+/// exclude-self index arithmetic.
+pub fn rotate_victims(me: usize, n: usize, r: u64, buf: &mut Vec<usize>) {
+    buf.clear();
+    if n <= 1 {
+        return;
+    }
+    let len = n - 1;
+    let start = (r as usize) % len;
+    for i in 0..len {
+        let idx = (start + i) % len;
+        // The ascending all-but-`me` list, materialized lazily:
+        // element `idx` is `idx` below `me` and `idx + 1` at or above.
+        buf.push(if idx < me { idx } else { idx + 1 });
+    }
+}
+
 impl Drop for ChaseLev {
     fn drop(&mut self) {
         // SAFETY: `&mut self` guarantees no thread still reads these;
@@ -358,6 +380,29 @@ mod tests {
     use crate::sync::atomic::AtomicUsize;
     use proptest::prelude::*;
     use std::collections::VecDeque;
+
+    #[test]
+    fn rotate_victims_is_the_baseline_rotation() {
+        // Must reproduce the pre-§13 inline scan: `others` ascending
+        // (all-but-me), visited from `r % others.len()`.
+        let mut buf = Vec::new();
+        for n in 1..6usize {
+            for me in 0..n {
+                let others: Vec<usize> = (0..n).filter(|&v| v != me).collect();
+                for r in 0..8u64 {
+                    rotate_victims(me, n, r, &mut buf);
+                    if others.is_empty() {
+                        assert!(buf.is_empty());
+                        continue;
+                    }
+                    let start = (r as usize) % others.len();
+                    let want: Vec<usize> =
+                        (0..others.len()).map(|i| others[(start + i) % others.len()]).collect();
+                    assert_eq!(buf, want, "n={n} me={me} r={r}");
+                }
+            }
+        }
+    }
 
     /// PR 3's mutexed ring, demoted to differential-test oracle: under
     /// a lock, owner-LIFO/thief-FIFO semantics are trivially correct,

@@ -69,6 +69,9 @@ use crate::fault::{
 };
 use crate::payload::{build_arena, PayloadMode, PayloadScratch};
 use crate::renamer::{merge_window, RenameStats, Renamer, ShardState, TaskGraph};
+use crate::sched::{
+    CostAwarePolicy, FifoPolicy, LifoPolicy, LocalityPolicy, SchedKind, SchedPolicy,
+};
 use tss_sim::{CachePadded, Cycle};
 use tss_trace::{OrderViolation, TaskId, TaskTrace};
 
@@ -107,6 +110,15 @@ pub struct ExecConfig {
     /// (the survivors adopt its deque via the thief protocol). Requires
     /// `threads >= 2`.
     pub kill_worker: Option<usize>,
+    /// Scheduling policy (DESIGN.md §13). The default, [`SchedKind::Lifo`],
+    /// monomorphizes to the pre-§13 worker loop.
+    pub sched: SchedKind,
+    /// Worker classes for [`SchedKind::Locality`] (clamped to 1..=2;
+    /// 1 disables class routing). Ignored by the other policies.
+    pub classes: usize,
+    /// Affinity domains for [`SchedKind::Locality`] (clamped to
+    /// 1..=threads). Ignored by the other policies.
+    pub domains: usize,
 }
 
 impl Default for ExecConfig {
@@ -123,6 +135,9 @@ impl Default for ExecConfig {
             task_deadline: None,
             run_deadline: None,
             kill_worker: None,
+            sched: SchedKind::Lifo,
+            classes: 2,
+            domains: 1,
         }
     }
 }
@@ -136,6 +151,10 @@ pub struct WorkerStats {
     pub executed: u64,
     /// Steal *events* (a batch steal of k tasks counts once).
     pub steals: u64,
+    /// Steal events that crossed an affinity domain (always ≤ `steals`;
+    /// zero under every domain-blind policy, where the check folds to
+    /// constant `false` — DESIGN.md §13.4).
+    pub cross_steals: u64,
     /// Wall time spent executing tasks, measured per work *burst* (the
     /// span from acquiring work to going idle), not per task: noop
     /// payloads pay two clock reads per burst instead of two per task,
@@ -217,6 +236,11 @@ impl ExecReport {
     /// Total steal events across workers.
     pub fn total_steals(&self) -> u64 {
         self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total cross-domain steal events across workers (§13.4).
+    pub fn total_cross_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.cross_steals).sum()
     }
 
     /// A worker's busy fraction of the replay wall time (burst-timed;
@@ -567,8 +591,12 @@ impl WatchSlot {
 }
 
 /// Shared replay state (borrowed by every worker via a scoped spawn).
-struct Shared<'a, R: ReleaseSuccs> {
+struct Shared<'a, R: ReleaseSuccs, P: SchedPolicy> {
     mode: R,
+    /// The scheduling policy (DESIGN.md §13): statically dispatched,
+    /// so the default [`LifoPolicy`] build monomorphizes every hook
+    /// into the pre-§13 inline code.
+    sched: P,
     trace: &'a TaskTrace,
     /// Traced runtimes as a dense SoA column (only populated for spin
     /// payloads): the readiness/dispatch hot path must not drag each
@@ -630,8 +658,8 @@ struct Shared<'a, R: ReleaseSuccs> {
     retried_ok: CachePadded<AtomicUsize>,
 }
 
-impl<R: ReleaseSuccs> Shared<'_, R> {
-    fn new_for<'t>(trace: &'t TaskTrace, mode: R, cfg: &ExecConfig) -> Shared<'t, R> {
+impl<R: ReleaseSuccs, P: SchedPolicy> Shared<'_, R, P> {
+    fn new_for<'t>(trace: &'t TaskTrace, mode: R, cfg: &ExecConfig) -> Shared<'t, R, P> {
         let n = trace.len();
         let threads = cfg.threads;
         let payload = cfg.payload;
@@ -657,6 +685,7 @@ impl<R: ReleaseSuccs> Shared<'_, R> {
         let run_deadline_ns = cfg.run_deadline.map_or(0, |d| (d.as_nanos() as u64).max(1));
         Shared {
             mode,
+            sched: P::new(trace, payload, threads, cfg.classes, cfg.domains),
             trace,
             runtimes,
             n,
@@ -730,29 +759,24 @@ impl<R: ReleaseSuccs> Shared<'_, R> {
     }
 }
 
-/// Tiny SplitMix64 for the steal-victim rotation.
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// Takes the completion ticket for `t` and releases its successors —
 /// healthily or (for a FAILED/POISONED `t`) with cone poisoning. Every
 /// task, whatever its fate, takes a ticket: the ticket counter is the
 /// termination count, and because a failed/poisoned task still only
 /// completes after its producers, the *full* log (completed + failed +
 /// poisoned) stays a valid `DepGraph` linearization.
-fn complete<R: ReleaseSuccs>(
+fn complete<R: ReleaseSuccs, P: SchedPolicy>(
     t: u32,
     w: usize,
-    shared: &Shared<'_, R>,
+    shared: &Shared<'_, R, P>,
     ready: &mut Vec<u32>,
     wobs: &mut WorkerObs,
     poisoned: bool,
 ) {
+    // Policy bookkeeping (load-gauge decay) before the release: every
+    // completed task — poisoned included — balances its dispatch
+    // credit. A no-op for every policy without gauges.
+    shared.sched.note_executed(w, t);
     // Ticket first, successor release second: any successor's ticket is
     // therefore strictly after every producer's (valid linearization).
     // Relaxed suffices: tickets on one counter are totally ordered, and
@@ -767,8 +791,19 @@ fn complete<R: ReleaseSuccs>(
     } else {
         shared.mode.release(t, ready, &shared.obs);
     }
+    // Policy ordering of the batch (cost sort): dispatched in order,
+    // popped LIFO, so ascending cost runs the costliest first. The
+    // default is the identity and folds away.
+    shared.sched.prepare(ready);
+    let mut routed = 0usize;
     for &s in ready.iter() {
-        shared.deques[w].push(s);
+        // The policy decides where the task goes: the own deque (the
+        // baseline, `own = true`) or a routed side queue (class
+        // routing, `own = false`).
+        let own = shared.sched.dispatch(w, s, &shared.deques[w]);
+        if !own {
+            routed += 1;
+        }
         // Sampled spawn instrumentation: a Spawn ring event (the
         // queue-wait anchor, paired with the Task slice at drain) and
         // the deque-depth gauge — one clock read for both. `sampled`
@@ -784,6 +819,15 @@ fn complete<R: ReleaseSuccs>(
         // into their done() check.
         shared.parker.wake_all();
         wobs.wake(&shared.obs);
+    } else if routed > 0 {
+        // Routed tasks are invisible to the deque/injector scans: only
+        // `take_routed` on the idle path finds them, so flush every
+        // parked worker — the targeted pool must get a chance to look,
+        // and a single wake_one could land on a worker of the wrong
+        // class with a full deque. Unreachable (routed is always 0)
+        // under policies whose `dispatch` is the baseline.
+        shared.parker.wake_all();
+        wobs.wake(&shared.obs);
     } else if ready.len() >= 2 && shared.parker.has_idle() {
         // Surplus banked beyond what this worker immediately runs: one
         // thief's worth of news, one wake — not PR 3's per-completion
@@ -793,10 +837,10 @@ fn complete<R: ReleaseSuccs>(
     }
 }
 
-fn run_task<R: ReleaseSuccs>(
+fn run_task<R: ReleaseSuccs, P: SchedPolicy>(
     t: u32,
     w: usize,
-    shared: &Shared<'_, R>,
+    shared: &Shared<'_, R, P>,
     scratch: &mut PayloadScratch<'_>,
     stats: &mut WorkerStats,
     ready: &mut Vec<u32>,
@@ -828,6 +872,9 @@ fn run_task<R: ReleaseSuccs>(
         PayloadMode::Memcpy => catch_unwind(AssertUnwindSafe(|| {
             scratch.run_memcpy(shared.trace.task(t as TaskId));
         })),
+        PayloadMode::Mixed { time_scale } => catch_unwind(AssertUnwindSafe(|| {
+            scratch.run_mixed(shared.trace.task(t as TaskId), time_scale);
+        })),
     };
     match outcome {
         Ok(()) => {
@@ -850,10 +897,10 @@ fn run_task<R: ReleaseSuccs>(
 /// The guarded lane: poison check, fault injection, deadline watch, and
 /// the attempt loop. Split from [`run_task`] so the fault-free fast
 /// lane never pays for any of it.
-fn run_task_guarded<R: ReleaseSuccs>(
+fn run_task_guarded<R: ReleaseSuccs, P: SchedPolicy>(
     t: u32,
     w: usize,
-    shared: &Shared<'_, R>,
+    shared: &Shared<'_, R, P>,
     scratch: &mut PayloadScratch<'_>,
     stats: &mut WorkerStats,
     ready: &mut Vec<u32>,
@@ -896,11 +943,11 @@ enum AttemptError {
 
 /// Runs one payload attempt inside the containment boundary, with
 /// injection and deadline watching. `attempt` is 1-based.
-fn attempt_payload<R: ReleaseSuccs>(
+fn attempt_payload<R: ReleaseSuccs, P: SchedPolicy>(
     t: u32,
     attempt: u32,
     w: usize,
-    shared: &Shared<'_, R>,
+    shared: &Shared<'_, R, P>,
     scratch: &mut PayloadScratch<'_>,
 ) -> Result<(), AttemptError> {
     let injected = shared.plan.effective(t, attempt, shared.task_deadline.is_some());
@@ -929,6 +976,9 @@ fn attempt_payload<R: ReleaseSuccs>(
             }
             PayloadMode::Memcpy => {
                 scratch.run_memcpy(shared.trace.task(t as TaskId));
+            }
+            PayloadMode::Mixed { time_scale } => {
+                scratch.run_mixed(shared.trace.task(t as TaskId), time_scale);
             }
         }));
         return res.map_err(|p| {
@@ -989,10 +1039,10 @@ fn attempt_payload<R: ReleaseSuccs>(
 /// failed with `failure`: retries (with seeded backoff) while attempts
 /// remain, then fail-fasts or quarantines.
 #[allow(clippy::too_many_arguments)]
-fn resolve_failure<R: ReleaseSuccs>(
+fn resolve_failure<R: ReleaseSuccs, P: SchedPolicy>(
     t: u32,
     w: usize,
-    shared: &Shared<'_, R>,
+    shared: &Shared<'_, R, P>,
     scratch: &mut PayloadScratch<'_>,
     stats: &mut WorkerStats,
     ready: &mut Vec<u32>,
@@ -1060,9 +1110,9 @@ enum WorkerExit {
     Killed(WorkerStats, WorkerObs),
 }
 
-fn worker_loop<R: ReleaseSuccs>(
+fn worker_loop<R: ReleaseSuccs, P: SchedPolicy>(
     w: usize,
-    shared: &Shared<'_, R>,
+    shared: &Shared<'_, R, P>,
     arena: &[u8],
     seed: u64,
 ) -> WorkerExit {
@@ -1075,7 +1125,9 @@ fn worker_loop<R: ReleaseSuccs>(
     let mut ready: Vec<u32> = Vec::with_capacity(64);
     let mut rng = seed ^ (w as u64).wrapping_mul(0xA076_1D64_78BD_642F);
     let me = &shared.deques[w];
-    let others: Vec<usize> = (0..shared.deques.len()).filter(|&v| v != w).collect();
+    // Victim scan order, refilled by the policy each idle scan (reused
+    // so the steady state allocates nothing).
+    let mut victims: Vec<usize> = Vec::with_capacity(shared.deques.len());
     // Injected worker loss: die *between* tasks after the first
     // completion — a clean kill (ticket taken, successors released), so
     // the run still terminates; only the parallelism degrades.
@@ -1090,12 +1142,12 @@ fn worker_loop<R: ReleaseSuccs>(
         // clocked as one span: two clock reads however many tasks
         // drain, and the Burst ring event reuses exactly those two
         // stamps (zero extra reads, DESIGN.md §12.3).
-        if let Some(t) = me.pop() {
+        if let Some(t) = shared.sched.take_local(w, me) {
             let burst = Stamp::now();
             let before = stats.executed;
             run_task(t, w, shared, &mut scratch, &mut stats, &mut ready, &mut wobs);
             while stats.executed < kill_after {
-                match me.pop() {
+                match shared.sched.take_local(w, me) {
                     Some(t) => {
                         run_task(t, w, shared, &mut scratch, &mut stats, &mut ready, &mut wobs)
                     }
@@ -1119,21 +1171,29 @@ fn worker_loop<R: ReleaseSuccs>(
         // Epoch before the scans: any push after a failed scan moves
         // the epoch and aborts the park (§8 Dekker pairing).
         let epoch = shared.parker.current_epoch();
-        let task = shared.injector.steal_batch_into(me, BATCH_MAX).or_else(|| {
-            if others.is_empty() {
-                return None;
-            }
-            let start = (splitmix(&mut rng) as usize) % others.len();
-            (0..others.len()).find_map(|i| {
-                let victim = others[(start + i) % others.len()];
-                let t = shared.deques[victim].steal_batch_into(me, BATCH_MAX);
-                if t.is_some() {
-                    stats.steals += 1;
-                    wobs.steal(victim as u32, &shared.obs);
-                }
-                t
-            })
-        });
+        let task = shared
+            .sched
+            .take_routed(w)
+            .or_else(|| shared.injector.steal_batch_into(me, BATCH_MAX))
+            .or_else(|| {
+                // The policy orders the victim scan (baseline: one
+                // random rotation over everyone else; locality: own
+                // domain first, cross-domain fallback after). The scan
+                // stays *complete* — every deque is visited — which
+                // the park/termination argument requires (§13.4).
+                shared.sched.victims(w, &mut rng, &mut victims);
+                victims.iter().find_map(|&victim| {
+                    let t = shared.deques[victim].steal_batch_into(me, BATCH_MAX);
+                    if t.is_some() {
+                        stats.steals += 1;
+                        if shared.sched.cross_domain(w, victim) {
+                            stats.cross_steals += 1;
+                        }
+                        wobs.steal(victim as u32, &shared.obs);
+                    }
+                    t
+                })
+            });
         match task {
             Some(t) => {
                 // A successful batch steal banked surplus: chain one
@@ -1173,7 +1233,7 @@ fn worker_loop<R: ReleaseSuccs>(
 /// deadlines) that cancels expired attempts and aborts the run past its
 /// deadline. Spawned only when a deadline is armed; exits as soon as
 /// the run stops.
-fn watchdog_loop<R: ReleaseSuccs>(shared: &Shared<'_, R>) {
+fn watchdog_loop<R: ReleaseSuccs, P: SchedPolicy>(shared: &Shared<'_, R, P>) {
     loop {
         if shared.stopping() {
             return;
@@ -1269,7 +1329,11 @@ impl<'a> DecodeShared<'a> {
     /// cursor. Called by whichever shard thread finished a window last;
     /// the commit mutex makes the committer role migrate safely (the
     /// injector's owner contract rides the same lock).
-    fn commit_ready(&self, shared: &Shared<'_, StreamRelease>, dobs: &mut WorkerObs) {
+    fn commit_ready<P: SchedPolicy>(
+        &self,
+        shared: &Shared<'_, StreamRelease, P>,
+        dobs: &mut WorkerObs,
+    ) {
         let mut st = self.commit.lock().expect("commit state poisoned");
         let mut pushed_roots = false;
         while st.next_window < self.windows {
@@ -1356,11 +1420,11 @@ impl<'a> DecodeShared<'a> {
 /// One decode shard thread: scan every window (in order — the shard's
 /// rename state is sequential), commit whenever this shard is the last
 /// to finish a window.
-fn decode_loop(
+fn decode_loop<P: SchedPolicy>(
     shard: usize,
     renaming: bool,
     dec: &DecodeShared<'_>,
-    shared: &Shared<'_, StreamRelease>,
+    shared: &Shared<'_, StreamRelease, P>,
 ) -> (RenameStats, WorkerObs) {
     let mut dobs = WorkerObs::new();
     let mut state = ShardState::new(renaming, shard as u32, dec.shards as u32);
@@ -1420,6 +1484,8 @@ impl Executor {
         }
         config.window = config.window.max(1);
         config.decode_shards = config.decode_shards.max(1);
+        config.classes = config.classes.clamp(1, crate::payload::NUM_CLASSES);
+        config.domains = config.domains.clamp(1, config.threads);
         Executor { config }
     }
 
@@ -1440,6 +1506,18 @@ impl Executor {
     /// Task failures under `Retry`/`Quarantine` are *not* errors: they
     /// come back inside [`ExecReport::fault`].
     pub fn run(&self, trace: &TaskTrace) -> Result<ExecReport, ExecError> {
+        // The one policy dispatch of the run (DESIGN.md §13.1): each
+        // arm monomorphizes the entire pipeline — worker loop, decode
+        // commit, finish — over its policy type. No `dyn` anywhere.
+        match self.config.sched {
+            SchedKind::Lifo => self.run_inner::<LifoPolicy>(trace),
+            SchedKind::Fifo => self.run_inner::<FifoPolicy>(trace),
+            SchedKind::CostAware => self.run_inner::<CostAwarePolicy>(trace),
+            SchedKind::Locality => self.run_inner::<LocalityPolicy>(trace),
+        }
+    }
+
+    fn run_inner<P: SchedPolicy>(&self, trace: &TaskTrace) -> Result<ExecReport, ExecError> {
         let n = trace.len();
         let threads = self.config.threads;
         let shards = self.config.decode_shards;
@@ -1447,7 +1525,8 @@ impl Executor {
         // Pre-dedup pair bound: ≤ 1 RaW per read + 1 WaW per write +
         // readers cleared per write (≤ total reads) — see renamer.rs.
         let edge_cap = 3 * total_ops + 8;
-        let shared = Shared::new_for(trace, StreamRelease::new(n, edge_cap), &self.config);
+        let shared: Shared<'_, _, P> =
+            Shared::new_for(trace, StreamRelease::new(n, edge_cap), &self.config);
         let arena = self.arena();
         // Constructed last: `dec.started` anchors the decode span, so
         // nothing non-decode (notably the memcpy arena build) may sit
@@ -1571,9 +1650,24 @@ impl Executor {
         graph: &TaskGraph,
         decode_wall: Duration,
     ) -> Result<ExecReport, ExecError> {
+        match self.config.sched {
+            SchedKind::Lifo => self.replay_inner::<LifoPolicy>(trace, graph, decode_wall),
+            SchedKind::Fifo => self.replay_inner::<FifoPolicy>(trace, graph, decode_wall),
+            SchedKind::CostAware => self.replay_inner::<CostAwarePolicy>(trace, graph, decode_wall),
+            SchedKind::Locality => self.replay_inner::<LocalityPolicy>(trace, graph, decode_wall),
+        }
+    }
+
+    fn replay_inner<P: SchedPolicy>(
+        &self,
+        trace: &TaskTrace,
+        graph: &TaskGraph,
+        decode_wall: Duration,
+    ) -> Result<ExecReport, ExecError> {
         assert_eq!(graph.len(), trace.len(), "graph decoded from a different trace");
         let threads = self.config.threads;
-        let shared = Shared::new_for(trace, PrebuiltRelease::new(graph), &self.config);
+        let shared: Shared<'_, _, P> =
+            Shared::new_for(trace, PrebuiltRelease::new(graph), &self.config);
         for r in graph.roots() {
             shared.injector.push(r as u32);
             // No Spawn events for roots: they are pushed from the main
@@ -1634,20 +1728,20 @@ impl Executor {
         self.finish(trace, shared, extras, workers, rename)
     }
 
-    /// Only memcpy reads the source arena; noop/spin runs get a minimal
-    /// zeroed one (building the 4 MB pattern would dominate short
-    /// replays).
+    /// Only memcpy (and mixed, whose memory class memcpys) reads the
+    /// source arena; noop/spin runs get a minimal zeroed one (building
+    /// the 4 MB pattern would dominate short replays).
     fn arena(&self) -> Vec<u8> {
         match self.config.payload {
-            PayloadMode::Memcpy => build_arena(),
+            PayloadMode::Memcpy | PayloadMode::Mixed { .. } => build_arena(),
             _ => vec![0u8; 2 * tss_workloads::payload::CHUNK_CAP],
         }
     }
 
-    fn finish<R: ReleaseSuccs>(
+    fn finish<R: ReleaseSuccs, P: SchedPolicy>(
         &self,
         trace: &TaskTrace,
-        shared: Shared<'_, R>,
+        shared: Shared<'_, R, P>,
         extras: FinishExtras,
         workers: Vec<WorkerStats>,
         rename: RenameStats,

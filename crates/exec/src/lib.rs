@@ -59,6 +59,7 @@ pub mod executor;
 pub mod fault;
 pub mod payload;
 pub mod renamer;
+pub mod sched;
 pub mod sync;
 
 pub use deque::ChaseLev;
@@ -66,6 +67,9 @@ pub use executor::{run_trace, ExecConfig, ExecReport, Executor, WorkerStats};
 pub use fault::{ExecError, FailedTask, FailurePolicy, FaultReport, InjectedFault, TaskFailure};
 pub use payload::PayloadMode;
 pub use renamer::{RenameStats, Renamer, StreamingRenamer, TaskGraph};
+pub use sched::{
+    CostAwarePolicy, FifoPolicy, LifoPolicy, LocalityPolicy, SchedKind, SchedPolicy, SCHED_MENU,
+};
 
 /// The observability layer (DESIGN.md §12), re-exported so harnesses
 /// can consume [`ExecReport::obs`] (`tss_obs::ObsReport`, Chrome trace

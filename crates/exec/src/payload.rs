@@ -26,13 +26,55 @@ use std::time::Duration;
 use tss_obs::clock::Stamp;
 use tss_sim::cycles_to_ns;
 use tss_trace::TaskDesc;
-use tss_workloads::payload::{operand_chunks, CHUNK_CAP};
+use tss_workloads::payload::{operand_chunks, task_footprint, CHUNK_CAP};
 
 use crate::sync::atomic::{AtomicU32, Ordering};
 
 /// Default injection rate for the bare `faulty` payload name: 5% in
 /// parts-per-million, matching the chaos smoke configuration.
 pub const DEFAULT_FAULT_RATE_PPM: u32 = 50_000;
+
+// ---------------------------------------------------------------------
+// Task classes (DESIGN.md §13.3)
+// ---------------------------------------------------------------------
+
+/// Compute-heavy task class: the payload is dominated by the traced
+/// runtime (spin), not by data movement.
+pub const CLASS_COMPUTE: u8 = 0;
+
+/// Memory-heavy task class: the payload is dominated by the operand
+/// footprint (memcpy).
+pub const CLASS_MEMORY: u8 = 1;
+
+/// Worker/task classes the locality policy distinguishes.
+pub const NUM_CLASSES: usize = 2;
+
+/// Footprint threshold for the memory class: a task moving at least
+/// this many operand bytes is memory-bound under [`PayloadMode::Mixed`]
+/// (half the [`CHUNK_CAP`] payload cap — past it the memcpy cost
+/// rivals a median traced runtime on the calibration host).
+pub const MEMORY_CLASS_BYTES: u64 = (CHUNK_CAP as u64) / 2;
+
+/// Classifies one task at spawn from the payload mode + its operand
+/// footprint (DESIGN.md §13.3). Uniform payloads pin the class (every
+/// spin task is compute-bound, every memcpy task memory-bound); the
+/// footprint threshold only decides for modes whose per-task work is
+/// footprint-dependent ([`PayloadMode::Mixed`]) or free (`Noop`,
+/// `Faulty` — there the class is advisory routing metadata only).
+pub fn task_class(mode: PayloadMode, task: &TaskDesc) -> u8 {
+    match mode {
+        PayloadMode::Spin { .. } => CLASS_COMPUTE,
+        PayloadMode::Memcpy => CLASS_MEMORY,
+        PayloadMode::Noop | PayloadMode::Faulty { .. } | PayloadMode::Mixed { .. } => {
+            let fp = task_footprint(task);
+            if fp.read_bytes + fp.write_bytes >= MEMORY_CLASS_BYTES {
+                CLASS_MEMORY
+            } else {
+                CLASS_COMPUTE
+            }
+        }
+    }
+}
 
 /// What each task execution does.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,18 +101,29 @@ pub enum PayloadMode {
         /// Seed for the per-(task, attempt) fault rolls.
         seed: u64,
     },
+    /// Per-task heterogeneous work (DESIGN.md §13.3): memory-class
+    /// tasks ([`task_class`] = [`CLASS_MEMORY`]) run the memcpy
+    /// payload, compute-class tasks spin for their traced runtime. The
+    /// workload family the class-routing and cost-aware policies are
+    /// measured on.
+    Mixed {
+        /// Multiplier on the traced runtime of the spinning class.
+        time_scale: f64,
+    },
 }
 
 impl PayloadMode {
-    /// CLI name → mode (`noop`, `spin`, `memcpy`, `faulty`). The bare
-    /// `faulty` name uses [`DEFAULT_FAULT_RATE_PPM`] and seed 0; the
-    /// harness overrides both via `--fault-rate` / `--fault-seed`.
+    /// CLI name → mode (`noop`, `spin`, `memcpy`, `faulty`, `mixed`).
+    /// The bare `faulty` name uses [`DEFAULT_FAULT_RATE_PPM`] and seed
+    /// 0; the harness overrides both via `--fault-rate` /
+    /// `--fault-seed`.
     pub fn parse(name: &str, time_scale: f64) -> Option<PayloadMode> {
         match name {
             "noop" => Some(PayloadMode::Noop),
             "spin" => Some(PayloadMode::Spin { time_scale }),
             "memcpy" => Some(PayloadMode::Memcpy),
             "faulty" => Some(PayloadMode::Faulty { rate_ppm: DEFAULT_FAULT_RATE_PPM, seed: 0 }),
+            "mixed" => Some(PayloadMode::Mixed { time_scale }),
             _ => None,
         }
     }
@@ -82,6 +135,7 @@ impl PayloadMode {
             PayloadMode::Spin { .. } => "spin",
             PayloadMode::Memcpy => "memcpy",
             PayloadMode::Faulty { .. } => "faulty",
+            PayloadMode::Mixed { .. } => "mixed",
         }
     }
 }
@@ -116,6 +170,16 @@ impl<'a> PayloadScratch<'a> {
             PayloadMode::Noop | PayloadMode::Faulty { .. } => Duration::ZERO,
             PayloadMode::Spin { time_scale } => self.run_spin(task.runtime, time_scale),
             PayloadMode::Memcpy => self.run_memcpy(task),
+            PayloadMode::Mixed { time_scale } => self.run_mixed(task, time_scale),
+        }
+    }
+
+    /// The [`PayloadMode::Mixed`] body: dispatch on the task's class.
+    pub fn run_mixed(&mut self, task: &TaskDesc, time_scale: f64) -> Duration {
+        if task_class(PayloadMode::Mixed { time_scale }, task) == CLASS_MEMORY {
+            self.run_memcpy(task)
+        } else {
+            self.run_spin(task.runtime, time_scale)
         }
     }
 
@@ -156,6 +220,13 @@ impl<'a> PayloadScratch<'a> {
                 }
                 std::hint::black_box(self.sink);
                 (t0.elapsed(), false)
+            }
+            PayloadMode::Mixed { time_scale } => {
+                if task_class(mode, task) == CLASS_MEMORY {
+                    self.run_watched(PayloadMode::Memcpy, task, cancel)
+                } else {
+                    self.run_watched(PayloadMode::Spin { time_scale }, task, cancel)
+                }
             }
         }
     }
@@ -230,7 +301,7 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        for name in ["noop", "spin", "memcpy", "faulty"] {
+        for name in ["noop", "spin", "memcpy", "faulty", "mixed"] {
             assert_eq!(PayloadMode::parse(name, 1.0).unwrap().name(), name);
         }
         assert_eq!(PayloadMode::parse("fft", 1.0), None);
@@ -285,6 +356,28 @@ mod tests {
         // The last operand is a 4096-byte write: its uniform fill must
         // be what the destination buffer ends on.
         assert!(s.dst[..4096].windows(2).all(|w| w[0] == w[1]), "write chunk not filled");
+    }
+
+    #[test]
+    fn mixed_routes_by_footprint_class() {
+        // task() moves 8 KB < MEMORY_CLASS_BYTES → compute class.
+        assert_eq!(task_class(PayloadMode::Mixed { time_scale: 1.0 }, &task()), CLASS_COMPUTE);
+        let big = TaskDesc::new(
+            KernelId(0),
+            3200,
+            vec![OperandDesc::output(0xEF, MEMORY_CLASS_BYTES as u32 + 1)],
+        );
+        assert_eq!(task_class(PayloadMode::Mixed { time_scale: 1.0 }, &big), CLASS_MEMORY);
+        // Uniform payloads pin the class regardless of footprint.
+        assert_eq!(task_class(PayloadMode::Spin { time_scale: 1.0 }, &big), CLASS_COMPUTE);
+        assert_eq!(task_class(PayloadMode::Memcpy, &task()), CLASS_MEMORY);
+        // The memory-class mixed body is the memcpy body: same sink.
+        let arena = build_arena();
+        let mut a = PayloadScratch::new(&arena);
+        let mut b = PayloadScratch::new(&arena);
+        a.run(PayloadMode::Memcpy, &big);
+        b.run(PayloadMode::Mixed { time_scale: 1.0 }, &big);
+        assert_eq!(a.sink, b.sink, "mixed memory-class task must do the memcpy work");
     }
 
     #[test]

@@ -659,6 +659,44 @@ fn check_instant_discipline(file: &str, stripped: &[&str]) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------
+// Check 8: SchedPolicy impls stay inside the sync facade
+// ---------------------------------------------------------------------
+
+/// Flags any `std::sync` reference in a file that implements
+/// [`SchedPolicy`]. Stricter than the facade check (which only bans
+/// the modeled primitives inside `crates/exec/src/`): policy hooks run
+/// on the worker hot path *and* under the shuttle scheduler, so a
+/// policy defined anywhere — a bench experiment, a test crate — must
+/// take every primitive (including `Arc`) from the facade, or the
+/// model tests of DESIGN.md §13.5 silently stop covering it.
+fn check_sched_policy_facade(file: &str, stripped: &[&str]) -> Vec<Violation> {
+    // Path-qualified impls (`impl sched::SchedPolicy for ...`) count.
+    let implements = stripped.iter().any(|s| s.contains("impl ") && s.contains("SchedPolicy for "));
+    if !implements {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, s) in stripped.iter().enumerate() {
+        // `std::sync::Arc` alone is permitted: it is plain refcounting,
+        // shuttle ships no double for it, and the model tests need it to
+        // share policies across shuttle threads. A grouped import that
+        // smuggles anything else alongside Arc is still flagged.
+        let arc_only = s.contains("std::sync::Arc") && !s.contains('{');
+        if s.contains("std::sync") && !arc_only {
+            out.push(Violation {
+                file: file.to_string(),
+                line: i + 1,
+                msg: "`std::sync` in a file implementing SchedPolicy — policy hooks \
+                      run under the model checker, so every sync primitive must come \
+                      from the facade (`crate::sync` / `tss_exec::sync`, DESIGN.md §13)"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
@@ -759,6 +797,7 @@ fn run(root: &Path, print_relaxed: bool) -> ExitCode {
     for f in &core {
         let stripped: Vec<&str> = f.stripped.lines().collect();
         violations.extend(check_facade(&f.rel, &stripped));
+        violations.extend(check_sched_policy_facade(&f.rel, &stripped));
         violations.extend(check_join_discipline(&f.rel, &stripped));
         violations.extend(check_instant_discipline(&f.rel, &stripped));
     }
@@ -829,8 +868,9 @@ fn main() -> ExitCode {
                      SAFETY comments, the Ordering::Relaxed allowlist, the sync\n\
                      facade boundary, DESIGN.md citation integrity, crate\n\
                      hygiene attributes, the JoinHandle unwrap ban (DESIGN.md\n\
-                     §11), and the Instant::now timing-facade ban (DESIGN.md\n\
-                     §12.1). Exits nonzero on any violation."
+                     §11), the Instant::now timing-facade ban (DESIGN.md\n\
+                     §12.1), and the SchedPolicy facade ban (DESIGN.md §13).\n\
+                     Exits nonzero on any violation."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -996,6 +1036,42 @@ use crate::sync::atomic::AtomicU32;
         let v = check_facade("crates/exec/src/deque.rs", &lines(&stripped));
         assert_eq!(v.len(), 2, "{v:?}");
         assert_eq!((v[0].line, v[1].line), (1, 2));
+    }
+
+    #[test]
+    fn sched_policy_files_must_use_the_facade_everywhere() {
+        // A policy impl outside crates/exec/src/ still gets the scan —
+        // `Arc` alone passes (no shuttle double exists), but any other
+        // `std::sync` primitive is flagged even there.
+        let src = "\
+use std::sync::Arc;
+use std::sync::RwLock;
+use tss_exec::sync::Mutex;
+struct MyPolicy;
+impl SchedPolicy for MyPolicy {}
+";
+        let stripped = strip_code(src);
+        let v = check_sched_policy_facade("crates/bench/src/bin/custom.rs", &lines(&stripped));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].msg.contains("SchedPolicy"));
+
+        // A grouped import smuggling more than Arc is still flagged.
+        let src = "use std::sync::{Arc, Mutex};\nimpl SchedPolicy for Q {}\n";
+        let stripped = strip_code(src);
+        let v = check_sched_policy_facade("crates/bench/src/bin/custom.rs", &lines(&stripped));
+        assert_eq!(v.len(), 1, "{v:?}");
+
+        // Path-qualified impls count too.
+        let src = "use std::sync::Mutex;\nimpl sched::SchedPolicy for P {}\n";
+        let stripped = strip_code(src);
+        let v = check_sched_policy_facade("crates/exec/src/custom.rs", &lines(&stripped));
+        assert_eq!(v.len(), 1, "{v:?}");
+
+        // No impl, no scan — ordinary files are the facade check's job.
+        let src = "use std::sync::Arc;\nfn f() {}\n";
+        let stripped = strip_code(src);
+        assert!(check_sched_policy_facade("crates/bench/src/x.rs", &lines(&stripped)).is_empty());
     }
 
     #[test]
