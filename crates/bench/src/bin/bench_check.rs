@@ -51,7 +51,11 @@
 /// DESIGN.md §11) is exact because injection is a pure function of
 /// `(fault seed, task, attempt)`: at a fixed seed/rate/scale the
 /// failure sets are identical across hosts and thread counts.
-const EXACT_FIELDS: [&str; 8] = [
+/// The serve-artifact counters (`BENCH_serve.json`, DESIGN.md §14.5)
+/// are exact for the same reason: the wire-chaos plan is a pure
+/// function of `(chaos seed, client, graph)`, so given admission
+/// headroom every completion/kill/vanish count is reproducible.
+const EXACT_FIELDS: [&str; 16] = [
     "tasks",
     "events",
     "enforced_edges",
@@ -60,6 +64,14 @@ const EXACT_FIELDS: [&str; 8] = [
     "poisoned",
     "retried_ok",
     "workers_lost",
+    "graphs",
+    "completed",
+    "slow_ok",
+    "killed",
+    "vanished",
+    "rejected_overloaded",
+    "rejected_quota",
+    "rejected_malformed",
 ];
 const WALL_FIELDS: [&str; 3] = ["wall_ms", "exec_wall_ms", "stream_wall_ms"];
 /// Sampled latency quantiles (ns) from obs builds — presence-gated with
@@ -83,8 +95,21 @@ const LABEL_FIELDS: [&str; 2] = ["benchmark", "engine"];
 /// Totals-object checks: exact, wall-tolerance, and must-exist-if-the-
 /// baseline-has-it (host-dependent values like `jobs` are only gated
 /// for presence).
-const TOTAL_EXACT_FIELDS: [&str; 5] =
-    ["events", "failed", "poisoned", "retried_ok", "workers_lost"];
+const TOTAL_EXACT_FIELDS: [&str; 13] = [
+    "events",
+    "failed",
+    "poisoned",
+    "retried_ok",
+    "workers_lost",
+    "graphs",
+    "completed",
+    "slow_ok",
+    "killed",
+    "vanished",
+    "rejected_overloaded",
+    "rejected_quota",
+    "rejected_malformed",
+];
 const TOTAL_WALL_FIELDS: [&str; 2] = ["wall_ms", "suite_wall_ms"];
 const TOTAL_PRESENT_FIELDS: [&str; 3] = ["suite_wall_ms", "jobs", "hw_threads"];
 

@@ -663,6 +663,7 @@ fn main() {
             task_deadline: args.task_deadline,
             run_deadline: args.run_deadline,
             kill_worker: args.kill_worker,
+            cancel: None,
         };
         let exec = Executor::new(cfg);
         // Two-phase replay: the scheduler-only, PR-comparable number.

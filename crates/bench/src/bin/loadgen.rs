@@ -1,0 +1,547 @@
+//! Closed-loop load generator for the execution service (DESIGN.md
+//! §14): N client threads each submit M graphs of one Table-I workload
+//! against a running `serve` instance and collect per-graph completion
+//! outcomes, writing `BENCH_serve.json` (throughput, p50/p99/p999
+//! completion latency, rejects, shed counts).
+//!
+//! Two modes:
+//!
+//! - **Healthy** (default): submit, wait for `Done`, repeat. An
+//!   `Overloaded` shed is honored — the client sleeps the server's
+//!   `retry_after_ms` hint and resubmits, up to `--retry-max` times —
+//!   so the artifact records how often backpressure actually bit.
+//! - **Wire chaos** (`--chaos-seed N`): every `(client, graph)` pair's
+//!   behaviour comes from the pure chaos plan (DESIGN.md §14.5) —
+//!   slow-loris writers, truncated and corrupt frames, vanishing
+//!   clients — and the outcome counts are exactly reproducible for a
+//!   fixed seed, which is what the CI baseline gate pins.
+//!
+//! Flags: `--addr HOST:PORT` (required; `serve --port-file` emits it),
+//! `--clients N`, `--graphs N` (per client), `--bench NAME`, `--scale
+//! small|paper|large`, `--seed N`, `--chunk N` (tasks per frame),
+//! `--deadline-ms N` (0 = none), `--retry-max N`, `--chaos-seed N`,
+//! `--shutdown` (drain the server afterwards), `--json`, `--out PATH`.
+//! Bad values and combinations exit 2 naming the offending flag.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use tss_client::chaos::{plan, run_graph, ChaosMode, ChaosOutcome};
+use tss_client::{Client, Submission};
+use tss_core::report::fmt_f;
+use tss_core::Table;
+use tss_obs::hist::Histogram;
+use tss_proto::{GraphOutcome, RejectReason};
+use tss_trace::TaskTrace;
+use tss_workloads::{Benchmark, Scale};
+
+/// CLI contract: bad input is a user error, not a bug (exit 2).
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+fn want(value: Option<String>, flag: &str) -> String {
+    value.unwrap_or_else(|| fail(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, what: &str) -> T {
+    raw.parse().unwrap_or_else(|_| fail(format!("{what} must be a number, got '{raw}'")))
+}
+
+struct Args {
+    addr: SocketAddr,
+    clients: u64,
+    graphs: u64,
+    bench: Benchmark,
+    scale: Scale,
+    seed: u64,
+    chunk: usize,
+    deadline_ms: u32,
+    retry_max: u32,
+    chaos_seed: Option<u64>,
+    shutdown: bool,
+    json: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut addr: Option<String> = None;
+    let mut out = Args {
+        addr: "127.0.0.1:0".parse().expect("literal addr"),
+        clients: 2,
+        graphs: 8,
+        bench: Benchmark::Cholesky,
+        scale: Scale::Small,
+        seed: 42,
+        chunk: 256,
+        deadline_ms: 0,
+        retry_max: 8,
+        chaos_seed: None,
+        shutdown: false,
+        json: false,
+        out: "BENCH_serve.json".into(),
+    };
+    let mut retry_max_flag: Option<u32> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(want(args.next(), "--addr")),
+            "--clients" => {
+                out.clients = parse_num(&want(args.next(), "--clients"), "--clients");
+                if out.clients == 0 {
+                    fail("--clients must be at least 1");
+                }
+            }
+            "--graphs" => {
+                out.graphs = parse_num(&want(args.next(), "--graphs"), "--graphs");
+                if out.graphs == 0 {
+                    fail("--graphs must be at least 1 per client");
+                }
+            }
+            "--bench" => {
+                let v = want(args.next(), "--bench");
+                out.bench = Benchmark::parse(&v).unwrap_or_else(|| {
+                    let menu: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+                    fail(format!("unknown benchmark '{v}' ({})", menu.join("|")))
+                });
+            }
+            "--scale" => {
+                let v = want(args.next(), "--scale");
+                out.scale = Scale::parse(&v)
+                    .unwrap_or_else(|| fail(format!("unknown scale '{v}' (small|paper|large)")));
+            }
+            "--seed" => out.seed = parse_num(&want(args.next(), "--seed"), "--seed"),
+            "--chunk" => {
+                out.chunk = parse_num(&want(args.next(), "--chunk"), "--chunk");
+                if out.chunk == 0 {
+                    fail("--chunk must be at least 1 task per frame");
+                }
+            }
+            "--deadline-ms" => {
+                out.deadline_ms = parse_num(&want(args.next(), "--deadline-ms"), "--deadline-ms");
+            }
+            "--retry-max" => {
+                let n: u32 = parse_num(&want(args.next(), "--retry-max"), "--retry-max");
+                if n == 0 {
+                    fail("--retry-max must be at least 1 attempt");
+                }
+                retry_max_flag = Some(n);
+            }
+            "--chaos-seed" => {
+                out.chaos_seed =
+                    Some(parse_num(&want(args.next(), "--chaos-seed"), "--chaos-seed"));
+            }
+            "--shutdown" => out.shutdown = true,
+            "--json" => out.json = true,
+            "--out" => out.out = want(args.next(), "--out"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: loadgen --addr HOST:PORT [--clients N] [--graphs N] \
+                     [--bench NAME] [--scale small|paper|large] [--seed N] [--chunk N] \
+                     [--deadline-ms N] [--retry-max N] [--chaos-seed N] [--shutdown] \
+                     [--json] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => fail(format!("unknown flag '{other}'")),
+        }
+    }
+    // Chaos outcomes are plan-determined; a resubmit loop underneath
+    // them would make the "exact" baseline a lie.
+    if retry_max_flag.is_some() && out.chaos_seed.is_some() {
+        fail("--retry-max is the closed-loop resubmit bound; it does not apply with --chaos-seed");
+    }
+    out.retry_max = retry_max_flag.unwrap_or(out.retry_max);
+    let addr = addr.unwrap_or_else(|| fail("--addr is required (serve --port-file emits it)"));
+    out.addr =
+        addr.parse().unwrap_or_else(|_| fail(format!("--addr must be HOST:PORT, got '{addr}'")));
+    out
+}
+
+/// What one client thread needs to run its loop (a `Send + Clone`
+/// slice of [`Args`]).
+#[derive(Clone, Copy)]
+struct Load {
+    addr: SocketAddr,
+    graphs: u64,
+    deadline_ms: u32,
+    chunk: usize,
+    retry_max: u32,
+    chaos_seed: Option<u64>,
+}
+
+/// One client thread's tally. The chaos-mode counts (`slow_ok`,
+/// `killed`, `vanished`) and the reject counts are exact for a fixed
+/// chaos seed; latency and wall are the noisy part.
+#[derive(Default)]
+struct Row {
+    graphs: u64,
+    tasks: u64,
+    completed: u64,
+    slow_ok: u64,
+    killed: u64,
+    vanished: u64,
+    cancelled: u64,
+    deadline_expired: u64,
+    failed: u64,
+    rejected_overloaded: u64,
+    rejected_quota: u64,
+    rejected_malformed: u64,
+    wall: Duration,
+    latency: Histogram,
+}
+
+impl Row {
+    fn tally_done(&mut self, outcome: &GraphOutcome, started: Instant) {
+        match outcome {
+            GraphOutcome::Completed { tasks, .. } => {
+                self.completed += 1;
+                self.tasks += tasks;
+                self.latency.record(started.elapsed().as_nanos() as u64);
+            }
+            GraphOutcome::Cancelled { .. } => self.cancelled += 1,
+            GraphOutcome::DeadlineExpired { .. } => self.deadline_expired += 1,
+            GraphOutcome::Failed { .. } => self.failed += 1,
+        }
+    }
+}
+
+/// Healthy closed loop: submit, honor shed hints, wait for `Done`.
+fn run_healthy(load: &Load, client_idx: u64, trace: &TaskTrace) -> Result<Row, String> {
+    let mut row = Row::default();
+    let mut client = Client::connect(load.addr)
+        .map_err(|e| format!("client {client_idx}: connect {}: {e}", load.addr))?;
+    for g in 0..load.graphs {
+        let gid = client_idx * 1_000_000 + g;
+        row.graphs += 1;
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        loop {
+            let sub = client
+                .submit(gid, load.deadline_ms, trace, load.chunk)
+                .map_err(|e| format!("client {client_idx} graph {gid}: submit: {e}"))?;
+            match sub {
+                Submission::Accepted => break,
+                Submission::Rejected(RejectReason::Overloaded { retry_after_ms }) => {
+                    row.rejected_overloaded += 1;
+                    attempts += 1;
+                    if attempts >= load.retry_max {
+                        return Err(format!(
+                            "client {client_idx} graph {gid}: still shed after {attempts} \
+                             submits (raise --retry-max or shrink the load)"
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
+                }
+                Submission::Rejected(RejectReason::QuotaExceeded { .. }) => {
+                    row.rejected_quota += 1;
+                    attempts += 1;
+                    if attempts >= load.retry_max {
+                        return Err(format!(
+                            "client {client_idx} graph {gid}: quota-rejected {attempts} times"
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Submission::Rejected(
+                    r @ (RejectReason::Malformed { .. } | RejectReason::TooLarge { .. }),
+                ) => {
+                    row.rejected_malformed += 1;
+                    return Err(format!("client {client_idx} graph {gid}: rejected: {r}"));
+                }
+                Submission::Rejected(r) => {
+                    return Err(format!("client {client_idx} graph {gid}: rejected: {r}"));
+                }
+            }
+        }
+        let outcome = client
+            .wait_done(gid)
+            .map_err(|e| format!("client {client_idx} graph {gid}: wait_done: {e}"))?;
+        row.tally_done(&outcome, started);
+    }
+    client.bye();
+    Ok(row)
+}
+
+/// Wire-chaos loop: each pair's behaviour is the pure plan's call.
+fn run_chaotic(load: &Load, client_idx: u64, trace: &TaskTrace) -> Result<Row, String> {
+    let chaos_seed = load.chaos_seed.expect("chaos mode");
+    let mut row = Row::default();
+    let mut conn: Option<Client> = None;
+    for g in 0..load.graphs {
+        let mode = plan(chaos_seed, client_idx, g);
+        let gid = client_idx * 1_000_000 + g;
+        row.graphs += 1;
+        let started = Instant::now();
+        let out = run_graph(load.addr, &mut conn, mode, gid, load.deadline_ms, trace, load.chunk)
+            .map_err(|e| format!("client {client_idx} graph {gid} ({}): {e}", mode.name()))?;
+        match out {
+            ChaosOutcome::Done(outcome) => {
+                if matches!(mode, ChaosMode::Slow)
+                    && matches!(outcome, GraphOutcome::Completed { .. })
+                {
+                    row.slow_ok += 1;
+                }
+                row.tally_done(&outcome, started);
+            }
+            ChaosOutcome::Rejected(RejectReason::Overloaded { .. }) => {
+                row.rejected_overloaded += 1;
+            }
+            ChaosOutcome::Rejected(RejectReason::QuotaExceeded { .. }) => {
+                row.rejected_quota += 1;
+            }
+            ChaosOutcome::Rejected(
+                r @ (RejectReason::Malformed { .. } | RejectReason::TooLarge { .. }),
+            ) => {
+                row.rejected_malformed += 1;
+                return Err(format!("client {client_idx} graph {gid}: rejected: {r}"));
+            }
+            ChaosOutcome::Rejected(r) => {
+                return Err(format!("client {client_idx} graph {gid}: rejected: {r}"));
+            }
+            ChaosOutcome::SessionKilled => row.killed += 1,
+            ChaosOutcome::Vanished => row.vanished += 1,
+        }
+    }
+    if let Some(c) = conn {
+        c.bye();
+    }
+    Ok(row)
+}
+
+fn hw_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The three completion-latency quantile fields, ready to splice into
+/// a JSON object (same shape `bench_check`'s latency layer gates).
+fn latency_json(h: &Histogram) -> String {
+    format!(
+        "\"latency_p50_ns\": {}, \"latency_p99_ns\": {}, \"latency_p999_ns\": {}, ",
+        h.p50(),
+        h.p99(),
+        h.p999()
+    )
+}
+
+fn row_json(bench: &str, engine: &str, r: &Row) -> String {
+    let wall = r.wall.as_secs_f64() * 1e3;
+    let per_sec =
+        if r.wall.as_secs_f64() > 0.0 { r.completed as f64 / r.wall.as_secs_f64() } else { 0.0 };
+    format!(
+        "{{\"benchmark\": \"{bench}\", \"engine\": \"{engine}\", \"graphs\": {}, \
+         \"tasks\": {}, \"completed\": {}, \"slow_ok\": {}, \"killed\": {}, \
+         \"vanished\": {}, \"cancelled\": {}, \"deadline_expired\": {}, \"failed\": {}, \
+         \"rejected_overloaded\": {}, \"rejected_quota\": {}, \"rejected_malformed\": {}, \
+         {}\"wall_ms\": {:.3}, \"graphs_per_sec\": {:.1}}}",
+        r.graphs,
+        r.tasks,
+        r.completed,
+        r.slow_ok,
+        r.killed,
+        r.vanished,
+        r.cancelled,
+        r.deadline_expired,
+        r.failed,
+        r.rejected_overloaded,
+        r.rejected_quota,
+        r.rejected_malformed,
+        latency_json(&r.latency),
+        wall,
+        per_sec,
+    )
+}
+
+fn to_json(args: &Args, tasks_per_graph: usize, rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tss-bench-serve/v1\",\n");
+    s.push_str(&format!("  \"bench\": \"{}\",\n", args.bench.name()));
+    s.push_str(&format!("  \"scale\": \"{}\",\n", args.scale.name()));
+    s.push_str(&format!("  \"clients\": {},\n", args.clients));
+    s.push_str(&format!("  \"graphs_per_client\": {},\n", args.graphs));
+    s.push_str(&format!("  \"tasks_per_graph\": {tasks_per_graph},\n"));
+    s.push_str(&format!("  \"chunk\": {},\n", args.chunk));
+    s.push_str(&format!("  \"deadline_ms\": {},\n", args.deadline_ms));
+    s.push_str(&format!("  \"seed\": {},\n", args.seed));
+    match args.chaos_seed {
+        Some(cs) => s.push_str(&format!("  \"chaos_seed\": {cs},\n")),
+        None => s.push_str("  \"chaos_seed\": null,\n"),
+    }
+    s.push_str(&format!("  \"hw_threads\": {},\n", hw_threads()));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    ");
+        s.push_str(&row_json(args.bench.name(), &format!("client-{i}"), r));
+        s.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ],\n");
+    let mut total = Row::default();
+    for r in rows {
+        total.graphs += r.graphs;
+        total.tasks += r.tasks;
+        total.completed += r.completed;
+        total.slow_ok += r.slow_ok;
+        total.killed += r.killed;
+        total.vanished += r.vanished;
+        total.cancelled += r.cancelled;
+        total.deadline_expired += r.deadline_expired;
+        total.failed += r.failed;
+        total.rejected_overloaded += r.rejected_overloaded;
+        total.rejected_quota += r.rejected_quota;
+        total.rejected_malformed += r.rejected_malformed;
+        total.wall = total.wall.max(r.wall);
+        total.latency.merge(&r.latency);
+    }
+    let per_sec = if total.wall.as_secs_f64() > 0.0 {
+        total.completed as f64 / total.wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    s.push_str(&format!(
+        "  \"totals\": {{\"graphs\": {}, \"tasks\": {}, \"completed\": {}, \"slow_ok\": {}, \
+         \"killed\": {}, \"vanished\": {}, \"cancelled\": {}, \"deadline_expired\": {}, \
+         \"failed\": {}, \"rejected_overloaded\": {}, \"rejected_quota\": {}, \
+         \"rejected_malformed\": {}, {}\"wall_ms\": {:.3}, \"graphs_per_sec\": {:.1}, \
+         \"hw_threads\": {}}}\n",
+        total.graphs,
+        total.tasks,
+        total.completed,
+        total.slow_ok,
+        total.killed,
+        total.vanished,
+        total.cancelled,
+        total.deadline_expired,
+        total.failed,
+        total.rejected_overloaded,
+        total.rejected_quota,
+        total.rejected_malformed,
+        latency_json(&total.latency),
+        total.wall.as_secs_f64() * 1e3,
+        per_sec,
+        hw_threads(),
+    ));
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let args = parse_args();
+    let trace = args.bench.trace(args.scale, args.seed);
+    let tasks_per_graph = trace.len();
+    eprintln!(
+        "[loadgen] {} clients x {} graphs of {} {} ({} tasks each) against {}{}",
+        args.clients,
+        args.graphs,
+        args.scale.name(),
+        args.bench.name(),
+        tasks_per_graph,
+        args.addr,
+        match args.chaos_seed {
+            Some(cs) => format!(", wire chaos seed {cs}"),
+            None => String::new(),
+        },
+    );
+
+    let load = Load {
+        addr: args.addr,
+        graphs: args.graphs,
+        deadline_ms: args.deadline_ms,
+        chunk: args.chunk,
+        retry_max: args.retry_max,
+        chaos_seed: args.chaos_seed,
+    };
+    let workers: Vec<_> = (0..args.clients)
+        .map(|client_idx| {
+            let trace = trace.clone();
+            std::thread::Builder::new()
+                .name(format!("loadgen-{client_idx}"))
+                .spawn(move || {
+                    let started = Instant::now();
+                    let mut row = if load.chaos_seed.is_some() {
+                        run_chaotic(&load, client_idx, &trace)?
+                    } else {
+                        run_healthy(&load, client_idx, &trace)?
+                    };
+                    row.wall = started.elapsed();
+                    Ok::<Row, String>(row)
+                })
+                .expect("spawn loadgen client")
+        })
+        .collect();
+    let mut rows = Vec::with_capacity(workers.len());
+    for w in workers {
+        match w.join() {
+            Ok(Ok(row)) => rows.push(row),
+            Ok(Err(msg)) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+            Err(_) => {
+                eprintln!("error: a loadgen client thread panicked");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if args.shutdown {
+        match Client::connect(args.addr) {
+            Ok(mut control) => {
+                if let Err(e) = control.shutdown_server() {
+                    eprintln!("error: shutdown request failed: {e}");
+                    std::process::exit(1);
+                }
+                control.bye();
+            }
+            Err(e) => {
+                eprintln!("error: cannot connect for --shutdown: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let json = to_json(&args, tasks_per_graph, &rows);
+    std::fs::write(&args.out, &json)
+        .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", args.out)));
+
+    if args.json {
+        print!("{json}");
+    } else {
+        let mut table = Table::new(
+            format!(
+                "Service load ({} x {} graphs of {} {}, {} tasks/graph{})",
+                args.clients,
+                args.graphs,
+                args.scale.name(),
+                args.bench.name(),
+                tasks_per_graph,
+                match args.chaos_seed {
+                    Some(cs) => format!(", chaos seed {cs}"),
+                    None => String::new(),
+                },
+            ),
+            &[
+                "Client", "graphs", "ok", "slow", "killed", "vanish", "shed", "quota", "p50 ms",
+                "p99 ms", "wall ms",
+            ],
+        );
+        for (i, r) in rows.iter().enumerate() {
+            table.row(vec![
+                format!("client-{i}"),
+                r.graphs.to_string(),
+                r.completed.to_string(),
+                r.slow_ok.to_string(),
+                r.killed.to_string(),
+                r.vanished.to_string(),
+                r.rejected_overloaded.to_string(),
+                r.rejected_quota.to_string(),
+                fmt_f(r.latency.p50() as f64 / 1e6, 2),
+                fmt_f(r.latency.p99() as f64 / 1e6, 2),
+                fmt_f(r.wall.as_secs_f64() * 1e3, 1),
+            ]);
+        }
+        println!("{}", table.render());
+        println!("(wrote {})", args.out);
+    }
+}

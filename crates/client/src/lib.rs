@@ -1,0 +1,201 @@
+//! `tss-client`: a blocking client for the `tss-server` gateway
+//! (DESIGN.md §14), plus the seeded wire-chaos machinery the loadgen
+//! and the server's chaos suite share (DESIGN.md §14.5).
+//!
+//! The client is deliberately dumb: one thread, one socket, explicit
+//! frame-level operations. Graph submission pipelines (a quota's worth
+//! of graphs can be in flight), so `Done` frames for earlier graphs
+//! may interleave with the `Accepted`/`Reject` answer to a later seal;
+//! [`Client::submit`] and [`Client::wait_done`] park stray outcomes in
+//! a pending map instead of losing them.
+
+#![forbid(unsafe_code)]
+
+pub mod chaos;
+
+use std::collections::HashMap;
+use std::io;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+
+use tss_proto::{
+    graph_frames, read_frame, write_frame, Frame, GraphOutcome, RejectReason, SessionErrorKind,
+    WireError, VERSION,
+};
+use tss_trace::TaskTrace;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write, close).
+    Wire(WireError),
+    /// The server closed the session with a structured error frame.
+    SessionError {
+        /// What class of error the server reported.
+        kind: SessionErrorKind,
+        /// The server's human-readable detail.
+        detail: String,
+    },
+    /// The server answered with a frame the protocol does not allow
+    /// at this point (a server bug, or a non-TSS peer).
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "transport error: {e}"),
+            ClientError::SessionError { kind, detail } => {
+                write!(f, "server closed the session ({kind:?}): {detail}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected server frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// How the server answered a sealed graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submission {
+    /// Admitted and queued; a `Done` frame will follow eventually.
+    Accepted,
+    /// Refused; the graph was discarded server-side.
+    Rejected(RejectReason),
+}
+
+/// A connected, handshaken session.
+pub struct Client {
+    stream: TcpStream,
+    /// `Done` outcomes that arrived while waiting for something else.
+    pending: HashMap<u64, GraphOutcome>,
+}
+
+impl Client {
+    /// Connects and performs the `Hello`/`HelloAck` handshake.
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client { stream, pending: HashMap::new() };
+        client.send(&Frame::Hello { version: VERSION })?;
+        match client.recv()? {
+            Frame::HelloAck { .. } => Ok(client),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, frame)?;
+        Ok(())
+    }
+
+    /// Writes raw bytes (the chaos submitter's corruption path).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Reads the next frame, turning a `SessionError` into the
+    /// structured [`ClientError::SessionError`].
+    pub fn recv(&mut self) -> Result<Frame, ClientError> {
+        match read_frame(&mut self.stream)? {
+            Frame::SessionError { kind, detail } => Err(ClientError::SessionError { kind, detail }),
+            frame => Ok(frame),
+        }
+    }
+
+    /// Shuts down the write half so the server sees EOF while this
+    /// side can still read (the truncation chaos shape).
+    pub fn shutdown_write(&mut self) -> Result<(), ClientError> {
+        self.stream.shutdown(std::net::Shutdown::Write)?;
+        Ok(())
+    }
+
+    /// Streams a whole graph (`OpenGraph` → `Tasks`* → `Seal`) and
+    /// waits for the admission answer, parking any interleaved `Done`
+    /// frames for earlier graphs.
+    pub fn submit(
+        &mut self,
+        graph: u64,
+        deadline_ms: u32,
+        trace: &TaskTrace,
+        chunk: usize,
+    ) -> Result<Submission, ClientError> {
+        for frame in graph_frames(graph, deadline_ms, trace, chunk) {
+            self.send(&frame)?;
+        }
+        self.await_admission(graph)
+    }
+
+    /// Waits for the `Accepted`/`Reject` answer to `graph`'s seal,
+    /// parking interleaved `Done` frames (used directly by submitters
+    /// that wrote the frames themselves, e.g. the chaos slow path).
+    pub fn await_admission(&mut self, graph: u64) -> Result<Submission, ClientError> {
+        loop {
+            match self.recv()? {
+                Frame::Accepted { graph: g } if g == graph => return Ok(Submission::Accepted),
+                Frame::Reject { graph: g, reason } if g == graph => {
+                    return Ok(Submission::Rejected(reason))
+                }
+                Frame::Done { graph: g, outcome } => {
+                    self.pending.insert(g, outcome);
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+
+    /// Blocks until `graph`'s `Done` frame arrives (or was already
+    /// parked), parking other graphs' outcomes on the way.
+    pub fn wait_done(&mut self, graph: u64) -> Result<GraphOutcome, ClientError> {
+        if let Some(outcome) = self.pending.remove(&graph) {
+            return Ok(outcome);
+        }
+        loop {
+            match self.recv()? {
+                Frame::Done { graph: g, outcome } if g == graph => return Ok(outcome),
+                Frame::Done { graph: g, outcome } => {
+                    self.pending.insert(g, outcome);
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once acknowledged.
+    /// `Done` frames racing the ack are parked as usual.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.send(&Frame::Shutdown)?;
+        loop {
+            match self.recv()? {
+                Frame::ShutdownAck => return Ok(()),
+                Frame::Done { graph, outcome } => {
+                    self.pending.insert(graph, outcome);
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+
+    /// Clean close: best-effort `Bye`, then drop the socket.
+    pub fn bye(mut self) {
+        let _ = self.send(&Frame::Bye);
+    }
+}
+
+fn unexpected(frame: &Frame) -> ClientError {
+    ClientError::Unexpected(format!("{frame:?}"))
+}

@@ -119,6 +119,11 @@ pub struct ExecConfig {
     /// Affinity domains for [`SchedKind::Locality`] (clamped to
     /// 1..=threads). Ignored by the other policies.
     pub domains: usize,
+    /// External cancellation (DESIGN.md §14.3): when the token fires,
+    /// the watchdog aborts the run and it returns
+    /// [`ExecError::Cancelled`] with its progress counts. `None` (the
+    /// default) adds no machinery at all.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ExecConfig {
@@ -138,7 +143,36 @@ impl Default for ExecConfig {
             sched: SchedKind::Lifo,
             classes: 2,
             domains: 1,
+            cancel: None,
         }
+    }
+}
+
+/// A cloneable external-cancellation handle. The serve layer
+/// (DESIGN.md §14.3) arms one per accepted graph so a drain deadline
+/// can stop a run that is already executing; anything else that embeds
+/// the executor can do the same. The token is polled by the watchdog
+/// thread (same 200 µs cadence as the deadlines), never on the task
+/// hot path, so an armed-but-unfired token costs one extra load per
+/// poll tick and nothing per task. Cancellation latency is therefore
+/// bounded by one poll tick plus the longest in-flight payload.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<AtomicU32>);
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(1, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire) != 0
     }
 }
 
@@ -647,6 +681,11 @@ struct Shared<'a, R: ReleaseSuccs, P: SchedPolicy> {
     watch: Vec<WatchSlot>,
     /// Set by the watchdog when the run deadline expired.
     run_deadline_hit: AtomicU32,
+    /// External cancellation token (DESIGN.md §14.3), polled by the
+    /// watchdog alongside the deadlines.
+    cancel: Option<CancelToken>,
+    /// Set by the watchdog when the cancel token fired.
+    cancel_hit: AtomicU32,
     /// Final failure records, in completion order.
     failures: Mutex<Vec<FailedTask>>,
     /// First infrastructure (non-payload) panic message.
@@ -674,7 +713,12 @@ impl<R: ReleaseSuccs, P: SchedPolicy> Shared<'_, R, P> {
             }
             _ => FaultPlan { rate_ppm: 0, seed: 0, kill_worker: cfg.kill_worker },
         };
-        let deadline_armed = cfg.task_deadline.is_some() || cfg.run_deadline.is_some();
+        // An armed cancel token counts as a deadline: it needs the
+        // watch slots so a firing can stop in-flight payloads, not just
+        // idle workers (otherwise cancellation latency is a full local
+        // deque of payloads, DESIGN.md §14.3).
+        let deadline_armed =
+            cfg.task_deadline.is_some() || cfg.run_deadline.is_some() || cfg.cancel.is_some();
         let guarded = plan.enabled() || deadline_armed;
         let max_attempts = cfg.policy.max_attempts();
         let backoff_base = match cfg.policy {
@@ -713,6 +757,8 @@ impl<R: ReleaseSuccs, P: SchedPolicy> Shared<'_, R, P> {
                 Vec::new()
             },
             run_deadline_hit: AtomicU32::new(0),
+            cancel: cfg.cancel.clone(),
+            cancel_hit: AtomicU32::new(0),
             failures: Mutex::new(Vec::new()),
             infra_panic: Mutex::new(None),
             retry_hist: (0..max_attempts as usize).map(|_| AtomicU64::new(0)).collect(),
@@ -755,7 +801,7 @@ impl<R: ReleaseSuccs, P: SchedPolicy> Shared<'_, R, P> {
     /// Whether the watchdog thread is needed.
     #[inline]
     fn watchdog_armed(&self) -> bool {
-        !self.watch.is_empty()
+        !self.watch.is_empty() || self.cancel.is_some()
     }
 }
 
@@ -1255,6 +1301,22 @@ fn watchdog_loop<R: ReleaseSuccs, P: SchedPolicy>(shared: &Shared<'_, R, P>) {
             }
             shared.request_abort();
             return;
+        }
+        // External cancellation (DESIGN.md §14.3): same abort protocol
+        // as the run deadline, but reported as `ExecError::Cancelled`.
+        // With no deadline armed there are no watch slots, so an
+        // in-flight payload finishes before its worker observes the
+        // abort on the idle path — cancellation is prompt, not
+        // preemptive.
+        if let Some(token) = &shared.cancel {
+            if token.is_cancelled() {
+                shared.cancel_hit.store(1, Ordering::Release);
+                for slot in &shared.watch {
+                    slot.cancel.store(1, Ordering::Release);
+                }
+                shared.request_abort();
+                return;
+            }
         }
     }
 }
@@ -1763,6 +1825,9 @@ impl Executor {
             return Err(ExecError::WorkerPanic { message });
         }
         let completed = shared.next_ticket.load(Ordering::Acquire).min(shared.n);
+        if shared.cancel_hit.load(Ordering::Acquire) != 0 {
+            return Err(ExecError::Cancelled { completed, tasks: shared.n });
+        }
         if shared.run_deadline_hit.load(Ordering::Acquire) != 0 {
             return Err(ExecError::RunDeadline {
                 deadline: self.config.run_deadline.unwrap_or_default(),
@@ -2206,6 +2271,48 @@ mod tests {
             }
             other => panic!("expected RunDeadline, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cancel_token_aborts_a_long_run() {
+        let mut tr = TaskTrace::new("cancellable");
+        let k = tr.add_kernel("k");
+        for _ in 0..64 {
+            tr.push_task(k, 3_200_000_000, vec![]); // 1 s each at 3.2 GHz
+        }
+        let token = CancelToken::new();
+        let cfg = ExecConfig {
+            threads: 2,
+            payload: PayloadMode::Spin { time_scale: 1.0 },
+            cancel: Some(token.clone()),
+            ..ExecConfig::default()
+        };
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                token.cancel();
+            })
+        };
+        match Executor::new(cfg).run(&tr) {
+            Err(ExecError::Cancelled { tasks, completed }) => {
+                assert_eq!(tasks, 64);
+                assert!(completed < 64);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        canceller.join().expect("canceller thread");
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn unfired_cancel_token_changes_nothing() {
+        let tr = diamond_plus_loner();
+        let token = CancelToken::new();
+        let cfg = ExecConfig { threads: 2, cancel: Some(token.clone()), ..ExecConfig::default() };
+        let report = Executor::new(cfg).run(&tr).expect("armed-but-unfired run failed");
+        assert_eq!(report.completed(), tr.len());
+        assert!(!token.is_cancelled());
     }
 
     #[test]

@@ -161,6 +161,16 @@ pub enum ExecError {
         /// Total tasks in the run.
         tasks: usize,
     },
+    /// An external [`CancelToken`](crate::CancelToken) fired
+    /// (DESIGN.md §14.3): the run aborted cleanly and joined every
+    /// thread, but the graph did not drain.
+    Cancelled {
+        /// Tasks that had completed (incl. failed/poisoned) at the
+        /// abort.
+        completed: usize,
+        /// Total tasks in the run.
+        tasks: usize,
+    },
     /// A worker or decoder thread died from a non-payload panic (an
     /// executor bug, or an injected worker kill under `FailFast`); the
     /// run still joined every surviving thread.
@@ -185,6 +195,9 @@ impl fmt::Display for ExecError {
                 f,
                 "run deadline ({deadline:?}) expired with {completed}/{tasks} tasks complete"
             ),
+            ExecError::Cancelled { completed, tasks } => {
+                write!(f, "run cancelled with {completed}/{tasks} tasks complete")
+            }
             ExecError::WorkerPanic { message } => write!(f, "worker thread panicked: {message}"),
             ExecError::OracleViolation { detail } => {
                 write!(f, "dependency oracle violation: {detail}")

@@ -63,7 +63,7 @@ pub mod sched;
 pub mod sync;
 
 pub use deque::ChaseLev;
-pub use executor::{run_trace, ExecConfig, ExecReport, Executor, WorkerStats};
+pub use executor::{run_trace, CancelToken, ExecConfig, ExecReport, Executor, WorkerStats};
 pub use fault::{ExecError, FailedTask, FailurePolicy, FaultReport, InjectedFault, TaskFailure};
 pub use payload::PayloadMode;
 pub use renamer::{RenameStats, Renamer, StreamingRenamer, TaskGraph};

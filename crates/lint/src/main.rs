@@ -34,6 +34,17 @@
 //!    the observability layer sees every timestamp source and the
 //!    noop/ring builds cannot drift in timing semantics. Test regions
 //!    are exempt, as in check 6.
+//! 8. **SchedPolicy facade** — any file implementing `SchedPolicy`
+//!    (wherever it lives) must take its sync primitives from the
+//!    facade, not `std::sync`, or the model tests of DESIGN.md §13.5
+//!    silently stop covering it (`Arc` alone is permitted).
+//! 9. **Socket discipline** — production code in the service crates
+//!    (`crates/proto`, `crates/server`, `crates/client`) must not
+//!    `.unwrap()` / `.expect(` a socket I/O result (read/write/flush/
+//!    accept/connect/shutdown and the setsockopt-style setters): a
+//!    peer can sever the connection at any byte, so I/O failure must
+//!    become a structured session error (DESIGN.md §14.2), never a
+//!    server-side panic. Test regions are exempt, as in check 6.
 //!
 //! All checks run on a comment/string-stripped view of the source where
 //! that matters (so `"unsafe"` in a string or `Relaxed` in a doc
@@ -697,6 +708,68 @@ fn check_sched_policy_facade(file: &str, stripped: &[&str]) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------
+// Check 9: socket I/O results become structured errors, not panics
+// ---------------------------------------------------------------------
+
+/// Socket-facing call tokens whose `Result` must never be unwrapped in
+/// the service crates. Matches the std I/O surface plus this repo's
+/// framed-wire wrappers; a lock `.expect("poisoned")` on the same line
+/// as none of these is untouched.
+const SOCKET_CALLS: [&str; 12] = [
+    ".read(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".write(",
+    ".write_all(",
+    ".flush(",
+    ".accept(",
+    ".shutdown(",
+    ".set_read_timeout(",
+    "TcpStream::connect",
+    "read_frame(",
+    "write_frame(",
+];
+
+/// Whether `file` (repo-relative) is service-crate production source.
+fn socket_scoped_path(file: &str) -> bool {
+    file.starts_with("crates/proto/src/")
+        || file.starts_with("crates/server/src/")
+        || file.starts_with("crates/client/src/")
+}
+
+/// Flags `.unwrap()` / `.expect(` on a line that performs socket I/O
+/// in `crates/proto`, `crates/server`, or `crates/client`. A peer can
+/// sever the connection at any byte, so an I/O failure there is an
+/// expected event: it must become a structured session error
+/// (DESIGN.md §14.2) that isolates the one session, never a panic that
+/// can take a server thread — and the graphs it owes replies for —
+/// down with it. Test regions are exempt, as in check 6.
+fn check_socket_unwrap(file: &str, stripped: &[&str]) -> Vec<Violation> {
+    if !socket_scoped_path(file) || test_scoped_path(file) {
+        return Vec::new();
+    }
+    let mask = test_region_mask(stripped);
+    let mut out = Vec::new();
+    for (i, s) in stripped.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let unwraps = s.contains(".unwrap()") || s.contains(".expect(");
+        if unwraps && SOCKET_CALLS.iter().any(|tok| s.contains(tok)) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: i + 1,
+                msg: "socket I/O result unwrapped in a service crate — a severed \
+                      peer is an expected event, so it must become a structured \
+                      session error (DESIGN.md §14.2), not a server panic"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
@@ -800,6 +873,7 @@ fn run(root: &Path, print_relaxed: bool) -> ExitCode {
         violations.extend(check_sched_policy_facade(&f.rel, &stripped));
         violations.extend(check_join_discipline(&f.rel, &stripped));
         violations.extend(check_instant_discipline(&f.rel, &stripped));
+        violations.extend(check_socket_unwrap(&f.rel, &stripped));
     }
 
     match fs::read_to_string(root.join("DESIGN.md")) {
@@ -869,8 +943,9 @@ fn main() -> ExitCode {
                      facade boundary, DESIGN.md citation integrity, crate\n\
                      hygiene attributes, the JoinHandle unwrap ban (DESIGN.md\n\
                      §11), the Instant::now timing-facade ban (DESIGN.md\n\
-                     §12.1), and the SchedPolicy facade ban (DESIGN.md §13).\n\
-                     Exits nonzero on any violation."
+                     §12.1), the SchedPolicy facade ban (DESIGN.md §13), and\n\
+                     the socket-unwrap ban in the service crates (DESIGN.md\n\
+                     §14.2). Exits nonzero on any violation."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -1194,6 +1269,46 @@ fn timer() {
         assert!(
             check_instant_discipline("crates/exec/src/payload.rs", &lines(&stripped)).is_empty()
         );
+    }
+
+    #[test]
+    fn socket_unwrap_in_service_production_code_is_flagged() {
+        let src = "\
+fn f(s: &mut TcpStream, buf: &[u8]) {
+    s.write_all(buf).unwrap();
+    s.read_exact(&mut hdr).expect(\"short read\");
+    let frame = read_frame(s).unwrap();
+    s.write_all(buf)?;
+}
+";
+        let stripped = strip_code(src);
+        let v = check_socket_unwrap("crates/server/src/session.rs", &lines(&stripped));
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert_eq!((v[0].line, v[1].line, v[2].line), (2, 3, 4));
+        assert!(v[0].msg.contains("structured"), "points at session errors: {}", v[0].msg);
+        // The same code in the client crate is equally in scope.
+        assert_eq!(check_socket_unwrap("crates/client/src/lib.rs", &lines(&stripped)).len(), 3);
+    }
+
+    #[test]
+    fn socket_unwrap_spares_locks_tests_and_other_crates() {
+        // A poisoned-lock expect is a deliberate invariant, not socket I/O.
+        let lock = "let st = self.state.lock().expect(\"pool state poisoned\");\n";
+        let stripped = strip_code(lock);
+        assert!(check_socket_unwrap("crates/server/src/pool.rs", &lines(&stripped)).is_empty());
+
+        let bad = "s.write_all(buf).unwrap();\n";
+        let stripped = strip_code(bad);
+        // Integration tests of the service crates are exempt by path...
+        assert!(check_socket_unwrap("crates/server/tests/chaos.rs", &lines(&stripped)).is_empty());
+        // ...and so is everything outside proto/server/client entirely.
+        assert!(check_socket_unwrap("crates/bench/src/bin/serve.rs", &lines(&stripped)).is_empty());
+        assert!(check_socket_unwrap("crates/exec/src/executor.rs", &lines(&stripped)).is_empty());
+
+        // #[cfg(test)] regions inside a service crate are exempt by mask.
+        let gated = "#[cfg(test)]\nmod tests {\n    fn f() { s.write_all(b).unwrap(); }\n}\n";
+        let stripped = strip_code(gated);
+        assert!(check_socket_unwrap("crates/proto/src/wire.rs", &lines(&stripped)).is_empty());
     }
 
     #[test]

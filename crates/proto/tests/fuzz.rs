@@ -1,0 +1,137 @@
+//! Codec fuzz (ISSUE 10 satellite): encode∘decode round-trips on all
+//! nine workloads, and arbitrary truncation/corruption of valid frames
+//! always yields a structured [`DecodeError`] — never a panic, never
+//! an unbounded allocation.
+//!
+//! The corruption properties deliberately do *not* assert `Err`: one
+//! flipped byte can produce a different but valid frame (e.g. a
+//! changed graph id), which is fine — the contract under attack is
+//! "no panic, no hang", and the decoder's ability to say *what* broke
+//! when it does break.
+
+use proptest::prelude::*;
+use tss_proto::{
+    decode_frame_bytes, encode_frame, graph_frames, AssemblerLimits, Frame, GraphAssembler,
+};
+use tss_workloads::{Benchmark, Scale};
+
+/// Round-trips every frame of a full graph submission for one
+/// workload trace and reassembles it into an identical trace.
+fn roundtrip_workload(b: Benchmark) {
+    let trace = b.trace(Scale::Small, 42);
+    let frames = graph_frames(7, 100, &trace, 509);
+    let mut asm: Option<GraphAssembler> = None;
+    let mut sealed = None;
+    for f in &frames {
+        let bytes = encode_frame(f);
+        let (back, used) = decode_frame_bytes(&bytes).expect("valid frame decodes");
+        assert_eq!(used, bytes.len());
+        assert_eq!(&back, f, "{}: frame changed across the wire", b.name());
+        match back {
+            Frame::OpenGraph { deadline_ms, name, kernels, .. } => {
+                asm = Some(GraphAssembler::open(
+                    &name,
+                    &kernels,
+                    deadline_ms,
+                    AssemblerLimits::default(),
+                ));
+            }
+            Frame::Tasks { tasks, .. } => {
+                asm.as_mut().expect("open before tasks").push_tasks(tasks).expect("valid batch");
+            }
+            Frame::Seal { tasks_total, .. } => {
+                sealed =
+                    Some(asm.take().expect("open before seal").seal(tasks_total).expect("seals"));
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    let back = sealed.expect("graph sealed");
+    assert_eq!(back.name(), trace.name(), "{}", b.name());
+    assert_eq!(back.kernel_count(), trace.kernel_count(), "{}", b.name());
+    assert_eq!(back.tasks(), trace.tasks(), "{}", b.name());
+}
+
+#[test]
+fn all_nine_workloads_round_trip() {
+    for b in Benchmark::all() {
+        roundtrip_workload(b);
+    }
+}
+
+/// A corpus of valid encoded frames to mutate, including a real
+/// workload's task batches (the deepest decoder path).
+fn corpus() -> Vec<Vec<u8>> {
+    let trace = Benchmark::Cholesky.trace(Scale::Small, 42);
+    let mut frames = graph_frames(3, 50, &trace, 257);
+    frames.extend([
+        Frame::Hello { version: 1 },
+        Frame::HelloAck { version: 1 },
+        Frame::Accepted { graph: 3 },
+        Frame::Reject {
+            graph: 3,
+            reason: tss_proto::RejectReason::Overloaded { retry_after_ms: 80 },
+        },
+        Frame::Done {
+            graph: 3,
+            outcome: tss_proto::GraphOutcome::Completed {
+                tasks: 10,
+                failed: 0,
+                poisoned: 0,
+                exec_wall_us: 99,
+            },
+        },
+        Frame::SessionError {
+            kind: tss_proto::SessionErrorKind::Protocol,
+            detail: "frame before hello".into(),
+        },
+        Frame::Shutdown,
+        Frame::ShutdownAck,
+        Frame::Bye,
+    ]);
+    frames.iter().map(encode_frame).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn truncation_never_panics(pick in 0usize..1_000_000, cut in 0usize..1_000_000) {
+        let corpus = corpus();
+        let bytes = &corpus[pick % corpus.len()];
+        let cut = cut % bytes.len();
+        // Structured error or a shorter valid frame — never a panic.
+        let _ = decode_frame_bytes(&bytes[..cut]);
+        // Truncating the *body* while keeping the length prefix intact
+        // must be a structured error (the stream path sees this as an
+        // UnexpectedEof mid-frame; the buffer path as Truncated).
+        if cut > 4 {
+            let mut clipped = bytes[..cut].to_vec();
+            let body_len = (cut - 4) as u32;
+            clipped[..4].copy_from_slice(&body_len.to_le_bytes());
+            if cut < bytes.len() {
+                prop_assert!(decode_frame_bytes(&clipped).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        pick in 0usize..1_000_000,
+        at in 0usize..1_000_000,
+        x in 1u8..=255,
+    ) {
+        let corpus = corpus();
+        let mut bytes = corpus[pick % corpus.len()].clone();
+        let at = at % bytes.len();
+        bytes[at] ^= x;
+        // Corrupting the length prefix may claim a huge frame: the
+        // decoder must refuse it structurally, not allocate for it.
+        let _ = decode_frame_bytes(&bytes);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        let _ = decode_frame_bytes(&bytes);
+    }
+}

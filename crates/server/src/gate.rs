@@ -1,0 +1,147 @@
+//! Admission control (DESIGN.md §14.2): the load-shedding decision a
+//! sealed graph passes through before it may enter the executor queue.
+//!
+//! The gate tracks two pressure signals across all sessions — admitted
+//! graphs not yet finished (queue depth) and their summed task counts
+//! (the memory watermark, since queued traces are held resident) — and
+//! sheds with a structured [`RejectReason::Overloaded`] carrying a
+//! backoff hint once either trips. Shedding at admission rather than
+//! at enqueue keeps the failure cheap for the client: nothing was
+//! queued, nothing must be unwound, and the `retry_after_ms` hint
+//! scales with the depth that caused the shed.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use tss_proto::RejectReason;
+
+/// Cap on the computed backoff hint.
+const MAX_RETRY_AFTER_MS: u32 = 2_000;
+
+/// Cross-session admission state. Cheap enough to consult on every
+/// `Seal`; all updates are lock-free.
+#[derive(Debug)]
+pub(crate) struct Gate {
+    /// Nonzero once drain started: no further admissions, ever.
+    draining: AtomicU32,
+    /// Graphs admitted and not yet finished (queued + running).
+    inflight_graphs: AtomicU64,
+    /// Tasks belonging to those graphs (the memory watermark proxy).
+    inflight_tasks: AtomicU64,
+    max_graphs: u64,
+    max_tasks: u64,
+    retry_base_ms: u32,
+}
+
+impl Gate {
+    pub(crate) fn new(max_graphs: u64, max_tasks: u64, retry_base_ms: u32) -> Gate {
+        Gate {
+            draining: AtomicU32::new(0),
+            inflight_graphs: AtomicU64::new(0),
+            inflight_tasks: AtomicU64::new(0),
+            max_graphs: max_graphs.max(1),
+            max_tasks: max_tasks.max(1),
+            retry_base_ms: retry_base_ms.max(1),
+        }
+    }
+
+    /// Flips the gate shut for drain. Irreversible.
+    pub(crate) fn set_draining(&self) {
+        self.draining.store(1, Ordering::Release);
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire) != 0
+    }
+
+    /// Tries to admit a sealed graph of `tasks` tasks. On success the
+    /// graph counts against both watermarks until [`Gate::release`].
+    ///
+    /// Reserve-then-check: the counters are bumped first and rolled
+    /// back on refusal, so concurrent seals can never *stay* past the
+    /// caps — at worst a racing pair both observe the transient
+    /// overshoot and both shed, which errs on the safe side.
+    pub(crate) fn admit(&self, tasks: u64) -> Result<(), RejectReason> {
+        if self.is_draining() {
+            return Err(RejectReason::Draining);
+        }
+        let graphs_now = self.inflight_graphs.fetch_add(1, Ordering::AcqRel) + 1;
+        let tasks_now = self.inflight_tasks.fetch_add(tasks, Ordering::AcqRel) + tasks;
+        if graphs_now > self.max_graphs || tasks_now > self.max_tasks {
+            self.inflight_graphs.fetch_sub(1, Ordering::AcqRel);
+            self.inflight_tasks.fetch_sub(tasks, Ordering::AcqRel);
+            // Hint grows with the depth that caused the shed: a client
+            // hitting a deep queue backs off harder than one that
+            // grazed the watermark.
+            let depth = graphs_now.min(u64::from(MAX_RETRY_AFTER_MS));
+            let hint = (self.retry_base_ms.saturating_mul(depth as u32)).min(MAX_RETRY_AFTER_MS);
+            return Err(RejectReason::Overloaded { retry_after_ms: hint });
+        }
+        Ok(())
+    }
+
+    /// Returns an admitted graph's reservation (run finished, whatever
+    /// the outcome).
+    pub(crate) fn release(&self, tasks: u64) {
+        self.inflight_graphs.fetch_sub(1, Ordering::AcqRel);
+        self.inflight_tasks.fetch_sub(tasks, Ordering::AcqRel);
+    }
+
+    /// Current admitted-graph depth.
+    #[cfg(test)]
+    pub(crate) fn depth(&self) -> u64 {
+        self.inflight_graphs.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_watermark_sheds_with_growing_hint() {
+        let g = Gate::new(2, 1_000_000, 10);
+        g.admit(5).expect("first fits");
+        g.admit(5).expect("second fits");
+        let err = g.admit(5).expect_err("third must shed");
+        match err {
+            RejectReason::Overloaded { retry_after_ms } => {
+                assert_eq!(retry_after_ms, 30, "hint scales with depth")
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Shedding must not leak the reservation.
+        assert_eq!(g.depth(), 2);
+        g.release(5);
+        g.admit(5).expect("released slot is reusable");
+    }
+
+    #[test]
+    fn task_watermark_sheds_independently_of_depth() {
+        let g = Gate::new(100, 10, 25);
+        g.admit(8).expect("under the watermark");
+        let err = g.admit(8).expect_err("16 tasks would breach 10");
+        assert!(matches!(err, RejectReason::Overloaded { .. }));
+        assert_eq!(g.depth(), 1, "rejected graph rolled back");
+        g.admit(2).expect("exactly at the watermark is admitted");
+    }
+
+    #[test]
+    fn draining_gate_refuses_everything() {
+        let g = Gate::new(100, 100, 25);
+        g.set_draining();
+        assert_eq!(g.admit(1), Err(RejectReason::Draining));
+        assert_eq!(g.depth(), 0);
+    }
+
+    #[test]
+    fn retry_hint_is_capped() {
+        let g = Gate::new(1, 1_000_000, 1_500);
+        g.admit(1).expect("fits");
+        match g.admit(1).expect_err("sheds") {
+            RejectReason::Overloaded { retry_after_ms } => {
+                assert_eq!(retry_after_ms, MAX_RETRY_AFTER_MS)
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The executor pool (DESIGN.md §14.3): a fixed set of runner threads
+//! draining admitted graphs from a shared queue, each run wrapped in a
+//! fault boundary so one hostile graph can neither poison another nor
+//! take a runner down.
+//!
+//! Per-run containment, innermost to outermost:
+//!
+//! 1. The executor itself quarantines failed tasks
+//!    ([`FailurePolicy::Quarantine`], DESIGN.md §11) — a faulty graph
+//!    still *completes*, reporting its casualty counts.
+//! 2. The client's propagated deadline becomes the executor's
+//!    run-deadline watchdog, minus whatever the graph already burned
+//!    waiting in this queue.
+//! 3. Every run is armed with a [`CancelToken`] so drain
+//!    (DESIGN.md §14.4) can stop it after the drain deadline.
+//! 4. `catch_unwind` around the whole run: an executor-internal panic
+//!    (e.g. an oracle violation assert) becomes a structured
+//!    [`GraphOutcome::Failed`] instead of a dead runner.
+//!
+//! Whatever happens, exactly one [`GraphRecord`] is appended and one
+//! `Done` frame is attempted per admitted graph — the no-silent-loss
+//! invariant the shutdown regression test pins.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tss_exec::{CancelToken, ExecConfig, ExecError, Executor, FailurePolicy, PayloadMode};
+use tss_proto::{Frame, GraphOutcome};
+use tss_trace::TaskTrace;
+
+use crate::gate::Gate;
+use crate::writer::SharedWriter;
+use crate::{Counters, GraphRecord};
+
+/// One admitted graph, queued for execution.
+pub(crate) struct Job {
+    pub session: u64,
+    pub graph: u64,
+    pub trace: TaskTrace,
+    /// Client deadline in ms from admission (0 = none).
+    pub deadline_ms: u32,
+    /// When the gate admitted the graph (queue wait burns deadline).
+    pub admitted: Instant,
+    /// The owning session's writer, for `Done` delivery.
+    pub writer: SharedWriter,
+    /// The owning session's inflight-graph counter (quota accounting).
+    pub inflight: Arc<AtomicU64>,
+}
+
+/// Everything a runner needs besides the queue; shared with the server.
+pub(crate) struct RunCtx {
+    pub gate: Arc<Gate>,
+    pub counters: Arc<Counters>,
+    pub outcomes: Arc<Mutex<Vec<GraphRecord>>>,
+    pub exec_threads: usize,
+    pub payload: PayloadMode,
+    pub seed: u64,
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Runners currently executing a job.
+    busy: usize,
+    /// Drain: runners exit once the queue is empty.
+    closed: bool,
+    /// Drain deadline fired: new pops are cancelled before they run.
+    cancel_all: bool,
+    /// Cancel tokens of in-flight runs, keyed by (session, graph).
+    active: Vec<(u64, u64, CancelToken)>,
+}
+
+/// Queue + coordination state; sessions hold an `Arc` to submit.
+pub(crate) struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Wakes runners (work arrived, or close/cancel).
+    work_cv: Condvar,
+    /// Wakes the drain waiter (a runner went idle or exited).
+    idle_cv: Condvar,
+}
+
+impl PoolShared {
+    fn new() -> PoolShared {
+        PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                busy: 0,
+                closed: false,
+                cancel_all: false,
+                active: Vec::new(),
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an admitted graph. Callers hold a gate reservation;
+    /// the runner releases it after the outcome is recorded.
+    pub(crate) fn submit(&self, job: Job) {
+        let mut st = self.state.lock().expect("pool state poisoned");
+        st.queue.push_back(job);
+        drop(st);
+        self.work_cv.notify_one();
+    }
+}
+
+/// The runner threads plus their shared queue. Owned by the server;
+/// drained exactly once at shutdown.
+pub(crate) struct Pool {
+    pub shared: Arc<PoolShared>,
+    ctx: Arc<RunCtx>,
+    runners: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    pub(crate) fn start(runners: usize, ctx: Arc<RunCtx>) -> Pool {
+        let shared = Arc::new(PoolShared::new());
+        let handles = (0..runners.max(1))
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                let cx = Arc::clone(&ctx);
+                std::thread::Builder::new()
+                    .name(format!("tss-runner-{i}"))
+                    .spawn(move || runner_loop(sh, cx))
+                    .expect("spawn runner thread")
+            })
+            .collect();
+        Pool { shared, ctx, runners: handles }
+    }
+
+    /// Starts drain: no new jobs will be submitted (the gate already
+    /// refuses admissions); runners exit once the queue is empty.
+    pub(crate) fn close(&self) {
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        st.closed = true;
+        drop(st);
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Blocks until the queue is empty and no runner is busy, or the
+    /// timeout passes. Returns `true` if the pool went idle.
+    pub(crate) fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        loop {
+            if st.queue.is_empty() && st.busy == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, timed_out) =
+                self.shared.idle_cv.wait_timeout(st, deadline - now).expect("pool state poisoned");
+            st = next;
+            if timed_out.timed_out() && st.queue.is_empty() && st.busy == 0 {
+                return true;
+            }
+        }
+    }
+
+    /// Drain-deadline escalation (DESIGN.md §14.4): every queued job is
+    /// reported `Cancelled{0, tasks}` without running, and every
+    /// in-flight run's cancel token fires. Cancellation latency from
+    /// here is one watchdog tick plus one in-flight payload.
+    pub(crate) fn cancel_all(&self) {
+        let (stranded, tokens) = {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.cancel_all = true;
+            let stranded: Vec<Job> = st.queue.drain(..).collect();
+            let tokens: Vec<CancelToken> = st.active.iter().map(|(_, _, t)| t.clone()).collect();
+            (stranded, tokens)
+        };
+        for t in &tokens {
+            t.cancel();
+        }
+        for job in stranded {
+            let tasks = job.trace.len() as u64;
+            deliver(&job, GraphOutcome::Cancelled { completed: 0, tasks }, &self.ctx);
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.idle_cv.notify_all();
+    }
+
+    /// Joins the runners. Call after `close` + `wait_idle`.
+    pub(crate) fn join(self) {
+        for h in self.runners {
+            // A panicked runner already had its job contained; losing
+            // the thread at join time is not worth tearing drain down.
+            let _ = h.join();
+        }
+    }
+}
+
+fn runner_loop(shared: Arc<PoolShared>, ctx: Arc<RunCtx>) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if let Some(j) = st.queue.pop_front() {
+                    st.busy += 1;
+                    break Some(j);
+                }
+                if st.closed {
+                    break None;
+                }
+                st = shared.work_cv.wait(st).expect("pool state poisoned");
+            }
+        };
+        let Some(job) = job else {
+            shared.idle_cv.notify_all();
+            return;
+        };
+
+        let cancel = CancelToken::new();
+        {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            if st.cancel_all {
+                // Drain already escalated; this run starts cancelled
+                // and aborts at the first watchdog tick.
+                cancel.cancel();
+            }
+            st.active.push((job.session, job.graph, cancel.clone()));
+        }
+
+        let outcome = run_job(&job, &cancel, &ctx);
+        deliver(&job, outcome, &ctx);
+
+        {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            st.active.retain(|(s, g, _)| !(*s == job.session && *g == job.graph));
+            st.busy -= 1;
+            if st.queue.is_empty() && st.busy == 0 {
+                shared.idle_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs one admitted graph inside the full containment stack and maps
+/// the result onto the wire outcome.
+fn run_job(job: &Job, cancel: &CancelToken, ctx: &RunCtx) -> GraphOutcome {
+    let total = job.trace.len() as u64;
+    let mut run_deadline = None;
+    if job.deadline_ms > 0 {
+        let budget = Duration::from_millis(u64::from(job.deadline_ms));
+        let waited = job.admitted.elapsed();
+        if waited >= budget {
+            // The deadline burned out in the queue: report expiry
+            // without spinning up an executor that would only confirm.
+            return GraphOutcome::DeadlineExpired { completed: 0, tasks: total };
+        }
+        run_deadline = Some(budget - waited);
+    }
+    let cfg = ExecConfig {
+        threads: ctx.exec_threads,
+        payload: ctx.payload,
+        // Per-graph seed so a graph's schedule does not depend on
+        // which runner picks it up or what ran before it.
+        seed: ctx.seed ^ job.graph,
+        policy: FailurePolicy::Quarantine,
+        run_deadline,
+        cancel: Some(cancel.clone()),
+        ..ExecConfig::default()
+    };
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| Executor::new(cfg).run(&job.trace)));
+    match result {
+        Ok(Ok(report)) => GraphOutcome::Completed {
+            tasks: total,
+            failed: report.fault.failed.len() as u32,
+            poisoned: report.fault.poisoned.len() as u32,
+            exec_wall_us: report.exec_wall.as_micros() as u64,
+        },
+        Ok(Err(ExecError::Cancelled { completed, tasks })) => {
+            GraphOutcome::Cancelled { completed: completed as u64, tasks: tasks as u64 }
+        }
+        Ok(Err(ExecError::RunDeadline { completed, tasks, .. })) => {
+            GraphOutcome::DeadlineExpired { completed: completed as u64, tasks: tasks as u64 }
+        }
+        Ok(Err(e)) => GraphOutcome::Failed { detail: e.to_string() },
+        Err(panic) => {
+            GraphOutcome::Failed { detail: format!("executor panicked: {}", panic_text(&*panic)) }
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// The one exit path for an admitted graph: attempt `Done` delivery,
+/// record the outcome server-side, return the gate reservation and the
+/// session's quota slot. Runs for normal completions, drain
+/// cancellations, and stranded-queue cancellations alike.
+fn deliver(job: &Job, outcome: GraphOutcome, ctx: &RunCtx) {
+    // Release capacity *before* the client can observe the outcome:
+    // a client that reacts to `Done` by submitting again must find
+    // the gate slot and its quota slot already free.
+    ctx.gate.release(job.trace.len() as u64);
+    job.inflight.fetch_sub(1, Ordering::AcqRel);
+    let delivered = job.writer.send(&Frame::Done { graph: job.graph, outcome: outcome.clone() });
+    if !delivered {
+        ctx.counters.undelivered_done.fetch_add(1, Ordering::AcqRel);
+    }
+    ctx.outcomes.lock().expect("outcomes poisoned").push(GraphRecord {
+        session: job.session,
+        graph: job.graph,
+        outcome,
+        delivered,
+    });
+}

@@ -1,0 +1,57 @@
+//! Shared helpers for the server integration tests.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+use tss_server::{DrainHandle, DrainSummary, Server, ServerConfig};
+use tss_trace::{OperandDesc, TaskTrace};
+
+/// A started server plus the thread blocked in `Server::wait`.
+pub struct Harness {
+    pub addr: SocketAddr,
+    // Each integration-test binary compiles this module afresh, and
+    // not all of them drive the drain through the handle.
+    #[allow(dead_code)]
+    pub handle: DrainHandle,
+    waiter: JoinHandle<DrainSummary>,
+}
+
+impl Harness {
+    pub fn start(cfg: ServerConfig) -> Harness {
+        let server = Server::start(cfg, "127.0.0.1:0").expect("bind loopback");
+        let addr = server.local_addr();
+        let handle = server.drain_handle();
+        let waiter = std::thread::spawn(move || server.wait());
+        Harness { addr, handle, waiter }
+    }
+
+    /// Joins the drain (drain must have been requested by now, via a
+    /// client `Shutdown` frame or the handle).
+    pub fn finish(self) -> DrainSummary {
+        self.waiter.join().expect("server wait thread panicked")
+    }
+}
+
+/// A fan-out into eight serial chains: task 0 produces a shared
+/// input, every later task reads it and extends one of eight inout
+/// chains — real dependence structure plus real parallelism.
+pub fn small_trace(name: &str, tasks: u32, runtime_cycles: u64) -> TaskTrace {
+    let mut tr = TaskTrace::new(name);
+    let k = tr.add_kernel("kernel");
+    tr.push_task(k, runtime_cycles, vec![OperandDesc::output(0, 64)]);
+    for i in 1..u64::from(tasks) {
+        tr.push_task(
+            k,
+            runtime_cycles,
+            vec![OperandDesc::input(0, 64), OperandDesc::inout(((i % 8) + 1) * 64, 64)],
+        );
+    }
+    tr
+}
+
+/// ~`ms` milliseconds of spin per task at `PayloadMode::Spin { 1.0 }`
+/// (the executor clocks traced runtimes at 3.2 GHz).
+#[allow(dead_code)] // not every test binary uses timed payloads
+pub fn ms_cycles(ms: u64) -> u64 {
+    ms * 3_200_000
+}
